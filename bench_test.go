@@ -1,0 +1,362 @@
+// Benchmarks regenerating the paper's tables (one per table, reduced
+// corpus scale) plus ablations for the design choices DESIGN.md calls out:
+// reuse caching, the token-blocked similarity join, subset evaluation, and
+// the compact-table representation itself.
+//
+// Run with: go test -bench=. -benchmem
+package iflex_test
+
+import (
+	"testing"
+
+	"iflex"
+	"iflex/internal/alog"
+	"iflex/internal/assistant"
+	"iflex/internal/compact"
+	"iflex/internal/corpus"
+	"iflex/internal/engine"
+	"iflex/internal/experiments"
+	"iflex/internal/markup"
+	"iflex/internal/similarity"
+)
+
+// benchOpts is the scale used by table benches: small enough for CI,
+// large enough to exercise every code path.
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: 0.05, Seed: 1, Strategy: "sim"}
+}
+
+func BenchmarkTable1CorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table1(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2ProgramValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchScenario runs one full assistant session per iteration.
+func benchScenario(b *testing.B, taskID string, records int, strategy string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunScenario(
+			experiments.Scenario{TaskID: taskID, Records: records}, strategy, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Missing != 0 {
+			b.Fatalf("superset violated: %d missing", out.Missing)
+		}
+	}
+}
+
+// Table 3 scenarios: one representative task per domain.
+func BenchmarkTable3MoviesT1(b *testing.B) { benchScenario(b, "T1", 50, "sim") }
+func BenchmarkTable3DBLPT5(b *testing.B)   { benchScenario(b, "T5", 50, "sim") }
+func BenchmarkTable3BooksT8(b *testing.B)  { benchScenario(b, "T8", 50, "sim") }
+
+// Table 4: the per-iteration soliciting experiment (T7's scenario).
+func BenchmarkTable4SolicitingT7(b *testing.B) { benchScenario(b, "T7", 50, "sim") }
+
+// Table 5: both question-selection strategies on the join task T9.
+func BenchmarkTable5SequentialT9(b *testing.B) { benchScenario(b, "T9", 30, "seq") }
+func BenchmarkTable5SimulationT9(b *testing.B) { benchScenario(b, "T9", 30, "sim") }
+
+// Table 6: the DBLife panel task over a small snapshot.
+func BenchmarkTable6DBLifePanel(b *testing.B) {
+	task := corpus.DBLifeTasks()[0]
+	for i := 0; i < b.N; i++ {
+		c := task.Generate(60, 1)
+		env := task.Env(c)
+		prog := alog.MustParse(task.Program)
+		s := assistant.NewSession(env, prog, task.Oracle(), assistant.Config{
+			Strategy: assistant.Simulation{},
+		})
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// figure2Setup builds the running example at a configurable size.
+func figure2Setup(b *testing.B, houses int) (*alog.Program, *engine.Env) {
+	b.Helper()
+	c := corpus.Books(corpus.BooksConfig{Records: houses, Seed: 1})
+	env := engine.NewEnv()
+	env.AddDocTable("Amazon", "x", c.DocsOf("Amazon"))
+	env.AddDocTable("Barnes", "y", c.DocsOf("Barnes"))
+	prog := alog.MustParse(`
+amT(x, <t1>) :- Amazon(x), extractA(x, t1).
+bnT(y, <t2>) :- Barnes(y), extractB(y, t2).
+Q(t1) :- amT(x, t1), bnT(y, t2), similar(t1, t2).
+extractA(x, t) :- from(x, t), bold-font(t) = distinct-yes.
+extractB(y, t) :- from(y, t), underlined(t) = distinct-yes.
+`)
+	return prog, env
+}
+
+// Reuse ablation: re-executing a refined program with a shared context
+// (cache warm) versus a fresh context every iteration (Section 5.2).
+func BenchmarkAblationReuseWarm(b *testing.B) {
+	prog, env := figure2Setup(b, 120)
+	plan, err := engine.Compile(prog, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := engine.NewContext(env)
+	if _, err := plan.Execute(ctx); err != nil {
+		b.Fatal(err)
+	}
+	refined := prog.Clone()
+	if err := refined.AddConstraint(alog.AttrRef{Pred: "extractA", Var: "t"}, "max-tokens", "10"); err != nil {
+		b.Fatal(err)
+	}
+	plan2, err := engine.Compile(refined, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Shared cache: the Barnes subtree and the Amazon scan are reused.
+		ctx2 := engine.NewContext(env)
+		ctx2.Cache = ctx.Cache
+		if _, err := plan2.Execute(ctx2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationReuseCold(b *testing.B) {
+	prog, env := figure2Setup(b, 120)
+	refined := prog.Clone()
+	if err := refined.AddConstraint(alog.AttrRef{Pred: "extractA", Var: "t"}, "max-tokens", "10"); err != nil {
+		b.Fatal(err)
+	}
+	plan2, err := engine.Compile(refined, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan2.Execute(engine.NewContext(env)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Similarity-join ablation: the token-blocked fused join versus the naive
+// cross product + filter.
+func BenchmarkAblationSimJoinBlocked(b *testing.B) {
+	prog, env := figure2Setup(b, 150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(prog, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSimJoinNaive(b *testing.B) {
+	prog, env := figure2Setup(b, 150)
+	env.Blockable = map[string]bool{} // disable fusion: cross + filter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(prog, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Subset-evaluation ablation: executing over the 10% sample versus the
+// whole corpus.
+func BenchmarkAblationSubsetEval(b *testing.B) {
+	prog, env := figure2Setup(b, 200)
+	plan, err := engine.Compile(prog, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	filter := map[string]bool{}
+	n := 0
+	for _, d := range env.Tables["Amazon"].Tuples {
+		if n < 20 {
+			filter[d.Cells[0].Assigns[0].Span.Doc().ID()] = true
+		}
+		n++
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := engine.NewContext(env)
+		ctx.DocFilter = filter
+		if _, err := plan.Execute(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFullEval(b *testing.B) {
+	prog, env := figure2Setup(b, 200)
+	plan, err := engine.Compile(prog, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Execute(engine.NewContext(env)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Compact tables versus a-tables: the representation-size claim of
+// Section 3. Reported as values-per-assignment (higher = more packing).
+func BenchmarkCompactVsATable(b *testing.B) {
+	c := corpus.Movies(corpus.MoviesConfig{Records: 50, Seed: 1})
+	env := engine.NewEnv()
+	env.AddDocTable("IMDB", "x", c.DocsOf("IMDB"))
+	prog := alog.MustParse(`
+Q(x, t) :- IMDB(x), ext(x, t).
+ext(x, t) :- from(x, t).
+`)
+	var packing float64
+	for i := 0; i < b.N; i++ {
+		res, err := engine.Run(prog, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at := res.ToATable()
+		values := 0
+		for _, tp := range at.Tuples {
+			for _, cell := range tp.Cells {
+				values += len(cell)
+			}
+		}
+		packing = float64(values) / float64(res.NumAssignments())
+	}
+	b.ReportMetric(packing, "values/assignment")
+}
+
+// --- Microbenchmarks ------------------------------------------------------
+
+func BenchmarkParseProgram(b *testing.B) {
+	src := corpus.Tasks()[8].Program // T9, the largest
+	for i := 0; i < b.N; i++ {
+		if _, err := alog.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarkupParse(b *testing.B) {
+	src := `<title>SIGMOD 2008</title><h2>Panel</h2><ul><li><b>Alice Anderson</b>, chair</li>
+<li><i>Bob Baxter</i></li></ul><p>Held in <a href="x">Vancouver</a>.</p>`
+	for i := 0; i < b.N; i++ {
+		if _, err := markup.Parse("bench", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineFigure2(b *testing.B) {
+	env := iflex.NewEnv()
+	x2, err := iflex.ParseDocument("x2", "Amazing house<br>Sqft: 4700<br>Price: 619000<br>High school: Basktall HS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	y1, err := iflex.ParseDocument("y1", "<ul><li><b>Basktall</b>, Cherry Hills</li><li><b>Vanhise</b>, Champaign</li></ul>")
+	if err != nil {
+		b.Fatal(err)
+	}
+	env.AddDocTable("housePages", "x", []*iflex.Document{x2})
+	env.AddDocTable("schoolPages", "y", []*iflex.Document{y1})
+	prog := iflex.MustParseProgram(`
+houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(x, p, a, h).
+schools(s)? :- schoolPages(y), extractSchools(y, s).
+Q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000, a > 4500, approxMatch(h, s).
+extractHouses(x, p, a, h) :- from(x, p), from(x, a), from(x, h), numeric(p) = yes, numeric(a) = yes.
+extractSchools(y, s) :- from(y, s), bold-font(s) = yes.
+`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iflex.Run(prog, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimilar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		similarity.Similar("Database Systems: A Modern Approach", "Database Systems a modern approach")
+	}
+}
+
+func BenchmarkSubSpanEnumeration(b *testing.B) {
+	d := markup.MustParse("bench", "one two three four five six seven eight nine ten")
+	ca := compact.ContainCell(d.WholeSpan())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		ca.Values(func(iflexSpan iflex.Span) bool { n++; return true })
+		if n != 55 {
+			b.Fatal("bad count")
+		}
+	}
+}
+
+// Section 6.3's anecdote: converged approximate programs run comparably to
+// hand-tuned precise procedural programs. These two benches measure both
+// paths over the same corpus.
+func BenchmarkPreciseBaselineT7(b *testing.B) {
+	base, err := corpus.TaskByID("T7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	precise, err := corpus.PreciseTaskByID("T7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := base.Generate(500, 1)
+	env := precise.Env(base, c)
+	prog := alog.MustParse(precise.Program)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(prog, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvergedApproximateT7(b *testing.B) {
+	base, err := corpus.TaskByID("T7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := base.Generate(500, 1)
+	env := base.Env(c)
+	prog := alog.MustParse(base.Program)
+	oracle := base.Oracle()
+	for _, attr := range prog.Attrs() {
+		for f, v := range oracle.Answers[attr.String()] {
+			if v == "unknown" {
+				continue
+			}
+			if err := prog.AddConstraint(attr, f, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(prog, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command iflex-bench regenerates the paper's evaluation tables
+// (Section 6). Every table and figure-equivalent of the evaluation has a
+// harness here; see DESIGN.md's per-experiment index.
+//
+// Usage:
+//
+//	iflex-bench -table 5 -scale 0.2          # Table 5 at 20% corpus sizes
+//	iflex-bench -table all -scale 1 -out results.txt
+//
+// -scale 1 runs the paper's corpus sizes (slow: tens of minutes);
+// benches and CI use small scales, which preserve the result shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"iflex/internal/experiments"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, or all")
+		scale    = flag.Float64("scale", 0.2, "corpus size factor (1.0 = paper sizes)")
+		seed     = flag.Int64("seed", 1, "corpus generation seed")
+		strategy = flag.String("strategy", "sim", "assistant strategy for Tables 3/4/conv: seq or sim")
+		outPath  = flag.String("out", "", "also write output to this file")
+	)
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iflex-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+	o := experiments.Options{Scale: *scale, Seed: *seed, Strategy: *strategy, Out: out}
+
+	run := func(name string, fn func() error) {
+		if *table != "all" && *table != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "iflex-bench: table %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+	}
+	run("1", func() error { return experiments.Table1(o) })
+	run("2", func() error { return experiments.Table2(o) })
+	run("3", func() error { _, err := experiments.Table3(o); return err })
+	run("4", func() error { _, err := experiments.Table4(o); return err })
+	run("5", func() error { _, err := experiments.Table5(o); return err })
+	run("6", func() error { _, err := experiments.Table6(o); return err })
+	run("conv", func() error { _, err := experiments.Convergence(o); return err })
+	run("variance", func() error {
+		_, err := experiments.Variance(o, []int64{1, 2, 3})
+		return err
+	})
+	run("scaling", func() error {
+		sizes := []int{100, 250, 500, 1000, 2500}
+		for i := range sizes {
+			sizes[i] = int(float64(sizes[i]) * *scale)
+			if sizes[i] < 10 {
+				sizes[i] = 10
+			}
+		}
+		_, err := experiments.Scaling(o, "T7", sizes)
+		return err
+	})
+}

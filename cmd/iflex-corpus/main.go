@@ -1,0 +1,109 @@
+// Command iflex-corpus generates the synthetic evaluation corpora and
+// writes them to disk as .html pages plus a ground-truth summary, so that
+// the iflex CLI (and any external tool) can run against them.
+//
+// Usage:
+//
+//	iflex-corpus -domain movies -records 100 -out ./data
+//
+// creates ./data/IMDB/*.html, ./data/Ebert/*.html, ./data/Prasanna/*.html
+// and ./data/truth.txt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"iflex/internal/corpus"
+	"iflex/internal/similarity"
+)
+
+func main() {
+	var (
+		domain  = flag.String("domain", "movies", "domain to generate: movies, dblp, books, dblife")
+		records = flag.Int("records", 100, "records per table (pages for dblife)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "corpus-out", "output directory")
+	)
+	flag.Parse()
+	if err := run(*domain, *records, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "iflex-corpus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(domain string, records int, seed int64, out string) error {
+	var c *corpus.Corpus
+	switch domain {
+	case "movies":
+		c = corpus.Movies(corpus.MoviesConfig{Records: records, Seed: seed})
+	case "dblp":
+		c = corpus.DBLP(corpus.DBLPConfig{Records: records, Seed: seed})
+	case "books":
+		c = corpus.Books(corpus.BooksConfig{Records: records, Seed: seed})
+	case "dblife":
+		c = corpus.DBLife(corpus.DBLifeConfig{Pages: records, Seed: seed})
+	default:
+		return fmt.Errorf("unknown domain %q (want movies, dblp, books, dblife)", domain)
+	}
+
+	var tableNames []string
+	for name := range c.Tables {
+		tableNames = append(tableNames, name)
+	}
+	sort.Strings(tableNames)
+	for _, name := range tableNames {
+		t := c.Tables[name]
+		dir := filepath.Join(out, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for i, raw := range t.Raw {
+			path := filepath.Join(dir, fmt.Sprintf("%s-%04d.html", t.Docs[i].ID(), i))
+			if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %d pages to %s\n", len(t.Raw), dir)
+	}
+
+	truth, err := os.Create(filepath.Join(out, "truth.txt"))
+	if err != nil {
+		return err
+	}
+	defer truth.Close()
+	writeSet := func(label string, set map[string]bool) {
+		keys := make([]string, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(truth, "## %s (%d)\n", label, len(keys))
+		for _, k := range keys {
+			fmt.Fprintln(truth, k)
+		}
+	}
+	switch domain {
+	case "movies":
+		writeSet("T1", c.TruthT1())
+		writeSet("T2", c.TruthT2())
+		writeSet("T3", c.TruthT3(similarity.Similar))
+	case "dblp":
+		writeSet("T4", c.TruthT4())
+		writeSet("T5", c.TruthT5())
+		writeSet("T6", c.TruthT6(similarity.Similar))
+	case "books":
+		writeSet("T7", c.TruthT7())
+		writeSet("T8", c.TruthT8())
+		writeSet("T9", c.TruthT9(similarity.Similar))
+	case "dblife":
+		writeSet("Panel", c.DBLife.TruthPanel())
+		writeSet("Project", c.DBLife.TruthProject())
+		writeSet("Chair", c.DBLife.TruthChair())
+	}
+	fmt.Printf("wrote ground truth to %s\n", filepath.Join(out, "truth.txt"))
+	return nil
+}

@@ -1,0 +1,142 @@
+// Command iflex executes an Alog program over document directories and
+// prints the approximate result as a compact table.
+//
+// Usage:
+//
+//	iflex -program houses.alog -table housePages=./houses -table schoolPages=./schools
+//
+// Each -table flag binds an extensional predicate to a directory of .html
+// pages (one tuple per page). The program's query predicate (rule named Q,
+// or the last non-description rule) defines the result.
+//
+// With -interactive, the next-effort assistant drives a refinement session
+// on the terminal: it asks feature questions ("is extractHouses.p
+// bold-font?"), you answer yes / distinct-yes / no / a parameter value, or
+// press enter for "I do not know", and the program is refined until
+// convergence.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iflex"
+	"iflex/internal/engine"
+)
+
+// tableFlags collects repeated -table pred=dir bindings.
+type tableFlags map[string]string
+
+func (t tableFlags) String() string { return fmt.Sprint(map[string]string(t)) }
+
+func (t tableFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf("want pred=dir, got %q", v)
+	}
+	t[parts[0]] = parts[1]
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iflex:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		programPath = flag.String("program", "", "path to the Alog program (required)")
+		tables      = tableFlags{}
+		interactive = flag.Bool("interactive", false, "drive a refinement session with the next-effort assistant")
+		strategy    = flag.String("strategy", "seq", "question selection strategy: seq or sim")
+		maxTuples   = flag.Int("max-print", 50, "print at most this many result tuples")
+		explain     = flag.Bool("explain", false, "print the execution plan with per-operator result sizes")
+	)
+	flag.Var(tables, "table", "bind an extensional predicate to a directory of .html pages (pred=dir, repeatable)")
+	flag.Parse()
+
+	if *programPath == "" || len(tables) == 0 {
+		flag.Usage()
+		return fmt.Errorf("-program and at least one -table are required")
+	}
+	src, err := os.ReadFile(*programPath)
+	if err != nil {
+		return err
+	}
+	prog, err := iflex.ParseProgram(string(src))
+	if err != nil {
+		return err
+	}
+	env := iflex.NewEnv()
+	for pred, dir := range tables {
+		docs, err := iflex.LoadDocuments(dir)
+		if err != nil {
+			return err
+		}
+		env.AddDocTable(pred, "x", docs)
+		fmt.Fprintf(os.Stderr, "loaded %d pages into %s\n", len(docs), pred)
+	}
+
+	if !*interactive {
+		plan, err := iflex.Compile(prog, env)
+		if err != nil {
+			return err
+		}
+		ctx := iflex.NewContext(env)
+		result, err := plan.Execute(ctx)
+		if err != nil {
+			return err
+		}
+		if *explain {
+			analyzed, err := engine.AnalyzeString(ctx, plan.Root)
+			if err != nil {
+				return err
+			}
+			fmt.Println(analyzed)
+		}
+		printResult(result, *maxTuples)
+		return nil
+	}
+
+	strat, err := iflex.StrategyByName(*strategy)
+	if err != nil {
+		return err
+	}
+	stdin := bufio.NewScanner(os.Stdin)
+	oracle := iflex.InteractiveOracle(func(q iflex.Question) (string, bool) {
+		fmt.Printf("%s (enter = I do not know): ", q)
+		if !stdin.Scan() {
+			return "", false
+		}
+		ans := strings.TrimSpace(stdin.Text())
+		return ans, ans != ""
+	})
+	session := iflex.NewSession(env, prog, oracle, iflex.SessionConfig{Strategy: strat})
+	res, err := session.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converged=%v after %d iterations, %d questions\n",
+		res.Converged, len(res.Iterations), res.QuestionsAsked)
+	fmt.Println("refined program:")
+	fmt.Println(session.Program())
+	printResult(res.Final, *maxTuples)
+	return nil
+}
+
+func printResult(t *iflex.Table, max int) {
+	fmt.Printf("result: %d compact tuples (%d expanded)\n", len(t.Tuples), t.NumExpandedTuples())
+	fmt.Printf("(%s)\n", strings.Join(t.Cols, ", "))
+	for i, tp := range t.Tuples {
+		if i >= max {
+			fmt.Printf("... %d more\n", len(t.Tuples)-max)
+			break
+		}
+		fmt.Println("  " + tp.String())
+	}
+}

@@ -1,0 +1,79 @@
+package iflex_test
+
+import (
+	"fmt"
+	"log"
+
+	"iflex"
+)
+
+// Example runs the paper's running example: an approximate program over
+// house-listing pages, refined with one domain constraint.
+func Example() {
+	env := iflex.NewEnv()
+	page, err := iflex.ParseDocument("x2",
+		"Amazing house.<br>Sqft: 4700<br>Price: 619000<br>School: Basktall HS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	env.AddDocTable("housePages", "x", []*iflex.Document{page})
+
+	prog, err := iflex.ParseProgram(`
+		houses(x, <p>) :- housePages(x), extractPrice(x, p).
+		Q(x, p) :- houses(x, p), p > 500000.
+		extractPrice(x, p) :- from(x, p), numeric(p) = yes.
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := iflex.Run(prog, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("approximate:", result.NumExpandedTuples(), "tuple(s), price candidates:", result.Tuples[0].Cells[1].NumValues())
+
+	if err := prog.AddConstraint(iflex.AttrRef{Pred: "extractPrice", Var: "p"},
+		"preceded-by", "Price:"); err != nil {
+		log.Fatal(err)
+	}
+	result, err = iflex.Run(prog, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	price, _ := result.Tuples[0].Cells[1].Singleton()
+	fmt.Println("refined price:", price.Text())
+	// Output:
+	// approximate: 1 tuple(s), price candidates: 2
+	// refined price: 619000
+}
+
+// ExampleNewSession shows the next-effort assistant converging with a
+// fixed-answer oracle standing in for the developer.
+func ExampleNewSession() {
+	env := iflex.NewEnv()
+	var docs []*iflex.Document
+	for i, price := range []string{"120", "80", "300"} {
+		d, err := iflex.ParseDocument(fmt.Sprintf("p%d", i),
+			"Item<br>Price: <b>"+price+"</b>")
+		if err != nil {
+			log.Fatal(err)
+		}
+		docs = append(docs, d)
+	}
+	env.AddDocTable("pages", "x", docs)
+	prog := iflex.MustParseProgram(`
+		items(x, <p>) :- pages(x), extractPrice(x, p).
+		Q(x, p) :- items(x, p), p > 100.
+		extractPrice(x, p) :- from(x, p).
+	`)
+	oracle := iflex.AnswersOracle(map[string]map[string]string{
+		"extractPrice.p": {"bold-font": "distinct-yes", "numeric": "yes"},
+	})
+	session := iflex.NewSession(env, prog, oracle, iflex.SessionConfig{})
+	res, err := session.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("items above 100:", res.FinalTuples)
+	// Output: items above 100: 2
+}

@@ -1,0 +1,80 @@
+// Books: comparison shopping across two stores (task T9 of the paper —
+// books that are cheaper at Amazon than at Barnes & Noble).
+//
+// This example uses the generated Books corpus and shows the two halves of
+// best-effort IE working together: an immediate approximate answer from
+// the initial program, then the assistant-refined precise answer, checked
+// against the generator's ground truth.
+//
+// Run with: go run ./examples/books
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"iflex"
+	"iflex/internal/corpus"
+)
+
+func main() {
+	task, err := corpus.TaskByID("T9")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := task.Generate(40, 7)
+	env := task.Env(c)
+	prog, err := iflex.ParseProgram(task.Program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Best-effort step 1: run the underspecified program immediately.
+	first, err := iflex.Run(prog, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial approximate result: %d tuples (every candidate pairing)\n",
+		first.NumExpandedTuples())
+
+	// Best-effort step 2: let the assistant refine it to convergence.
+	session := iflex.NewSession(env, prog, task.Oracle(), iflex.SessionConfig{
+		Strategy: iflex.SimulationStrategy,
+	})
+	res, err := session.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after %d questions over %d iterations: %d tuples\n\n",
+		res.QuestionsAsked, len(res.Iterations), res.FinalTuples)
+
+	var titles []string
+	for _, tp := range res.Final.Tuples {
+		if v, ok := tp.Cells[0].Singleton(); ok {
+			titles = append(titles, v.NormText())
+		}
+	}
+	sort.Strings(titles)
+	fmt.Println("books cheaper at Amazon:")
+	for _, t := range titles {
+		fmt.Println("  " + t)
+	}
+
+	truth := task.Truth(c)
+	fmt.Printf("\nground truth size: %d; result covers it: %v\n",
+		len(truth), covers(titles, truth))
+}
+
+func covers(titles []string, truth map[string]bool) bool {
+	have := map[string]bool{}
+	for _, t := range titles {
+		have[t] = true
+	}
+	for k := range truth {
+		if !have[k] {
+			return false
+		}
+	}
+	return true
+}

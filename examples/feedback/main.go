@@ -1,0 +1,71 @@
+// Feedback: the "more types of feedback" extension of Section 5.1.1 —
+// instead of answering assistant questions one by one, the developer
+// marks up a sample value per attribute ("this is a price", "this is a
+// school name"), and the assistant derives the feature answers itself.
+//
+// Run with: go run ./examples/feedback
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"iflex"
+)
+
+var pages = []string{
+	"House on Maple Street.<br>Price: <i>619000</i><br>School: <b>Basktall HS</b>",
+	"Brick colonial downtown.<br>Price: <i>749000</i><br>School: <b>Lincoln High</b>",
+	"Starter home, needs work.<br>Price: <i>99000</i><br>School: <b>Frost Middle</b>",
+	"Lake view estate.<br>Price: <i>1250000</i><br>School: <b>Vanhise High</b>",
+}
+
+const program = `
+T(x, <p>, <s>) :- pages(x), ext(x, p, s), p > 500000.
+ext(x, p, s) :- from(x, p), from(x, s).
+`
+
+func main() {
+	env := iflex.NewEnv()
+	var docs []*iflex.Document
+	for i, src := range pages {
+		d, err := iflex.ParseDocument(fmt.Sprintf("h%d", i), src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		docs = append(docs, d)
+	}
+	env.AddDocTable("pages", "x", docs)
+
+	// The developer highlights one example value of each attribute on the
+	// first page — that's the entire "annotation effort".
+	find := func(d *iflex.Document, sub string) iflex.Span {
+		i := strings.Index(d.Text(), sub)
+		if i < 0 {
+			log.Fatalf("example %q not found", sub)
+		}
+		return d.Span(i, i+len(sub))
+	}
+	oracle := iflex.ExampleOracle(env, map[iflex.AttrRef][]iflex.Span{
+		{Pred: "ext", Var: "p"}: {find(docs[0], "619000")},
+		{Pred: "ext", Var: "s"}: {find(docs[0], "Basktall HS")},
+	})
+
+	prog := iflex.MustParseProgram(program)
+	session := iflex.NewSession(env, prog, oracle, iflex.SessionConfig{
+		Strategy: iflex.SimulationStrategy,
+	})
+	res, err := session.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged=%v after %d questions, all answered from 2 marked examples\n\n",
+		res.Converged, res.QuestionsAsked)
+	fmt.Println("houses above $500,000:")
+	for _, tp := range res.Final.Tuples {
+		fmt.Println("  " + tp.String())
+	}
+	fmt.Println("\nderived program:")
+	fmt.Println(session.Program())
+}

@@ -1,0 +1,116 @@
+// Movies: a three-way similarity join driven by the next-effort assistant
+// (task T3 of the paper — titles that appear on all three top-movie lists).
+//
+// The developer writes only the skeleton program; a ground-truth-backed
+// oracle plays the developer answering the assistant's questions ("is
+// ti.t1 bold-font?"), and the session refines the program until the
+// convergence monitor fires.
+//
+// Run with: go run ./examples/movies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iflex"
+)
+
+// Three small top-movie lists with overlapping titles, formatted the way
+// each "site" formats them: IMDB and Ebert bold their titles, Prasanna's
+// page is plain text with a label.
+var (
+	imdb = []string{
+		"<li>Rank: 1<br><b>The Godfather</b><br>Year: 1972<br>Votes: 455000</li>",
+		"<li>Rank: 2<br><b>Casablanca</b><br>Year: 1942<br>Votes: 301000</li>",
+		"<li>Rank: 3<br><b>Citizen Kane</b><br>Year: 1941<br>Votes: 155000</li>",
+		"<li>Rank: 4<br><b>Vertigo</b><br>Year: 1958<br>Votes: 98000</li>",
+	}
+	ebert = []string{
+		"<li><b>Casablanca</b><br>Made in: 1942</li>",
+		"<li><b>The Godfather</b><br>Made in: 1972</li>",
+		"<li><b>La Dolce Vita</b><br>Made in: 1960</li>",
+	}
+	prasanna = []string{
+		"<li>Movie: The Godfather<br>Year: 1972</li>",
+		"<li>Movie: Vertigo<br>Year: 1958</li>",
+		"<li>Movie: Casablanca<br>Year: 1942</li>",
+		"<li>Movie: Rashomon<br>Year: 1950</li>",
+	}
+)
+
+const program = `
+ti(x, <t1>) :- IMDB(x), extractIMDBTitle(x, t1).
+te(y, <t2>) :- Ebert(y), extractEbertTitle(y, t2).
+tp(z, <t3>) :- Prasanna(z), extractPrasannaTitle(z, t3).
+Q(t1) :- ti(x, t1), te(y, t2), tp(z, t3), similar(t1, t2), similar(t2, t3).
+extractIMDBTitle(x, t) :- from(x, t).
+extractEbertTitle(y, t) :- from(y, t).
+extractPrasannaTitle(z, t) :- from(z, t).
+`
+
+func main() {
+	env := iflex.NewEnv()
+	env.AddDocTable("IMDB", "x", docs("imdb", imdb))
+	env.AddDocTable("Ebert", "y", docs("ebert", ebert))
+	env.AddDocTable("Prasanna", "z", docs("prasanna", prasanna))
+
+	prog, err := iflex.ParseProgram(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The simulated developer: what each title looks like on each site.
+	oracle := iflex.AnswersOracle(map[string]map[string]string{
+		"extractIMDBTitle.t": {
+			"bold-font": "distinct-yes", "in-list": "yes", "numeric": "no",
+			"italic-font": "no", "underlined": "no", "hyperlinked": "no",
+		},
+		"extractEbertTitle.t": {
+			"bold-font": "distinct-yes", "in-list": "yes", "numeric": "no",
+			"italic-font": "no", "underlined": "no", "hyperlinked": "no",
+		},
+		"extractPrasannaTitle.t": {
+			"bold-font": "no", "in-list": "yes", "numeric": "no",
+			"preceded-by": "Movie:", "max-tokens": "4",
+		},
+	})
+
+	session := iflex.NewSession(env, prog, oracle, iflex.SessionConfig{
+		Strategy: iflex.SimulationStrategy,
+	})
+	res, err := session.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("converged=%v after %d iterations and %d questions\n",
+		res.Converged, len(res.Iterations), res.QuestionsAsked)
+	for _, it := range res.Iterations {
+		fmt.Printf("  iteration %d (%s): %d tuples", it.N, it.Mode, it.Tuples)
+		for _, qa := range it.Questions {
+			ans := qa.Answer.Value
+			if !qa.Answer.Known {
+				ans = "I do not know"
+			}
+			fmt.Printf("  [%s -> %s]", qa.Question, ans)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ntitles on all three lists:")
+	for _, tp := range res.Final.Tuples {
+		fmt.Println("  " + tp.String())
+	}
+}
+
+func docs(prefix string, pages []string) []*iflex.Document {
+	var out []*iflex.Document
+	for i, src := range pages {
+		d, err := iflex.ParseDocument(fmt.Sprintf("%s-%d", prefix, i), src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}

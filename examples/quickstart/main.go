@@ -1,0 +1,131 @@
+// Quickstart: the paper's running example (Example 1.1 / Figures 1-3).
+//
+// A developer wants houses priced above $500,000 whose high school appears
+// on a top-schools list. Instead of writing precise extractors, they write
+// an approximate Alog program, run it immediately, inspect the result, and
+// refine it with domain constraints until it is precise enough.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"iflex"
+)
+
+var housePages = map[string]string{
+	"x1": `Cozy house on quiet street.<br>
+5146 Windsor Ave., Champaign<br>
+Sqft: 2750<br>
+Price: 351000<br>
+High school: Vanhise High`,
+	"x2": `Amazing house in great location.<br>
+3112 Stonecreek Blvd., Cherry Hills<br>
+Sqft: 4700<br>
+Price: 619000<br>
+High school: Basktall HS`,
+	"x3": `Classic brick colonial.<br>
+77 Oak Lane, Lincoln Park<br>
+Sqft: 5200<br>
+Price: 749000<br>
+High school: Lincoln High`,
+}
+
+var schoolPages = map[string]string{
+	"y1": `<title>Top High Schools (page 1)</title>
+<ul><li><b>Basktall</b>, Cherry Hills</li>
+<li><b>Franklin</b>, Robeson</li>
+<li><b>Vanhise</b>, Champaign</li></ul>`,
+	"y2": `<title>Top High Schools (page 2)</title>
+<ul><li><b>Lincoln</b>, Lincoln Park</li>
+<li><b>Hoover</b>, Akron</li></ul>`,
+}
+
+// The initial approximate program: Figure 2 of the paper. The description
+// rules say only that price and area are numeric and schools are bold.
+const program = `
+houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(x, p, a, h).
+schools(s)? :- schoolPages(y), extractSchools(y, s).
+Q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000, a > 4500,
+                 approxMatch(h, s).
+extractHouses(x, p, a, h) :- from(x, p), from(x, a), from(x, h),
+                             numeric(p) = yes, numeric(a) = yes.
+extractSchools(y, s) :- from(y, s), bold-font(s) = yes.
+`
+
+func main() {
+	env := iflex.NewEnv()
+	env.AddDocTable("housePages", "x", parseAll(housePages))
+	env.AddDocTable("schoolPages", "y", parseAll(schoolPages))
+
+	prog, err := iflex.ParseProgram(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Iteration 1: run the approximate program as-is.
+	result, err := iflex.Run(prog, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== iteration 1: initial approximate program ==")
+	show(result)
+
+	// Iteration 2: the developer knows the price is labelled "Price:".
+	must(prog.AddConstraint(iflex.AttrRef{Pred: "extractHouses", Var: "p"},
+		"preceded-by", "Price:"))
+	must(prog.AddConstraint(iflex.AttrRef{Pred: "extractHouses", Var: "a"},
+		"preceded-by", "Sqft:"))
+	result, err = iflex.Run(prog, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== iteration 2: price and area pinned by their labels ==")
+	show(result)
+
+	// Iteration 3: the school is labelled too.
+	must(prog.AddConstraint(iflex.AttrRef{Pred: "extractHouses", Var: "h"},
+		"preceded-by", "High school:"))
+	result, err = iflex.Run(prog, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== iteration 3: precise enough to stop ==")
+	show(result)
+	fmt.Println("refined program:")
+	fmt.Println(prog)
+}
+
+func parseAll(pages map[string]string) []*iflex.Document {
+	var ids []string
+	for id := range pages {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var docs []*iflex.Document
+	for _, id := range ids {
+		d, err := iflex.ParseDocument(id, pages[id])
+		if err != nil {
+			log.Fatal(err)
+		}
+		docs = append(docs, d)
+	}
+	return docs
+}
+
+func show(t *iflex.Table) {
+	fmt.Printf("%d compact tuples (%d expanded):\n", len(t.Tuples), t.NumExpandedTuples())
+	for _, tp := range t.Tuples {
+		fmt.Println("  " + tp.String())
+	}
+	fmt.Println()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module iflex
+
+go 1.22

@@ -1,0 +1,182 @@
+package alog
+
+import (
+	"testing"
+)
+
+// lexAll tokenises src fully, failing the test on error.
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	lx := newLexer(src)
+	var out []token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.kind == tokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func kinds(toks []token) []tokKind {
+	out := make([]tokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexerTokenKinds(t *testing.T) {
+	toks := lexAll(t, `p(x, 42) :- q(x), x >= 1.5, y != "str", z < w + 3.`)
+	want := []tokKind{
+		tokIdent, tokLParen, tokIdent, tokComma, tokNumber, tokRParen,
+		tokImplies, tokIdent, tokLParen, tokIdent, tokRParen, tokComma,
+		tokIdent, tokGE, tokNumber, tokComma,
+		tokIdent, tokNE, tokString, tokComma,
+		tokIdent, tokLT, tokIdent, tokPlus, tokNumber, tokPeriod,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks := lexAll(t, "p(x)\n  :- q.")
+	// ":-" starts at line 2, column 3.
+	var implies token
+	for _, tok := range toks {
+		if tok.kind == tokImplies {
+			implies = tok
+		}
+	}
+	if implies.line != 2 || implies.col != 3 {
+		t.Errorf(":- at %d:%d, want 2:3", implies.line, implies.col)
+	}
+}
+
+func TestLexerStringsAndEscapes(t *testing.T) {
+	toks := lexAll(t, `p(x) :- f(x) = "a\"b\\c\nd\te".`)
+	var str token
+	for _, tok := range toks {
+		if tok.kind == tokString {
+			str = tok
+		}
+	}
+	if str.text != "a\"b\\c\nd\te" {
+		t.Errorf("string = %q", str.text)
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	cases := map[string]float64{
+		"0":      0,
+		"42":     42,
+		"-7":     -7,
+		"3.5":    3.5,
+		"500000": 500000,
+	}
+	for src, want := range cases {
+		toks := lexAll(t, "p(x) :- x > "+src+".")
+		var num token
+		for _, tok := range toks {
+			if tok.kind == tokNumber {
+				num = tok
+			}
+		}
+		if num.num != want {
+			t.Errorf("number %q = %v", src, num.num)
+		}
+	}
+}
+
+// A number followed by the rule terminator must not eat the period.
+func TestLexerNumberBeforePeriod(t *testing.T) {
+	toks := lexAll(t, "p(x) :- x > 42.")
+	last := toks[len(toks)-1]
+	if last.kind != tokPeriod {
+		t.Errorf("last token = %v, want period", last)
+	}
+}
+
+func TestLexerHyphenatedIdent(t *testing.T) {
+	toks := lexAll(t, "p(x) :- bold-font(x) = yes.")
+	found := false
+	for _, tok := range toks {
+		if tok.kind == tokIdent && tok.text == "bold-font" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("hyphenated identifier not lexed as one token")
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{
+		"p(x) :- x ! y.",     // bare !
+		"p(x) : q(x).",       // : without -
+		`p(x) :- f(x)="a.`,   // unterminated string
+		`p(x) :- f(x)="\z".`, // bad escape
+		"p(x) @ q.",          // stray char
+		"p(x) :- x > -.",     // dangling minus
+	} {
+		lx := newLexer(src)
+		var err error
+		for {
+			var tok token
+			tok, err = lx.next()
+			if err != nil || tok.kind == tokEOF {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("lexing %q should fail", src)
+		}
+	}
+}
+
+func TestLexerCommentsToEOL(t *testing.T) {
+	toks := lexAll(t, "# full line\np(x) :- q(x). // trailing\n# another")
+	if len(toks) == 0 || toks[len(toks)-1].kind != tokPeriod {
+		t.Errorf("comments not skipped: %v", toks)
+	}
+}
+
+func TestErrorMessageFormat(t *testing.T) {
+	_, err := Parse("p(x :- q.")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	var perr *Error
+	if !asError(err, &perr) {
+		t.Fatalf("error type = %T", err)
+	}
+	if perr.Line != 1 || perr.Col == 0 {
+		t.Errorf("error position = %d:%d", perr.Line, perr.Col)
+	}
+}
+
+// asError is errors.As without importing errors (keeps the test focused).
+func asError(err error, target **Error) bool {
+	for err != nil {
+		if e, ok := err.(*Error); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

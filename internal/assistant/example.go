@@ -1,0 +1,174 @@
+package assistant
+
+import (
+	"strconv"
+	"strings"
+
+	"iflex/internal/alog"
+	"iflex/internal/feature"
+	"iflex/internal/text"
+)
+
+// ExampleOracle implements the "more types of feedback" extension
+// discussed in Section 5.1.1: instead of answering feature questions one
+// by one, the developer marks up one or more sample values per attribute
+// (e.g. highlights a title on a page), and the assistant derives feature
+// answers by running Verify against the marked examples.
+//
+// Boolean questions are answered distinct-yes / yes when every example
+// verifies that value, and no when every example fails both; mixed
+// examples answer "I do not know" (the feature is "sometimes"). For
+// preceded-by/followed-by, a label is inferred when every example shares
+// the same adjacent text ending in ':' (the common label shape); other
+// parametric features are derived from the examples with slack where a
+// safe bound exists (max-length, max-tokens) and left unknown otherwise.
+type ExampleOracle struct {
+	reg      *feature.Registry
+	examples map[string][]text.Span
+}
+
+// NewExampleOracle builds the oracle from marked-up examples keyed by
+// attribute ("pred.var").
+func NewExampleOracle(reg *feature.Registry, examples map[alog.AttrRef][]text.Span) *ExampleOracle {
+	o := &ExampleOracle{reg: reg, examples: map[string][]text.Span{}}
+	for ref, spans := range examples {
+		o.examples[ref.String()] = append([]text.Span(nil), spans...)
+	}
+	return o
+}
+
+// AddExample registers one more marked-up sample value for an attribute.
+func (o *ExampleOracle) AddExample(ref alog.AttrRef, s text.Span) {
+	o.examples[ref.String()] = append(o.examples[ref.String()], s)
+}
+
+// Answer implements Oracle.
+func (o *ExampleOracle) Answer(q Question) Answer {
+	exs := o.examples[q.Attr.String()]
+	if len(exs) == 0 {
+		return DontKnow()
+	}
+	f, err := o.reg.Lookup(q.Feature)
+	if err != nil {
+		return DontKnow()
+	}
+	if q.Kind == feature.KindBoolean {
+		return o.boolAnswer(f, exs)
+	}
+	switch q.Feature {
+	case "preceded-by":
+		return o.adjacentLabel(exs, true)
+	case "followed-by":
+		return o.adjacentLabel(exs, false)
+	case "max-length":
+		longest := 0
+		for _, e := range exs {
+			if e.Len() > longest {
+				longest = e.Len()
+			}
+		}
+		return Know(strconv.Itoa(longest*2 + 8)) // generous slack over the samples
+	case "max-tokens":
+		most := 0
+		for _, e := range exs {
+			if n := e.NumTokens(); n > most {
+				most = n
+			}
+		}
+		return Know(strconv.Itoa(most*2 + 2))
+	default:
+		return DontKnow()
+	}
+}
+
+// boolAnswer verifies each candidate value against every example.
+func (o *ExampleOracle) boolAnswer(f feature.Feature, exs []text.Span) Answer {
+	allVerify := func(v string) bool {
+		for _, e := range exs {
+			ok, err := f.Verify(e, v)
+			if err != nil || !ok {
+				return false
+			}
+		}
+		return true
+	}
+	switch {
+	case allVerify(feature.DistinctYes):
+		return Know(feature.DistinctYes)
+	case allVerify(feature.Yes):
+		return Know(feature.Yes)
+	case allVerify(feature.No):
+		return Know(feature.No)
+	default:
+		// The examples disagree: the honest answer is "sometimes".
+		return DontKnow()
+	}
+}
+
+// adjacentLabel infers a shared label next to every example: the trailing
+// token of the preceding text (or leading token of the following text)
+// when it ends with ':' and is identical across examples.
+func (o *ExampleOracle) adjacentLabel(exs []text.Span, before bool) Answer {
+	label := ""
+	for _, e := range exs {
+		body := e.Doc().Text()
+		var candidate string
+		if before {
+			pre := strings.Fields(lineSlice(body, e.Start(), true))
+			// Labels are short: take up to the last three tokens ending ':'.
+			for take := 1; take <= 3 && take <= len(pre); take++ {
+				c := strings.Join(pre[len(pre)-take:], " ")
+				if strings.HasSuffix(c, ":") {
+					candidate = c
+				}
+			}
+		} else {
+			post := strings.Fields(lineSlice(body, e.End(), false))
+			if len(post) > 0 && strings.HasSuffix(post[0], ":") {
+				candidate = post[0]
+			}
+		}
+		if candidate == "" {
+			return DontKnow()
+		}
+		if label == "" {
+			label = candidate
+		} else if label != candidate {
+			return DontKnow() // examples carry different labels
+		}
+	}
+	if label == "" {
+		return DontKnow()
+	}
+	return Know(label)
+}
+
+// lineSlice returns the text on off's line before (true) or after (false)
+// the offset.
+func lineSlice(body string, off int, before bool) string {
+	start, end := off, off
+	for start > 0 && body[start-1] != '\n' {
+		start--
+	}
+	for end < len(body) && body[end] != '\n' {
+		end++
+	}
+	if before {
+		return body[start:off]
+	}
+	return body[off:end]
+}
+
+// Candidates implements CandidateProvider so the simulation strategy can
+// average over the derived parametric answers.
+func (o *ExampleOracle) Candidates(attr alog.AttrRef, featureName string) []string {
+	f, err := o.reg.Lookup(featureName)
+	if err != nil || f.Kind() != feature.KindParametric {
+		return nil
+	}
+	ans := o.Answer(Question{Attr: attr, Feature: featureName, Kind: feature.KindParametric})
+	if !ans.Known {
+		return nil
+	}
+	return []string{ans.Value}
+}

@@ -1,0 +1,54 @@
+package assistant
+
+import (
+	"iflex/internal/alog"
+	"iflex/internal/feature"
+)
+
+// MapOracle is a ground-truth-backed oracle: the simulated developer of
+// the experiments. Answers maps attribute keys ("pred.var") to feature
+// answers. Boolean questions with no entry are answered "no" only when
+// DefaultNo lists the attribute (the developer can see at a glance that
+// the attribute is not, say, bold); otherwise, and for parametric
+// questions with no entry, the answer is "I do not know".
+type MapOracle struct {
+	Answers map[string]map[string]string
+	// DefaultNo answers unlisted boolean questions with "no" for these
+	// attribute keys.
+	DefaultNo map[string]bool
+}
+
+// NewMapOracle builds an oracle from a nested answers map.
+func NewMapOracle(answers map[string]map[string]string) *MapOracle {
+	return &MapOracle{Answers: answers}
+}
+
+// Answer implements Oracle.
+func (o *MapOracle) Answer(q Question) Answer {
+	key := q.Attr.String()
+	if m, ok := o.Answers[key]; ok {
+		if v, ok := m[q.Feature]; ok {
+			if v == feature.Unknown {
+				return DontKnow()
+			}
+			return Know(v)
+		}
+	}
+	if q.Kind == feature.KindBoolean && o.DefaultNo[key] {
+		return Know(feature.No)
+	}
+	return DontKnow()
+}
+
+// Candidates implements CandidateProvider: for parametric features the
+// only simulated candidate is the true answer (a developer inspecting the
+// data would propose values near the truth); boolean features use
+// BoolValues via the strategy.
+func (o *MapOracle) Candidates(attr alog.AttrRef, featureName string) []string {
+	if m, ok := o.Answers[attr.String()]; ok {
+		if v, ok := m[featureName]; ok && v != feature.Unknown {
+			return []string{v}
+		}
+	}
+	return nil
+}

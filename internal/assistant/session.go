@@ -1,0 +1,335 @@
+package assistant
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iflex/internal/alog"
+	"iflex/internal/compact"
+	"iflex/internal/engine"
+)
+
+// Config tunes a refinement session. Zero values select the defaults
+// matching the paper.
+type Config struct {
+	// Strategy selects questions; default Sequential.
+	Strategy Strategy
+	// Alpha is the probability of an "I do not know" answer assumed by the
+	// simulation strategy (default 0.1).
+	Alpha float64
+	// ConvergenceWindow is k: counts stable for k iterations triggers the
+	// convergence notification (paper: 3).
+	ConvergenceWindow int
+	// QuestionsPerIteration is how many questions are asked between
+	// executions (default 2, matching the roughly 2-questions-per-iteration
+	// cadence of Table 4).
+	QuestionsPerIteration int
+	// MaxIterations is a safety bound (default 50).
+	MaxIterations int
+	// SubsetFraction overrides the subset size (0 = automatic 5–30%
+	// depending on corpus size, Section 5.2).
+	SubsetFraction float64
+	// SubsetSeed varies the deterministic subset sample.
+	SubsetSeed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Strategy == nil {
+		c.Strategy = Sequential{}
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.1
+	}
+	if c.ConvergenceWindow == 0 {
+		c.ConvergenceWindow = 3
+	}
+	if c.QuestionsPerIteration == 0 {
+		c.QuestionsPerIteration = 2
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 50
+	}
+	return c
+}
+
+// QA records one question, its answer, and whether a constraint was added.
+type QA struct {
+	Question Question
+	Answer   Answer
+}
+
+// Iteration logs one execute-refine round.
+type Iteration struct {
+	N           int
+	Tuples      int    // expanded result size
+	Assignments int    // assignment count (the convergence monitor's 2nd signal)
+	Mode        string // "subset" or "full"
+	Questions   []QA
+}
+
+// Result is the outcome of a session run.
+type Result struct {
+	Final          *compact.Table
+	FinalTuples    int
+	Iterations     []Iteration
+	QuestionsAsked int
+	Converged      bool
+	Stats          engine.Stats
+}
+
+// Session drives the iFlex loop: execute the current approximate program,
+// monitor convergence, enlist the strategy for the next questions, fold
+// the oracle's answers back into the program, repeat (Sections 2.2.4, 5).
+type Session struct {
+	Env    *engine.Env
+	Prog   *alog.Program
+	Oracle Oracle
+	Config Config
+
+	Alpha float64 // resolved from Config; read by strategies
+
+	ctx     *engine.Context
+	subset  map[string]bool
+	asked   map[string]bool
+	sizes   []int // per-iteration expanded sizes (subset mode)
+	assigns []int
+}
+
+// NewSession prepares a session; the program is cloned so the caller's
+// copy is never mutated.
+func NewSession(env *engine.Env, prog *alog.Program, oracle Oracle, cfg Config) *Session {
+	cfg = cfg.withDefaults()
+	s := &Session{
+		Env:    env,
+		Prog:   prog.Clone(),
+		Oracle: oracle,
+		Config: cfg,
+		Alpha:  cfg.Alpha,
+		ctx:    engine.NewContext(env),
+		asked:  map[string]bool{},
+	}
+	s.subset = s.sampleSubset()
+	return s
+}
+
+// sampleSubset draws a deterministic sample of document IDs across all
+// extensional tables: 30% for small corpora down to 5% for large ones
+// (Section 5.2). Every table keeps at least one document.
+func (s *Session) sampleSubset() map[string]bool {
+	subset := map[string]bool{}
+	for _, table := range s.Env.Tables {
+		var ids []string
+		seen := map[string]bool{}
+		for _, tp := range table.Tuples {
+			for _, c := range tp.Cells {
+				for _, a := range c.Assigns {
+					id := a.Span.Doc().ID()
+					if !seen[id] {
+						seen[id] = true
+						ids = append(ids, id)
+					}
+				}
+			}
+		}
+		sort.Strings(ids)
+		frac := s.Config.SubsetFraction
+		if frac == 0 {
+			switch {
+			case len(ids) <= 20:
+				frac = 1.0
+			case len(ids) <= 100:
+				frac = 0.3
+			case len(ids) <= 1000:
+				frac = 0.1
+			default:
+				frac = 0.05
+			}
+		}
+		want := int(float64(len(ids)) * frac)
+		if want < 1 {
+			want = 1
+		}
+		// Deterministic pseudo-random pick: hash id with the seed.
+		type scored struct {
+			id string
+			h  uint64
+		}
+		ss := make([]scored, len(ids))
+		for i, id := range ids {
+			ss[i] = scored{id: id, h: fnvMix(id, s.Config.SubsetSeed)}
+		}
+		sort.Slice(ss, func(i, j int) bool { return ss[i].h < ss[j].h })
+		for i := 0; i < want; i++ {
+			subset[ss[i].id] = true
+		}
+	}
+	return subset
+}
+
+// fnvMix hashes a string with a seed (FNV-1a with seeded basis).
+func fnvMix(s string, seed uint64) uint64 {
+	h := uint64(14695981039346656037) ^ (seed * 0x9E3779B97F4A7C15)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// execute compiles and runs the current program; subset selects the
+// evaluation mode. Alongside the result it returns the total assignments
+// across the whole extraction plan — the convergence monitor's second
+// signal (Section 5.1 tracks "the number of assignments produced by the
+// extraction process", which a refinement perturbs even when the final
+// projection does not change yet).
+func (s *Session) execute(onSubset bool) (*compact.Table, int, error) {
+	plan, err := engine.Compile(s.Prog, s.Env)
+	if err != nil {
+		return nil, 0, err
+	}
+	if onSubset {
+		s.ctx.DocFilter = s.subset
+	} else {
+		s.ctx.DocFilter = nil
+	}
+	table, err := plan.Execute(s.ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	assigns, err := engine.SumAssignments(s.ctx, plan.Root)
+	if err != nil {
+		return nil, 0, err
+	}
+	return table, assigns, nil
+}
+
+// lastSize returns the most recent subset result size (for the simulation
+// strategy's "I do not know" term); 0 before the first execution.
+func (s *Session) lastSize() int {
+	if len(s.sizes) == 0 {
+		return 0
+	}
+	return s.sizes[len(s.sizes)-1]
+}
+
+// simulate returns |exec(g(P, (a, f, v)))| over the subset: the result
+// size if the developer answered v (Section 5.1). It shares the session's
+// reuse cache, so unchanged plan subtrees are not recomputed.
+func (s *Session) simulate(q Question, v string) (int, error) {
+	trial := s.Prog.Clone()
+	if err := trial.AddConstraint(q.Attr, q.Feature, v); err != nil {
+		return 0, err
+	}
+	plan, err := engine.Compile(trial, s.Env)
+	if err != nil {
+		return 0, err
+	}
+	s.ctx.DocFilter = s.subset
+	res, err := plan.Execute(s.ctx)
+	if err != nil {
+		return 0, err
+	}
+	return res.NumExpandedTuples(), nil
+}
+
+// converged reports whether the last k iterations produced identical tuple
+// and assignment counts (Section 5.1, "Notifying the Developer of
+// Convergence").
+func (s *Session) converged() bool {
+	k := s.Config.ConvergenceWindow
+	if len(s.sizes) < k {
+		return false
+	}
+	for i := len(s.sizes) - k + 1; i < len(s.sizes); i++ {
+		if s.sizes[i] != s.sizes[i-1] || s.assigns[i] != s.assigns[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the full session loop until convergence (or the iteration
+// bound), then computes the complete result in reuse (full) mode.
+func (s *Session) Run() (*Result, error) {
+	res := &Result{}
+	for iter := 1; iter <= s.Config.MaxIterations; iter++ {
+		table, assigns, err := s.execute(true)
+		if err != nil {
+			return nil, err
+		}
+		size := table.NumExpandedTuples()
+		s.sizes = append(s.sizes, size)
+		s.assigns = append(s.assigns, assigns)
+		log := Iteration{N: iter, Tuples: size, Assignments: assigns, Mode: "subset"}
+
+		if s.converged() {
+			res.Iterations = append(res.Iterations, log)
+			break
+		}
+
+		space := questionSpace(s.Prog, s.Env.Features, s.asked)
+		if len(space) == 0 {
+			res.Iterations = append(res.Iterations, log)
+			break
+		}
+		questions, err := s.Config.Strategy.Next(s, space, s.Config.QuestionsPerIteration)
+		if err != nil {
+			return nil, err
+		}
+		if len(questions) == 0 {
+			res.Iterations = append(res.Iterations, log)
+			break
+		}
+		for _, q := range questions {
+			ans := s.Oracle.Answer(q)
+			s.asked[q.key()] = true
+			res.QuestionsAsked++
+			if v, ok := constraintValue(ans); ok {
+				if err := s.Prog.AddConstraint(q.Attr, q.Feature, v); err != nil {
+					return nil, fmt.Errorf("assistant: applying answer to %s: %w", q, err)
+				}
+			}
+			log.Questions = append(log.Questions, QA{Question: q, Answer: ans})
+		}
+		res.Iterations = append(res.Iterations, log)
+	}
+	res.Converged = s.converged()
+
+	// Switch to reuse mode: compute the complete result over all documents.
+	final, _, err := s.execute(false)
+	if err != nil {
+		return nil, err
+	}
+	res.Final = final
+	res.FinalTuples = final.NumExpandedTuples()
+	res.Iterations = append(res.Iterations, Iteration{
+		N: len(res.Iterations) + 1, Tuples: res.FinalTuples,
+		Assignments: final.NumAssignments(), Mode: "full",
+	})
+	res.Stats = s.ctx.Stats
+	return res, nil
+}
+
+// Program returns the session's current (refined) program.
+func (s *Session) Program() *alog.Program { return s.Prog }
+
+// Transcript renders the session result as the paper's Table 4 row style:
+// one line per iteration with counts, mode, and the questions asked.
+func (r *Result) Transcript() string {
+	var b strings.Builder
+	for _, it := range r.Iterations {
+		fmt.Fprintf(&b, "iteration %d (%s): %d tuples, %d assignments\n",
+			it.N, it.Mode, it.Tuples, it.Assignments)
+		for _, qa := range it.Questions {
+			ans := qa.Answer.Value
+			if !qa.Answer.Known {
+				ans = "I do not know"
+			}
+			fmt.Fprintf(&b, "  %s -> %s\n", qa.Question, ans)
+		}
+	}
+	fmt.Fprintf(&b, "converged=%v, %d questions, final %d tuples\n",
+		r.Converged, r.QuestionsAsked, r.FinalTuples)
+	return b.String()
+}

@@ -1,0 +1,256 @@
+package compact
+
+import (
+	"strings"
+	"testing"
+
+	"iflex/internal/markup"
+	"iflex/internal/text"
+)
+
+func span(d *text.Document, sub string) text.Span {
+	i := strings.Index(d.Text(), sub)
+	if i < 0 {
+		panic("substring not found: " + sub)
+	}
+	return d.Span(i, i+len(sub))
+}
+
+func TestCellValuesAndCounts(t *testing.T) {
+	d := markup.MustParse("d", "Cozy house on quiet street")
+	c := Cell{Assigns: []text.Assignment{
+		text.ExactOf(span(d, "Cozy")),
+		text.ContainOf(span(d, "quiet street")),
+	}}
+	if got := c.NumValues(); got != 1+3 {
+		t.Fatalf("NumValues = %d, want 4", got)
+	}
+	var vals []string
+	c.Values(func(s text.Span) bool {
+		vals = append(vals, s.Text())
+		return true
+	})
+	want := []string{"Cozy", "quiet", "quiet street", "street"}
+	if len(vals) != len(want) {
+		t.Fatalf("values = %v", vals)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("value %d = %q, want %q", i, vals[i], want[i])
+		}
+	}
+	if !c.Covers(span(d, "street")) || c.Covers(span(d, "house")) {
+		t.Error("Covers wrong")
+	}
+}
+
+func TestCellSingleton(t *testing.T) {
+	d := markup.MustParse("d", "one two")
+	ec := ExactCell(span(d, "one"))
+	if s, ok := ec.Singleton(); !ok || s.Text() != "one" {
+		t.Errorf("Singleton of exact cell = %v, %v", s, ok)
+	}
+	// contain over a single token encodes one value.
+	cc := ContainCell(span(d, "two"))
+	if s, ok := cc.Singleton(); !ok || s.Text() != "two" {
+		t.Errorf("Singleton of 1-token contain = %v, %v", s, ok)
+	}
+	multi := ContainCell(d.WholeSpan())
+	if _, ok := multi.Singleton(); ok {
+		t.Error("multi-value cell should not be a singleton")
+	}
+}
+
+func TestTupleExpandCells(t *testing.T) {
+	d := markup.MustParse("d", "Basktall Champaign Hoover Lynneville")
+	s1 := span(d, "Basktall Champaign")
+	s2 := span(d, "Hoover Lynneville")
+	tp := Tuple{Cells: []Cell{
+		ExactCell(span(d, "Basktall")),
+		ExpandCell(text.ContainOf(s1), text.ContainOf(s2)),
+	}}
+	if got := tp.NumExpanded(); got != 6 {
+		t.Fatalf("NumExpanded = %d, want 6 (3+3 sub-spans)", got)
+	}
+	ex := tp.ExpandCells()
+	if len(ex) != 6 {
+		t.Fatalf("ExpandCells returned %d tuples", len(ex))
+	}
+	for _, e := range ex {
+		if e.Cells[1].Expand {
+			t.Error("expanded tuple still has expansion cell")
+		}
+		if _, ok := e.Cells[1].Singleton(); !ok {
+			t.Error("expanded cell should be a singleton")
+		}
+	}
+}
+
+func TestTupleExpandPreservesMaybe(t *testing.T) {
+	d := markup.MustParse("d", "a b")
+	tp := Tuple{Maybe: true, Cells: []Cell{ExpandCell(text.ContainOf(d.WholeSpan()))}}
+	for _, e := range tp.ExpandCells() {
+		if !e.Maybe {
+			t.Error("maybe flag lost during expansion")
+		}
+	}
+}
+
+func TestMultipleExpansionCellsCrossProduct(t *testing.T) {
+	d := markup.MustParse("d", "a b c d")
+	tp := Tuple{Cells: []Cell{
+		ExpandCell(text.ContainOf(span(d, "a b"))),
+		ExpandCell(text.ContainOf(span(d, "c d"))),
+	}}
+	if got := tp.NumExpanded(); got != 9 {
+		t.Fatalf("NumExpanded = %d, want 9", got)
+	}
+	if got := len(tp.ExpandCells()); got != 9 {
+		t.Fatalf("ExpandCells = %d tuples, want 9", got)
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	d := markup.MustParse("d", "x y")
+	tb := NewTable("a", "b")
+	if tb.ColIndex("b") != 1 || tb.ColIndex("z") != -1 {
+		t.Error("ColIndex wrong")
+	}
+	tb.Append(Tuple{Cells: []Cell{ExactCell(span(d, "x")), ExactCell(span(d, "y"))}})
+	if tb.NumExpandedTuples() != 1 || tb.NumAssignments() != 2 {
+		t.Errorf("counts = %d tuples, %d assigns", tb.NumExpandedTuples(), tb.NumAssignments())
+	}
+	cl := tb.Clone()
+	cl.Tuples[0].Maybe = true
+	if tb.Tuples[0].Maybe {
+		t.Error("Clone not deep")
+	}
+}
+
+func TestAppendArityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on arity mismatch")
+		}
+	}()
+	NewTable("a", "b").Append(Tuple{Cells: []Cell{{}}})
+}
+
+// Figure 3 of the paper: the houses compact table condenses the Figure 2.e
+// a-table; converting back to an a-table must reproduce the enumerated
+// possible values.
+func TestFigure3RoundTrip(t *testing.T) {
+	x1 := markup.MustParse("x1", "Cozy house 351000 5146 2750 Vanhise High")
+	tb := NewTable("x", "p", "h")
+	tb.Append(Tuple{Cells: []Cell{
+		ExactCell(x1.WholeSpan()),
+		{Assigns: []text.Assignment{
+			text.ExactOf(span(x1, "351000")),
+			text.ExactOf(span(x1, "5146")),
+			text.ExactOf(span(x1, "2750")),
+		}},
+		ContainCell(span(x1, "Cozy house")),
+	}})
+	at := tb.ToATable()
+	if len(at.Tuples) != 1 {
+		t.Fatalf("a-table tuples = %d", len(at.Tuples))
+	}
+	pVals := at.Tuples[0].Cells[1]
+	if len(pVals) != 3 {
+		t.Fatalf("p values = %d", len(pVals))
+	}
+	hVals := at.Tuples[0].Cells[2]
+	if len(hVals) != 3 { // "Cozy", "Cozy house", "house"
+		t.Fatalf("h values = %v", at.Tuples[0].Cells[2])
+	}
+	back := at.ToCompact()
+	if back.NumExpandedTuples() != 1 {
+		t.Error("round-trip tuple count changed")
+	}
+}
+
+// The schools side of Figure 3: one compact tuple with an expansion cell
+// over two contain assignments stands for one tuple per bold sub-span.
+func TestFigure3SchoolsExpansion(t *testing.T) {
+	y := markup.MustParse("y", "Basktall Cherry Hills Hoover Lynneville")
+	s1 := span(y, "Basktall Cherry Hills")
+	s2 := span(y, "Hoover Lynneville")
+	tb := NewTable("s")
+	tb.Append(Tuple{Cells: []Cell{ExpandCell(text.ContainOf(s1), text.ContainOf(s2))}})
+	// 3 tokens -> 6 sub-spans; 2 tokens -> 3 sub-spans.
+	if got := tb.NumExpandedTuples(); got != 9 {
+		t.Fatalf("expanded tuples = %d, want 9", got)
+	}
+	at := tb.ToATable()
+	if len(at.Tuples) != 9 {
+		t.Fatalf("a-table tuples = %d, want 9", len(at.Tuples))
+	}
+}
+
+func TestWorldsEnumeration(t *testing.T) {
+	d := markup.MustParse("d", "Alice Bob 5 6")
+	at := NewATable("name", "age")
+	at.Tuples = append(at.Tuples,
+		ATuple{Cells: []ACell{{span(d, "Alice"), span(d, "Bob")}, {span(d, "5")}}},
+		ATuple{Maybe: true, Cells: []ACell{{span(d, "Bob")}, {span(d, "6")}}},
+	)
+	worlds, err := at.Worlds(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 valuations for tuple 1 × (maybe tuple 2: in or out) = 4 worlds.
+	if len(worlds) != 4 {
+		t.Fatalf("worlds = %d, want 4: %v", len(worlds), worlds)
+	}
+}
+
+func TestWorldsLimit(t *testing.T) {
+	d := markup.MustParse("d", "a b c d e f g h")
+	at := NewATable("v")
+	var all ACell
+	for _, tok := range d.Tokens() {
+		all = append(all, d.Span(tok.Start, tok.End))
+	}
+	for i := 0; i < 4; i++ {
+		at.Tuples = append(at.Tuples, ATuple{Cells: []ACell{all}})
+	}
+	if _, err := at.Worlds(10); err == nil {
+		t.Fatal("expected ErrTooManyWorlds")
+	}
+}
+
+func TestIsSupersetOf(t *testing.T) {
+	got := map[string]bool{"a": true, "b": true}
+	want := map[string]bool{"a": true}
+	if !IsSupersetOf(got, want) {
+		t.Error("superset check failed")
+	}
+	if IsSupersetOf(want, got) {
+		t.Error("subset incorrectly accepted")
+	}
+}
+
+func TestTableStringRendering(t *testing.T) {
+	d := markup.MustParse("d", "92 bottles")
+	tb := NewTable("n")
+	tb.Append(Tuple{Maybe: true, Cells: []Cell{ExactCell(span(d, "92"))}})
+	s := tb.String()
+	if !strings.Contains(s, `exact("92")`) || !strings.Contains(s, "?") {
+		t.Errorf("String = %q", s)
+	}
+	if !strings.Contains(tb.Canonical(), "(n)") {
+		t.Errorf("Canonical = %q", tb.Canonical())
+	}
+}
+
+func TestCellDedup(t *testing.T) {
+	d := markup.MustParse("d", "alpha beta")
+	c := Cell{Assigns: []text.Assignment{
+		text.ExactOf(span(d, "alpha")),
+		text.ContainOf(d.WholeSpan()),
+	}}
+	dd := c.Dedup()
+	if len(dd.Assigns) != 1 {
+		t.Fatalf("Dedup = %v", dd)
+	}
+}

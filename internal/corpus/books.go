@@ -1,0 +1,123 @@
+package corpus
+
+import (
+	"fmt"
+)
+
+// BooksConfig sizes the Books domain. AmazonRecords / BarnesRecords
+// default to Records when zero (the paper's scenarios use unequal full
+// sizes: 2490 Amazon vs 5000 Barnes).
+type BooksConfig struct {
+	Records       int
+	AmazonRecords int
+	BarnesRecords int
+	Seed          int64
+}
+
+// Books generates the Books domain: results of a "Database" query against
+// Amazon and Barnes & Noble, drawn from a shared book universe with
+// overlap so task T9's title join has answers. Record layouts:
+//
+//	Amazon: <b>{title}</b> / List: ${lp} / New: ${np} / Used: ${up}
+//	Barnes: <u>{title}</u> / Our price: ${bp}
+func Books(cfg BooksConfig) *Corpus {
+	if cfg.Records <= 0 {
+		cfg.Records = 100
+	}
+	if cfg.AmazonRecords == 0 {
+		cfg.AmazonRecords = cfg.Records
+	}
+	if cfg.BarnesRecords == 0 {
+		cfg.BarnesRecords = cfg.Records
+	}
+	r := rng("Books", cfg.Seed)
+	total := cfg.AmazonRecords + cfg.BarnesRecords
+
+	universe := make([]Book, total)
+	used := map[string]bool{}
+	for i := range universe {
+		title := unique(used, func() string {
+			t := bookTopics[r.Intn(len(bookTopics))] + ": " +
+				bookQualifiers[r.Intn(len(bookQualifiers))]
+			if r.Intn(2) == 0 {
+				t = titleAdjectives[r.Intn(len(titleAdjectives))] + " " + t
+			}
+			return t
+		})
+		lp := float64(20 + r.Intn(180))
+		np := lp
+		if r.Intn(3) > 0 { // 2/3 discounted
+			np = lp - float64(1+r.Intn(15))
+		}
+		up := np - float64(r.Intn(12))
+		if r.Intn(5) == 0 {
+			up = np // used not cheaper
+		}
+		bp := lp + float64(r.Intn(21)) - 10 // within ±10 of list
+		universe[i] = Book{Title: title, ListPrice: lp, NewPrice: np, UsedPrice: up, BNPrice: bp}
+	}
+
+	c := &Corpus{Domain: "Books", Tables: map[string]*Table{}, Books: map[string][]Book{}}
+	amazon := &Table{Name: "Amazon", Description: "Amazon query on 'Database'"}
+	barnes := &Table{Name: "Barnes", Description: "Barnes & Noble query on 'Database'"}
+
+	// Amazon takes the first AmazonRecords books; Barnes takes a window
+	// overlapping roughly half of Amazon's.
+	for i := 0; i < cfg.AmazonRecords; i++ {
+		b := universe[i]
+		src := fmt.Sprintf("<li><b>%s</b><br>List: $%.2f<br>New: $%.2f<br>Used: $%.2f</li>",
+			b.Title, b.ListPrice, b.NewPrice, b.UsedPrice)
+		amazon.add("amazon", src)
+		c.Books["Amazon"] = append(c.Books["Amazon"], b)
+	}
+	start := cfg.AmazonRecords / 2
+	for i := 0; i < cfg.BarnesRecords; i++ {
+		b := universe[start+i]
+		src := fmt.Sprintf("<li><u>%s</u><br>Our price: $%.2f</li>", b.Title, b.BNPrice)
+		barnes.add("barnes", src)
+		c.Books["Barnes"] = append(c.Books["Barnes"], b)
+	}
+	amazon.Pages = pagesFor(cfg.AmazonRecords, 10)
+	barnes.Pages = cfg.BarnesRecords // B&N: one page per result (Table 1)
+	c.Tables["Amazon"] = amazon
+	c.Tables["Barnes"] = barnes
+	return c
+}
+
+// TruthT7 lists Barnes & Noble titles priced over $100.
+func (c *Corpus) TruthT7() map[string]bool {
+	out := map[string]bool{}
+	for _, b := range c.Books["Barnes"] {
+		if b.BNPrice > 100 {
+			out[normKey(b.Title)] = true
+		}
+	}
+	return out
+}
+
+// TruthT8 lists Amazon titles whose list price equals the new price and
+// whose used price is below the new price.
+func (c *Corpus) TruthT8() map[string]bool {
+	out := map[string]bool{}
+	for _, b := range c.Books["Amazon"] {
+		if b.ListPrice == b.NewPrice && b.UsedPrice < b.NewPrice {
+			out[normKey(b.Title)] = true
+		}
+	}
+	return out
+}
+
+// TruthT9 lists Amazon titles that also appear at Barnes & Noble (titles
+// similar) with a lower new price than the B&N price.
+func (c *Corpus) TruthT9(similar func(a, b string) bool) map[string]bool {
+	out := map[string]bool{}
+	for _, a := range c.Books["Amazon"] {
+		for _, b := range c.Books["Barnes"] {
+			if a.NewPrice < b.BNPrice && similar(a.Title, b.Title) {
+				out[normKey(a.Title)] = true
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+// Package corpus generates the synthetic evaluation corpora of the paper
+// (Section 6): Movies, DBLP, Books, and a DBLife-style heterogeneous
+// snapshot. The real experiments used crawled Web pages we do not have;
+// these generators reproduce the *structure* those experiments exercise —
+// record layouts, per-attribute text features (bold titles, labelled
+// numeric fields, list items, section headers), cross-table overlap for
+// the similarity-join tasks — together with machine-readable ground truth
+// and the feature answers a developer inspecting the pages would give.
+//
+// Following Section 6 ("we divided each page into a set of records and
+// stored the records as tuples in a table"), each extensional table holds
+// one document per record; page counts are tracked for Table 1 reporting.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iflex/internal/markup"
+	"iflex/internal/text"
+)
+
+// Table is one extensional record table of a domain (e.g. IMDB, Amazon).
+type Table struct {
+	Name string
+	Docs []*text.Document // one document per record
+	Raw  []string         // the markup source of each record document
+	// Pages is the number of source pages the records conceptually come
+	// from (Table 1 reporting).
+	Pages int
+	// Description mirrors the Table 1 "Table Descriptions" column.
+	Description string
+}
+
+// add parses one record's markup and appends it (and its source) to the
+// table, using the prefix and index to build the document ID.
+func (t *Table) add(prefix string, src string) {
+	t.Raw = append(t.Raw, src)
+	t.Docs = append(t.Docs, markup.MustParse(fmt.Sprintf("%s-%04d", prefix, len(t.Docs)), src))
+}
+
+// Corpus is a generated domain: its record tables plus the ground-truth
+// records the tasks compute their correct answers from.
+type Corpus struct {
+	Domain string
+	Tables map[string]*Table
+
+	// Ground truth, populated per domain.
+	Movies []Movie
+	Papers map[string][]Paper // keyed by venue table name
+	Books  map[string][]Book  // keyed by store table name
+	DBLife *DBLifeTruth
+}
+
+// Movie is a ground-truth movie record.
+type Movie struct {
+	Title string
+	Year  int
+	Votes int
+	// Membership in each movie table.
+	InIMDB, InEbert, InPrasanna bool
+}
+
+// Paper is a ground-truth publication record.
+type Paper struct {
+	Title     string
+	Authors   []string
+	FirstPage int
+	LastPage  int
+	Journal   string // empty for conference papers (Garcia-Molina table)
+}
+
+// Book is a ground-truth book record.
+type Book struct {
+	Title     string
+	ListPrice float64 // Amazon
+	NewPrice  float64 // Amazon
+	UsedPrice float64 // Amazon
+	BNPrice   float64 // Barnes & Noble
+}
+
+// DBLifeTruth is the ground truth of the DBLife snapshot.
+type DBLifeTruth struct {
+	Panelists []PersonAt // (person, conference)
+	Chairs    []ChairAt  // (person, type, conference)
+	Projects  []ProjectOf
+}
+
+// PersonAt pairs a person with a conference.
+type PersonAt struct{ Person, Conference string }
+
+// ChairAt records a chair role at a conference.
+type ChairAt struct{ Person, Type, Conference string }
+
+// ProjectOf pairs a researcher with a project.
+type ProjectOf struct{ Person, Project string }
+
+// rng returns a deterministic random source for a domain and seed.
+func rng(domain string, seed int64) *rand.Rand {
+	h := int64(0)
+	for _, c := range domain {
+		h = h*31 + int64(c)
+	}
+	return rand.New(rand.NewSource(seed*1000003 + h))
+}
+
+// pagesFor reports the conceptual page count for n records at perPage
+// records per page.
+func pagesFor(n, perPage int) int {
+	if n == 0 {
+		return 0
+	}
+	return (n + perPage - 1) / perPage
+}
+
+// unique makes a generated name distinct: it tries gen a few times, then
+// falls back to a numbered variant, so generation never loops even when
+// the combination space is smaller than the corpus.
+func unique(used map[string]bool, gen func() string) string {
+	var name string
+	for try := 0; try < 8; try++ {
+		name = gen()
+		if !used[name] {
+			used[name] = true
+			return name
+		}
+	}
+	for i := 2; ; i++ {
+		v := fmt.Sprintf("%s Volume %d", name, i)
+		if !used[v] {
+			used[v] = true
+			return v
+		}
+	}
+}
+
+// sampleIdx draws k distinct indices from [0, n).
+func sampleIdx(r *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	perm := r.Perm(n)
+	return perm[:k]
+}
+
+// DocsOf returns the documents of a named table, or nil.
+func (c *Corpus) DocsOf(table string) []*text.Document {
+	t, ok := c.Tables[table]
+	if !ok {
+		return nil
+	}
+	return t.Docs
+}
+
+// Stats summarises a corpus for Table 1.
+type Stats struct {
+	Domain string
+	Tables []TableStats
+}
+
+// TableStats is one Table 1 row.
+type TableStats struct {
+	Name        string
+	Description string
+	Records     int
+	Pages       int
+}
+
+// Stats returns per-table record and page counts, in a stable order.
+func (c *Corpus) Stats() Stats {
+	s := Stats{Domain: c.Domain}
+	for _, name := range tableOrder(c.Domain) {
+		if t, ok := c.Tables[name]; ok {
+			s.Tables = append(s.Tables, TableStats{
+				Name: t.Name, Description: t.Description,
+				Records: len(t.Docs), Pages: t.Pages,
+			})
+		}
+	}
+	return s
+}
+
+// tableOrder fixes Table 1's row order per domain.
+func tableOrder(domain string) []string {
+	switch domain {
+	case "Movies":
+		return []string{"Ebert", "IMDB", "Prasanna"}
+	case "DBLP":
+		return []string{"GarciaMolina", "SIGMOD", "ICDE", "VLDB"}
+	case "Books":
+		return []string{"Amazon", "Barnes"}
+	case "DBLife":
+		return []string{"docs"}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,118 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DBLifeConfig sizes the DBLife snapshot.
+type DBLifeConfig struct {
+	Pages int // total pages (paper: 10007); default 200
+	Seed  int64
+}
+
+// DBLife generates a heterogeneous snapshot in the style of the DBLife
+// portal's crawled data (Section 6.3): conference homepages (with panel
+// sections and organizing committees), personal homepages (with project
+// lists), and DBWorld-style posts as noise. Unlike the record tables of
+// the other domains, DBLife documents are whole pages in one extensional
+// table docs(d).
+//
+// Page anatomy, chosen to exercise the "higher-level" features:
+//
+//	conference: <title>{CONF} {year} - International Conference on ...</title>
+//	            <h2>Panel Sessions</h2><ul><li>{person}</li>...</ul>
+//	            <h2>Organizing Committee</h2>
+//	            <ul><li>{type} chair: <b>{person}</b></li>...</ul>
+//	personal:   <title>Homepage of {person}</title>
+//	            <h2>Research Projects</h2><ul><li><i>{project}</i></li>...</ul>
+func DBLife(cfg DBLifeConfig) *Corpus {
+	if cfg.Pages <= 0 {
+		cfg.Pages = 200
+	}
+	r := rng("DBLife", cfg.Seed)
+	c := &Corpus{Domain: "DBLife", Tables: map[string]*Table{}, DBLife: &DBLifeTruth{}}
+	docs := &Table{Name: "docs", Description: "DBLife one-day crawl snapshot", Pages: cfg.Pages}
+
+	person := func() string {
+		return firstNames[r.Intn(len(firstNames))] + " " + lastNames[r.Intn(len(lastNames))]
+	}
+	chairTypes := []string{"General", "Program", "Demo", "Industrial", "Publicity"}
+
+	for i := 0; i < cfg.Pages; i++ {
+		var src string
+		switch r.Intn(10) {
+		case 0, 1, 2: // conference homepage (30%)
+			conf := fmt.Sprintf("%s %d", confNames[r.Intn(len(confNames))], 2000+r.Intn(9))
+			var b strings.Builder
+			fmt.Fprintf(&b, "<title>%s - International Conference on %s</title>",
+				conf, confTopics[r.Intn(len(confTopics))])
+			b.WriteString("<h2>Panel Sessions</h2><ul>")
+			for k := 0; k < 2+r.Intn(3); k++ {
+				p := person()
+				fmt.Fprintf(&b, "<li>%s</li>", p)
+				c.DBLife.Panelists = append(c.DBLife.Panelists, PersonAt{Person: p, Conference: conf})
+			}
+			b.WriteString("</ul><h2>Organizing Committee</h2><ul>")
+			for k := 0; k < 2+r.Intn(3); k++ {
+				p, ct := person(), chairTypes[r.Intn(len(chairTypes))]
+				fmt.Fprintf(&b, "<li>%s chair: <b>%s</b></li>", ct, p)
+				c.DBLife.Chairs = append(c.DBLife.Chairs, ChairAt{Person: p, Type: ct, Conference: conf})
+			}
+			b.WriteString("</ul><h2>Local Information</h2><p>The conference will be held in ")
+			b.WriteString(cityNames[r.Intn(len(cityNames))])
+			b.WriteString(".</p>")
+			src = b.String()
+		case 3, 4, 5: // personal homepage (30%)
+			owner := person()
+			var b strings.Builder
+			fmt.Fprintf(&b, "<title>Homepage of %s</title>", owner)
+			fmt.Fprintf(&b, "<p>I am a researcher working on data management in %s.</p>",
+				cityNames[r.Intn(len(cityNames))])
+			b.WriteString("<h2>Research Projects</h2><ul>")
+			for k := 0; k < 1+r.Intn(3); k++ {
+				proj := projectNames[r.Intn(len(projectNames))]
+				fmt.Fprintf(&b, "<li><i>%s</i></li>", proj)
+				c.DBLife.Projects = append(c.DBLife.Projects, ProjectOf{Person: owner, Project: proj})
+			}
+			b.WriteString("</ul><h2>Teaching</h2><p>Databases and distributed systems.</p>")
+			src = b.String()
+		default: // DBWorld-style post / noise (40%)
+			var b strings.Builder
+			fmt.Fprintf(&b, "<title>Call for Papers</title><p>Submissions on %s are welcome. "+
+				"Deadline %d March. Contact %s for details.</p>",
+				paperTopics[r.Intn(len(paperTopics))], 1+r.Intn(28), person())
+			src = b.String()
+		}
+		docs.add("dblife", src)
+	}
+	c.Tables["docs"] = docs
+	return c
+}
+
+// TruthPanel lists (person, conference) panelist pairs as joined keys.
+func (t *DBLifeTruth) TruthPanel() map[string]bool {
+	out := map[string]bool{}
+	for _, p := range t.Panelists {
+		out[normKey(p.Person)+"|"+normKey(p.Conference)] = true
+	}
+	return out
+}
+
+// TruthChair lists (person, type, conference) chair triples as joined keys.
+func (t *DBLifeTruth) TruthChair() map[string]bool {
+	out := map[string]bool{}
+	for _, ch := range t.Chairs {
+		out[normKey(ch.Person)+"|"+normKey(ch.Type)+"|"+normKey(ch.Conference)] = true
+	}
+	return out
+}
+
+// TruthProject lists (person, project) pairs as joined keys.
+func (t *DBLifeTruth) TruthProject() map[string]bool {
+	out := map[string]bool{}
+	for _, p := range t.Projects {
+		out[normKey(p.Person)+"|"+normKey(p.Project)] = true
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DBLPConfig sizes the DBLP domain.
+type DBLPConfig struct {
+	Records int // tuples per table
+	Seed    int64
+}
+
+// DBLP generates the DBLP domain: the Garcia-Molina publication list and
+// the SIGMOD / ICDE / VLDB proceedings tables, with an author pool shared
+// between SIGMOD and ICDE so task T6's author-similarity join has answers.
+// Record layouts (one field per line):
+//
+//	GarciaMolina: <b>{title}</b> / By <i>{authors}</i> / Journal year: {y}  (journal)
+//	              <b>{title}</b> / By <i>{authors}</i> / In proceedings of {conf}
+//	SIGMOD/ICDE:  <b>{title}</b> / By <i>{authors}</i>
+//	VLDB:         <b>{title}</b> / By <i>{authors}</i> / Pages: {first} - {last}
+func DBLP(cfg DBLPConfig) *Corpus {
+	if cfg.Records <= 0 {
+		cfg.Records = 100
+	}
+	r := rng("DBLP", cfg.Seed)
+	n := cfg.Records
+
+	// Author pool; SIGMOD and ICDE share it, giving T6 its join matches.
+	pool := make([]string, 0, n/2+8)
+	used := map[string]bool{}
+	for len(pool) < cap(pool) {
+		name := firstNames[r.Intn(len(firstNames))] + " " + lastNames[r.Intn(len(lastNames))]
+		if !used[name] {
+			used[name] = true
+			pool = append(pool, name)
+		}
+	}
+	authors := func(k int) []string {
+		idx := sampleIdx(r, len(pool), k)
+		out := make([]string, len(idx))
+		for i, j := range idx {
+			out[i] = pool[j]
+		}
+		return out
+	}
+
+	c := &Corpus{Domain: "DBLP", Tables: map[string]*Table{}, Papers: map[string][]Paper{}}
+	usedTitles := map[string]bool{}
+	title := func() string {
+		return unique(usedTitles, func() string {
+			return paperPrefixes[r.Intn(len(paperPrefixes))] + " " +
+				paperTopics[r.Intn(len(paperTopics))] + " " +
+				paperSuffixes[r.Intn(len(paperSuffixes))]
+		})
+	}
+
+	// Garcia-Molina publications: ~40% journal.
+	gm := &Table{Name: "GarciaMolina", Description: "Hector Garcia-Molina Pubs List", Pages: 1}
+	for i := 0; i < n; i++ {
+		p := Paper{Title: title(), Authors: authors(1 + r.Intn(3))}
+		var tail string
+		if r.Intn(10) < 4 {
+			p.Journal = fmt.Sprintf("TODS %d", 1980+r.Intn(26))
+			tail = fmt.Sprintf("Journal year: %d", 1980+r.Intn(26))
+		} else {
+			tail = "In proceedings of " + confNames[r.Intn(len(confNames))]
+		}
+		src := fmt.Sprintf("<li><b>%s</b><br>By <i>%s</i><br>%s</li>", p.Title, joinAuthors(p.Authors), tail)
+		gm.add("gm", src)
+		c.Papers["GarciaMolina"] = append(c.Papers["GarciaMolina"], p)
+	}
+	c.Tables["GarciaMolina"] = gm
+
+	// SIGMOD and ICDE proceedings; ~25% of author lists are built to
+	// overlap across the two venues.
+	shared := make([][]string, n/4+1)
+	for i := range shared {
+		shared[i] = authors(1 + r.Intn(3))
+	}
+	proc := func(name, desc string, perPage int) *Table {
+		t := &Table{Name: name, Description: desc}
+		for i := 0; i < n; i++ {
+			p := Paper{Title: title()}
+			if r.Intn(4) == 0 {
+				p.Authors = shared[r.Intn(len(shared))]
+			} else {
+				p.Authors = authors(1 + r.Intn(3))
+			}
+			src := fmt.Sprintf("<li><b>%s</b><br>By <i>%s</i></li>", p.Title, joinAuthors(p.Authors))
+			t.add(strings.ToLower(name), src)
+			c.Papers[name] = append(c.Papers[name], p)
+		}
+		t.Pages = pagesFor(n, perPage)
+		return t
+	}
+	c.Tables["SIGMOD"] = proc("SIGMOD", "SIGMOD Papers '75-'05", 50)
+	c.Tables["ICDE"] = proc("ICDE", "ICDE Papers '84-'05", 82)
+
+	// VLDB papers with page ranges; ~30% short (5 or fewer pages).
+	vldb := &Table{Name: "VLDB", Description: "VLDB Papers '75-'05"}
+	for i := 0; i < n; i++ {
+		p := Paper{Title: title(), Authors: authors(1 + r.Intn(3))}
+		p.FirstPage = 1 + r.Intn(600)
+		if r.Intn(10) < 3 {
+			p.LastPage = p.FirstPage + r.Intn(5) // short: length <= 5 pages
+		} else {
+			p.LastPage = p.FirstPage + 5 + r.Intn(20)
+		}
+		src := fmt.Sprintf("<li><b>%s</b><br>By <i>%s</i><br>Pages: %d - %d</li>",
+			p.Title, joinAuthors(p.Authors), p.FirstPage, p.LastPage)
+		vldb.add("vldb", src)
+		c.Papers["VLDB"] = append(c.Papers["VLDB"], p)
+	}
+	vldb.Pages = pagesFor(n, 69)
+	c.Tables["VLDB"] = vldb
+	return c
+}
+
+func joinAuthors(as []string) string { return strings.Join(as, ", ") }
+
+// TruthT4 lists the titles of Garcia-Molina journal publications.
+func (c *Corpus) TruthT4() map[string]bool {
+	out := map[string]bool{}
+	for _, p := range c.Papers["GarciaMolina"] {
+		if p.Journal != "" {
+			out[normKey(p.Title)] = true
+		}
+	}
+	return out
+}
+
+// TruthT5 lists the titles of VLDB publications of 5 or fewer pages
+// (lastPage < firstPage + 5, per the paper's initial program).
+func (c *Corpus) TruthT5() map[string]bool {
+	out := map[string]bool{}
+	for _, p := range c.Papers["VLDB"] {
+		if p.LastPage < p.FirstPage+5 {
+			out[normKey(p.Title)] = true
+		}
+	}
+	return out
+}
+
+// TruthT6 lists SIGMOD titles whose author list is similar to some ICDE
+// paper's author list (token Jaccard via the default similar p-function).
+func (c *Corpus) TruthT6(similar func(a, b string) bool) map[string]bool {
+	out := map[string]bool{}
+	for _, sp := range c.Papers["SIGMOD"] {
+		for _, ip := range c.Papers["ICDE"] {
+			if similar(joinAuthors(sp.Authors), joinAuthors(ip.Authors)) {
+				out[normKey(sp.Title)] = true
+				break
+			}
+		}
+	}
+	return out
+}

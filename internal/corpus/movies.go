@@ -1,0 +1,153 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MoviesConfig sizes the Movies domain: records per table.
+type MoviesConfig struct {
+	Records int   // tuples per table (paper scenarios: 10 / 100 / 242-517)
+	Seed    int64 // generator seed
+}
+
+// Movies generates the Movies domain: a shared movie universe rendered
+// into the three top-movie tables (IMDB, Ebert, Prasanna) with controlled
+// overlap so that task T3's three-way similarity join has a non-trivial
+// answer. Record layouts (one field per line):
+//
+//	IMDB:     Rank: {rank} / <b>{title}</b> / Year: {year} / Votes: {votes}
+//	Ebert:    <b>{title}</b> / Made in: {year}
+//	Prasanna: Movie: {title} / Year: {year}
+func Movies(cfg MoviesConfig) *Corpus {
+	if cfg.Records <= 0 {
+		cfg.Records = 100
+	}
+	r := rng("Movies", cfg.Seed)
+	n := cfg.Records
+
+	// Universe: 2n movies; each table draws n with ~50% pairwise overlap.
+	universe := make([]Movie, 2*n)
+	seen := map[string]bool{}
+	for i := range universe {
+		title := unique(seen, func() string {
+			t := titleAdjectives[r.Intn(len(titleAdjectives))] + " " +
+				titleNouns[r.Intn(len(titleNouns))]
+			if r.Intn(3) == 0 {
+				t += " " + titleTails[r.Intn(len(titleTails))]
+			}
+			return t
+		})
+		universe[i] = Movie{
+			Title: title,
+			Year:  1920 + r.Intn(86),     // 1920..2005
+			Votes: 1000 + r.Intn(499000), // 1,000..500,000
+		}
+	}
+	for _, i := range sampleIdx(r, len(universe), n) {
+		universe[i].InIMDB = true
+	}
+	for _, i := range sampleIdx(r, len(universe), n) {
+		universe[i].InEbert = true
+	}
+	for _, i := range sampleIdx(r, len(universe), n) {
+		universe[i].InPrasanna = true
+	}
+
+	c := &Corpus{Domain: "Movies", Tables: map[string]*Table{}, Movies: universe}
+
+	imdb := &Table{Name: "IMDB", Description: "IMDB Top Movies"}
+	ebert := &Table{Name: "Ebert", Description: "Roger Ebert's Greatest Movies List"}
+	prasanna := &Table{Name: "Prasanna", Description: "Prasanna's 1000 Greatest Movies"}
+	rank := 0
+	for _, m := range universe {
+		if m.InIMDB {
+			rank++
+			src := fmt.Sprintf("<li>Rank: %d<br><b>%s</b><br>Year: %d<br>Votes: %d</li>",
+				rank, m.Title, m.Year, m.Votes)
+			imdb.add("imdb", src)
+		}
+		if m.InEbert {
+			src := fmt.Sprintf("<li><b>%s</b><br>Made in: %d</li>", m.Title, m.Year)
+			ebert.add("ebert", src)
+		}
+		if m.InPrasanna {
+			src := fmt.Sprintf("<li>Movie: %s<br>Year: %d</li>", m.Title, m.Year)
+			prasanna.add("prasanna", src)
+		}
+	}
+	// Each movie table came from a single crawled page (Table 1).
+	imdb.Pages, ebert.Pages, prasanna.Pages = 1, 1, 1
+	c.Tables["IMDB"] = imdb
+	c.Tables["Ebert"] = ebert
+	c.Tables["Prasanna"] = prasanna
+	return c
+}
+
+// TruthT1 lists the titles of IMDB movies with fewer than 25,000 votes.
+func (c *Corpus) TruthT1() map[string]bool {
+	out := map[string]bool{}
+	for _, m := range c.Movies {
+		if m.InIMDB && m.Votes < 25000 {
+			out[normKey(m.Title)] = true
+		}
+	}
+	return out
+}
+
+// TruthT2 lists the titles of Ebert movies made in [1950, 1970).
+func (c *Corpus) TruthT2() map[string]bool {
+	out := map[string]bool{}
+	for _, m := range c.Movies {
+		if m.InEbert && m.Year >= 1950 && m.Year < 1970 {
+			out[normKey(m.Title)] = true
+		}
+	}
+	return out
+}
+
+// TruthT3 lists the IMDB titles with a similar Ebert title that in turn
+// has a similar Prasanna title — the precise semantics of T3's program,
+// which joins with the approximate similar() p-function (like T6 and T9,
+// near-identical titles can match across lists).
+func (c *Corpus) TruthT3(similar func(a, b string) bool) map[string]bool {
+	var imdb, ebert, prasanna []string
+	for _, m := range c.Movies {
+		if m.InIMDB {
+			imdb = append(imdb, m.Title)
+		}
+		if m.InEbert {
+			ebert = append(ebert, m.Title)
+		}
+		if m.InPrasanna {
+			prasanna = append(prasanna, m.Title)
+		}
+	}
+	out := map[string]bool{}
+	for _, t1 := range imdb {
+		matched := false
+		for _, t2 := range ebert {
+			if !similar(t1, t2) {
+				continue
+			}
+			for _, t3 := range prasanna {
+				if similar(t2, t3) {
+					matched = true
+					break
+				}
+			}
+			if matched {
+				break
+			}
+		}
+		if matched {
+			out[normKey(t1)] = true
+		}
+	}
+	return out
+}
+
+// normKey canonicalises a truth key the same way result cells are compared.
+func normKey(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,220 @@
+package corpus
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"iflex/internal/engine"
+	"iflex/internal/text"
+)
+
+// PreciseTask is the Xlog baseline for one task (Section 6 "Methods"):
+// the same skeleton program, but with every IE predicate implemented by a
+// precise procedural extractor — the Go equivalent of the Perl modules the
+// paper's developers wrote. Running it produces exactly the correct
+// result, which is what the Manual/Xlog/iFlex comparison assumes and what
+// TestPreciseBaselineMatchesTruth verifies.
+type PreciseTask struct {
+	ID      string
+	Program string
+	Procs   map[string]engine.Procedure
+}
+
+// Env builds the engine environment for the precise program over a corpus.
+func (p *PreciseTask) Env(base *Task, c *Corpus) *engine.Env {
+	env := base.Env(c)
+	for name, proc := range p.Procs {
+		env.Procs[name] = proc
+	}
+	return env
+}
+
+// markSpan returns the (token-trimmed) span of the first mark of the given
+// kind in the record, or ok=false.
+func markSpan(d *text.Document, kind text.MarkKind) (text.Span, bool) {
+	ms := d.MarksOf(kind)
+	if len(ms) == 0 {
+		return text.Span{}, false
+	}
+	return d.Span(ms[0].Start, ms[0].End).Shrink()
+}
+
+// labeledSpan returns the span after "Label" up to end of line, trimmed.
+func labeledSpan(d *text.Document, label string) (text.Span, bool) {
+	body := d.Text()
+	i := strings.Index(body, label)
+	if i < 0 {
+		return text.Span{}, false
+	}
+	start := i + len(label)
+	end := start
+	for end < len(body) && body[end] != '\n' {
+		end++
+	}
+	return d.Span(start, end).Shrink()
+}
+
+// reSpan returns the span of the first submatch of re in the record.
+func reSpan(d *text.Document, re *regexp.Regexp) (text.Span, bool) {
+	loc := re.FindStringSubmatchIndex(d.Text())
+	if loc == nil || len(loc) < 4 || loc[2] < 0 {
+		return text.Span{}, false
+	}
+	return d.Span(loc[2], loc[3]).Shrink()
+}
+
+// rowProc builds a procedure that extracts a fixed list of fields from the
+// record document; records where any field is missing produce no tuple
+// (precise extractors reject malformed records).
+func rowProc(fields ...func(d *text.Document) (text.Span, bool)) engine.Procedure {
+	return engine.Procedure{
+		Outputs: len(fields),
+		Fn: func(in text.Span) ([][]text.Span, error) {
+			d := in.Doc()
+			row := make([]text.Span, len(fields))
+			for i, f := range fields {
+				sp, ok := f(d)
+				if !ok {
+					return nil, nil
+				}
+				row[i] = sp
+			}
+			return [][]text.Span{row}, nil
+		},
+	}
+}
+
+func byMark(kind text.MarkKind) func(*text.Document) (text.Span, bool) {
+	return func(d *text.Document) (text.Span, bool) { return markSpan(d, kind) }
+}
+
+func byLabel(label string) func(*text.Document) (text.Span, bool) {
+	return func(d *text.Document) (text.Span, bool) { return labeledSpan(d, label) }
+}
+
+func byRegexp(pattern string) func(*text.Document) (text.Span, bool) {
+	re := regexp.MustCompile(pattern)
+	return func(d *text.Document) (text.Span, bool) { return reSpan(d, re) }
+}
+
+// PreciseTaskByID returns the Xlog baseline for a task.
+func PreciseTaskByID(id string) (*PreciseTask, error) {
+	switch id {
+	case "T1":
+		return &PreciseTask{
+			ID: id,
+			Program: `
+T1(title) :- IMDB(x), extractIMDB(x, title, votes), votes < 25000.`,
+			Procs: map[string]engine.Procedure{
+				"extractIMDB": rowProc(byMark(text.MarkBold), byLabel("Votes:")),
+			},
+		}, nil
+	case "T2":
+		return &PreciseTask{
+			ID: id,
+			Program: `
+T2(title) :- Ebert(x), extractEbert(x, title, year), 1950 <= year, year < 1970.`,
+			Procs: map[string]engine.Procedure{
+				"extractEbert": rowProc(byMark(text.MarkBold), byLabel("Made in:")),
+			},
+		}, nil
+	case "T3":
+		return &PreciseTask{
+			ID: id,
+			Program: `
+T3(t1) :- IMDB(x), extractIMDBTitle(x, t1),
+          Ebert(y), extractEbertTitle(y, t2),
+          Prasanna(z), extractPrasannaTitle(z, t3),
+          similar(t1, t2), similar(t2, t3).`,
+			Procs: map[string]engine.Procedure{
+				"extractIMDBTitle":     rowProc(byMark(text.MarkBold)),
+				"extractEbertTitle":    rowProc(byMark(text.MarkBold)),
+				"extractPrasannaTitle": rowProc(byLabel("Movie:")),
+			},
+		}, nil
+	case "T4":
+		return &PreciseTask{
+			ID: id,
+			Program: `
+T4(title) :- GarciaMolina(x), extractPublications(x, title, jy), jy != NULL.`,
+			Procs: map[string]engine.Procedure{
+				// Conference records have no "Journal year:" line; the
+				// extractor emits an empty (NULL) span for them.
+				"extractPublications": {
+					Outputs: 2,
+					Fn: func(in text.Span) ([][]text.Span, error) {
+						d := in.Doc()
+						title, ok := markSpan(d, text.MarkBold)
+						if !ok {
+							return nil, nil
+						}
+						jy, ok := labeledSpan(d, "Journal year:")
+						if !ok {
+							jy = d.Span(0, 0) // NULL
+						}
+						return [][]text.Span{{title, jy}}, nil
+					},
+				},
+			},
+		}, nil
+	case "T5":
+		return &PreciseTask{
+			ID: id,
+			Program: `
+T5(title) :- VLDB(x), extractVLDB(x, title, fp, lp), lp < fp + 5.`,
+			Procs: map[string]engine.Procedure{
+				"extractVLDB": rowProc(
+					byMark(text.MarkBold),
+					byRegexp(`Pages: (\d+)`),
+					byRegexp(`Pages: \d+ - (\d+)`),
+				),
+			},
+		}, nil
+	case "T6":
+		return &PreciseTask{
+			ID: id,
+			Program: `
+T6(t1) :- SIGMOD(x), extractSIGMOD(x, t1, a1),
+          ICDE(y), extractICDE(y, t2, a2), similar(a1, a2).`,
+			Procs: map[string]engine.Procedure{
+				"extractSIGMOD": rowProc(byMark(text.MarkBold), byMark(text.MarkItalic)),
+				"extractICDE":   rowProc(byMark(text.MarkBold), byMark(text.MarkItalic)),
+			},
+		}, nil
+	case "T7":
+		return &PreciseTask{
+			ID: id,
+			Program: `
+T7(title) :- Barnes(y), extractBarnes(y, title, bp), bp > 100.`,
+			Procs: map[string]engine.Procedure{
+				"extractBarnes": rowProc(byMark(text.MarkUnderline), byLabel("Our price:")),
+			},
+		}, nil
+	case "T8":
+		return &PreciseTask{
+			ID: id,
+			Program: `
+T8(t) :- Amazon(x), extractAmazon(x, t, lp, np, up), lp = np, up < np.`,
+			Procs: map[string]engine.Procedure{
+				"extractAmazon": rowProc(
+					byMark(text.MarkBold),
+					byLabel("List:"), byLabel("New:"), byLabel("Used:"),
+				),
+			},
+		}, nil
+	case "T9":
+		return &PreciseTask{
+			ID: id,
+			Program: `
+T9(t1) :- Amazon(x), extractAmazonT(x, t1, np),
+          Barnes(y), extractBarnesT(y, t2, bp), similar(t1, t2), np < bp.`,
+			Procs: map[string]engine.Procedure{
+				"extractAmazonT": rowProc(byMark(text.MarkBold), byLabel("New:")),
+				"extractBarnesT": rowProc(byMark(text.MarkUnderline), byLabel("Our price:")),
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("corpus: no precise baseline for task %q", id)
+	}
+}

@@ -1,0 +1,93 @@
+package corpus
+
+import (
+	"testing"
+
+	"iflex/internal/alog"
+	"iflex/internal/engine"
+)
+
+// The Xlog baseline must produce exactly the ground truth on every task —
+// that's what makes it the "precise IE" comparator of Section 6.
+func TestPreciseBaselineMatchesTruth(t *testing.T) {
+	for _, base := range Tasks() {
+		base := base
+		t.Run(base.ID, func(t *testing.T) {
+			precise, err := PreciseTaskByID(base.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := base.Generate(40, 3)
+			env := precise.Env(base, c)
+			prog, err := alog.Parse(precise.Program)
+			if err != nil {
+				t.Fatalf("precise program: %v", err)
+			}
+			res, err := engine.Run(prog, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth := base.Truth(c)
+			keys, _ := ResultKeys(res)
+			missing, extra := KeysMatch(keys, truth)
+			if len(missing) != 0 || len(extra) != 0 {
+				t.Errorf("%s precise: missing=%v extra=%v (result %d, truth %d)",
+					base.ID, missing, extra, len(keys), len(truth))
+			}
+		})
+	}
+}
+
+func TestPreciseTaskUnknown(t *testing.T) {
+	if _, err := PreciseTaskByID("T42"); err == nil {
+		t.Error("unknown task should fail")
+	}
+}
+
+// Section 6.3's anecdote: the approximate processor's converged programs
+// run in the same ballpark as the hand-tuned precise programs. We assert a
+// loose factor rather than a benchmark here; BenchmarkPreciseVsConverged
+// reports the actual numbers.
+func TestPreciseAndConvergedAgree(t *testing.T) {
+	base, err := TaskByID("T7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	precise, err := PreciseTaskByID("T7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := base.Generate(60, 1)
+	envP := precise.Env(base, c)
+	resP, err := engine.Run(alog.MustParse(precise.Program), envP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Converged approximate program: all oracle answers applied.
+	prog := alog.MustParse(base.Program)
+	oracle := base.Oracle()
+	for _, attr := range prog.Attrs() {
+		for f, v := range oracle.Answers[attr.String()] {
+			if v == "unknown" {
+				continue
+			}
+			if err := prog.AddConstraint(attr, f, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	resA, err := engine.Run(prog, base.Env(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keysP, _ := ResultKeys(resP)
+	keysA, _ := ResultKeys(resA)
+	if len(keysP) != len(keysA) {
+		t.Errorf("precise (%d keys) and converged approximate (%d keys) disagree", len(keysP), len(keysA))
+	}
+	for k := range keysP {
+		if keysA[k] == 0 {
+			t.Errorf("converged program misses %q", k)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package corpus
+
+// Word pools used by the deterministic generators. Titles avoid hyphens
+// and punctuation so that token-level extraction stays well-behaved, and
+// pools are large enough that generated titles rarely collide by accident.
+
+var titleAdjectives = []string{
+	"Silent", "Crimson", "Golden", "Broken", "Hidden", "Distant", "Burning",
+	"Frozen", "Electric", "Midnight", "Savage", "Gentle", "Hollow", "Iron",
+	"Scarlet", "Velvet", "Wicked", "Ancient", "Restless", "Shattered",
+	"Lonely", "Radiant", "Stormy", "Quiet", "Brave", "Lost", "Final",
+	"Endless", "Sacred", "Bitter", "Amber", "Cobalt", "Daring", "Emerald",
+	"Fearless", "Glacial", "Humble", "Infinite", "Jagged", "Kindred",
+	"Luminous", "Mystic", "Noble", "Obsidian", "Phantom", "Quickened",
+	"Rogue", "Solemn", "Twilight", "Unbroken",
+}
+
+var titleNouns = []string{
+	"River", "Empire", "Garden", "Horizon", "Shadow", "Kingdom", "Voyage",
+	"Harvest", "Mirror", "Canyon", "Fortress", "Lantern", "Meadow", "Ocean",
+	"Paradox", "Quartet", "Reckoning", "Sanctuary", "Tempest", "Utopia",
+	"Vendetta", "Whisper", "Zephyr", "Beacon", "Cascade", "Dynasty",
+	"Eclipse", "Frontier", "Gambit", "Haven", "Anthem", "Bastion",
+	"Citadel", "Dominion", "Ember", "Falcon", "Glacier", "Harbinger",
+	"Insignia", "Junction", "Keystone", "Labyrinth", "Monolith", "Nomad",
+	"Outpost", "Pinnacle", "Quarry", "Refuge", "Summit", "Threshold",
+}
+
+var titleTails = []string{
+	"Returns", "Rising", "Falls", "Awakens", "Remembered", "Unbound",
+	"Reborn", "Forever", "Divided", "United", "Untold", "Revealed",
+	"Ascendant", "Beginnings", "Redux", "Legacy", "Origins", "Requiem",
+}
+
+var firstNames = []string{
+	"Alice", "Robert", "Carol", "David", "Elena", "Frank", "Grace", "Henry",
+	"Irene", "James", "Karen", "Louis", "Maria", "Nathan", "Olga", "Peter",
+	"Quinn", "Rachel", "Samuel", "Teresa", "Ulrich", "Vera", "Walter",
+	"Xenia", "Yusuf", "Zelda", "Arturo", "Bianca", "Carlos", "Diana",
+}
+
+var lastNames = []string{
+	"Anderson", "Baxter", "Castillo", "Donovan", "Eastwood", "Ferreira",
+	"Goldberg", "Hargrove", "Ivanov", "Jennings", "Kowalski", "Lindqvist",
+	"Marchetti", "Novak", "Okafor", "Petrov", "Quintana", "Rosenthal",
+	"Sullivan", "Takahashi", "Underwood", "Vasquez", "Whitfield", "Xiang",
+	"Yamamoto", "Zielinski", "Abernathy", "Bergstrom", "Calloway", "Delacroix",
+}
+
+var paperTopics = []string{
+	"Query Optimization", "Transaction Processing", "Index Structures",
+	"Stream Processing", "Data Integration", "Schema Matching",
+	"Approximate Joins", "View Maintenance", "Access Control",
+	"Data Cleaning", "Workload Forecasting", "Cache Management",
+	"Parallel Scans", "Log Recovery", "Sampling Estimators",
+	"Entity Resolution", "Graph Traversal", "Spatial Indexing",
+	"Columnar Storage", "Adaptive Execution", "Crash Consistency",
+	"Cost Estimation", "Write Amplification", "Skew Handling",
+	"Version Management", "Memory Pooling", "Operator Fusion",
+	"Predicate Pushdown", "Vectorized Filters", "Join Ordering",
+	"Cardinality Bounds", "Snapshot Isolation", "Replica Placement",
+	"Load Shedding", "Window Aggregation",
+}
+
+var paperPrefixes = []string{
+	"Towards", "Efficient", "Scalable", "Adaptive", "Incremental",
+	"Robust", "Declarative", "Distributed", "Optimal", "Practical",
+	"Principled", "Unified", "Learned", "Interactive", "Approximate",
+	"SelfTuning", "Bounded", "Streaming", "Hybrid", "Elastic",
+	"Composable", "Transparent", "Versatile", "Nimble", "Pragmatic",
+}
+
+var paperSuffixes = []string{
+	"in Relational Systems", "over Data Streams", "for Web Data",
+	"at Scale", "with Uncertain Data", "in Sensor Networks",
+	"for OLAP Workloads", "under Memory Constraints", "in the Cloud",
+	"with Provable Guarantees", "for Federated Sources", "on Modern Hardware",
+	"beyond Main Memory", "for Interactive Analytics", "in Shared Clusters",
+	"across Data Centers", "with Bounded Staleness", "for Evolving Schemas",
+	"under Skewed Workloads", "with Partial Replicas",
+}
+
+var bookTopics = []string{
+	"Database Systems", "Query Languages", "Data Modeling",
+	"Information Retrieval", "Distributed Databases", "Data Warehousing",
+	"Transaction Management", "Database Tuning", "SQL Programming",
+	"Data Mining", "Metadata Management", "Storage Engines",
+	"Concurrency Control", "Database Security", "Temporal Databases",
+	"Query Optimization", "Stream Systems", "Graph Databases",
+	"Spatial Data", "Text Analytics", "Cloud Databases",
+	"Replication Strategies", "Index Design", "Schema Evolution",
+	"Embedded Databases",
+}
+
+var bookQualifiers = []string{
+	"A Practical Guide", "Concepts and Techniques", "An Introduction",
+	"The Complete Reference", "Principles and Practice", "A Modern Approach",
+	"Theory and Applications", "From Basics to Advanced", "Patterns and Pitfalls",
+	"Case Studies", "The Definitive Guide", "Foundations",
+	"A Field Guide", "Essential Techniques", "In Depth", "Step by Step",
+	"Core Concepts", "Beyond the Basics", "A Complete Tutorial",
+	"For Practitioners", "Design and Implementation", "Under the Hood",
+}
+
+var confNames = []string{
+	"SIGMOD", "VLDB", "ICDE", "EDBT", "CIDR", "PODS", "WEBDB", "DASFAA",
+}
+
+var confTopics = []string{
+	"Management of Data", "Very Large Data Bases", "Data Engineering",
+	"Database Theory", "Web Databases", "Information Systems",
+}
+
+var projectNames = []string{
+	"Trio", "Orchestra", "Midas", "Cimple", "Avatar", "Hyrax", "Nautilus",
+	"Pelican", "Quill", "Riverbed", "Sextant", "Tycho", "Umbra", "Vortex",
+}
+
+var cityNames = []string{
+	"Madison", "Champaign", "Seattle", "Portland", "Austin", "Boulder",
+	"Ithaca", "Berkeley", "Cambridge", "Princeton", "Ann Arbor", "Palo Alto",
+}

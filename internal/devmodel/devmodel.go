@@ -1,0 +1,142 @@
+// Package devmodel models the human development time that Section 6
+// measures with volunteer developers. We do not have humans; machine-side
+// quantities (tuples per iteration, questions, convergence, execution
+// time) are produced by actually running the system, and this package
+// converts developer *actions* into minutes with an explicit, documented
+// cost model (see DESIGN.md's substitution table):
+//
+//	Manual — read each record and decide by hand; join tasks require
+//	         cross-checking records across tables and grow superlinearly.
+//	Xlog   — write the skeleton program, then implement each IE attribute
+//	         as procedural (Perl-style) code with a debug loop; nearly
+//	         flat in corpus size.
+//	iFlex  — write the skeleton, answer assistant questions, inspect
+//	         intermediate results, optionally write a cleanup procedure.
+//
+// Default constants are calibrated so the model reproduces the *shape* of
+// Table 3 (Manual linear and infeasible at scale, Xlog high but flat,
+// iFlex far below Xlog everywhere), not its absolute values.
+package devmodel
+
+import (
+	"math"
+
+	"iflex/internal/alog"
+)
+
+// Params are the per-action costs, in minutes.
+type Params struct {
+	// Manual method.
+	ManualBase      float64 // set-up: open pages, prepare notes
+	ManualPerRecord float64 // read one record and decide
+	ManualPerPair   float64 // cross-check one candidate record pair (join tasks)
+	ManualCutoff    float64 // above this the method is reported DNF ("—")
+
+	// Xlog method (precise procedural IE).
+	XlogPerRule    float64 // write one skeleton rule
+	XlogPerAttr    float64 // implement + debug one attribute's extractor
+	XlogPerJoin    float64 // implement one approximate join predicate
+	XlogDebugScale float64 // extra debugging per decade of corpus size
+
+	// iFlex method.
+	SkeletonPerRule float64 // write one skeleton/description rule
+	AnswerCost      float64 // answer one assistant question (Section 5.1.1)
+	InspectCost     float64 // examine one iteration's result sample
+	CleanupCost     float64 // write one procedural cleanup (Section 2.2.4)
+}
+
+// DefaultParams returns the calibrated constants.
+func DefaultParams() Params {
+	return Params{
+		ManualBase:      0.5,
+		ManualPerRecord: 0.012,
+		ManualPerPair:   0.0012,
+		ManualCutoff:    240,
+
+		XlogPerRule:    2.0,
+		XlogPerAttr:    10.0,
+		XlogPerJoin:    6.0,
+		XlogDebugScale: 1.0,
+
+		SkeletonPerRule: 0.5,
+		AnswerCost:      0.25,
+		InspectCost:     0.20,
+		CleanupCost:     8.0,
+	}
+}
+
+// Shape summarises the structural complexity of a task's program: how many
+// rules a developer writes, how many attributes need extractors, and how
+// many approximate joins appear.
+type Shape struct {
+	Rules int
+	Attrs int
+	Joins int
+}
+
+// ShapeOf derives the shape from an Alog program: rules (all of them — the
+// developer writes skeleton and description rules alike), extraction
+// attributes, and p-function join literals.
+func ShapeOf(prog *alog.Program) Shape {
+	s := Shape{Rules: len(prog.Rules), Attrs: len(prog.Attrs())}
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			if l.Kind == alog.LitAtom {
+				switch l.Atom.Pred {
+				case "similar", "approxMatch":
+					s.Joins++
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Manual returns the modelled minutes for the Manual method over n records
+// (m is the second table's size for join tasks; 0 otherwise). ok=false
+// means the method exceeds the cutoff and is reported DNF.
+func (p Params) Manual(shape Shape, n, m int) (minutes float64, ok bool) {
+	t := p.ManualBase + p.ManualPerRecord*float64(n)
+	if shape.Joins > 0 {
+		pairs := float64(n) * float64(maxInt(m, 1))
+		// A person does not naively cross-check all pairs; sorting and
+		// skimming make the effective work ~ pairs^0.75.
+		t += p.ManualPerPair * math.Pow(pairs, 0.75) * float64(shape.Joins)
+	}
+	if t > p.ManualCutoff {
+		return t, false
+	}
+	return t, true
+}
+
+// Xlog returns the modelled minutes for writing a precise Xlog program
+// with procedural extractors.
+func (p Params) Xlog(shape Shape, n int) float64 {
+	t := p.XlogPerRule*float64(shape.Rules) +
+		p.XlogPerAttr*float64(shape.Attrs) +
+		p.XlogPerJoin*float64(shape.Joins)
+	if n > 1 {
+		t += p.XlogDebugScale * math.Log10(float64(n))
+	}
+	return t
+}
+
+// IFlex returns the modelled minutes for an iFlex session: skeleton
+// writing, question answering, per-iteration inspection, plus the measured
+// machine execution time and optional cleanup coding. The cleanup portion
+// is also returned separately (Table 3 reports it in parentheses).
+func (p Params) IFlex(shape Shape, questions, iterations int, execSeconds float64, cleanups int) (total, cleanup float64) {
+	t := p.SkeletonPerRule*float64(shape.Rules) +
+		p.AnswerCost*float64(questions) +
+		p.InspectCost*float64(iterations) +
+		execSeconds/60
+	cleanup = p.CleanupCost * float64(cleanups)
+	return t + cleanup, cleanup
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

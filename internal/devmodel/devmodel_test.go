@@ -1,0 +1,93 @@
+package devmodel
+
+import (
+	"testing"
+
+	"iflex/internal/alog"
+	"iflex/internal/corpus"
+)
+
+func TestShapeOf(t *testing.T) {
+	task, err := corpus.TaskByID("T9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := ShapeOf(alog.MustParse(task.Program))
+	if shape.Rules != 5 {
+		t.Errorf("rules = %d", shape.Rules)
+	}
+	if shape.Attrs != 4 {
+		t.Errorf("attrs = %d", shape.Attrs)
+	}
+	if shape.Joins != 1 {
+		t.Errorf("joins = %d", shape.Joins)
+	}
+}
+
+func TestManualShape(t *testing.T) {
+	p := DefaultParams()
+	simple := Shape{Rules: 3, Attrs: 2}
+	small, ok1 := p.Manual(simple, 10, 0)
+	large, ok2 := p.Manual(simple, 250, 0)
+	if !ok1 || !ok2 {
+		t.Fatal("small scenarios must be feasible")
+	}
+	if large <= small {
+		t.Error("Manual must grow with records")
+	}
+	// Join tasks become infeasible at paper-scale sizes (Table 3 "—").
+	join := Shape{Rules: 5, Attrs: 4, Joins: 1}
+	if _, ok := p.Manual(join, 2490, 5000); ok {
+		t.Error("large join scenario should be DNF")
+	}
+	if _, ok := p.Manual(join, 100, 100); !ok {
+		t.Error("small join scenario should be feasible")
+	}
+}
+
+func TestXlogNearlyFlat(t *testing.T) {
+	p := DefaultParams()
+	shape := Shape{Rules: 3, Attrs: 2}
+	t10 := p.Xlog(shape, 10)
+	t5000 := p.Xlog(shape, 5000)
+	if t5000 <= t10 {
+		t.Error("Xlog should grow slightly with size")
+	}
+	if t5000 > t10*1.5 {
+		t.Errorf("Xlog should be nearly flat: %v vs %v", t10, t5000)
+	}
+}
+
+func TestIFlexBelowXlog(t *testing.T) {
+	p := DefaultParams()
+	shape := Shape{Rules: 3, Attrs: 2}
+	xlog := p.Xlog(shape, 250)
+	iflex, cleanup := p.IFlex(shape, 28, 16, 2.0, 0)
+	if cleanup != 0 {
+		t.Errorf("cleanup = %v", cleanup)
+	}
+	if iflex >= xlog {
+		t.Errorf("iFlex (%v) should be below Xlog (%v) — the paper's headline", iflex, xlog)
+	}
+	withCleanup, cl := p.IFlex(shape, 28, 16, 2.0, 1)
+	if cl != p.CleanupCost || withCleanup != iflex+cl {
+		t.Errorf("cleanup accounting wrong: %v, %v", withCleanup, cl)
+	}
+}
+
+func TestManualVsIFlexCrossover(t *testing.T) {
+	// At tiny sizes Manual can beat everything (Table 3: 10-tuple scenarios
+	// take ~1 minute manually); at larger sizes iFlex must win.
+	p := DefaultParams()
+	shape := Shape{Rules: 3, Attrs: 2}
+	manualSmall, _ := p.Manual(shape, 10, 0)
+	iflexSmall, _ := p.IFlex(shape, 4, 3, 0.5, 0)
+	if manualSmall > 5 || iflexSmall > 10 {
+		t.Errorf("small scenario costs implausible: manual=%v iflex=%v", manualSmall, iflexSmall)
+	}
+	manualLarge, ok := p.Manual(shape, 5000, 0)
+	iflexLarge, _ := p.IFlex(shape, 28, 16, 30, 0)
+	if ok && manualLarge < iflexLarge {
+		t.Errorf("Manual should lose at scale: manual=%v iflex=%v", manualLarge, iflexLarge)
+	}
+}

@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iflex/internal/compact"
+	"iflex/internal/text"
+)
+
+// annotateNode is the ψ operator of Section 4.3: it converts the set of
+// possible relations produced by a rule's plan fragment according to the
+// rule's annotations (exists, annotated attribute set).
+type annotateNode struct {
+	parent   Node
+	exists   bool
+	annotate []string // annotated column names
+	sig      string
+}
+
+func newAnnotateNode(parent Node, exists bool, annotated []string) *annotateNode {
+	ann := append([]string(nil), annotated...)
+	sort.Strings(ann)
+	return &annotateNode{
+		parent: parent, exists: exists, annotate: ann,
+		sig: fmt.Sprintf("annotate[exists=%t,attrs=%s](%s)", exists, strings.Join(ann, ","), parent.Signature()),
+	}
+}
+
+func (n *annotateNode) Signature() string { return n.sig }
+func (n *annotateNode) Columns() []string { return n.parent.Columns() }
+func (n *annotateNode) Children() []Node  { return []Node{n.parent} }
+
+func (n *annotateNode) eval(ctx *Context) (*compact.Table, error) {
+	in, err := Eval(ctx, n.parent)
+	if err != nil {
+		return nil, err
+	}
+	out := in
+	if len(n.annotate) > 0 {
+		out = cAnnotate(in, n.annotate, ctx.Env.Limits)
+	}
+	if n.exists {
+		// Existence annotation: every tuple becomes a maybe tuple.
+		marked := compact.NewTable(out.Cols...)
+		for _, tp := range out.Tuples {
+			nt := tp.Clone()
+			nt.Maybe = true
+			marked.Tuples = append(marked.Tuples, nt)
+		}
+		out = marked
+	} else if out == in {
+		out = in.Clone()
+	}
+	return out, nil
+}
+
+// cAnnotate implements attribute annotations directly over compact tables.
+// Following BAnnotate (Section 4.3), tuples are grouped by the values of
+// the non-annotated attributes; each group yields one output tuple whose
+// annotated cells union all the group's assignments (the full set of
+// values that can be associated with the key), and whose maybe flag is
+// cleared only when some non-maybe input tuple pins the key exactly.
+//
+// Grouping needs concrete key values. Key cells that are exact singletons
+// group precisely (the common case: the key is the input document). A key
+// cell with several possible values makes its tuple contribute to every
+// key it may take, as a maybe member — and when a key cell is too large to
+// enumerate, the tuple is passed through ungrouped as a maybe tuple, which
+// keeps the superset guarantee at the cost of precision.
+func cAnnotate(in *compact.Table, annotated []string, lim Limits) *compact.Table {
+	isAnn := map[int]bool{}
+	for _, a := range annotated {
+		isAnn[colIndex(in.Cols, a)] = true
+	}
+	var keyIdx, annIdx []int
+	for i := range in.Cols {
+		if isAnn[i] {
+			annIdx = append(annIdx, i)
+		} else {
+			keyIdx = append(keyIdx, i)
+		}
+	}
+
+	type group struct {
+		keySpans []text.Span
+		ann      [][]text.Assignment // per annotated column
+		sure     bool                // some non-maybe tuple pins this key exactly
+	}
+	groups := map[string]*group{}
+	var order []string
+	out := compact.NewTable(in.Cols...)
+
+	for _, tp := range in.Tuples {
+		// Enumerate the possible key valuations of this tuple.
+		keyVals := make([][]text.Span, len(keyIdx))
+		exactKey := true
+		tooBig := false
+		combos := 1
+		for i, ki := range keyIdx {
+			cell := tp.Cells[ki]
+			if cell.NumValues() > lim.MaxCellValues {
+				tooBig = true
+				break
+			}
+			var vs []text.Span
+			cell.Values(func(s text.Span) bool { vs = append(vs, s); return true })
+			keyVals[i] = vs
+			if len(vs) != 1 {
+				exactKey = false
+			}
+			combos *= len(vs)
+			if combos > lim.MaxValuations {
+				tooBig = true
+				break
+			}
+		}
+		if tooBig || combos == 0 {
+			// Conservative pass-through.
+			nt := tp.Clone()
+			nt.Maybe = true
+			out.Tuples = append(out.Tuples, nt)
+			continue
+		}
+		idx := make([]int, len(keyIdx))
+		for {
+			keySpans := make([]text.Span, len(keyIdx))
+			keyParts := make([]string, len(keyIdx))
+			for i, j := range idx {
+				keySpans[i] = keyVals[i][j]
+				keyParts[i] = keyVals[i][j].NormText()
+			}
+			key := strings.Join(keyParts, "␟")
+			g, ok := groups[key]
+			if !ok {
+				g = &group{keySpans: keySpans, ann: make([][]text.Assignment, len(annIdx))}
+				groups[key] = g
+				order = append(order, key)
+			}
+			for i, ai := range annIdx {
+				g.ann[i] = append(g.ann[i], tp.Cells[ai].Assigns...)
+			}
+			if exactKey && !tp.Maybe {
+				g.sure = true
+			}
+			k := len(idx) - 1
+			for k >= 0 {
+				idx[k]++
+				if idx[k] < len(keyVals[k]) {
+					break
+				}
+				idx[k] = 0
+				k--
+			}
+			if k < 0 {
+				break
+			}
+		}
+	}
+
+	for _, key := range order {
+		g := groups[key]
+		nt := compact.Tuple{Cells: make([]compact.Cell, len(in.Cols)), Maybe: !g.sure}
+		for i, ki := range keyIdx {
+			nt.Cells[ki] = compact.ExactCell(g.keySpans[i])
+		}
+		for i, ai := range annIdx {
+			nt.Cells[ai] = compact.Cell{Assigns: text.DedupAssignments(g.ann[i])}
+		}
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out
+}
+
+// BAnnotate is the a-table algorithm of Section 4.3 (Figure 5): given an
+// a-table and the set of annotated attribute names, it builds one index
+// per annotated attribute keyed by the non-annotated value tuples, and
+// emits one output a-tuple per key. Exposed for tests and as the reference
+// implementation that cAnnotate is checked against.
+func BAnnotate(in *compact.ATable, annotated []string) *compact.ATable {
+	isAnn := map[int]bool{}
+	for _, a := range annotated {
+		for i, c := range in.Cols {
+			if c == a {
+				isAnn[i] = true
+			}
+		}
+	}
+	var keyIdx, annIdx []int
+	for i := range in.Cols {
+		if isAnn[i] {
+			annIdx = append(annIdx, i)
+		} else {
+			keyIdx = append(keyIdx, i)
+		}
+	}
+	type entry struct {
+		keySpans []text.Span
+		values   []map[string]text.Span // per annotated col: value text -> span
+		sure     bool
+	}
+	index := map[string]*entry{}
+	var order []string
+
+	var rec func(t compact.ATuple, i int, keySpans []text.Span, keyParts []string, single bool)
+	rec = func(t compact.ATuple, i int, keySpans []text.Span, keyParts []string, single bool) {
+		if i == len(keyIdx) {
+			key := strings.Join(keyParts, "␟")
+			e, ok := index[key]
+			if !ok {
+				e = &entry{keySpans: append([]text.Span(nil), keySpans...), values: make([]map[string]text.Span, len(annIdx))}
+				for j := range e.values {
+					e.values[j] = map[string]text.Span{}
+				}
+				index[key] = e
+				order = append(order, key)
+			}
+			for j, ai := range annIdx {
+				for _, v := range t.Cells[ai] {
+					if _, ok := e.values[j][v.NormText()]; !ok {
+						e.values[j][v.NormText()] = v
+					}
+				}
+			}
+			if single && !t.Maybe {
+				e.sure = true
+			}
+			return
+		}
+		cell := t.Cells[keyIdx[i]]
+		for _, v := range cell {
+			rec(t, i+1, append(keySpans, v), append(keyParts, v.NormText()), single && len(cell) == 1)
+		}
+	}
+	for _, t := range in.Tuples {
+		rec(t, 0, nil, nil, true)
+	}
+
+	out := compact.NewATable(in.Cols...)
+	for _, key := range order {
+		e := index[key]
+		t := compact.ATuple{Cells: make([]compact.ACell, len(in.Cols)), Maybe: !e.sure}
+		for i, ki := range keyIdx {
+			t.Cells[ki] = compact.ACell{e.keySpans[i]}
+		}
+		for j, ai := range annIdx {
+			texts := make([]string, 0, len(e.values[j]))
+			for txt := range e.values[j] {
+				texts = append(texts, txt)
+			}
+			sort.Strings(texts)
+			var vals compact.ACell
+			for _, txt := range texts {
+				vals = append(vals, e.values[j][txt])
+			}
+			t.Cells[ai] = vals
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out
+}

@@ -1,0 +1,358 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+
+	"iflex/internal/alog"
+	"iflex/internal/compact"
+	"iflex/internal/feature"
+)
+
+// Plan is a compiled Alog program: a tree of operators rooted at the query
+// predicate's plan, built exactly as Section 4 describes — description
+// rules unfolded, one fragment per rule with a ψ annotation operator at
+// its root, fragments stitched together.
+type Plan struct {
+	Root    Node
+	Program *alog.Program // the unfolded program the plan was built from
+}
+
+// Columns returns the result column names (the query head variables).
+func (p *Plan) Columns() []string { return p.Root.Columns() }
+
+// Execute evaluates the plan in the given context.
+func (p *Plan) Execute(ctx *Context) (*compact.Table, error) {
+	return Eval(ctx, p.Root)
+}
+
+// Compile validates, unfolds, and compiles an Alog program against an
+// environment.
+func Compile(prog *alog.Program, env *Env) (*Plan, error) {
+	schema := env.Schema()
+	if err := alog.Validate(prog, schema); err != nil {
+		return nil, err
+	}
+	unfolded, err := alog.Unfold(prog, schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := alog.Validate(unfolded, schema); err != nil {
+		return nil, fmt.Errorf("after unfolding: %w", err)
+	}
+	c := &compiler{
+		prog:     unfolded,
+		schema:   schema,
+		env:      env,
+		memo:     map[string]Node{},
+		visiting: map[string]bool{},
+	}
+	root, err := c.pred(unfolded.Query)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Root: root, Program: unfolded}, nil
+}
+
+// Run compiles and executes a program in a fresh context; the convenience
+// entry point for one-shot evaluation.
+func Run(prog *alog.Program, env *Env) (*compact.Table, error) {
+	plan, err := Compile(prog, env)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Execute(NewContext(env))
+}
+
+type compiler struct {
+	prog     *alog.Program
+	schema   *alog.Schema
+	env      *Env
+	memo     map[string]Node
+	visiting map[string]bool
+	fresh    int
+}
+
+func (c *compiler) freshCol() string {
+	c.fresh++
+	return "·tmp" + strconv.Itoa(c.fresh)
+}
+
+// pred compiles the plan for an intensional predicate: the union of its
+// rule fragments.
+func (c *compiler) pred(name string) (Node, error) {
+	if n, ok := c.memo[name]; ok {
+		return n, nil
+	}
+	if c.visiting[name] {
+		return nil, fmt.Errorf("engine: recursive predicate %q (Xlog does not allow recursion)", name)
+	}
+	c.visiting[name] = true
+	defer delete(c.visiting, name)
+
+	rules := c.prog.RulesFor(name)
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("engine: no rules for predicate %q", name)
+	}
+	var parts []Node
+	for _, r := range rules {
+		n, err := c.rule(r)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, n)
+	}
+	var out Node
+	if len(parts) == 1 {
+		out = parts[0]
+	} else {
+		first := parts[0].Columns()
+		for _, p := range parts[1:] {
+			if len(p.Columns()) != len(first) {
+				return nil, fmt.Errorf("engine: rules for %q disagree on arity", name)
+			}
+		}
+		out = newUnionNode(parts)
+	}
+	c.memo[name] = out
+	return out, nil
+}
+
+// rule compiles one rule: ordered body -> projection to the head -> ψ.
+func (c *compiler) rule(r *alog.Rule) (Node, error) {
+	ordered, err := alog.OrderBody(c.prog, c.schema, r, nil)
+	if err != nil {
+		return nil, err
+	}
+	var cur Node
+	applied := map[string][]feature.Constraint{} // per-attribute constraints seen so far
+	for _, lit := range ordered {
+		cur, err = c.literal(cur, lit, applied)
+		if err != nil {
+			return nil, fmt.Errorf("engine: rule %q: %w", r.Head.Pred, err)
+		}
+	}
+	if cur == nil {
+		return nil, fmt.Errorf("engine: rule %q has an empty plan", r.Head.Pred)
+	}
+	// Project to the head. Head arguments must be distinct variables.
+	var src, out []string
+	seen := map[string]bool{}
+	for _, t := range r.Head.Args {
+		if t.Kind != alog.TermVar {
+			return nil, fmt.Errorf("engine: rule %q: non-variable head argument %s is not supported", r.Head.Pred, t)
+		}
+		if seen[t.Var] {
+			return nil, fmt.Errorf("engine: rule %q: repeated head variable %q is not supported", r.Head.Pred, t.Var)
+		}
+		seen[t.Var] = true
+		src = append(src, t.Var)
+		out = append(out, t.Var)
+	}
+	var n Node = newProjectNode(cur, src, out)
+	if r.Exists || len(r.AnnAttrs) > 0 {
+		n = newAnnotateNode(n, r.Exists, r.AnnAttrs)
+	}
+	return n, nil
+}
+
+// literal extends the current plan with one body literal.
+func (c *compiler) literal(cur Node, lit alog.Literal, applied map[string][]feature.Constraint) (Node, error) {
+	switch lit.Kind {
+	case alog.LitCompare:
+		if cur == nil {
+			return nil, fmt.Errorf("comparison %q cannot start a rule body", lit.Cmp)
+		}
+		return newCompareNode(cur, lit.Cmp), nil
+
+	case alog.LitConstraint:
+		if cur == nil {
+			return nil, fmt.Errorf("constraint %q cannot start a rule body", lit.Cons)
+		}
+		if _, err := c.env.Features.Lookup(alog.CanonFeature(lit.Cons.Feature)); err != nil {
+			return nil, err
+		}
+		cons := feature.Constraint{
+			Feature: alog.CanonFeature(lit.Cons.Feature),
+			Attr:    lit.Cons.Attr,
+			Value:   lit.Cons.Value,
+		}
+		prior := applied[cons.Attr]
+		applied[cons.Attr] = append(applied[cons.Attr], cons)
+		return newConstraintNode(cur, cons, prior), nil
+
+	default:
+		return c.atom(cur, lit.Atom, applied)
+	}
+}
+
+// atom extends the plan with a predicate atom.
+func (c *compiler) atom(cur Node, a alog.Atom, applied map[string][]feature.Constraint) (Node, error) {
+	switch alog.Classify(c.prog, c.schema, a.Pred) {
+	case alog.ClassFrom:
+		if len(a.Args) != 2 || a.Args[0].Kind != alog.TermVar || a.Args[1].Kind != alog.TermVar {
+			return nil, fmt.Errorf("from expects two variable arguments, got %s", a)
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("from(%s, %s) cannot start a rule body", a.Args[0], a.Args[1])
+		}
+		if containsStr(cur.Columns(), a.Args[1].Var) {
+			return nil, fmt.Errorf("from output variable %q is already bound", a.Args[1].Var)
+		}
+		return newFromNode(cur, a.Args[0].Var, a.Args[1].Var), nil
+
+	case alog.ClassExtensional:
+		n, err := c.adaptColumns(newScanNode(a.Pred, nil), a, true)
+		if err != nil {
+			return nil, err
+		}
+		return c.combine(cur, n), nil
+
+	case alog.ClassIntensional:
+		sub, err := c.pred(a.Pred)
+		if err != nil {
+			return nil, err
+		}
+		n, err := c.adaptColumns(sub, a, false)
+		if err != nil {
+			return nil, err
+		}
+		return c.combine(cur, n), nil
+
+	case alog.ClassFunction:
+		if cur == nil {
+			return nil, fmt.Errorf("p-function %q cannot start a rule body", a.Pred)
+		}
+		if fused := c.tryFuseSimJoin(cur, a); fused != nil {
+			return fused, nil
+		}
+		return newFuncNode(cur, a.Pred, a.Args), nil
+
+	case alog.ClassProcedure:
+		if cur == nil {
+			return nil, fmt.Errorf("procedure %q cannot start a rule body", a.Pred)
+		}
+		if len(a.Args) < 1 || a.Args[0].Kind != alog.TermVar {
+			return nil, fmt.Errorf("procedure %s needs a variable input as its first argument", a.Pred)
+		}
+		var outs []string
+		for _, t := range a.Args[1:] {
+			if t.Kind != alog.TermVar {
+				return nil, fmt.Errorf("procedure %s: constant output arguments are not supported", a.Pred)
+			}
+			if containsStr(cur.Columns(), t.Var) {
+				return nil, fmt.Errorf("procedure %s: output variable %q is already bound", a.Pred, t.Var)
+			}
+			outs = append(outs, t.Var)
+		}
+		return newProcNode(cur, a.Pred, a.Args[0].Var, outs), nil
+
+	case alog.ClassIE:
+		return nil, fmt.Errorf("IE predicate %q was not unfolded (missing description rule input?)", a.Pred)
+
+	default:
+		if sc, ok := alog.SugarConstraint(a); ok {
+			return c.literal(cur, alog.Literal{Kind: alog.LitConstraint, Cons: alog.Constraint(sc)}, applied)
+		}
+		return nil, fmt.Errorf("unknown predicate %q", a.Pred)
+	}
+}
+
+// adaptColumns renames a sub-plan's positional outputs to the calling
+// atom's variable names and filters on constant arguments. For scans
+// (fillScan), the scan node itself is rebuilt with the target column
+// names.
+func (c *compiler) adaptColumns(sub Node, a alog.Atom, fillScan bool) (Node, error) {
+	names := make([]string, len(a.Args))
+	type constFilter struct {
+		col  string
+		term alog.Term
+	}
+	var filters []constFilter
+	seen := map[string]bool{}
+	synthetic := map[string]bool{}
+	var dups []alog.Compare
+	for i, t := range a.Args {
+		switch t.Kind {
+		case alog.TermVar:
+			if seen[t.Var] {
+				// Repeated variable: bind a fresh column and add an
+				// equality filter.
+				fresh := c.freshCol()
+				names[i] = fresh
+				synthetic[fresh] = true
+				dups = append(dups, alog.Compare{Op: alog.OpEQ, L: alog.Variable(t.Var), R: alog.Variable(fresh)})
+			} else {
+				seen[t.Var] = true
+				names[i] = t.Var
+			}
+		default:
+			fresh := c.freshCol()
+			names[i] = fresh
+			synthetic[fresh] = true
+			filters = append(filters, constFilter{col: fresh, term: t})
+		}
+	}
+
+	var n Node
+	if fillScan {
+		n = newScanNode(a.Pred, names)
+	} else {
+		if len(sub.Columns()) != len(names) {
+			return nil, fmt.Errorf("predicate %q used with arity %d but defined with arity %d",
+				a.Pred, len(names), len(sub.Columns()))
+		}
+		n = newProjectNode(sub, sub.Columns(), names)
+	}
+	for _, f := range filters {
+		n = newCompareNode(n, alog.Compare{Op: alog.OpEQ, L: alog.Variable(f.col), R: f.term})
+	}
+	for _, d := range dups {
+		n = newCompareNode(n, d)
+	}
+	// Project away the synthetic columns.
+	if len(synthetic) > 0 {
+		var keep []string
+		for _, col := range names {
+			if !synthetic[col] {
+				keep = append(keep, col)
+			}
+		}
+		n = newProjectNode(n, keep, keep)
+	}
+	return n, nil
+}
+
+// tryFuseSimJoin rewrites pfunc[sim](cross(L, R)) into the token-blocked
+// simjoin(L, R) when the function is a blockable similarity predicate with
+// one variable on each side of a shared-column-free cross product.
+func (c *compiler) tryFuseSimJoin(cur Node, a alog.Atom) Node {
+	if !c.env.Blockable[a.Pred] || len(a.Args) != 2 {
+		return nil
+	}
+	cross, ok := cur.(*crossNode)
+	if !ok || len(cross.shared) > 0 {
+		return nil
+	}
+	v1, v2 := a.Args[0], a.Args[1]
+	if v1.Kind != alog.TermVar || v2.Kind != alog.TermVar {
+		return nil
+	}
+	lcols, rcols := cross.left.Columns(), cross.right.Columns()
+	switch {
+	case containsStr(lcols, v1.Var) && containsStr(rcols, v2.Var):
+		return newSimJoinNode(cross.left, cross.right, a.Pred, v1.Var, v2.Var)
+	case containsStr(lcols, v2.Var) && containsStr(rcols, v1.Var):
+		return newSimJoinNode(cross.left, cross.right, a.Pred, v2.Var, v1.Var)
+	}
+	return nil
+}
+
+// combine crosses the new node with the current plan (natural join on
+// shared columns).
+func (c *compiler) combine(cur, n Node) Node {
+	if cur == nil {
+		return n
+	}
+	return newCrossNode(cur, n)
+}

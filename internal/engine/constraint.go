@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"fmt"
+
+	"iflex/internal/compact"
+	"iflex/internal/feature"
+	"iflex/internal/text"
+)
+
+// constraintNode applies a domain constraint f(attr) = v to the attr
+// column, using the feature's Verify/Refine procedures (Section 4.2):
+//
+//	exact(s)   -> kept iff Verify(s, f, v)
+//	contain(s) -> Refine(s, f, v): assignments over the maximal verifying
+//	              sub-spans
+//
+// Spans produced by Refine are then re-checked against every constraint
+// previously applied to the same attribute (prior), because refining with
+// a later constraint can produce sub-spans that violate an earlier one.
+type constraintNode struct {
+	parent Node
+	cons   feature.Constraint
+	prior  []feature.Constraint
+	sig    string
+}
+
+func newConstraintNode(parent Node, cons feature.Constraint, prior []feature.Constraint) *constraintNode {
+	return &constraintNode{
+		parent: parent, cons: cons, prior: append([]feature.Constraint(nil), prior...),
+		sig: fmt.Sprintf("constrain[%s](%s)", cons, parent.Signature()),
+	}
+}
+
+func (n *constraintNode) Signature() string { return n.sig }
+func (n *constraintNode) Columns() []string { return n.parent.Columns() }
+func (n *constraintNode) Children() []Node  { return []Node{n.parent} }
+
+func (n *constraintNode) eval(ctx *Context) (*compact.Table, error) {
+	in, err := Eval(ctx, n.parent)
+	if err != nil {
+		return nil, err
+	}
+	ci := colIndex(in.Cols, n.cons.Attr)
+	all := append(append([]feature.Constraint(nil), n.prior...), n.cons)
+	out := compact.NewTable(in.Cols...)
+	for _, tp := range in.Tuples {
+		cell, err := refineCell(ctx, tp.Cells[ci], n.cons, all)
+		if err != nil {
+			return nil, err
+		}
+		if len(cell.Assigns) == 0 {
+			// No possible value for the attribute survives: the tuple is
+			// certainly gone (both for expansion cells — all expanded
+			// tuples fail — and plain cells — no valuation exists).
+			continue
+		}
+		nt := tp.Clone()
+		nt.Cells[ci] = cell
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out, nil
+}
+
+// refineCell computes c' = ∪ A(k, m_i(s_i)) for the new constraint k, then
+// iterates the full constraint set to a fixpoint (bounded) so that every
+// exact span satisfies all constraints and every contain span is the
+// result of refining under all of them.
+func refineCell(ctx *Context, c compact.Cell, k feature.Constraint, all []feature.Constraint) (compact.Cell, error) {
+	as, err := applyConstraint(ctx, k, c.Assigns)
+	if err != nil {
+		return compact.Cell{}, err
+	}
+	const maxRounds = 3
+	for round := 0; round < maxRounds; round++ {
+		before := text.FormatAssignments(as)
+		for _, kc := range all {
+			as, err = applyConstraint(ctx, kc, as)
+			if err != nil {
+				return compact.Cell{}, err
+			}
+		}
+		if text.FormatAssignments(as) == before {
+			break
+		}
+	}
+	return compact.Cell{Assigns: text.DedupAssignments(as), Expand: c.Expand}, nil
+}
+
+// applyConstraint applies one constraint to a list of assignments:
+// Verify for exact assignments, Refine for contain assignments.
+func applyConstraint(ctx *Context, k feature.Constraint, as []text.Assignment) ([]text.Assignment, error) {
+	f, err := ctx.Env.Features.Lookup(k.Feature)
+	if err != nil {
+		return nil, err
+	}
+	var out []text.Assignment
+	for _, a := range as {
+		if a.Mode == text.Exact {
+			ctx.Stats.VerifyCalls++
+			ok, err := f.Verify(a.Span, k.Value)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, a)
+			}
+			continue
+		}
+		ctx.Stats.RefineCalls++
+		refined, err := f.Refine(a.Span, k.Value)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, refined...)
+	}
+	return out, nil
+}

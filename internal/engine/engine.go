@@ -1,0 +1,259 @@
+// Package engine implements iFlex's approximate query processor
+// (Section 4): it compiles an Alog program into a plan over compact
+// tables and evaluates it with superset semantics — the computed set of
+// possible relations always includes every relation the program defines.
+//
+// Plans are trees of materialising operators; every node carries a
+// canonical signature, and evaluation memoises node results in the
+// Context's cache. That cache is the paper's *reuse* optimisation
+// (Section 5.2): refining a program changes signatures only above the
+// touched operator, so unchanged subtrees are reused verbatim across
+// iterations. *Subset evaluation* is the Context's DocFilter: scans drop
+// documents outside the sampled subset.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"iflex/internal/alog"
+	"iflex/internal/compact"
+	"iflex/internal/feature"
+	"iflex/internal/similarity"
+	"iflex/internal/text"
+)
+
+// Limits bound the work done per compact tuple when enumerating possible
+// values; beyond them operators fall back to conservative (superset-safe)
+// behaviour: keep the tuple, mark it maybe, skip precise filtering.
+type Limits struct {
+	// MaxCellValues caps value enumeration per cell.
+	MaxCellValues int
+	// MaxValuations caps the number of value combinations per tuple.
+	MaxValuations int
+}
+
+// DefaultLimits balance precision against work: cells pinned by a few
+// constraints enumerate fully, while unconstrained whole-document cells
+// fall back to the conservative keep-as-maybe path instead of enumerating
+// quadratically many sub-span valuations.
+func DefaultLimits() Limits {
+	return Limits{MaxCellValues: 512, MaxValuations: 1024}
+}
+
+// Func is a boolean p-function (e.g. approxMatch, similar): it receives
+// one concrete value span per argument.
+type Func func(args []text.Span) (bool, error)
+
+// Procedure is a procedural p-predicate ("cleanup procedure",
+// Section 2.2.4). Its first rule argument is the input span; Outputs is
+// the number of remaining (output) arguments; Fn maps an input value to
+// the set of output tuples.
+type Procedure struct {
+	Outputs int
+	Fn      func(input text.Span) ([][]text.Span, error)
+}
+
+// Env binds a program to its runtime: extensional tables, p-functions,
+// procedures, and the feature registry.
+type Env struct {
+	Tables   map[string]*compact.Table
+	Funcs    map[string]Func
+	Procs    map[string]Procedure
+	Features *feature.Registry
+	Limits   Limits
+	// Blockable names p-functions that guarantee matching values share at
+	// least one token, enabling the fused token-blocked similarity join.
+	Blockable map[string]bool
+	// TokenSimilar optionally provides a token-slice implementation of a
+	// blockable p-function; the fused join uses it to compare pinned
+	// (single-value) cells without re-tokenising every pair.
+	TokenSimilar map[string]func(a, b []string) bool
+}
+
+// NewEnv returns an Env with the built-in feature registry, default
+// limits, and the default p-functions similar and approxMatch.
+func NewEnv() *Env {
+	e := &Env{
+		Tables:   map[string]*compact.Table{},
+		Funcs:    map[string]Func{},
+		Procs:    map[string]Procedure{},
+		Features: feature.NewRegistry(),
+		Limits:   DefaultLimits(),
+	}
+	sim := func(args []text.Span) (bool, error) {
+		if len(args) != 2 {
+			return false, fmt.Errorf("engine: similar expects 2 arguments, got %d", len(args))
+		}
+		return similarity.Similar(args[0].NormText(), args[1].NormText()), nil
+	}
+	e.Funcs["similar"] = sim
+	e.Funcs["approxMatch"] = sim
+	e.Blockable = map[string]bool{"similar": true, "approxMatch": true}
+	e.TokenSimilar = map[string]func(a, b []string) bool{
+		"similar":     similarity.SimilarTokens,
+		"approxMatch": similarity.SimilarTokens,
+	}
+	return e
+}
+
+// AddDocTable registers an extensional single-column table of documents
+// under the given predicate name, one tuple per document (e.g.
+// housePages(x)). Cells hold exact(whole-document) assignments, per the
+// conversion rule of Section 4.
+func (e *Env) AddDocTable(pred, col string, docs []*text.Document) {
+	t := compact.NewTable(col)
+	for _, d := range docs {
+		t.Append(compact.Tuple{Cells: []compact.Cell{compact.ExactCell(d.WholeSpan())}})
+	}
+	e.Tables[pred] = t
+}
+
+// Schema derives the alog.Schema view of this environment.
+func (e *Env) Schema() *alog.Schema {
+	s := &alog.Schema{
+		Extensional: map[string][]string{},
+		Functions:   map[string]bool{},
+		Procedures:  map[string]bool{},
+	}
+	for name, t := range e.Tables {
+		s.Extensional[name] = t.Cols
+	}
+	for name := range e.Funcs {
+		s.Functions[name] = true
+	}
+	for name := range e.Procs {
+		s.Procedures[name] = true
+	}
+	return s
+}
+
+// Context carries per-execution state: the environment, the reuse cache,
+// and the optional document subset.
+type Context struct {
+	Env *Env
+	// Cache memoises node results by signature; share one Context across
+	// iterations to get the paper's reuse behaviour.
+	Cache map[string]*compact.Table
+	// DocFilter, when non-nil, restricts scans to documents whose ID it
+	// maps to true (subset evaluation, Section 5.2).
+	DocFilter map[string]bool
+	// Stats accumulates evaluation counters.
+	Stats Stats
+	// blockIdx caches similarity-join blocking indexes per (subset, node,
+	// variable); trial executions during question simulation share the
+	// unchanged side's index instead of re-tokenising it.
+	blockIdx map[string]*blockIndex
+}
+
+// Stats counts evaluation work, exposed for the experiments and benches.
+type Stats struct {
+	NodesEvaluated int
+	CacheHits      int
+	TuplesBuilt    int
+	ProcCalls      int
+	FuncCalls      int
+	VerifyCalls    int
+	RefineCalls    int
+}
+
+// NewContext returns a fresh context with an empty reuse cache.
+func NewContext(env *Env) *Context {
+	return &Context{
+		Env:      env,
+		Cache:    map[string]*compact.Table{},
+		blockIdx: map[string]*blockIndex{},
+	}
+}
+
+// cacheKey augments a node signature with the subset marker so subset and
+// full evaluations never alias.
+func (ctx *Context) cacheKey(sig string) string {
+	if ctx.DocFilter == nil {
+		return "full|" + sig
+	}
+	ids := make([]string, 0, len(ctx.DocFilter))
+	for id, ok := range ctx.DocFilter {
+		if ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	key := "subset"
+	for _, id := range ids {
+		key += ":" + id
+	}
+	return key + "|" + sig
+}
+
+// Node is one operator of a compiled plan. Nodes are immutable after
+// construction; evaluation is memoised through the context cache.
+type Node interface {
+	// Signature is a canonical rendering of the subtree, the reuse key.
+	Signature() string
+	// Columns names the variables bound by this node's output table.
+	Columns() []string
+	// Children returns the node's input operators.
+	Children() []Node
+	// eval computes the node's output table (uncached).
+	eval(ctx *Context) (*compact.Table, error)
+}
+
+// SumAssignments evaluates every node of the plan (through the cache) and
+// totals the assignments across all intermediate and final tables — the
+// "number of assignments produced by the extraction process" that the
+// convergence monitor tracks alongside the result size (Section 5.1).
+func SumAssignments(ctx *Context, root Node) (int, error) {
+	total := 0
+	seen := map[string]bool{}
+	var walk func(n Node) error
+	walk = func(n Node) error {
+		if seen[n.Signature()] {
+			return nil
+		}
+		seen[n.Signature()] = true
+		for _, c := range n.Children() {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		t, err := Eval(ctx, n)
+		if err != nil {
+			return err
+		}
+		total += t.NumAssignments()
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// Eval evaluates a node through the context's reuse cache.
+func Eval(ctx *Context, n Node) (*compact.Table, error) {
+	key := ctx.cacheKey(n.Signature())
+	if t, ok := ctx.Cache[key]; ok {
+		ctx.Stats.CacheHits++
+		return t, nil
+	}
+	ctx.Stats.NodesEvaluated++
+	t, err := n.eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Stats.TuplesBuilt += len(t.Tuples)
+	ctx.Cache[key] = t
+	return t, nil
+}
+
+// colIndex locates a column by name or panics; internal nodes are built by
+// the compiler, which guarantees the column exists.
+func colIndex(cols []string, name string) int {
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("engine: internal error: column %q missing from %v", name, cols))
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// opName returns a short operator label for plan rendering, mirroring the
+// operator vocabulary of Figure 4 (σ for selections, × for joins, ψ for
+// the annotation operator).
+func opName(n Node) string {
+	switch t := n.(type) {
+	case *scanNode:
+		return fmt.Sprintf("scan %s", t.pred)
+	case *fromNode:
+		return fmt.Sprintf("from(%s → %s)", t.inVar, t.outVar)
+	case *constraintNode:
+		return fmt.Sprintf("σ[%s]", t.cons)
+	case *compareNode:
+		return fmt.Sprintf("σ[%s]", t.cmp)
+	case *funcNode:
+		return fmt.Sprintf("σ[%s(...)]", t.fname)
+	case *crossNode:
+		if len(t.shared) > 0 {
+			return fmt.Sprintf("⋈[%s]", strings.Join(t.shared, ","))
+		}
+		return "×"
+	case *simJoinNode:
+		return fmt.Sprintf("⋈~[%s(%s,%s)]", t.fname, t.leftVar, t.rightVar)
+	case *unionNode:
+		return "∪"
+	case *projectNode:
+		return fmt.Sprintf("π[%s]", strings.Join(t.outCols, ","))
+	case *annotateNode:
+		parts := []string{}
+		if t.exists {
+			parts = append(parts, "?")
+		}
+		for _, a := range t.annotate {
+			parts = append(parts, "<"+a+">")
+		}
+		return fmt.Sprintf("ψ[%s]", strings.Join(parts, " "))
+	case *procNode:
+		return fmt.Sprintf("proc %s", t.pname)
+	default:
+		return n.Signature()
+	}
+}
+
+// PlanString renders the plan tree with indentation, one operator per
+// line — the textual equivalent of the paper's Figure 4.c execution plan.
+func PlanString(root Node) string {
+	var b strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		fmt.Fprintf(&b, "%s%s  (%s)\n", strings.Repeat("  ", depth), opName(n), strings.Join(n.Columns(), ","))
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
+}
+
+// String renders the whole plan (see PlanString).
+func (p *Plan) String() string { return PlanString(p.Root) }
+
+// CountNodes returns how many operators the plan tree contains (shared
+// subtrees counted once per occurrence).
+func CountNodes(root Node) int {
+	n := 1
+	for _, c := range root.Children() {
+		n += CountNodes(c)
+	}
+	return n
+}
+
+// AnalyzeString renders the plan with per-operator result sizes (tuples,
+// expanded tuples, assignments) — an EXPLAIN ANALYZE for approximate
+// plans. Nodes are evaluated through the context cache, so calling this
+// after Execute costs no recomputation.
+func AnalyzeString(ctx *Context, root Node) (string, error) {
+	var b strings.Builder
+	var walk func(n Node, depth int) error
+	walk = func(n Node, depth int) error {
+		t, err := Eval(ctx, n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "%s%-40s %6d tuples %8d expanded %8d assigns\n",
+			strings.Repeat("  ", depth), opName(n), len(t.Tuples),
+			t.NumExpandedTuples(), t.NumAssignments())
+		for _, c := range n.Children() {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, 0); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

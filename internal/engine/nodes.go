@@ -1,0 +1,309 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"iflex/internal/compact"
+	"iflex/internal/text"
+)
+
+// scanNode reads an extensional table, renaming its columns to the rule's
+// variable names, and applies the context's document subset filter.
+type scanNode struct {
+	pred string
+	cols []string
+}
+
+func newScanNode(pred string, vars []string) *scanNode {
+	return &scanNode{pred: pred, cols: vars}
+}
+
+func (n *scanNode) Signature() string {
+	return fmt.Sprintf("scan(%s->%s)", n.pred, strings.Join(n.cols, ","))
+}
+
+func (n *scanNode) Columns() []string { return n.cols }
+func (n *scanNode) Children() []Node  { return nil }
+
+func (n *scanNode) eval(ctx *Context) (*compact.Table, error) {
+	src, ok := ctx.Env.Tables[n.pred]
+	if !ok {
+		return nil, fmt.Errorf("engine: extensional table %q not bound", n.pred)
+	}
+	if len(src.Cols) != len(n.cols) {
+		return nil, fmt.Errorf("engine: %s has %d columns, rule uses %d", n.pred, len(src.Cols), len(n.cols))
+	}
+	out := compact.NewTable(n.cols...)
+	for _, tp := range src.Tuples {
+		if ctx.DocFilter != nil && !tupleInSubset(tp, ctx.DocFilter) {
+			continue
+		}
+		out.Tuples = append(out.Tuples, tp.Clone())
+	}
+	return out, nil
+}
+
+// tupleInSubset reports whether every cell of the tuple belongs to a
+// document in the subset.
+func tupleInSubset(tp compact.Tuple, filter map[string]bool) bool {
+	for _, c := range tp.Cells {
+		for _, a := range c.Assigns {
+			if !filter[a.Span.Doc().ID()] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fromNode implements the built-in from(x, s): for each tuple it appends a
+// column s holding an expansion cell expand({contain(s1), ...,
+// contain(sn)}) over the input cell's assignments (Section 4.2).
+type fromNode struct {
+	parent Node
+	inVar  string
+	outVar string
+	sig    string
+}
+
+func newFromNode(parent Node, inVar, outVar string) *fromNode {
+	return &fromNode{
+		parent: parent, inVar: inVar, outVar: outVar,
+		sig: fmt.Sprintf("from[%s->%s](%s)", inVar, outVar, parent.Signature()),
+	}
+}
+
+func (n *fromNode) Signature() string { return n.sig }
+func (n *fromNode) Children() []Node  { return []Node{n.parent} }
+
+func (n *fromNode) Columns() []string {
+	return append(append([]string(nil), n.parent.Columns()...), n.outVar)
+}
+
+func (n *fromNode) eval(ctx *Context) (*compact.Table, error) {
+	in, err := Eval(ctx, n.parent)
+	if err != nil {
+		return nil, err
+	}
+	idx := colIndex(in.Cols, n.inVar)
+	out := compact.NewTable(n.Columns()...)
+	for _, tp := range in.Tuples {
+		nt := tp.Clone()
+		var as []text.Assignment
+		for _, a := range tp.Cells[idx].Assigns {
+			// contain(s) for every possible value region of the input cell;
+			// exact(s) inputs become contain(s) over that one span.
+			as = append(as, text.ContainOf(a.Span))
+		}
+		nt.Cells = append(nt.Cells, compact.Cell{Assigns: as, Expand: true})
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out, nil
+}
+
+// crossNode is the θ-join substrate: the Cartesian product of two inputs
+// (conditions are applied by later selection nodes, Section 4.1). Columns
+// shared by both sides are matched with a may-equal test and projected
+// once (natural-join behaviour).
+type crossNode struct {
+	left, right Node
+	shared      []string
+	cols        []string
+	sig         string
+}
+
+func newCrossNode(left, right Node) *crossNode {
+	leftCols := left.Columns()
+	rightCols := right.Columns()
+	n := &crossNode{left: left, right: right}
+	n.cols = append(n.cols, leftCols...)
+	seen := map[string]bool{}
+	for _, c := range leftCols {
+		seen[c] = true
+	}
+	for _, c := range rightCols {
+		if seen[c] {
+			n.shared = append(n.shared, c)
+		} else {
+			n.cols = append(n.cols, c)
+		}
+	}
+	n.sig = fmt.Sprintf("cross(%s)(%s)", left.Signature(), right.Signature())
+	return n
+}
+
+func (n *crossNode) Signature() string { return n.sig }
+func (n *crossNode) Columns() []string { return n.cols }
+func (n *crossNode) Children() []Node  { return []Node{n.left, n.right} }
+
+func (n *crossNode) eval(ctx *Context) (*compact.Table, error) {
+	lt, err := Eval(ctx, n.left)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := Eval(ctx, n.right)
+	if err != nil {
+		return nil, err
+	}
+	out := compact.NewTable(n.cols...)
+	lim := ctx.Env.Limits
+	for _, ltp := range lt.Tuples {
+		for _, rtp := range rt.Tuples {
+			keep := true
+			sure := true
+			for _, sc := range n.shared {
+				lc := ltp.Cells[colIndex(lt.Cols, sc)]
+				rc := rtp.Cells[colIndex(rt.Cols, sc)]
+				eq := cellsMayEqual(lc, rc, lim)
+				if eq == noValuation {
+					keep = false
+					break
+				}
+				if eq != allValuations {
+					sure = false
+				}
+			}
+			if !keep {
+				continue
+			}
+			nt := ltp.Clone()
+			for i, c := range rt.Cols {
+				if !containsStr(n.shared, c) {
+					nt.Cells = append(nt.Cells, rtp.Cells[i].Clone())
+				}
+			}
+			nt.Maybe = ltp.Maybe || rtp.Maybe || !sure
+			out.Tuples = append(out.Tuples, nt)
+		}
+	}
+	return out, nil
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// satisfaction classifies how many valuations of a tuple satisfy a
+// predicate: none, some, or all (possibly conservative).
+type satisfaction int
+
+const (
+	noValuation satisfaction = iota
+	someValuations
+	allValuations
+)
+
+// cellsMayEqual tests value-set overlap of two cells with superset
+// semantics: noValuation if the sets certainly do not intersect,
+// allValuations if both are the same single value, someValuations
+// otherwise (including when enumeration is capped).
+func cellsMayEqual(a, b compact.Cell, lim Limits) satisfaction {
+	av, aok := a.Singleton()
+	bv, bok := b.Singleton()
+	if aok && bok {
+		if av.NormText() == bv.NormText() {
+			return allValuations
+		}
+		return noValuation
+	}
+	if a.NumValues() > lim.MaxCellValues || b.NumValues() > lim.MaxCellValues {
+		return someValuations // conservative
+	}
+	texts := map[string]bool{}
+	a.Values(func(s text.Span) bool {
+		texts[s.NormText()] = true
+		return true
+	})
+	found := false
+	b.Values(func(s text.Span) bool {
+		if texts[s.NormText()] {
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		return someValuations
+	}
+	return noValuation
+}
+
+// unionNode concatenates the tuples of several same-schema inputs (an IE
+// predicate with several rules has union semantics).
+type unionNode struct {
+	parts []Node
+	sig   string
+}
+
+func newUnionNode(parts []Node) *unionNode {
+	sigs := make([]string, len(parts))
+	for i, p := range parts {
+		sigs[i] = p.Signature()
+	}
+	return &unionNode{parts: parts, sig: "union(" + strings.Join(sigs, ";") + ")"}
+}
+
+func (n *unionNode) Signature() string { return n.sig }
+func (n *unionNode) Columns() []string { return n.parts[0].Columns() }
+func (n *unionNode) Children() []Node  { return append([]Node(nil), n.parts...) }
+
+func (n *unionNode) eval(ctx *Context) (*compact.Table, error) {
+	out := compact.NewTable(n.Columns()...)
+	for _, p := range n.parts {
+		t, err := Eval(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		for _, tp := range t.Tuples {
+			out.Tuples = append(out.Tuples, tp.Clone())
+		}
+	}
+	return out, nil
+}
+
+// projectNode keeps/reorders/renames columns. Duplicate detection is
+// ignored (Section 4.1).
+type projectNode struct {
+	parent  Node
+	srcCols []string
+	outCols []string
+	sig     string
+}
+
+func newProjectNode(parent Node, srcCols, outCols []string) *projectNode {
+	return &projectNode{
+		parent: parent, srcCols: srcCols, outCols: outCols,
+		sig: fmt.Sprintf("project[%s->%s](%s)",
+			strings.Join(srcCols, ","), strings.Join(outCols, ","), parent.Signature()),
+	}
+}
+
+func (n *projectNode) Signature() string { return n.sig }
+func (n *projectNode) Columns() []string { return n.outCols }
+func (n *projectNode) Children() []Node  { return []Node{n.parent} }
+
+func (n *projectNode) eval(ctx *Context) (*compact.Table, error) {
+	in, err := Eval(ctx, n.parent)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(n.srcCols))
+	for i, c := range n.srcCols {
+		idx[i] = colIndex(in.Cols, c)
+	}
+	out := compact.NewTable(n.outCols...)
+	for _, tp := range in.Tuples {
+		nt := compact.Tuple{Maybe: tp.Maybe, Cells: make([]compact.Cell, len(idx))}
+		for i, j := range idx {
+			nt.Cells[i] = tp.Cells[j].Clone()
+		}
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"iflex/internal/compact"
+	"iflex/internal/text"
+)
+
+// procNode evaluates a procedural p-predicate over a compact table
+// (Section 4.1): each compact tuple is expanded (expansion cells become
+// separate tuples), the possible input values are enumerated, the
+// procedure is invoked per value, and its outputs become exact cells.
+// Output tuples are maybe when the input tuple represented more than one
+// possible tuple or was itself maybe.
+type procNode struct {
+	parent  Node
+	pname   string
+	inVar   string
+	outVars []string
+	sig     string
+}
+
+func newProcNode(parent Node, pname, inVar string, outVars []string) *procNode {
+	return &procNode{
+		parent: parent, pname: pname, inVar: inVar, outVars: outVars,
+		sig: fmt.Sprintf("proc[%s(%s->%s)](%s)", pname, inVar, strings.Join(outVars, ","), parent.Signature()),
+	}
+}
+
+func (n *procNode) Signature() string { return n.sig }
+func (n *procNode) Children() []Node  { return []Node{n.parent} }
+
+func (n *procNode) Columns() []string {
+	return append(append([]string(nil), n.parent.Columns()...), n.outVars...)
+}
+
+func (n *procNode) eval(ctx *Context) (*compact.Table, error) {
+	proc, ok := ctx.Env.Procs[n.pname]
+	if !ok {
+		return nil, fmt.Errorf("engine: procedure %q not bound", n.pname)
+	}
+	if proc.Outputs != len(n.outVars) {
+		return nil, fmt.Errorf("engine: procedure %s produces %d outputs but rule binds %d", n.pname, proc.Outputs, len(n.outVars))
+	}
+	in, err := Eval(ctx, n.parent)
+	if err != nil {
+		return nil, err
+	}
+	ci := colIndex(in.Cols, n.inVar)
+	lim := ctx.Env.Limits
+	out := compact.NewTable(n.Columns()...)
+	for _, tp := range in.Tuples {
+		cell := tp.Cells[ci]
+		if cell.NumValues() > lim.MaxCellValues {
+			return nil, fmt.Errorf("engine: procedure %s: input cell encodes %d values, over the limit %d; constrain the attribute first",
+				n.pname, cell.NumValues(), lim.MaxCellValues)
+		}
+		// Per Section 4.1, outputs are maybe when the (expansion-free) input
+		// tuple stands for more than one possible tuple: expansion cells
+		// contribute separate tuples, so only plain multi-value cells count.
+		multi := false
+		for _, c := range tp.Cells {
+			if !c.Expand && c.NumValues() > 1 {
+				multi = true
+				break
+			}
+		}
+		var evalErr error
+		cell.Values(func(v text.Span) bool {
+			ctx.Stats.ProcCalls++
+			rows, err := proc.Fn(v)
+			if err != nil {
+				evalErr = fmt.Errorf("engine: procedure %s: %w", n.pname, err)
+				return false
+			}
+			for _, row := range rows {
+				if len(row) != proc.Outputs {
+					evalErr = fmt.Errorf("engine: procedure %s returned %d outputs, want %d", n.pname, len(row), proc.Outputs)
+					return false
+				}
+				nt := tp.Clone()
+				nt.Cells[ci] = compact.ExactCell(v)
+				for _, o := range row {
+					nt.Cells = append(nt.Cells, compact.ExactCell(o))
+				}
+				nt.Maybe = tp.Maybe || multi
+				out.Tuples = append(out.Tuples, nt)
+			}
+			return true
+		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+	}
+	return out, nil
+}

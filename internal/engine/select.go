@@ -1,0 +1,356 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"iflex/internal/alog"
+	"iflex/internal/compact"
+	"iflex/internal/text"
+)
+
+// valuePred is a predicate over one concrete value per involved column.
+type valuePred func(vals []text.Span) (bool, error)
+
+// filterOutcome is the result of applying a predicate to one compact tuple
+// with superset semantics.
+type filterOutcome struct {
+	keep bool
+	sure bool                 // every valuation satisfies, precisely
+	repl map[int]compact.Cell // replacement cells for filtered expansion columns
+}
+
+// filterTuple evaluates pred over every possible valuation of the involved
+// columns of tp (Section 4.1):
+//
+//   - keep the tuple if any valuation satisfies; mark it maybe unless all do
+//   - expansion cells stand for one tuple per value, so their values are
+//     filtered down to those participating in a satisfying valuation
+//   - when value enumeration exceeds the limits, fall back to keeping the
+//     tuple as maybe without filtering — conservative but superset-safe
+func filterTuple(tp compact.Tuple, involved []int, pred valuePred, lim Limits, stats *Stats) (filterOutcome, error) {
+	conservative := filterOutcome{keep: true, sure: false}
+	// Enumerate the value list of each involved cell, bailing out to the
+	// conservative outcome when any single cell is too large.
+	vals := make([][]text.Span, len(involved))
+	combos := 1
+	for i, ci := range involved {
+		cell := tp.Cells[ci]
+		if cell.NumValues() > lim.MaxCellValues {
+			return conservative, nil
+		}
+		var vs []text.Span
+		cell.Values(func(s text.Span) bool {
+			vs = append(vs, s)
+			return true
+		})
+		if len(vs) == 0 {
+			return filterOutcome{keep: false}, nil
+		}
+		vals[i] = vs
+		combos *= len(vs)
+		if combos > lim.MaxValuations {
+			return conservative, nil
+		}
+	}
+
+	// satisfied[i][j] records whether value j of involved cell i appears in
+	// at least one satisfying valuation.
+	satisfied := make([][]bool, len(involved))
+	for i := range satisfied {
+		satisfied[i] = make([]bool, len(vals[i]))
+	}
+	idx := make([]int, len(involved))
+	cur := make([]text.Span, len(involved))
+	anySat, allSat := false, true
+	for {
+		for i, j := range idx {
+			cur[i] = vals[i][j]
+		}
+		ok, err := pred(cur)
+		if err != nil {
+			return filterOutcome{}, err
+		}
+		if stats != nil {
+			stats.FuncCalls++
+		}
+		if ok {
+			anySat = true
+			for i, j := range idx {
+				satisfied[i][j] = true
+			}
+		} else {
+			allSat = false
+		}
+		// advance the odometer
+		k := len(idx) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(vals[k]) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+	if !anySat {
+		return filterOutcome{keep: false}, nil
+	}
+	out := filterOutcome{keep: true, sure: allSat}
+	if allSat {
+		return out, nil
+	}
+	// Rebuild filtered expansion cells: values with no satisfying valuation
+	// denote expanded tuples that certainly fail, so they are dropped.
+	out.repl = map[int]compact.Cell{}
+	for i, ci := range involved {
+		cell := tp.Cells[ci]
+		if !cell.Expand {
+			continue
+		}
+		var kept []text.Assignment
+		j := 0
+		for _, a := range cell.Assigns {
+			n := a.NumValues()
+			allKept, noneKept := true, true
+			var exacts []text.Assignment
+			for v := 0; v < n; v++ {
+				if satisfied[i][j+v] {
+					noneKept = false
+				} else {
+					allKept = false
+				}
+			}
+			if allKept {
+				kept = append(kept, a)
+			} else if !noneKept {
+				v := 0
+				a.Values(func(s text.Span) bool {
+					if satisfied[i][j+v] {
+						exacts = append(exacts, text.ExactOf(s))
+					}
+					v++
+					return true
+				})
+				kept = append(kept, exacts...)
+			}
+			j += n
+		}
+		if len(kept) == 0 {
+			return filterOutcome{keep: false}, nil
+		}
+		out.repl[ci] = compact.Cell{Assigns: kept, Expand: true}
+	}
+	return out, nil
+}
+
+// applyFilter runs filterTuple over a whole table, producing the selected
+// table with maybe flags and expansion-cell filtering applied.
+func applyFilter(in *compact.Table, involved []int, pred valuePred, lim Limits, stats *Stats) (*compact.Table, error) {
+	out := compact.NewTable(in.Cols...)
+	for _, tp := range in.Tuples {
+		res, err := filterTuple(tp, involved, pred, lim, stats)
+		if err != nil {
+			return nil, err
+		}
+		if !res.keep {
+			continue
+		}
+		nt := tp.Clone()
+		for ci, cell := range res.repl {
+			nt.Cells[ci] = cell
+		}
+		if !res.sure {
+			nt.Maybe = true
+		}
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out, nil
+}
+
+// compareNode is a selection with a comparison condition, e.g. p > 500000.
+type compareNode struct {
+	parent Node
+	cmp    alog.Compare
+	sig    string
+}
+
+func newCompareNode(parent Node, cmp alog.Compare) *compareNode {
+	return &compareNode{
+		parent: parent, cmp: cmp,
+		sig: fmt.Sprintf("select[%s](%s)", cmp, parent.Signature()),
+	}
+}
+
+func (n *compareNode) Signature() string { return n.sig }
+func (n *compareNode) Columns() []string { return n.parent.Columns() }
+func (n *compareNode) Children() []Node  { return []Node{n.parent} }
+
+func (n *compareNode) eval(ctx *Context) (*compact.Table, error) {
+	in, err := Eval(ctx, n.parent)
+	if err != nil {
+		return nil, err
+	}
+	var involved []int
+	var sides []func(vals []text.Span) operand // lazily resolve L and R
+	addSide := func(t alog.Term) {
+		switch t.Kind {
+		case alog.TermVar:
+			pos := len(involved)
+			involved = append(involved, colIndex(in.Cols, t.Var))
+			sides = append(sides, func(vals []text.Span) operand { return spanOperand(vals[pos]) })
+		case alog.TermNum:
+			num := t.Num
+			sides = append(sides, func([]text.Span) operand { return operand{isNum: true, num: num} })
+		case alog.TermStr:
+			str := t.Str
+			sides = append(sides, func([]text.Span) operand { return operand{str: str} })
+		case alog.TermNull:
+			sides = append(sides, func([]text.Span) operand { return operand{isNull: true} })
+		}
+	}
+	addSide(n.cmp.L)
+	addSide(n.cmp.R)
+	op := n.cmp.Op
+	offset := n.cmp.ROffset
+	pred := func(vals []text.Span) (bool, error) {
+		l, r := sides[0](vals), sides[1](vals)
+		if offset != 0 {
+			if !r.isNum {
+				return false, nil // offsets only apply to numeric right sides
+			}
+			r.num += offset
+		}
+		return compareOperands(op, l, r)
+	}
+	return applyFilter(in, involved, pred, ctx.Env.Limits, &ctx.Stats)
+}
+
+// operand is one side of a comparison at valuation time.
+type operand struct {
+	isNum  bool
+	num    float64
+	str    string
+	isNull bool
+}
+
+// spanOperand converts a value span: numeric when it parses, NULL when
+// empty, string otherwise.
+func spanOperand(s text.Span) operand {
+	if n, ok := s.Numeric(); ok {
+		return operand{isNum: true, num: n}
+	}
+	t := s.NormText()
+	if t == "" {
+		return operand{isNull: true}
+	}
+	return operand{str: t}
+}
+
+// compareOperands implements the comparison semantics: NULL equals only
+// NULL and is ordered below everything; numbers compare numerically;
+// otherwise strings compare lexically.
+func compareOperands(op alog.CompareOp, a, b operand) (bool, error) {
+	if a.isNull || b.isNull {
+		eq := a.isNull && b.isNull
+		switch op {
+		case alog.OpEQ:
+			return eq, nil
+		case alog.OpNE:
+			return !eq, nil
+		default:
+			return false, nil // ordering with NULL never holds
+		}
+	}
+	var c int
+	if a.isNum && b.isNum {
+		switch {
+		case a.num < b.num:
+			c = -1
+		case a.num > b.num:
+			c = 1
+		}
+	} else if !a.isNum && !b.isNum {
+		c = strings.Compare(a.str, b.str)
+	} else {
+		// Mixed number/string never compares equal and has no order.
+		if op == alog.OpNE {
+			return true, nil
+		}
+		return false, nil
+	}
+	switch op {
+	case alog.OpLT:
+		return c < 0, nil
+	case alog.OpLE:
+		return c <= 0, nil
+	case alog.OpGT:
+		return c > 0, nil
+	case alog.OpGE:
+		return c >= 0, nil
+	case alog.OpEQ:
+		return c == 0, nil
+	case alog.OpNE:
+		return c != 0, nil
+	}
+	return false, fmt.Errorf("engine: unknown comparison operator %q", op)
+}
+
+// funcNode is a selection with a boolean p-function condition, e.g.
+// approxMatch(h, s).
+type funcNode struct {
+	parent Node
+	fname  string
+	args   []alog.Term
+	sig    string
+}
+
+func newFuncNode(parent Node, fname string, args []alog.Term) *funcNode {
+	strs := make([]string, len(args))
+	for i, a := range args {
+		strs[i] = a.String()
+	}
+	return &funcNode{
+		parent: parent, fname: fname, args: args,
+		sig: fmt.Sprintf("pfunc[%s(%s)](%s)", fname, strings.Join(strs, ","), parent.Signature()),
+	}
+}
+
+func (n *funcNode) Signature() string { return n.sig }
+func (n *funcNode) Columns() []string { return n.parent.Columns() }
+func (n *funcNode) Children() []Node  { return []Node{n.parent} }
+
+func (n *funcNode) eval(ctx *Context) (*compact.Table, error) {
+	fn, ok := ctx.Env.Funcs[n.fname]
+	if !ok {
+		return nil, fmt.Errorf("engine: p-function %q not bound", n.fname)
+	}
+	in, err := Eval(ctx, n.parent)
+	if err != nil {
+		return nil, err
+	}
+	var involved []int
+	type argSrc struct {
+		pos   int // index into valuation values, or -1
+		fixed text.Span
+	}
+	srcs := make([]argSrc, len(n.args))
+	for i, a := range n.args {
+		if a.Kind != alog.TermVar {
+			return nil, fmt.Errorf("engine: p-function %s: only variable arguments are supported, got %s", n.fname, a)
+		}
+		srcs[i] = argSrc{pos: len(involved)}
+		involved = append(involved, colIndex(in.Cols, a.Var))
+	}
+	pred := func(vals []text.Span) (bool, error) {
+		args := make([]text.Span, len(srcs))
+		for i, s := range srcs {
+			args[i] = vals[s.pos]
+		}
+		return fn(args)
+	}
+	return applyFilter(in, involved, pred, ctx.Env.Limits, &ctx.Stats)
+}

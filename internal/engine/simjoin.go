@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"fmt"
+
+	"iflex/internal/compact"
+	"iflex/internal/similarity"
+	"iflex/internal/text"
+)
+
+// simJoinNode is the fused approximate string join: cross(left, right)
+// followed by a similar/approxMatch filter, evaluated with token blocking
+// instead of the full Cartesian product. The paper defers approximate
+// string joins to the full technical report [20]; the blocking relies on
+// the p-function's guarantee that matching values share at least one
+// token, which holds for the default similar/approxMatch (normalised
+// equality, token-prefix containment, Jaccard >= 0.6 all require a shared
+// token). Pairs whose join cells are too large to enumerate are kept
+// conservatively, exactly like crossNode + funcNode would.
+type simJoinNode struct {
+	left, right Node
+	fname       string
+	leftVar     string
+	rightVar    string
+	cols        []string
+	sig         string
+}
+
+func newSimJoinNode(left, right Node, fname, leftVar, rightVar string) *simJoinNode {
+	n := &simJoinNode{left: left, right: right, fname: fname, leftVar: leftVar, rightVar: rightVar}
+	n.cols = append(append([]string(nil), left.Columns()...), right.Columns()...)
+	n.sig = fmt.Sprintf("simjoin[%s(%s,%s)](%s)(%s)", fname, leftVar, rightVar, left.Signature(), right.Signature())
+	return n
+}
+
+func (n *simJoinNode) Signature() string { return n.sig }
+func (n *simJoinNode) Columns() []string { return n.cols }
+func (n *simJoinNode) Children() []Node  { return []Node{n.left, n.right} }
+
+// blockTokens returns the distinct lower-cased tokens over all value
+// regions of a cell, or nil when the cell is too large to enumerate
+// (callers treat nil as "matches anything").
+func blockTokens(c compact.Cell, lim Limits) map[string]bool {
+	if c.NumValues() > lim.MaxCellValues {
+		return nil
+	}
+	out := map[string]bool{}
+	// Tokens of each assignment's span cover the tokens of every encoded
+	// value (values are sub-spans).
+	for _, a := range c.Assigns {
+		for _, tok := range similarity.Tokens(a.Span.Text()) {
+			out[tok] = true
+		}
+	}
+	return out
+}
+
+// blockIndex maps block tokens to right-tuple indices for one evaluated
+// side of a similarity join; always lists tuples whose cells were too
+// large to enumerate.
+type blockIndex struct {
+	byToken map[string][]int
+	always  []int
+}
+
+// rightIndex builds (or fetches from the context cache) the blocking index
+// of the join's right side. The cache key includes the subset marker and
+// the node signature, so an index is shared only with executions that see
+// the identical table.
+func (n *simJoinNode) rightIndex(ctx *Context, rt *compact.Table, ri int) *blockIndex {
+	key := ctx.cacheKey(n.right.Signature()) + "|" + n.rightVar
+	if idx, ok := ctx.blockIdx[key]; ok {
+		return idx
+	}
+	idx := &blockIndex{byToken: map[string][]int{}}
+	lim := ctx.Env.Limits
+	for j, rtp := range rt.Tuples {
+		toks := blockTokens(rtp.Cells[ri], lim)
+		if toks == nil {
+			idx.always = append(idx.always, j)
+			continue
+		}
+		for tok := range toks {
+			idx.byToken[tok] = append(idx.byToken[tok], j)
+		}
+	}
+	if ctx.blockIdx != nil {
+		ctx.blockIdx[key] = idx
+	}
+	return idx
+}
+
+func (n *simJoinNode) eval(ctx *Context) (*compact.Table, error) {
+	fn, ok := ctx.Env.Funcs[n.fname]
+	if !ok {
+		return nil, fmt.Errorf("engine: p-function %q not bound", n.fname)
+	}
+	lt, err := Eval(ctx, n.left)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := Eval(ctx, n.right)
+	if err != nil {
+		return nil, err
+	}
+	lim := ctx.Env.Limits
+	li := colIndex(lt.Cols, n.leftVar)
+	ri := colIndex(rt.Cols, n.rightVar)
+
+	// Index right tuples by block token; oversized cells go on the
+	// always-candidate list. The index is cached per (subset, right side).
+	idx := n.rightIndex(ctx, rt, ri)
+	index, always := idx.byToken, idx.always
+
+	involved := []int{li, len(lt.Cols) + ri}
+	pred := func(vals []text.Span) (bool, error) {
+		return fn([]text.Span{vals[0], vals[1]})
+	}
+	// Fast path for pinned cells: compare pre-normalised token slices when
+	// the p-function has a token implementation with identical semantics.
+	tokenFn := ctx.Env.TokenSimilar[n.fname]
+	singletonTokens := func(c compact.Cell) []string {
+		if tokenFn == nil {
+			return nil
+		}
+		if v, ok := c.Singleton(); ok {
+			return similarity.NormalizedTokens(v.NormText())
+		}
+		return nil
+	}
+	rtoks := make([][]string, len(rt.Tuples))
+	for j, rtp := range rt.Tuples {
+		rtoks[j] = singletonTokens(rtp.Cells[ri])
+	}
+	out := compact.NewTable(n.cols...)
+	seen := make(map[int]int) // right idx -> generation marker
+	gen := 0
+	for _, ltp := range lt.Tuples {
+		gen++
+		var cands []int
+		ltoks := blockTokens(ltp.Cells[li], lim)
+		if ltoks == nil {
+			// Oversized left cell: every right tuple is a candidate.
+			cands = make([]int, len(rt.Tuples))
+			for j := range rt.Tuples {
+				cands[j] = j
+			}
+		} else {
+			for tok := range ltoks {
+				for _, j := range index[tok] {
+					if seen[j] != gen {
+						seen[j] = gen
+						cands = append(cands, j)
+					}
+				}
+			}
+			for _, j := range always {
+				if seen[j] != gen {
+					seen[j] = gen
+					cands = append(cands, j)
+				}
+			}
+		}
+		lpinned := singletonTokens(ltp.Cells[li])
+		for _, j := range cands {
+			rtp := rt.Tuples[j]
+			if lpinned != nil && rtoks[j] != nil {
+				// Both values pinned: one token comparison decides the pair.
+				ctx.Stats.FuncCalls++
+				if !tokenFn(lpinned, rtoks[j]) {
+					continue
+				}
+				joined := ltp.Clone()
+				joined.Cells = append(joined.Cells, rtp.Clone().Cells...)
+				joined.Maybe = ltp.Maybe || rtp.Maybe
+				out.Tuples = append(out.Tuples, joined)
+				continue
+			}
+			joined := ltp.Clone()
+			rc := rtp.Clone()
+			joined.Cells = append(joined.Cells, rc.Cells...)
+			joined.Maybe = ltp.Maybe || rtp.Maybe
+			res, err := filterTuple(joined, involved, pred, lim, &ctx.Stats)
+			if err != nil {
+				return nil, err
+			}
+			if !res.keep {
+				continue
+			}
+			for ci, cell := range res.repl {
+				joined.Cells[ci] = cell
+			}
+			if !res.sure {
+				joined.Maybe = true
+			}
+			out.Tuples = append(out.Tuples, joined)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,343 @@
+package feature
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"iflex/internal/text"
+)
+
+// lineStart returns the offset just after the previous '\n' before off.
+func lineStart(body string, off int) int {
+	for i := off - 1; i >= 0; i-- {
+		if body[i] == '\n' {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// lineEnd returns the offset of the next '\n' at or after off, or len(body).
+func lineEnd(body string, off int) int {
+	for i := off; i < len(body); i++ {
+		if body[i] == '\n' {
+			return i
+		}
+	}
+	return len(body)
+}
+
+// normFold normalises whitespace and case for context comparisons.
+func normFold(s string) string {
+	return strings.ToLower(strings.Join(strings.Fields(s), " "))
+}
+
+// precededByFeature implements preceded-by(s)="label": the text on s's
+// line immediately before s ends with the label (case- and
+// whitespace-insensitive). Values are assumed not to cross line boundaries
+// (records in the corpora are line-structured).
+type precededByFeature struct{}
+
+func (precededByFeature) Name() string { return "preceded-by" }
+func (precededByFeature) Kind() Kind   { return KindParametric }
+
+func (precededByFeature) Verify(s text.Span, v string) (bool, error) {
+	if v == "" {
+		return false, fmt.Errorf("feature: preceded-by needs a non-empty label")
+	}
+	body := s.Doc().Text()
+	pre := body[lineStart(body, s.Start()):s.Start()]
+	return strings.HasSuffix(normFold(pre), normFold(v)), nil
+}
+
+// occurrences finds case/space-insensitive occurrences of label in
+// body[lo:hi], returning (start, end) offsets in document coordinates.
+func occurrences(body, label string, lo, hi int) [][2]int {
+	window := strings.ToLower(body[lo:hi])
+	needle := strings.ToLower(label)
+	var out [][2]int
+	from := 0
+	for {
+		i := strings.Index(window[from:], needle)
+		if i < 0 {
+			return out
+		}
+		start := from + i
+		out = append(out, [2]int{lo + start, lo + start + len(needle)})
+		from = start + 1
+	}
+}
+
+func (precededByFeature) Refine(s text.Span, v string) ([]text.Assignment, error) {
+	if v == "" {
+		return nil, fmt.Errorf("feature: preceded-by needs a non-empty label")
+	}
+	body := s.Doc().Text()
+	// Labels may sit just before s's start, so search a window that begins
+	// at the start of the line containing s.
+	lo := lineStart(body, s.Start())
+	var out []text.Assignment
+	for _, occ := range occurrences(body, v, lo, s.End()) {
+		regionStart := occ[1]
+		regionEnd := lineEnd(body, regionStart)
+		if regionEnd > s.End() {
+			regionEnd = s.End()
+		}
+		if regionStart < s.Start() {
+			regionStart = s.Start()
+		}
+		if regionStart >= regionEnd {
+			continue
+		}
+		if sp, ok := s.Doc().Span(regionStart, regionEnd).Shrink(); ok {
+			out = append(out, text.ContainOf(sp))
+		}
+	}
+	return text.DedupAssignments(out), nil
+}
+
+// followedByFeature implements followed-by(s)="label": the text on s's
+// line immediately after s begins with the label.
+type followedByFeature struct{}
+
+func (followedByFeature) Name() string { return "followed-by" }
+func (followedByFeature) Kind() Kind   { return KindParametric }
+
+func (followedByFeature) Verify(s text.Span, v string) (bool, error) {
+	if v == "" {
+		return false, fmt.Errorf("feature: followed-by needs a non-empty label")
+	}
+	body := s.Doc().Text()
+	post := body[s.End():lineEnd(body, s.End())]
+	return strings.HasPrefix(normFold(post), normFold(v)), nil
+}
+
+func (followedByFeature) Refine(s text.Span, v string) ([]text.Assignment, error) {
+	if v == "" {
+		return nil, fmt.Errorf("feature: followed-by needs a non-empty label")
+	}
+	body := s.Doc().Text()
+	hi := lineEnd(body, s.End())
+	var out []text.Assignment
+	for _, occ := range occurrences(body, v, s.Start(), hi) {
+		regionEnd := occ[0]
+		regionStart := lineStart(body, regionEnd)
+		if regionStart < s.Start() {
+			regionStart = s.Start()
+		}
+		if regionEnd > s.End() {
+			regionEnd = s.End()
+		}
+		if regionStart >= regionEnd {
+			continue
+		}
+		if sp, ok := s.Doc().Span(regionStart, regionEnd).Shrink(); ok {
+			out = append(out, text.ContainOf(sp))
+		}
+	}
+	return text.DedupAssignments(out), nil
+}
+
+// precLabelContains implements prec-label-contains(s)="str": the closest
+// section header preceding s contains str (one of the "higher-level"
+// features of Section 6.3).
+type precLabelContains struct{}
+
+func (precLabelContains) Name() string { return "prec-label-contains" }
+func (precLabelContains) Kind() Kind   { return KindParametric }
+
+func (precLabelContains) Verify(s text.Span, v string) (bool, error) {
+	if v == "" {
+		return false, fmt.Errorf("feature: prec-label-contains needs a non-empty string")
+	}
+	h, ok := s.Doc().HeaderBefore(s.Start())
+	if !ok {
+		return false, nil
+	}
+	label := s.Doc().Text()[h.Start:h.End]
+	return strings.Contains(normFold(label), normFold(v)), nil
+}
+
+func (precLabelContains) Refine(s text.Span, v string) ([]text.Assignment, error) {
+	if v == "" {
+		return nil, fmt.Errorf("feature: prec-label-contains needs a non-empty string")
+	}
+	d := s.Doc()
+	body := d.Text()
+	headers := d.MarksOf(text.MarkHeader)
+	var out []text.Assignment
+	for i, h := range headers {
+		label := body[h.Start:h.End]
+		if !strings.Contains(normFold(label), normFold(v)) {
+			continue
+		}
+		// The section governed by this header runs to the next header.
+		regionStart := h.End
+		regionEnd := len(body)
+		if i+1 < len(headers) {
+			regionEnd = headers[i+1].Start
+		}
+		if regionStart < s.Start() {
+			regionStart = s.Start()
+		}
+		if regionEnd > s.End() {
+			regionEnd = s.End()
+		}
+		if regionStart >= regionEnd {
+			continue
+		}
+		if sp, ok := d.Span(regionStart, regionEnd).Shrink(); ok {
+			out = append(out, text.ContainOf(sp))
+		}
+	}
+	return text.DedupAssignments(out), nil
+}
+
+// precLabelMaxDist implements prec-label-max-dist(s)=n: the distance in
+// bytes from the end of the preceding header to the start of s is <= n.
+type precLabelMaxDist struct{}
+
+func (precLabelMaxDist) Name() string { return "prec-label-max-dist" }
+func (precLabelMaxDist) Kind() Kind   { return KindParametric }
+
+func (precLabelMaxDist) bound(v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("feature: prec-label-max-dist needs a non-negative integer, got %q", v)
+	}
+	return n, nil
+}
+
+func (f precLabelMaxDist) Verify(s text.Span, v string) (bool, error) {
+	n, err := f.bound(v)
+	if err != nil {
+		return false, err
+	}
+	h, ok := s.Doc().HeaderBefore(s.Start())
+	if !ok {
+		return false, nil
+	}
+	return s.Start()-h.End <= n, nil
+}
+
+func (f precLabelMaxDist) Refine(s text.Span, v string) ([]text.Assignment, error) {
+	n, err := f.bound(v)
+	if err != nil {
+		return nil, err
+	}
+	d := s.Doc()
+	headers := d.MarksOf(text.MarkHeader)
+	var out []text.Assignment
+	for i, h := range headers {
+		regionStart := h.End
+		regionEnd := h.End + n
+		if i+1 < len(headers) && headers[i+1].Start < regionEnd {
+			regionEnd = headers[i+1].Start
+		}
+		if regionEnd > len(d.Text()) {
+			regionEnd = len(d.Text())
+		}
+		if regionStart < s.Start() {
+			regionStart = s.Start()
+		}
+		if regionEnd > s.End() {
+			regionEnd = s.End()
+		}
+		if regionStart >= regionEnd {
+			continue
+		}
+		if sp, ok := d.Span(regionStart, regionEnd).Shrink(); ok {
+			out = append(out, text.ContainOf(sp))
+		}
+	}
+	return text.DedupAssignments(out), nil
+}
+
+// linkToContains implements link-to-contains(s)="str": the span lies
+// inside a hyperlink whose target URL contains str (case-insensitive).
+// Useful for attributes that always link to a known site section.
+type linkToContains struct{}
+
+func (linkToContains) Name() string { return "link-to-contains" }
+func (linkToContains) Kind() Kind   { return KindParametric }
+
+func (linkToContains) Verify(s text.Span, v string) (bool, error) {
+	if v == "" {
+		return false, fmt.Errorf("feature: link-to-contains needs a non-empty string")
+	}
+	l, ok := s.Doc().LinkAt(s.Start())
+	if !ok || s.End() > l.End {
+		return false, nil
+	}
+	return strings.Contains(strings.ToLower(l.Target), strings.ToLower(v)), nil
+}
+
+func (linkToContains) Refine(s text.Span, v string) ([]text.Assignment, error) {
+	if v == "" {
+		return nil, fmt.Errorf("feature: link-to-contains needs a non-empty string")
+	}
+	var out []text.Assignment
+	for _, l := range s.Doc().Links() {
+		if !strings.Contains(strings.ToLower(l.Target), strings.ToLower(v)) {
+			continue
+		}
+		lo, hi := l.Start, l.End
+		if lo < s.Start() {
+			lo = s.Start()
+		}
+		if hi > s.End() {
+			hi = s.End()
+		}
+		if lo >= hi {
+			continue
+		}
+		if sp, ok := s.Doc().Span(lo, hi).Shrink(); ok {
+			out = append(out, text.ContainOf(sp))
+		}
+	}
+	return text.DedupAssignments(out), nil
+}
+
+// inFirstHalf implements the location feature of Section 5.1.1: "does this
+// attribute lie entirely in the first half of the page?"
+type inFirstHalf struct{}
+
+func (inFirstHalf) Name() string { return "in-first-half" }
+func (inFirstHalf) Kind() Kind   { return KindBoolean }
+
+func (inFirstHalf) Verify(s text.Span, v string) (bool, error) {
+	mid := s.Doc().Len() / 2
+	switch v {
+	case Yes, DistinctYes:
+		return s.End() <= mid, nil
+	case No:
+		return s.End() > mid, nil
+	default:
+		return false, errBadValue("in-first-half", v)
+	}
+}
+
+func (inFirstHalf) Refine(s text.Span, v string) ([]text.Assignment, error) {
+	mid := s.Doc().Len() / 2
+	var lo, hi int
+	switch v {
+	case Yes, DistinctYes:
+		lo, hi = s.Start(), mid
+	case No:
+		// Spans ending after the midpoint may start anywhere.
+		lo, hi = s.Start(), s.End()
+	default:
+		return nil, errBadValue("in-first-half", v)
+	}
+	if hi > s.End() {
+		hi = s.End()
+	}
+	if lo >= hi {
+		return nil, nil
+	}
+	if sp, ok := s.Doc().Span(lo, hi).Shrink(); ok {
+		return []text.Assignment{text.ContainOf(sp)}, nil
+	}
+	return nil, nil
+}

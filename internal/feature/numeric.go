@@ -1,0 +1,115 @@
+package feature
+
+import (
+	"fmt"
+	"strconv"
+
+	"iflex/internal/text"
+)
+
+// numericFeature implements numeric(s) ∈ {yes, no}: whether the span text
+// is a single numeric value (tolerating $, commas, and a decimal point).
+type numericFeature struct{}
+
+func (numericFeature) Name() string { return "numeric" }
+func (numericFeature) Kind() Kind   { return KindBoolean }
+
+func (numericFeature) Verify(s text.Span, v string) (bool, error) {
+	_, isNum := s.Numeric()
+	switch v {
+	case Yes, DistinctYes:
+		return isNum, nil
+	case No:
+		return !isNum, nil
+	default:
+		return false, errBadValue("numeric", v)
+	}
+}
+
+// numericTokens returns the token spans of s that parse as numbers.
+func numericTokens(s text.Span) []text.Span {
+	var out []text.Span
+	lo, hi := s.TokenBounds()
+	toks := s.Doc().Tokens()
+	for i := lo; i < hi; i++ {
+		sp := s.Doc().Span(toks[i].Start, toks[i].End)
+		if _, ok := sp.Numeric(); ok {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+func (numericFeature) Refine(s text.Span, v string) ([]text.Assignment, error) {
+	switch v {
+	case Yes, DistinctYes:
+		// A numeric value is a single token; multi-token spans never parse.
+		// The maximal verifying sub-spans are therefore the numeric tokens,
+		// pinned exactly.
+		var out []text.Assignment
+		for _, sp := range numericTokens(s) {
+			out = append(out, text.ExactOf(sp))
+		}
+		return out, nil
+	case No:
+		// Complement of the numeric tokens.
+		var rs []byteRange
+		for _, sp := range numericTokens(s) {
+			rs = append(rs, byteRange{sp.Start(), sp.End()})
+		}
+		gaps := complementRanges(rs, s.Start(), s.End())
+		return rangesToAssignments(s.Doc(), gaps, text.Contain), nil
+	default:
+		return nil, errBadValue("numeric", v)
+	}
+}
+
+// paramNumFeature implements min-value(s)=n and max-value(s)=n: the span is
+// numeric and its value is >= n (min) or <= n (max). These are the
+// "semantics" questions of Section 5.1.1 ("what is a maximal value for
+// price?").
+type paramNumFeature struct {
+	name string
+	min  bool
+}
+
+func (f paramNumFeature) Name() string { return f.name }
+func (f paramNumFeature) Kind() Kind   { return KindParametric }
+
+func (f paramNumFeature) bound(v string) (float64, error) {
+	b, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("feature: %s needs a numeric value, got %q", f.name, v)
+	}
+	return b, nil
+}
+
+func (f paramNumFeature) holds(n, bound float64) bool {
+	if f.min {
+		return n >= bound
+	}
+	return n <= bound
+}
+
+func (f paramNumFeature) Verify(s text.Span, v string) (bool, error) {
+	b, err := f.bound(v)
+	if err != nil {
+		return false, err
+	}
+	n, ok := s.Numeric()
+	return ok && f.holds(n, b), nil
+}
+
+func (f paramNumFeature) Refine(s text.Span, v string) ([]text.Assignment, error) {
+	b, err := f.bound(v)
+	if err != nil {
+		return nil, err
+	}
+	var out []text.Assignment
+	for _, sp := range numericTokens(s) {
+		if n, _ := sp.Numeric(); f.holds(n, b) {
+			out = append(out, text.ExactOf(sp))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,36 @@
+package markup
+
+import (
+	"testing"
+
+	"iflex/internal/text"
+)
+
+// Order-of-operations detail: the entity map is iterated per occurrence;
+// make sure overlapping prefixes resolve deterministically.
+func TestEntityDisambiguation(t *testing.T) {
+	d := MustParse("e", "a&amp;&lt;b&gt;&nbsp;c & d")
+	if got := d.Text(); got != "a&<b> c & d" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestUnknownEntityLiteral(t *testing.T) {
+	d := MustParse("e", "R&D and x&y")
+	if got := d.Text(); got != "R&D and x&y" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestNestedListsAndHeaders(t *testing.T) {
+	d := MustParse("n", "<h2>Outer</h2><ul><li>one<ul><li>inner</li></ul></li></ul>")
+	items := d.MarksOf(text.MarkListItem)
+	// Both the outer and the nested item produce marks.
+	if len(items) != 2 {
+		t.Fatalf("list marks = %+v", items)
+	}
+	hdrs := d.MarksOf(text.MarkHeader)
+	if len(hdrs) != 1 {
+		t.Fatalf("header marks = %+v", hdrs)
+	}
+}

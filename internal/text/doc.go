@@ -1,0 +1,240 @@
+// Package text defines the foundational data model for iFlex: documents,
+// token-aligned spans, and assignments (the building blocks of compact
+// tables, per Section 3 of the paper).
+//
+// A Document is plain text plus style "marks" (bold, italic, hyperlink,
+// list item, title, section header, ...) produced by the markup parser.
+// A Span is a byte range inside one document. Sub-spans are token-aligned:
+// the set of sub-spans of a span is the set of contiguous token sequences
+// it covers, which is exactly how the paper's Figure 2.e enumerates the
+// possible values of contain("Cozy ... High").
+package text
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MarkKind identifies a style or structural region of a document.
+type MarkKind int
+
+// The mark kinds produced by the markup parser.
+const (
+	MarkBold MarkKind = iota
+	MarkItalic
+	MarkUnderline
+	MarkLink
+	MarkListItem
+	MarkTitle
+	MarkHeader // section header; its text is the "preceding label" of what follows
+	numMarkKinds
+)
+
+var markNames = [...]string{
+	MarkBold:      "bold",
+	MarkItalic:    "italic",
+	MarkUnderline: "underline",
+	MarkLink:      "link",
+	MarkListItem:  "list-item",
+	MarkTitle:     "title",
+	MarkHeader:    "header",
+}
+
+// String returns the human-readable name of the mark kind.
+func (k MarkKind) String() string {
+	if k < 0 || int(k) >= len(markNames) {
+		return fmt.Sprintf("MarkKind(%d)", int(k))
+	}
+	return markNames[k]
+}
+
+// Mark is a styled or structural region [Start, End) of a document's text.
+type Mark struct {
+	Kind  MarkKind
+	Start int
+	End   int
+}
+
+// Link records a hyperlink region and its target URL.
+type Link struct {
+	Start  int
+	End    int
+	Target string
+}
+
+// Token is a whitespace-delimited token occupying [Start, End) of the text.
+type Token struct {
+	Start int
+	End   int
+}
+
+// Document is an immutable page of text with style marks and a token index.
+// Construct with NewDocument; the zero value is not usable.
+type Document struct {
+	id     string
+	text   string
+	marks  []Mark   // sorted by Start
+	tokens []Token  // sorted by Start, non-overlapping
+	byKind [][]Mark // marks grouped by kind, each sorted by Start
+	tokAt  []int    // tokAt[i] = index of the token covering byte i, or -1
+	links  []Link   // hyperlink targets, sorted by Start
+}
+
+// NewDocument builds a document from an id, its plain text, and style marks.
+// Marks may be passed in any order; they are defensively copied and sorted.
+func NewDocument(id, txt string, marks []Mark) *Document {
+	d := &Document{id: id, text: txt}
+	d.marks = make([]Mark, len(marks))
+	copy(d.marks, marks)
+	sort.SliceStable(d.marks, func(i, j int) bool {
+		if d.marks[i].Start != d.marks[j].Start {
+			return d.marks[i].Start < d.marks[j].Start
+		}
+		return d.marks[i].End > d.marks[j].End
+	})
+	d.byKind = make([][]Mark, numMarkKinds)
+	for _, m := range d.marks {
+		if m.Kind >= 0 && m.Kind < numMarkKinds {
+			d.byKind[m.Kind] = append(d.byKind[m.Kind], m)
+		}
+	}
+	d.tokenize()
+	return d
+}
+
+// tokenize splits the text on whitespace — and additionally at mark
+// boundaries, so that a style region always covers whole tokens even when
+// punctuation abuts it ("<b>Basktall</b>," yields tokens "Basktall" and
+// ","). It builds the byte->token index.
+func (d *Document) tokenize() {
+	boundary := make(map[int]bool, 2*len(d.marks))
+	for _, m := range d.marks {
+		boundary[m.Start] = true
+		boundary[m.End] = true
+	}
+	d.tokAt = make([]int, len(d.text)+1)
+	for i := range d.tokAt {
+		d.tokAt[i] = -1
+	}
+	inTok := false
+	start := 0
+	emit := func(end int) {
+		idx := len(d.tokens)
+		d.tokens = append(d.tokens, Token{Start: start, End: end})
+		for j := start; j < end; j++ {
+			d.tokAt[j] = idx
+		}
+		inTok = false
+	}
+	for i := 0; i <= len(d.text); i++ {
+		isSpace := i == len(d.text) || d.text[i] == ' ' || d.text[i] == '\t' || d.text[i] == '\n' || d.text[i] == '\r'
+		switch {
+		case !inTok && !isSpace:
+			inTok = true
+			start = i
+		case inTok && isSpace:
+			emit(i)
+		case inTok && boundary[i]:
+			emit(i)
+			inTok = true
+			start = i
+		}
+	}
+}
+
+// SetLinks attaches hyperlink targets (called by the markup parser during
+// construction; the slice is copied and sorted by start offset).
+func (d *Document) SetLinks(links []Link) {
+	d.links = make([]Link, len(links))
+	copy(d.links, links)
+	sort.Slice(d.links, func(i, j int) bool { return d.links[i].Start < d.links[j].Start })
+}
+
+// Links returns the document's hyperlink targets, sorted by start offset.
+// Do not modify the returned slice.
+func (d *Document) Links() []Link { return d.links }
+
+// LinkAt returns the link whose region contains offset, if any.
+func (d *Document) LinkAt(offset int) (Link, bool) {
+	for _, l := range d.links {
+		if l.Start <= offset && offset < l.End {
+			return l, true
+		}
+		if l.Start > offset {
+			break
+		}
+	}
+	return Link{}, false
+}
+
+// ID returns the document identifier (e.g. a file name or URL).
+func (d *Document) ID() string { return d.id }
+
+// Text returns the full plain text of the document.
+func (d *Document) Text() string { return d.text }
+
+// Len returns the length of the document text in bytes.
+func (d *Document) Len() int { return len(d.text) }
+
+// Tokens returns the document's token index. The slice must not be modified.
+func (d *Document) Tokens() []Token { return d.tokens }
+
+// Marks returns all style marks, sorted by start offset. Do not modify.
+func (d *Document) Marks() []Mark { return d.marks }
+
+// MarksOf returns the marks of one kind, sorted by start offset.
+func (d *Document) MarksOf(k MarkKind) []Mark {
+	if k < 0 || k >= numMarkKinds {
+		return nil
+	}
+	return d.byKind[k]
+}
+
+// Span returns the span [start, end) of this document.
+// It panics if the range is out of bounds or inverted.
+func (d *Document) Span(start, end int) Span {
+	if start < 0 || end > len(d.text) || start > end {
+		panic(fmt.Sprintf("text: span [%d,%d) out of range for doc %q (len %d)", start, end, d.id, len(d.text)))
+	}
+	return Span{doc: d, start: start, end: end}
+}
+
+// WholeSpan returns the span covering the entire document.
+func (d *Document) WholeSpan() Span { return Span{doc: d, start: 0, end: len(d.text)} }
+
+// TokenIndexAt returns the index of the token covering byte offset i,
+// or -1 if offset i is whitespace or out of range.
+func (d *Document) TokenIndexAt(i int) int {
+	if i < 0 || i >= len(d.tokAt) {
+		return -1
+	}
+	return d.tokAt[i]
+}
+
+// tokenRange returns the indices [lo, hi) of tokens fully contained in
+// [start, end). hi may equal lo when no token fits.
+func (d *Document) tokenRange(start, end int) (lo, hi int) {
+	lo = sort.Search(len(d.tokens), func(i int) bool { return d.tokens[i].Start >= start })
+	hi = lo
+	for hi < len(d.tokens) && d.tokens[hi].End <= end {
+		hi++
+	}
+	return lo, hi
+}
+
+// HeaderBefore returns the closest header mark that ends at or before
+// offset, and true if one exists. Used by the prec-label-* features.
+func (d *Document) HeaderBefore(offset int) (Mark, bool) {
+	hs := d.byKind[MarkHeader]
+	i := sort.Search(len(hs), func(i int) bool { return hs[i].End > offset })
+	if i == 0 {
+		return Mark{}, false
+	}
+	return hs[i-1], true
+}
+
+// normalizeSpace collapses runs of whitespace to single spaces and trims.
+func normalizeSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
