@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race race-all bench bench-parallel vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector run over the concurrent core: the engine's shared-context
+# single-flight cache and the assistant's simulation fan-out.
+race:
+	$(GO) test -race ./internal/engine/... ./internal/assistant/...
+
+# Full race-detector run, including the root determinism tests.
+race-all:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Serial versus parallel simulation strategy on the T9 join task.
+bench-parallel:
+	$(GO) test -bench='BenchmarkTable5SimulationT9' -benchmem -run='^$$' .
+	$(GO) run ./cmd/iflex-bench -table parallel -scale 0.05 -bench-json BENCH_PARALLEL.json

@@ -42,12 +42,13 @@ func BenchmarkTable2ProgramValidation(b *testing.B) {
 	}
 }
 
-// benchScenario runs one full assistant session per iteration.
-func benchScenario(b *testing.B, taskID string, records int, strategy string) {
+// benchScenario runs one full assistant session per iteration. Workers
+// bounds the session's worker pool (1 = serial baseline, 0 = all CPUs).
+func benchScenario(b *testing.B, taskID string, records int, strategy string, workers int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		out, err := experiments.RunScenario(
-			experiments.Scenario{TaskID: taskID, Records: records}, strategy, 1)
+			experiments.Scenario{TaskID: taskID, Records: records, Workers: workers}, strategy, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,16 +59,19 @@ func benchScenario(b *testing.B, taskID string, records int, strategy string) {
 }
 
 // Table 3 scenarios: one representative task per domain.
-func BenchmarkTable3MoviesT1(b *testing.B) { benchScenario(b, "T1", 50, "sim") }
-func BenchmarkTable3DBLPT5(b *testing.B)   { benchScenario(b, "T5", 50, "sim") }
-func BenchmarkTable3BooksT8(b *testing.B)  { benchScenario(b, "T8", 50, "sim") }
+func BenchmarkTable3MoviesT1(b *testing.B) { benchScenario(b, "T1", 50, "sim", 1) }
+func BenchmarkTable3DBLPT5(b *testing.B)   { benchScenario(b, "T5", 50, "sim", 1) }
+func BenchmarkTable3BooksT8(b *testing.B)  { benchScenario(b, "T8", 50, "sim", 1) }
 
 // Table 4: the per-iteration soliciting experiment (T7's scenario).
-func BenchmarkTable4SolicitingT7(b *testing.B) { benchScenario(b, "T7", 50, "sim") }
+func BenchmarkTable4SolicitingT7(b *testing.B) { benchScenario(b, "T7", 50, "sim", 1) }
 
-// Table 5: both question-selection strategies on the join task T9.
-func BenchmarkTable5SequentialT9(b *testing.B) { benchScenario(b, "T9", 30, "seq") }
-func BenchmarkTable5SimulationT9(b *testing.B) { benchScenario(b, "T9", 30, "sim") }
+// Table 5: both question-selection strategies on the join task T9. The
+// simulation strategy is measured serial (the baseline) and with one
+// worker per CPU; both produce byte-identical sessions.
+func BenchmarkTable5SequentialT9(b *testing.B)         { benchScenario(b, "T9", 30, "seq", 1) }
+func BenchmarkTable5SimulationT9(b *testing.B)         { benchScenario(b, "T9", 30, "sim", 1) }
+func BenchmarkTable5SimulationT9Parallel(b *testing.B) { benchScenario(b, "T9", 30, "sim", 0) }
 
 // Table 6: the DBLife panel task over a small snapshot.
 func BenchmarkTable6DBLifePanel(b *testing.B) {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,11 +23,13 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, or all")
-		scale    = flag.Float64("scale", 0.2, "corpus size factor (1.0 = paper sizes)")
-		seed     = flag.Int64("seed", 1, "corpus generation seed")
-		strategy = flag.String("strategy", "sim", "assistant strategy for Tables 3/4/conv: seq or sim")
-		outPath  = flag.String("out", "", "also write output to this file")
+		table     = flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, parallel, or all")
+		scale     = flag.Float64("scale", 0.2, "corpus size factor (1.0 = paper sizes)")
+		seed      = flag.Int64("seed", 1, "corpus generation seed")
+		strategy  = flag.String("strategy", "sim", "assistant strategy for Tables 3/4/conv: seq or sim")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = serial)")
+		benchJSON = flag.String("bench-json", "", "write the parallel comparison result to this JSON file")
+		outPath   = flag.String("out", "", "also write output to this file")
 	)
 	flag.Parse()
 
@@ -40,7 +43,7 @@ func main() {
 		defer f.Close()
 		out = io.MultiWriter(os.Stdout, f)
 	}
-	o := experiments.Options{Scale: *scale, Seed: *seed, Strategy: *strategy, Out: out}
+	o := experiments.Options{Scale: *scale, Seed: *seed, Strategy: *strategy, Workers: *workers, Out: out}
 
 	run := func(name string, fn func() error) {
 		if *table != "all" && *table != name {
@@ -73,5 +76,25 @@ func main() {
 		}
 		_, err := experiments.Scaling(o, "T7", sizes)
 		return err
+	})
+	run("parallel", func() error {
+		n := int(float64(5000) * *scale)
+		if n < 10 {
+			n = 10
+		}
+		res, err := experiments.ParallelCompare(o, "T9", n)
+		if err != nil {
+			return err
+		}
+		if *benchJSON != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
 	})
 }

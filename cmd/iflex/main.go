@@ -54,6 +54,7 @@ func run() error {
 		tables      = tableFlags{}
 		interactive = flag.Bool("interactive", false, "drive a refinement session with the next-effort assistant")
 		strategy    = flag.String("strategy", "seq", "question selection strategy: seq or sim")
+		workers     = flag.Int("workers", 0, "worker pool size for evaluation and simulation (0 = one per CPU, 1 = serial)")
 		maxTuples   = flag.Int("max-print", 50, "print at most this many result tuples")
 		explain     = flag.Bool("explain", false, "print the execution plan with per-operator result sizes")
 	)
@@ -88,6 +89,7 @@ func run() error {
 			return err
 		}
 		ctx := iflex.NewContext(env)
+		ctx.Workers = *workers
 		result, err := plan.Execute(ctx)
 		if err != nil {
 			return err
@@ -116,7 +118,7 @@ func run() error {
 		ans := strings.TrimSpace(stdin.Text())
 		return ans, ans != ""
 	})
-	session := iflex.NewSession(env, prog, oracle, iflex.SessionConfig{Strategy: strat})
+	session := iflex.NewSession(env, prog, oracle, iflex.SessionConfig{Strategy: strat, Workers: *workers})
 	res, err := session.Run()
 	if err != nil {
 		return err

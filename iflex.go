@@ -68,7 +68,8 @@ type (
 	Span = text.Span
 	// Session drives the iterate-execute-refine loop with the assistant.
 	Session = assistant.Session
-	// SessionConfig tunes a session (strategy, convergence window, subset).
+	// SessionConfig tunes a session (strategy, convergence window, subset,
+	// Workers pool size — results are byte-identical across worker counts).
 	SessionConfig = assistant.Config
 	// SessionResult is the outcome of a session run.
 	SessionResult = assistant.Result
@@ -117,7 +118,9 @@ func Compile(prog *Program, env *Env) (*Plan, error) { return engine.Compile(pro
 func Run(prog *Program, env *Env) (*Table, error) { return engine.Run(prog, env) }
 
 // NewContext returns an execution context whose reuse cache persists
-// across iterations (Section 5.2).
+// across iterations (Section 5.2). The context is safe for concurrent
+// use: its cache deduplicates in-flight evaluations, and setting Workers
+// (0 = one per CPU, 1 = serial) bounds the evaluation worker pool.
 func NewContext(env *Env) *Context { return engine.NewContext(env) }
 
 // NewSession prepares an assistant-driven refinement session.

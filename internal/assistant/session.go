@@ -2,6 +2,7 @@ package assistant
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -32,11 +33,18 @@ type Config struct {
 	SubsetFraction float64
 	// SubsetSeed varies the deterministic subset sample.
 	SubsetSeed uint64
+	// Workers bounds the worker pool that fans out question simulations
+	// and engine evaluation (0 = one worker per CPU, 1 = fully serial).
+	// Transcripts and results are byte-identical across worker counts.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
 	if c.Strategy == nil {
 		c.Strategy = Sequential{}
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
 	}
 	if c.Alpha == 0 {
 		c.Alpha = 0.1
@@ -109,6 +117,7 @@ func NewSession(env *engine.Env, prog *alog.Program, oracle Oracle, cfg Config) 
 		ctx:    engine.NewContext(env),
 		asked:  map[string]bool{},
 	}
+	s.ctx.Workers = cfg.Workers
 	s.subset = s.sampleSubset()
 	return s
 }
@@ -213,9 +222,17 @@ func (s *Session) lastSize() int {
 	return s.sizes[len(s.sizes)-1]
 }
 
+// useSubset switches the shared context to subset evaluation. Strategies
+// must call it once before fanning simulate calls out across goroutines:
+// DocFilter is a plain field on the shared context, so it may only be
+// written while no evaluations are in flight.
+func (s *Session) useSubset() { s.ctx.DocFilter = s.subset }
+
 // simulate returns |exec(g(P, (a, f, v)))| over the subset: the result
 // size if the developer answered v (Section 5.1). It shares the session's
-// reuse cache, so unchanged plan subtrees are not recomputed.
+// reuse cache, so unchanged plan subtrees are not recomputed — and the
+// cache's single-flight deduplication makes concurrent simulate calls
+// safe. The caller must have selected subset mode via useSubset.
 func (s *Session) simulate(q Question, v string) (int, error) {
 	trial := s.Prog.Clone()
 	if err := trial.AddConstraint(q.Attr, q.Feature, v); err != nil {
@@ -225,7 +242,6 @@ func (s *Session) simulate(q Question, v string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	s.ctx.DocFilter = s.subset
 	res, err := plan.Execute(s.ctx)
 	if err != nil {
 		return 0, err

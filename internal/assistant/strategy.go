@@ -1,8 +1,11 @@
 package assistant
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"iflex/internal/alog"
 	"iflex/internal/feature"
@@ -181,34 +184,103 @@ func (st Simulation) Next(s *Session, space []Question, n int) ([]Question, erro
 		}
 		ordered = picked
 	}
-	type scored struct {
-		q        Question
-		expected float64
+	// Collect the candidates with a non-empty answer domain; each
+	// (question, answer) pair is one independent simulated execution.
+	type candidate struct {
+		q      Question
+		values []string
 	}
-	var results []scored
+	var cands []candidate
+	type job struct{ c, v int }
+	var jobs []job
 	for _, q := range ordered {
 		values := st.answerDomain(s, q)
 		if len(values) == 0 {
 			continue
 		}
-		pr := (1 - s.Alpha) / float64(len(values))
+		ci := len(cands)
+		cands = append(cands, candidate{q: q, values: values})
+		for vi := range values {
+			jobs = append(jobs, job{c: ci, v: vi})
+		}
+	}
+
+	// Fan the |candidates| x |V| simulations out across the session's
+	// worker pool. The simulations share the session context: its
+	// single-flight reuse cache deduplicates the common plan subtrees
+	// across goroutines (Section 5.2). Sizes and errors land in
+	// per-job slots, and the merge below walks candidates in rank order
+	// and values in domain order, so scores — and therefore the picked
+	// questions and the transcript — are byte-identical to a serial run.
+	s.useSubset()
+	sizes := make([][]int, len(cands))
+	errs := make([][]error, len(cands))
+	for ci, c := range cands {
+		sizes[ci] = make([]int, len(c.values))
+		errs[ci] = make([]error, len(c.values))
+	}
+	workers := s.Config.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			c := cands[j.c]
+			sizes[j.c][j.v], errs[j.c][j.v] = s.simulate(c.q, c.values[j.v])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					j := jobs[i]
+					c := cands[j.c]
+					sizes[j.c][j.v], errs[j.c][j.v] = s.simulate(c.q, c.values[j.v])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	type scored struct {
+		q        Question
+		expected float64
+	}
+	var results []scored
+	var simErrs []error
+	for ci, c := range cands {
+		pr := (1 - s.Alpha) / float64(len(c.values))
 		expected := s.Alpha * float64(s.lastSize())
 		feasible := true
-		for _, v := range values {
-			size, err := s.simulate(q, v)
-			if err != nil {
+		for vi, v := range c.values {
+			if err := errs[ci][vi]; err != nil {
 				feasible = false
+				simErrs = append(simErrs, fmt.Errorf("%s = %q: %w", c.q, v, err))
 				break
 			}
-			expected += pr * float64(size)
+			expected += pr * float64(sizes[ci][vi])
 		}
 		if !feasible {
 			continue
 		}
-		results = append(results, scored{q: q, expected: expected})
+		results = append(results, scored{q: c.q, expected: expected})
 	}
 	if len(results) == 0 {
-		// Nothing simulatable: fall back to sequential.
+		if len(simErrs) > 0 {
+			// Every candidate failed to simulate: surface the engine
+			// errors instead of silently degrading to Sequential.
+			return nil, fmt.Errorf("assistant: simulation failed for all %d candidate questions: %w",
+				len(cands), errors.Join(simErrs...))
+		}
+		// Nothing simulatable (e.g. no candidate answer values): fall
+		// back to sequential.
 		return (Sequential{}).Next(s, space, n)
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].expected < results[j].expected })

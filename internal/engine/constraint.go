@@ -97,7 +97,7 @@ func applyConstraint(ctx *Context, k feature.Constraint, as []text.Assignment) (
 	var out []text.Assignment
 	for _, a := range as {
 		if a.Mode == text.Exact {
-			ctx.Stats.VerifyCalls++
+			statAdd(&ctx.Stats.VerifyCalls, 1)
 			ok, err := f.Verify(a.Span, k.Value)
 			if err != nil {
 				return nil, err
@@ -107,7 +107,7 @@ func applyConstraint(ctx *Context, k feature.Constraint, as []text.Assignment) (
 			}
 			continue
 		}
-		ctx.Stats.RefineCalls++
+		statAdd(&ctx.Stats.RefineCalls, 1)
 		refined, err := f.Refine(a.Span, k.Value)
 		if err != nil {
 			return nil, err

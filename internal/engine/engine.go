@@ -15,6 +15,8 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"iflex/internal/alog"
 	"iflex/internal/compact"
@@ -129,39 +131,75 @@ func (e *Env) Schema() *alog.Schema {
 }
 
 // Context carries per-execution state: the environment, the reuse cache,
-// and the optional document subset.
+// and the optional document subset. A Context is safe for concurrent use:
+// cache lookups are single-flight (one goroutine evaluates a signature
+// while concurrent requesters for the same key block and share the
+// result), stats counters are updated atomically, and evaluation fans
+// leaf loops out across a bounded worker pool. Contexts must not be
+// copied after first use.
 type Context struct {
 	Env *Env
 	// Cache memoises node results by signature; share one Context across
-	// iterations to get the paper's reuse behaviour.
+	// iterations to get the paper's reuse behaviour. Guarded by mu; treat
+	// cached tables as immutable.
 	Cache map[string]*compact.Table
 	// DocFilter, when non-nil, restricts scans to documents whose ID it
-	// maps to true (subset evaluation, Section 5.2).
+	// maps to true (subset evaluation, Section 5.2). It must not be
+	// mutated while evaluations are in flight.
 	DocFilter map[string]bool
-	// Stats accumulates evaluation counters.
+	// Workers bounds the evaluation worker pool: 0 uses every available
+	// CPU, 1 evaluates fully serially. Results are byte-identical across
+	// worker counts (deterministic merge order).
+	Workers int
+	// Stats accumulates evaluation counters (atomically).
 	Stats Stats
+
+	// mu guards Cache, inflight, and blockIdx.
+	mu sync.Mutex
+	// inflight tracks signatures currently being evaluated, for
+	// single-flight deduplication across goroutines.
+	inflight map[string]*inflightEval
 	// blockIdx caches similarity-join blocking indexes per (subset, node,
 	// variable); trial executions during question simulation share the
 	// unchanged side's index instead of re-tokenising it.
 	blockIdx map[string]*blockIndex
+	// extraWorkers counts pool slots handed out beyond the caller's own
+	// goroutine; see parallel.go.
+	extraWorkers atomic.Int64
+}
+
+// inflightEval is one in-progress node evaluation; waiters block on done
+// and then read table/err (written before done is closed).
+type inflightEval struct {
+	done  chan struct{}
+	table *compact.Table
+	err   error
 }
 
 // Stats counts evaluation work, exposed for the experiments and benches.
+// Fields are int64 so concurrent evaluation can update them atomically;
+// read them only after evaluation quiesces (or via a copy).
 type Stats struct {
-	NodesEvaluated int
-	CacheHits      int
-	TuplesBuilt    int
-	ProcCalls      int
-	FuncCalls      int
-	VerifyCalls    int
-	RefineCalls    int
+	NodesEvaluated int64
+	CacheHits      int64
+	TuplesBuilt    int64
+	ProcCalls      int64
+	FuncCalls      int64
+	VerifyCalls    int64
+	RefineCalls    int64
 }
+
+// statAdd atomically bumps one stats counter; every Stats write in the
+// engine goes through it because node evaluation may run on several
+// goroutines at once.
+func statAdd(p *int64, n int) { atomic.AddInt64(p, int64(n)) }
 
 // NewContext returns a fresh context with an empty reuse cache.
 func NewContext(env *Env) *Context {
 	return &Context{
 		Env:      env,
 		Cache:    map[string]*compact.Table{},
+		inflight: map[string]*inflightEval{},
 		blockIdx: map[string]*blockIndex{},
 	}
 }
@@ -230,21 +268,48 @@ func SumAssignments(ctx *Context, root Node) (int, error) {
 	return total, nil
 }
 
-// Eval evaluates a node through the context's reuse cache.
+// Eval evaluates a node through the context's reuse cache with
+// single-flight deduplication: the first goroutine to request a signature
+// evaluates it; concurrent requesters for the same key block until it
+// finishes and share the result (counted as cache hits). Failed
+// evaluations are not cached, so a later request retries.
 func Eval(ctx *Context, n Node) (*compact.Table, error) {
 	key := ctx.cacheKey(n.Signature())
+	ctx.mu.Lock()
 	if t, ok := ctx.Cache[key]; ok {
-		ctx.Stats.CacheHits++
+		ctx.mu.Unlock()
+		statAdd(&ctx.Stats.CacheHits, 1)
 		return t, nil
 	}
-	ctx.Stats.NodesEvaluated++
-	t, err := n.eval(ctx)
-	if err != nil {
-		return nil, err
+	if ctx.inflight == nil {
+		ctx.inflight = map[string]*inflightEval{}
 	}
-	ctx.Stats.TuplesBuilt += len(t.Tuples)
-	ctx.Cache[key] = t
-	return t, nil
+	if c, ok := ctx.inflight[key]; ok {
+		ctx.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, c.err
+		}
+		statAdd(&ctx.Stats.CacheHits, 1)
+		return c.table, nil
+	}
+	c := &inflightEval{done: make(chan struct{})}
+	ctx.inflight[key] = c
+	ctx.mu.Unlock()
+
+	statAdd(&ctx.Stats.NodesEvaluated, 1)
+	t, err := n.eval(ctx)
+	c.table, c.err = t, err
+
+	ctx.mu.Lock()
+	if err == nil {
+		statAdd(&ctx.Stats.TuplesBuilt, len(t.Tuples))
+		ctx.Cache[key] = t
+	}
+	delete(ctx.inflight, key)
+	ctx.mu.Unlock()
+	close(c.done)
+	return t, err
 }
 
 // colIndex locates a column by name or panics; internal nodes are built by

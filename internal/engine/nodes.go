@@ -138,44 +138,50 @@ func (n *crossNode) Columns() []string { return n.cols }
 func (n *crossNode) Children() []Node  { return []Node{n.left, n.right} }
 
 func (n *crossNode) eval(ctx *Context) (*compact.Table, error) {
-	lt, err := Eval(ctx, n.left)
-	if err != nil {
-		return nil, err
-	}
-	rt, err := Eval(ctx, n.right)
+	lt, rt, err := evalPair(ctx, n.left, n.right)
 	if err != nil {
 		return nil, err
 	}
 	out := compact.NewTable(n.cols...)
 	lim := ctx.Env.Limits
-	for _, ltp := range lt.Tuples {
-		for _, rtp := range rt.Tuples {
-			keep := true
-			sure := true
-			for _, sc := range n.shared {
-				lc := ltp.Cells[colIndex(lt.Cols, sc)]
-				rc := rtp.Cells[colIndex(rt.Cols, sc)]
-				eq := cellsMayEqual(lc, rc, lim)
-				if eq == noValuation {
-					keep = false
-					break
+	// Partition the product over left tuples; per-index result slots keep
+	// the output order identical to the serial nested loop.
+	rows := make([][]compact.Tuple, len(lt.Tuples))
+	_ = ctx.parallelChunks(len(lt.Tuples), func(start, end int) error {
+		for i := start; i < end; i++ {
+			ltp := lt.Tuples[i]
+			for _, rtp := range rt.Tuples {
+				keep := true
+				sure := true
+				for _, sc := range n.shared {
+					lc := ltp.Cells[colIndex(lt.Cols, sc)]
+					rc := rtp.Cells[colIndex(rt.Cols, sc)]
+					eq := cellsMayEqual(lc, rc, lim)
+					if eq == noValuation {
+						keep = false
+						break
+					}
+					if eq != allValuations {
+						sure = false
+					}
 				}
-				if eq != allValuations {
-					sure = false
+				if !keep {
+					continue
 				}
-			}
-			if !keep {
-				continue
-			}
-			nt := ltp.Clone()
-			for i, c := range rt.Cols {
-				if !containsStr(n.shared, c) {
-					nt.Cells = append(nt.Cells, rtp.Cells[i].Clone())
+				nt := ltp.Clone()
+				for j, c := range rt.Cols {
+					if !containsStr(n.shared, c) {
+						nt.Cells = append(nt.Cells, rtp.Cells[j].Clone())
+					}
 				}
+				nt.Maybe = ltp.Maybe || rtp.Maybe || !sure
+				rows[i] = append(rows[i], nt)
 			}
-			nt.Maybe = ltp.Maybe || rtp.Maybe || !sure
-			out.Tuples = append(out.Tuples, nt)
 		}
+		return nil
+	})
+	for _, r := range rows {
+		out.Tuples = append(out.Tuples, r...)
 	}
 	return out, nil
 }
@@ -254,12 +260,12 @@ func (n *unionNode) Columns() []string { return n.parts[0].Columns() }
 func (n *unionNode) Children() []Node  { return append([]Node(nil), n.parts...) }
 
 func (n *unionNode) eval(ctx *Context) (*compact.Table, error) {
+	tables, err := evalAll(ctx, n.parts)
+	if err != nil {
+		return nil, err
+	}
 	out := compact.NewTable(n.Columns()...)
-	for _, p := range n.parts {
-		t, err := Eval(ctx, p)
-		if err != nil {
-			return nil, err
-		}
+	for _, t := range tables {
 		for _, tp := range t.Tuples {
 			out.Tuples = append(out.Tuples, tp.Clone())
 		}

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"iflex/internal/compact"
+)
+
+// This file implements the engine's bounded worker pool. Leaf loops
+// (similarity-join probes, cross products, selections) and independent
+// sibling subtrees run on spare pool slots; the calling goroutine always
+// keeps working too, so progress never depends on slot availability and
+// nested parallel regions cannot deadlock. Every construct merges results
+// in input order, which makes evaluation byte-identical to a serial run
+// regardless of the worker count.
+
+// workers resolves the context's worker budget: Workers when positive,
+// otherwise every available CPU.
+func (ctx *Context) workers() int {
+	if ctx.Workers > 0 {
+		return ctx.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// tryAcquire reserves one pool slot beyond the caller's own goroutine,
+// without blocking. Callers that fail to acquire run the work inline.
+func (ctx *Context) tryAcquire() bool {
+	limit := int64(ctx.workers() - 1)
+	for {
+		cur := ctx.extraWorkers.Load()
+		if cur >= limit {
+			return false
+		}
+		if ctx.extraWorkers.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// release returns a slot taken by tryAcquire.
+func (ctx *Context) release() { ctx.extraWorkers.Add(-1) }
+
+// parallelChunks splits [0, n) into up to workers() contiguous chunks and
+// runs body on each, spawning goroutines only for the slots tryAcquire
+// grants; the caller's goroutine runs the first chunk (and any chunk that
+// found no free slot) itself. body must write results into per-index
+// slots so the caller can merge in index order. The returned error is the
+// one a serial left-to-right run would have hit first: within a chunk
+// body stops at its first error, and across chunks the lowest-indexed
+// chunk's error wins.
+func (ctx *Context) parallelChunks(n int, body func(start, end int) error) error {
+	w := ctx.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if n <= 0 {
+			return nil
+		}
+		return body(0, n)
+	}
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	chunk := func(i int) (start, end int) {
+		return i * n / w, (i + 1) * n / w
+	}
+	for i := 1; i < w; i++ {
+		if !ctx.tryAcquire() {
+			start, end := chunk(i)
+			errs[i] = body(start, end)
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer ctx.release()
+			start, end := chunk(i)
+			errs[i] = body(start, end)
+		}(i)
+	}
+	start, end := chunk(0)
+	errs[0] = body(start, end)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalPair evaluates two sibling nodes, concurrently when a pool slot is
+// free. On a double failure the left error wins, matching serial order.
+func evalPair(ctx *Context, left, right Node) (lt, rt *compact.Table, err error) {
+	if !ctx.tryAcquire() {
+		lt, err = Eval(ctx, left)
+		if err != nil {
+			return nil, nil, err
+		}
+		rt, err = Eval(ctx, right)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lt, rt, nil
+	}
+	var rerr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer ctx.release()
+		rt, rerr = Eval(ctx, right)
+	}()
+	lt, err = Eval(ctx, left)
+	<-done
+	if err != nil {
+		return nil, nil, err
+	}
+	if rerr != nil {
+		return nil, nil, rerr
+	}
+	return lt, rt, nil
+}
+
+// evalAll evaluates sibling nodes in order, running each on a spare pool
+// slot when one is free. The first (lowest-index) error wins.
+func evalAll(ctx *Context, nodes []Node) ([]*compact.Table, error) {
+	out := make([]*compact.Table, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, node := range nodes {
+		if i < len(nodes)-1 && ctx.tryAcquire() {
+			wg.Add(1)
+			go func(i int, node Node) {
+				defer wg.Done()
+				defer ctx.release()
+				out[i], errs[i] = Eval(ctx, node)
+			}(i, node)
+			continue
+		}
+		out[i], errs[i] = Eval(ctx, node)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -69,7 +69,7 @@ func (n *procNode) eval(ctx *Context) (*compact.Table, error) {
 		}
 		var evalErr error
 		cell.Values(func(v text.Span) bool {
-			ctx.Stats.ProcCalls++
+			statAdd(&ctx.Stats.ProcCalls, 1)
 			rows, err := proc.Fn(v)
 			if err != nil {
 				evalErr = fmt.Errorf("engine: procedure %s: %w", n.pname, err)

@@ -72,7 +72,7 @@ func filterTuple(tp compact.Tuple, involved []int, pred valuePred, lim Limits, s
 			return filterOutcome{}, err
 		}
 		if stats != nil {
-			stats.FuncCalls++
+			statAdd(&stats.FuncCalls, 1)
 		}
 		if ok {
 			anySat = true
@@ -148,25 +148,43 @@ func filterTuple(tp compact.Tuple, involved []int, pred valuePred, lim Limits, s
 }
 
 // applyFilter runs filterTuple over a whole table, producing the selected
-// table with maybe flags and expansion-cell filtering applied.
-func applyFilter(in *compact.Table, involved []int, pred valuePred, lim Limits, stats *Stats) (*compact.Table, error) {
+// table with maybe flags and expansion-cell filtering applied. Tuples are
+// independent, so the loop is partitioned across the context's worker
+// pool; per-index result slots keep the output order serial-identical.
+// The predicate must therefore be safe for concurrent calls (the built-in
+// p-functions and comparison operands are pure).
+func applyFilter(ctx *Context, in *compact.Table, involved []int, pred valuePred) (*compact.Table, error) {
+	lim := ctx.Env.Limits
 	out := compact.NewTable(in.Cols...)
-	for _, tp := range in.Tuples {
-		res, err := filterTuple(tp, involved, pred, lim, stats)
-		if err != nil {
-			return nil, err
+	rows := make([]*compact.Tuple, len(in.Tuples))
+	err := ctx.parallelChunks(len(in.Tuples), func(start, end int) error {
+		for i := start; i < end; i++ {
+			tp := in.Tuples[i]
+			res, err := filterTuple(tp, involved, pred, lim, &ctx.Stats)
+			if err != nil {
+				return err
+			}
+			if !res.keep {
+				continue
+			}
+			nt := tp.Clone()
+			for ci, cell := range res.repl {
+				nt.Cells[ci] = cell
+			}
+			if !res.sure {
+				nt.Maybe = true
+			}
+			rows[i] = &nt
 		}
-		if !res.keep {
-			continue
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, nt := range rows {
+		if nt != nil {
+			out.Tuples = append(out.Tuples, *nt)
 		}
-		nt := tp.Clone()
-		for ci, cell := range res.repl {
-			nt.Cells[ci] = cell
-		}
-		if !res.sure {
-			nt.Maybe = true
-		}
-		out.Tuples = append(out.Tuples, nt)
 	}
 	return out, nil
 }
@@ -226,7 +244,7 @@ func (n *compareNode) eval(ctx *Context) (*compact.Table, error) {
 		}
 		return compareOperands(op, l, r)
 	}
-	return applyFilter(in, involved, pred, ctx.Env.Limits, &ctx.Stats)
+	return applyFilter(ctx, in, involved, pred)
 }
 
 // operand is one side of a comparison at valuation time.
@@ -352,5 +370,5 @@ func (n *funcNode) eval(ctx *Context) (*compact.Table, error) {
 		}
 		return fn(args)
 	}
-	return applyFilter(in, involved, pred, ctx.Env.Limits, &ctx.Stats)
+	return applyFilter(ctx, in, involved, pred)
 }

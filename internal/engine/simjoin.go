@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"iflex/internal/compact"
 	"iflex/internal/similarity"
@@ -66,12 +67,17 @@ type blockIndex struct {
 // rightIndex builds (or fetches from the context cache) the blocking index
 // of the join's right side. The cache key includes the subset marker and
 // the node signature, so an index is shared only with executions that see
-// the identical table.
+// the identical table. Concurrent builders may race to construct the same
+// index; the build is deterministic, so whichever lands in the cache is
+// interchangeable.
 func (n *simJoinNode) rightIndex(ctx *Context, rt *compact.Table, ri int) *blockIndex {
 	key := ctx.cacheKey(n.right.Signature()) + "|" + n.rightVar
+	ctx.mu.Lock()
 	if idx, ok := ctx.blockIdx[key]; ok {
+		ctx.mu.Unlock()
 		return idx
 	}
+	ctx.mu.Unlock()
 	idx := &blockIndex{byToken: map[string][]int{}}
 	lim := ctx.Env.Limits
 	for j, rtp := range rt.Tuples {
@@ -84,9 +90,13 @@ func (n *simJoinNode) rightIndex(ctx *Context, rt *compact.Table, ri int) *block
 			idx.byToken[tok] = append(idx.byToken[tok], j)
 		}
 	}
-	if ctx.blockIdx != nil {
+	ctx.mu.Lock()
+	if prev, ok := ctx.blockIdx[key]; ok {
+		idx = prev
+	} else if ctx.blockIdx != nil {
 		ctx.blockIdx[key] = idx
 	}
+	ctx.mu.Unlock()
 	return idx
 }
 
@@ -95,11 +105,7 @@ func (n *simJoinNode) eval(ctx *Context) (*compact.Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: p-function %q not bound", n.fname)
 	}
-	lt, err := Eval(ctx, n.left)
-	if err != nil {
-		return nil, err
-	}
-	rt, err := Eval(ctx, n.right)
+	lt, rt, err := evalPair(ctx, n.left, n.right)
 	if err != nil {
 		return nil, err
 	}
@@ -133,68 +139,85 @@ func (n *simJoinNode) eval(ctx *Context) (*compact.Table, error) {
 		rtoks[j] = singletonTokens(rtp.Cells[ri])
 	}
 	out := compact.NewTable(n.cols...)
-	seen := make(map[int]int) // right idx -> generation marker
-	gen := 0
-	for _, ltp := range lt.Tuples {
-		gen++
-		var cands []int
-		ltoks := blockTokens(ltp.Cells[li], lim)
-		if ltoks == nil {
-			// Oversized left cell: every right tuple is a candidate.
-			cands = make([]int, len(rt.Tuples))
-			for j := range rt.Tuples {
-				cands[j] = j
-			}
-		} else {
-			for tok := range ltoks {
-				for _, j := range index[tok] {
+	// Partition the probe loop over left tuples; each chunk keeps its own
+	// seen-generation map and writes matches into its tuples' result slots,
+	// so the merged output is identical to a serial probe. Candidates are
+	// probed in ascending right-tuple order (the token index enumerates a
+	// map), which also makes the output order deterministic run to run.
+	rows := make([][]compact.Tuple, len(lt.Tuples))
+	probe := func(start, end int) error {
+		seen := make(map[int]int) // right idx -> generation marker
+		gen := 0
+		for i := start; i < end; i++ {
+			ltp := lt.Tuples[i]
+			gen++
+			var cands []int
+			ltoks := blockTokens(ltp.Cells[li], lim)
+			if ltoks == nil {
+				// Oversized left cell: every right tuple is a candidate.
+				cands = make([]int, len(rt.Tuples))
+				for j := range rt.Tuples {
+					cands[j] = j
+				}
+			} else {
+				for tok := range ltoks {
+					for _, j := range index[tok] {
+						if seen[j] != gen {
+							seen[j] = gen
+							cands = append(cands, j)
+						}
+					}
+				}
+				for _, j := range always {
 					if seen[j] != gen {
 						seen[j] = gen
 						cands = append(cands, j)
 					}
 				}
+				sort.Ints(cands)
 			}
-			for _, j := range always {
-				if seen[j] != gen {
-					seen[j] = gen
-					cands = append(cands, j)
-				}
-			}
-		}
-		lpinned := singletonTokens(ltp.Cells[li])
-		for _, j := range cands {
-			rtp := rt.Tuples[j]
-			if lpinned != nil && rtoks[j] != nil {
-				// Both values pinned: one token comparison decides the pair.
-				ctx.Stats.FuncCalls++
-				if !tokenFn(lpinned, rtoks[j]) {
+			lpinned := singletonTokens(ltp.Cells[li])
+			for _, j := range cands {
+				rtp := rt.Tuples[j]
+				if lpinned != nil && rtoks[j] != nil {
+					// Both values pinned: one token comparison decides the pair.
+					statAdd(&ctx.Stats.FuncCalls, 1)
+					if !tokenFn(lpinned, rtoks[j]) {
+						continue
+					}
+					joined := ltp.Clone()
+					joined.Cells = append(joined.Cells, rtp.Clone().Cells...)
+					joined.Maybe = ltp.Maybe || rtp.Maybe
+					rows[i] = append(rows[i], joined)
 					continue
 				}
 				joined := ltp.Clone()
-				joined.Cells = append(joined.Cells, rtp.Clone().Cells...)
+				rc := rtp.Clone()
+				joined.Cells = append(joined.Cells, rc.Cells...)
 				joined.Maybe = ltp.Maybe || rtp.Maybe
-				out.Tuples = append(out.Tuples, joined)
-				continue
+				res, err := filterTuple(joined, involved, pred, lim, &ctx.Stats)
+				if err != nil {
+					return err
+				}
+				if !res.keep {
+					continue
+				}
+				for ci, cell := range res.repl {
+					joined.Cells[ci] = cell
+				}
+				if !res.sure {
+					joined.Maybe = true
+				}
+				rows[i] = append(rows[i], joined)
 			}
-			joined := ltp.Clone()
-			rc := rtp.Clone()
-			joined.Cells = append(joined.Cells, rc.Cells...)
-			joined.Maybe = ltp.Maybe || rtp.Maybe
-			res, err := filterTuple(joined, involved, pred, lim, &ctx.Stats)
-			if err != nil {
-				return nil, err
-			}
-			if !res.keep {
-				continue
-			}
-			for ci, cell := range res.repl {
-				joined.Cells[ci] = cell
-			}
-			if !res.sure {
-				joined.Maybe = true
-			}
-			out.Tuples = append(out.Tuples, joined)
 		}
+		return nil
+	}
+	if err := ctx.parallelChunks(len(lt.Tuples), probe); err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		out.Tuples = append(out.Tuples, r...)
 	}
 	return out, nil
 }

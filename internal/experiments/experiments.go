@@ -14,6 +14,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"iflex/internal/alog"
@@ -31,6 +32,9 @@ type Options struct {
 	Seed int64
 	// Strategy is the assistant strategy for Tables 3/4 ("sim" default).
 	Strategy string
+	// Workers bounds the assistant worker pool (0 = one per CPU, 1 =
+	// serial). Results are byte-identical across worker counts.
+	Workers int
 	// Out receives the rendered table (nil = io.Discard).
 	Out io.Writer
 }
@@ -61,6 +65,8 @@ func (o Options) scale(n int) int {
 type Scenario struct {
 	TaskID  string
 	Records int
+	// Workers bounds the session's worker pool (0 = one per CPU).
+	Workers int
 }
 
 // Table3Sizes lists the paper's 27 scenarios: three sizes per task
@@ -130,6 +136,7 @@ func RunScenario(sc Scenario, strategyName string, seed int64) (*SessionOutcome,
 	session := assistant.NewSession(env, prog, task.Oracle(), assistant.Config{
 		Strategy:   strat,
 		SubsetSeed: uint64(seed),
+		Workers:    sc.Workers,
 	})
 	res, err := session.Run()
 	if err != nil {
@@ -223,7 +230,7 @@ func Table3(o Options) ([]Table3Row, error) {
 		shape := devmodel.ShapeOf(alog.MustParse(task.Program))
 		for i, full := range sizes {
 			n := o.scale(full)
-			out, err := RunScenario(Scenario{TaskID: task.ID, Records: n}, o.Strategy, o.Seed)
+			out, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers}, o.Strategy, o.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -275,7 +282,7 @@ func Table4(o Options) ([]*SessionOutcome, error) {
 		"Task", "Records", "Correct", "TuplesPerIteration(full in [])", "Quest", "Time(s)", "Superset")
 	for _, task := range corpus.Tasks() {
 		n := o.scale(sizes[task.ID])
-		out, err := RunScenario(Scenario{TaskID: task.ID, Records: n}, o.Strategy, o.Seed)
+		out, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers}, o.Strategy, o.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -323,11 +330,11 @@ func Table5(o Options) ([]Table5Row, error) {
 		"Task", "Records", "itS", "qS", "tS(s)", "ssSeq", "itM", "qM", "tM(s)", "ssSim", "p.ssSeq", "p.ssSim")
 	for _, task := range corpus.Tasks() {
 		n := o.scale(sizes[task.ID])
-		seq, err := RunScenario(Scenario{TaskID: task.ID, Records: n}, "seq", o.Seed)
+		seq, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers}, "seq", o.Seed)
 		if err != nil {
 			return nil, err
 		}
-		sim, err := RunScenario(Scenario{TaskID: task.ID, Records: n}, "sim", o.Seed)
+		sim, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers}, "sim", o.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -382,6 +389,7 @@ func Table6(o Options) ([]Table6Row, error) {
 		session := assistant.NewSession(env, prog, task.Oracle(), assistant.Config{
 			Strategy:   assistant.Simulation{},
 			SubsetSeed: uint64(o.Seed),
+			Workers:    o.Workers,
 		})
 		res, err := session.Run()
 		if err != nil {
@@ -458,6 +466,78 @@ func Scaling(o Options, taskID string, sizes []int) ([]ScalingRow, error) {
 	return rows, nil
 }
 
+// ParallelResult compares a serial (Workers=1) and a parallel session on
+// the same scenario. Identical reports whether the transcripts and final
+// tables match byte for byte — the engine's determinism guarantee.
+type ParallelResult struct {
+	Task      string  `json:"task"`
+	Records   int     `json:"records"`
+	Workers   int     `json:"workers"`
+	SerialS   float64 `json:"serial_s"`
+	ParallelS float64 `json:"parallel_s"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"`
+}
+
+// ParallelCompare runs one scenario twice — serial and with the
+// configured worker pool — and checks that the transcripts and final
+// tables are byte-identical before reporting the speedup.
+func ParallelCompare(o Options, taskID string, records int) (*ParallelResult, error) {
+	o = o.withDefaults()
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	run := func(w int) (*assistant.Result, float64, error) {
+		task, err := corpus.TaskByID(taskID)
+		if err != nil {
+			return nil, 0, err
+		}
+		strat, err := assistant.ByName(o.Strategy)
+		if err != nil {
+			return nil, 0, err
+		}
+		c := task.Generate(records, o.Seed)
+		env := task.Env(c)
+		prog := alog.MustParse(task.Program)
+		start := time.Now()
+		session := assistant.NewSession(env, prog, task.Oracle(), assistant.Config{
+			Strategy:   strat,
+			SubsetSeed: uint64(o.Seed),
+			Workers:    w,
+		})
+		res, err := session.Run()
+		if err != nil {
+			return nil, 0, fmt.Errorf("experiments: parallel compare %s workers=%d: %w", taskID, w, err)
+		}
+		return res, time.Since(start).Seconds(), nil
+	}
+	serial, serialS, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	par, parS, err := run(workers)
+	if err != nil {
+		return nil, err
+	}
+	r := &ParallelResult{
+		Task: taskID, Records: records, Workers: workers,
+		SerialS: serialS, ParallelS: parS,
+		Identical: serial.Transcript() == par.Transcript() &&
+			serial.Final.String() == par.Final.String(),
+	}
+	if parS > 0 {
+		r.Speedup = serialS / parS
+	}
+	fmt.Fprintf(o.Out, "Parallel comparison: task %s, %d records, strategy %s\n", taskID, records, o.Strategy)
+	fmt.Fprintf(o.Out, "%8s %10s %10s %8s %10s\n", "Workers", "Serial(s)", "Parallel(s)", "Speedup", "Identical")
+	fmt.Fprintf(o.Out, "%8d %10.3f %10.3f %7.2fx %10v\n", r.Workers, r.SerialS, r.ParallelS, r.Speedup, r.Identical)
+	if !r.Identical {
+		return r, fmt.Errorf("experiments: parallel run of %s diverged from serial (workers=%d)", taskID, workers)
+	}
+	return r, nil
+}
+
 // ConvergenceSummary reruns all 27 Table 3 scenarios and reports how many
 // converge to exactly 100% superset (paper: 23 of 27, outliers 170%,
 // 161%, 114%, 102%).
@@ -474,7 +554,7 @@ func Convergence(o Options) (*ConvergenceSummary, error) {
 	fmt.Fprintf(o.Out, "Section 6.2: convergence over 27 scenarios (scale %.2f, strategy %s)\n", o.Scale, o.Strategy)
 	for _, task := range corpus.Tasks() {
 		for _, full := range Table3Sizes[task.ID] {
-			out, err := RunScenario(Scenario{TaskID: task.ID, Records: o.scale(full)}, o.Strategy, o.Seed)
+			out, err := RunScenario(Scenario{TaskID: task.ID, Records: o.scale(full), Workers: o.Workers}, o.Strategy, o.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -529,7 +609,7 @@ func Variance(o Options, seeds []int64) ([]VarianceRow, error) {
 		row := VarianceRow{Task: task.ID, Records: n, Runs: len(seeds),
 			MinSuperset: -1, AllCovered: true}
 		for _, seed := range seeds {
-			out, err := RunScenario(Scenario{TaskID: task.ID, Records: n}, o.Strategy, seed)
+			out, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers}, o.Strategy, seed)
 			if err != nil {
 				return nil, err
 			}

@@ -157,11 +157,15 @@ type patternFeature struct {
 }
 
 var (
-	reCacheMu sync.Mutex
+	reCacheMu sync.RWMutex
 	reCache   = map[string]*regexp.Regexp{}
 )
 
 // compilePattern compiles and caches the pattern anchored as requested.
+// Verify/Refine call it on every span, concurrently once evaluation is
+// parallel, so the steady-state hit takes only a read lock; compilation
+// happens outside any lock and the write path re-checks (keeping the
+// first-stored regexp) in case of a racing miss.
 func compilePattern(pat string, anchor anchorMode) (*regexp.Regexp, error) {
 	key := pat
 	switch anchor {
@@ -172,16 +176,23 @@ func compilePattern(pat string, anchor anchorMode) (*regexp.Regexp, error) {
 	case anchorBoth:
 		key = "\\A(?:" + pat + ")\\z"
 	}
-	reCacheMu.Lock()
-	defer reCacheMu.Unlock()
-	if re, ok := reCache[key]; ok {
+	reCacheMu.RLock()
+	re, ok := reCache[key]
+	reCacheMu.RUnlock()
+	if ok {
 		return re, nil
 	}
 	re, err := regexp.Compile(key)
 	if err != nil {
 		return nil, fmt.Errorf("feature: bad pattern %q: %w", pat, err)
 	}
-	reCache[key] = re
+	reCacheMu.Lock()
+	if prev, ok := reCache[key]; ok {
+		re = prev
+	} else {
+		reCache[key] = re
+	}
+	reCacheMu.Unlock()
 	return re, nil
 }
 

@@ -1,0 +1,68 @@
+// Determinism of parallel evaluation: a session run with a worker pool
+// must be byte-identical to a serial run — same transcript, same picked
+// questions, same final table. This is the guarantee DESIGN.md's
+// concurrency model section makes and the parallel speedup relies on.
+package iflex_test
+
+import (
+	"testing"
+
+	"iflex"
+	"iflex/internal/corpus"
+	"iflex/internal/experiments"
+)
+
+// runT9 executes the Table 5 simulation scenario for T9 with the given
+// worker count and returns the transcript and rendered final table.
+func runT9(t *testing.T, workers int) (transcript, final string) {
+	t.Helper()
+	task, err := corpus.TaskByID("T9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := task.Generate(30, 1)
+	env := task.Env(c)
+	prog, err := iflex.ParseProgram(task.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := iflex.NewSession(env, prog, task.Oracle(), iflex.SessionConfig{
+		Strategy:   iflex.SimulationStrategy,
+		SubsetSeed: 1,
+		Workers:    workers,
+	})
+	res, err := session.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Transcript(), res.Final.String()
+}
+
+func TestParallelSessionDeterminism(t *testing.T) {
+	serialTranscript, serialFinal := runT9(t, 1)
+	parTranscript, parFinal := runT9(t, 8)
+	if serialTranscript != parTranscript {
+		t.Errorf("transcripts diverge:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			serialTranscript, parTranscript)
+	}
+	if serialFinal != parFinal {
+		t.Errorf("final tables diverge:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			serialFinal, parFinal)
+	}
+}
+
+// TestParallelCompareHarness exercises the iflex-bench "parallel" table:
+// it must report Identical=true and a positive speedup value.
+func TestParallelCompareHarness(t *testing.T) {
+	res, err := experiments.ParallelCompare(
+		experiments.Options{Seed: 1, Strategy: "sim", Workers: 4}, "T9", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Error("parallel run diverged from serial")
+	}
+	if res.Speedup <= 0 {
+		t.Errorf("speedup = %v, want > 0", res.Speedup)
+	}
+}
