@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-all bench bench-parallel vet
+.PHONY: build test race race-all bench bench-parallel profile vet
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,11 @@ bench:
 bench-parallel:
 	$(GO) test -bench='BenchmarkTable5SimulationT9' -benchmem -run='^$$' .
 	$(GO) run ./cmd/iflex-bench -table parallel -scale 0.05 -bench-json BENCH_PARALLEL.json
+
+# Capture CPU, heap, and execution-trace profiles from the parallel
+# harness; inspect with `go tool pprof` / `go tool trace`.
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/iflex-bench -table parallel -scale 0.05 \
+		-cpuprofile profiles/cpu.prof -memprofile profiles/mem.prof \
+		-trace profiles/trace.out

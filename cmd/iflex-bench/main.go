@@ -19,19 +19,34 @@ import (
 	"os"
 
 	"iflex/internal/experiments"
+	"iflex/internal/prof"
 )
 
 func main() {
 	var (
-		table     = flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, parallel, or all")
-		scale     = flag.Float64("scale", 0.2, "corpus size factor (1.0 = paper sizes)")
-		seed      = flag.Int64("seed", 1, "corpus generation seed")
-		strategy  = flag.String("strategy", "sim", "assistant strategy for Tables 3/4/conv: seq or sim")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = serial)")
-		benchJSON = flag.String("bench-json", "", "write the parallel comparison result to this JSON file")
-		outPath   = flag.String("out", "", "also write output to this file")
+		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, parallel, or all")
+		scale      = flag.Float64("scale", 0.2, "corpus size factor (1.0 = paper sizes)")
+		seed       = flag.Int64("seed", 1, "corpus generation seed")
+		strategy   = flag.String("strategy", "sim", "assistant strategy for Tables 3/4/conv: seq or sim")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = serial)")
+		benchJSON  = flag.String("bench-json", "", "write the parallel comparison result to this JSON file")
+		outPath    = flag.String("out", "", "also write output to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		tracePath  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iflex-bench:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "iflex-bench: profiling:", err)
+		}
+	}()
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {

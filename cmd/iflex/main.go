@@ -25,6 +25,7 @@ import (
 
 	"iflex"
 	"iflex/internal/engine"
+	"iflex/internal/prof"
 )
 
 // tableFlags collects repeated -table pred=dir bindings.
@@ -56,10 +57,23 @@ func run() error {
 		strategy    = flag.String("strategy", "seq", "question selection strategy: seq or sim")
 		workers     = flag.Int("workers", 0, "worker pool size for evaluation and simulation (0 = one per CPU, 1 = serial)")
 		maxTuples   = flag.Int("max-print", 50, "print at most this many result tuples")
-		explain     = flag.Bool("explain", false, "print the execution plan with per-operator result sizes")
+		explain     = flag.Bool("explain", false, "print an EXPLAIN ANALYZE tree: per-operator rows, timing, cache status, fallbacks")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		tracePath   = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Var(tables, "table", "bind an extensional predicate to a directory of .html pages (pred=dir, repeatable)")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *tracePath)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "iflex: profiling:", err)
+		}
+	}()
 
 	if *programPath == "" || len(tables) == 0 {
 		flag.Usage()
@@ -90,12 +104,17 @@ func run() error {
 		}
 		ctx := iflex.NewContext(env)
 		ctx.Workers = *workers
+		if *explain {
+			// Enable tracing before execution so the tree shows real
+			// evaluation timings, not all-hit cache lookups.
+			ctx.StartTrace()
+		}
 		result, err := plan.Execute(ctx)
 		if err != nil {
 			return err
 		}
 		if *explain {
-			analyzed, err := engine.AnalyzeString(ctx, plan.Root)
+			analyzed, err := engine.Explain(ctx, plan.Root)
 			if err != nil {
 				return err
 			}

@@ -88,6 +88,10 @@ type (
 // StrategyByName resolves "seq" or "sim" to a Strategy.
 func StrategyByName(name string) (Strategy, error) { return assistant.ByName(name) }
 
+// ExplicitZero marks a SessionConfig field (Alpha, SubsetFraction) as a
+// literal zero rather than "use the default".
+const ExplicitZero = assistant.ExplicitZero
+
 // Strategies for the next-effort assistant (Section 5.1).
 var (
 	// SequentialStrategy asks questions in a predefined importance order.

@@ -11,13 +11,19 @@ import (
 	"iflex/internal/engine"
 )
 
+// ExplicitZero is a sentinel for Config fields whose zero value selects a
+// default: setting Alpha or SubsetFraction to ExplicitZero (any negative
+// value works) means a literal 0 rather than "use the default".
+const ExplicitZero = -1
+
 // Config tunes a refinement session. Zero values select the defaults
 // matching the paper.
 type Config struct {
 	// Strategy selects questions; default Sequential.
 	Strategy Strategy
 	// Alpha is the probability of an "I do not know" answer assumed by the
-	// simulation strategy (default 0.1).
+	// simulation strategy (default 0.1). Use ExplicitZero for a literal
+	// α = 0 (the oracle always answers).
 	Alpha float64
 	// ConvergenceWindow is k: counts stable for k iterations triggers the
 	// convergence notification (paper: 3).
@@ -29,12 +35,15 @@ type Config struct {
 	// MaxIterations is a safety bound (default 50).
 	MaxIterations int
 	// SubsetFraction overrides the subset size (0 = automatic 5–30%
-	// depending on corpus size, Section 5.2).
+	// depending on corpus size, Section 5.2). Use ExplicitZero for the
+	// minimal subset: a single document per extensional table.
 	SubsetFraction float64
 	// SubsetSeed varies the deterministic subset sample.
 	SubsetSeed uint64
 	// Workers bounds the worker pool that fans out question simulations
-	// and engine evaluation (0 = one worker per CPU, 1 = fully serial).
+	// and engine evaluation (0 = one worker per GOMAXPROCS slot, 1 =
+	// fully serial) — the same resolution rule as engine.Context, so the
+	// fan-out never oversubscribes the pool under a CPU quota.
 	// Transcripts and results are byte-identical across worker counts.
 	Workers int
 }
@@ -44,9 +53,12 @@ func (c Config) withDefaults() Config {
 		c.Strategy = Sequential{}
 	}
 	if c.Workers <= 0 {
-		c.Workers = runtime.NumCPU()
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
-	if c.Alpha == 0 {
+	switch {
+	case c.Alpha < 0:
+		c.Alpha = 0
+	case c.Alpha == 0:
 		c.Alpha = 0.1
 	}
 	if c.ConvergenceWindow == 0 {
@@ -74,6 +86,12 @@ type Iteration struct {
 	Assignments int    // assignment count (the convergence monitor's 2nd signal)
 	Mode        string // "subset" or "full"
 	Questions   []QA
+	// Evals and CacheHits are the engine-counter deltas attributable to
+	// this iteration (including its question simulations): how many plan
+	// nodes were computed fresh versus served by the reuse cache. Both
+	// are deterministic across worker counts.
+	Evals     int64
+	CacheHits int64
 }
 
 // Result is the outcome of a session run.
@@ -124,7 +142,9 @@ func NewSession(env *engine.Env, prog *alog.Program, oracle Oracle, cfg Config) 
 
 // sampleSubset draws a deterministic sample of document IDs across all
 // extensional tables: 30% for small corpora down to 5% for large ones
-// (Section 5.2). Every table keeps at least one document.
+// (Section 5.2). Every table keeps at least one document; a negative
+// SubsetFraction (ExplicitZero) therefore yields the minimal subset of
+// one document per table.
 func (s *Session) sampleSubset() map[string]bool {
 	subset := map[string]bool{}
 	for _, table := range s.Env.Tables {
@@ -198,9 +218,9 @@ func (s *Session) execute(onSubset bool) (*compact.Table, int, error) {
 		return nil, 0, err
 	}
 	if onSubset {
-		s.ctx.DocFilter = s.subset
+		s.ctx.SetDocFilter(s.subset)
 	} else {
-		s.ctx.DocFilter = nil
+		s.ctx.SetDocFilter(nil)
 	}
 	table, err := plan.Execute(s.ctx)
 	if err != nil {
@@ -226,7 +246,7 @@ func (s *Session) lastSize() int {
 // must call it once before fanning simulate calls out across goroutines:
 // DocFilter is a plain field on the shared context, so it may only be
 // written while no evaluations are in flight.
-func (s *Session) useSubset() { s.ctx.DocFilter = s.subset }
+func (s *Session) useSubset() { s.ctx.SetDocFilter(s.subset) }
 
 // simulate returns |exec(g(P, (a, f, v)))| over the subset: the result
 // size if the developer answered v (Section 5.1). It shares the session's
@@ -269,6 +289,16 @@ func (s *Session) converged() bool {
 // bound), then computes the complete result in reuse (full) mode.
 func (s *Session) Run() (*Result, error) {
 	res := &Result{}
+	// record stamps the iteration with the engine-counter deltas since the
+	// previous one (fresh evaluations vs reuse-cache hits) and appends it.
+	var prevEvals, prevHits int64
+	record := func(log Iteration) {
+		log.Evals = s.ctx.Stats.NodesEvaluated - prevEvals
+		log.CacheHits = s.ctx.Stats.CacheHits - prevHits
+		prevEvals += log.Evals
+		prevHits += log.CacheHits
+		res.Iterations = append(res.Iterations, log)
+	}
 	for iter := 1; iter <= s.Config.MaxIterations; iter++ {
 		table, assigns, err := s.execute(true)
 		if err != nil {
@@ -280,13 +310,13 @@ func (s *Session) Run() (*Result, error) {
 		log := Iteration{N: iter, Tuples: size, Assignments: assigns, Mode: "subset"}
 
 		if s.converged() {
-			res.Iterations = append(res.Iterations, log)
+			record(log)
 			break
 		}
 
 		space := questionSpace(s.Prog, s.Env.Features, s.asked)
 		if len(space) == 0 {
-			res.Iterations = append(res.Iterations, log)
+			record(log)
 			break
 		}
 		questions, err := s.Config.Strategy.Next(s, space, s.Config.QuestionsPerIteration)
@@ -294,7 +324,7 @@ func (s *Session) Run() (*Result, error) {
 			return nil, err
 		}
 		if len(questions) == 0 {
-			res.Iterations = append(res.Iterations, log)
+			record(log)
 			break
 		}
 		for _, q := range questions {
@@ -308,7 +338,7 @@ func (s *Session) Run() (*Result, error) {
 			}
 			log.Questions = append(log.Questions, QA{Question: q, Answer: ans})
 		}
-		res.Iterations = append(res.Iterations, log)
+		record(log)
 	}
 	res.Converged = s.converged()
 
@@ -319,7 +349,7 @@ func (s *Session) Run() (*Result, error) {
 	}
 	res.Final = final
 	res.FinalTuples = final.NumExpandedTuples()
-	res.Iterations = append(res.Iterations, Iteration{
+	record(Iteration{
 		N: len(res.Iterations) + 1, Tuples: res.FinalTuples,
 		Assignments: final.NumAssignments(), Mode: "full",
 	})
@@ -335,8 +365,8 @@ func (s *Session) Program() *alog.Program { return s.Prog }
 func (r *Result) Transcript() string {
 	var b strings.Builder
 	for _, it := range r.Iterations {
-		fmt.Fprintf(&b, "iteration %d (%s): %d tuples, %d assignments\n",
-			it.N, it.Mode, it.Tuples, it.Assignments)
+		fmt.Fprintf(&b, "iteration %d (%s): %d tuples, %d assignments, %d evals, %d cache hits\n",
+			it.N, it.Mode, it.Tuples, it.Assignments, it.Evals, it.CacheHits)
 		for _, qa := range it.Questions {
 			ans := qa.Answer.Value
 			if !qa.Answer.Known {

@@ -32,14 +32,16 @@ func (n *annotateNode) Signature() string { return n.sig }
 func (n *annotateNode) Columns() []string { return n.parent.Columns() }
 func (n *annotateNode) Children() []Node  { return []Node{n.parent} }
 
-func (n *annotateNode) eval(ctx *Context) (*compact.Table, error) {
+func (n *annotateNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	in, err := Eval(ctx, n.parent)
 	if err != nil {
 		return nil, err
 	}
 	out := in
 	if len(n.annotate) > 0 {
-		out = cAnnotate(in, n.annotate, ctx.Env.Limits)
+		var fallbacks int
+		out, fallbacks = cAnnotate(in, n.annotate, ctx.Env.Limits)
+		ev.fallback(ctx, fallbacks)
 	}
 	if n.exists {
 		// Existence annotation: every tuple becomes a maybe tuple.
@@ -68,8 +70,9 @@ func (n *annotateNode) eval(ctx *Context) (*compact.Table, error) {
 // cell with several possible values makes its tuple contribute to every
 // key it may take, as a maybe member — and when a key cell is too large to
 // enumerate, the tuple is passed through ungrouped as a maybe tuple, which
-// keeps the superset guarantee at the cost of precision.
-func cAnnotate(in *compact.Table, annotated []string, lim Limits) *compact.Table {
+// keeps the superset guarantee at the cost of precision. fallbacks counts
+// those ungrouped pass-throughs.
+func cAnnotate(in *compact.Table, annotated []string, lim Limits) (out *compact.Table, fallbacks int) {
 	isAnn := map[int]bool{}
 	for _, a := range annotated {
 		isAnn[colIndex(in.Cols, a)] = true
@@ -90,7 +93,7 @@ func cAnnotate(in *compact.Table, annotated []string, lim Limits) *compact.Table
 	}
 	groups := map[string]*group{}
 	var order []string
-	out := compact.NewTable(in.Cols...)
+	out = compact.NewTable(in.Cols...)
 
 	for _, tp := range in.Tuples {
 		// Enumerate the possible key valuations of this tuple.
@@ -118,6 +121,9 @@ func cAnnotate(in *compact.Table, annotated []string, lim Limits) *compact.Table
 		}
 		if tooBig || combos == 0 {
 			// Conservative pass-through.
+			if tooBig {
+				fallbacks++
+			}
 			nt := tp.Clone()
 			nt.Maybe = true
 			out.Tuples = append(out.Tuples, nt)
@@ -170,7 +176,7 @@ func cAnnotate(in *compact.Table, annotated []string, lim Limits) *compact.Table
 		}
 		out.Tuples = append(out.Tuples, nt)
 	}
-	return out
+	return out, fallbacks
 }
 
 // BAnnotate is the a-table algorithm of Section 4.3 (Figure 5): given an

@@ -26,6 +26,11 @@ func (p *Plan) Execute(ctx *Context) (*compact.Table, error) {
 	return Eval(ctx, p.Root)
 }
 
+// Explain renders the plan's EXPLAIN ANALYZE tree (see engine.Explain).
+func (p *Plan) Explain(ctx *Context) (string, error) {
+	return Explain(ctx, p.Root)
+}
+
 // Compile validates, unfolds, and compiles an Alog program against an
 // environment.
 func Compile(prog *alog.Program, env *Env) (*Plan, error) {

@@ -36,7 +36,7 @@ func (n *constraintNode) Signature() string { return n.sig }
 func (n *constraintNode) Columns() []string { return n.parent.Columns() }
 func (n *constraintNode) Children() []Node  { return []Node{n.parent} }
 
-func (n *constraintNode) eval(ctx *Context) (*compact.Table, error) {
+func (n *constraintNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	in, err := Eval(ctx, n.parent)
 	if err != nil {
 		return nil, err

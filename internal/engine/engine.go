@@ -14,9 +14,12 @@ package engine
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"iflex/internal/alog"
 	"iflex/internal/compact"
@@ -145,7 +148,9 @@ type Context struct {
 	Cache map[string]*compact.Table
 	// DocFilter, when non-nil, restricts scans to documents whose ID it
 	// maps to true (subset evaluation, Section 5.2). It must not be
-	// mutated while evaluations are in flight.
+	// mutated while evaluations are in flight. Prefer SetDocFilter, which
+	// also memoises the subset cache-key marker; assigning the field
+	// directly still works but pays a re-sort per Eval call.
 	DocFilter map[string]bool
 	// Workers bounds the evaluation worker pool: 0 uses every available
 	// CPU, 1 evaluates fully serially. Results are byte-identical across
@@ -166,6 +171,14 @@ type Context struct {
 	// extraWorkers counts pool slots handed out beyond the caller's own
 	// goroutine; see parallel.go.
 	extraWorkers atomic.Int64
+	// trace, when set, collects one TraceRecord per Eval call; see
+	// trace.go (StartTrace, TraceOps, Explain).
+	trace atomic.Pointer[tracer]
+	// subsetMarker memoises the sorted-subset cache-key prefix for the
+	// DocFilter map identified by subsetFor, so subset-mode Eval calls
+	// skip the per-call sort (SetDocFilter computes it eagerly).
+	subsetMarker string
+	subsetFor    uintptr
 }
 
 // inflightEval is one in-progress node evaluation; waiters block on done
@@ -179,6 +192,12 @@ type inflightEval struct {
 // Stats counts evaluation work, exposed for the experiments and benches.
 // Fields are int64 so concurrent evaluation can update them atomically;
 // read them only after evaluation quiesces (or via a copy).
+//
+// NodesEvaluated, CacheHits, TuplesBuilt, the call counters, and
+// LimitFallbacks are deterministic: identical totals at any worker count
+// (the single-flight cache evaluates each key exactly once; every other
+// request is a hit). The pool counters and OpTimeNs depend on scheduling
+// and vary run to run. Snapshot renders the JSON view with derived rates.
 type Stats struct {
 	NodesEvaluated int64
 	CacheHits      int64
@@ -187,6 +206,18 @@ type Stats struct {
 	FuncCalls      int64
 	VerifyCalls    int64
 	RefineCalls    int64
+	// LimitFallbacks counts tuples an operator kept conservatively
+	// because value enumeration exceeded Limits (the superset-safe
+	// fallback paths of Section 4.1).
+	LimitFallbacks int64
+	// PoolSlotsGranted / PoolSlotsDenied count tryAcquire outcomes: a
+	// denial means the work ran inline on the requesting goroutine.
+	PoolSlotsGranted int64
+	PoolSlotsDenied  int64
+	// OpTimeNs accumulates evaluation wall time per operator kind,
+	// indexed by OpKind. Overlapping concurrent evaluations each count
+	// their full duration, so the sum can exceed elapsed wall clock.
+	OpTimeNs [numOpKinds]int64
 }
 
 // statAdd atomically bumps one stats counter; every Stats write in the
@@ -204,24 +235,56 @@ func NewContext(env *Env) *Context {
 	}
 }
 
+// SetDocFilter switches the context between full evaluation (nil) and
+// subset evaluation, precomputing the subset cache-key marker once
+// instead of per Eval call. Like writing DocFilter directly, it may only
+// be called while no evaluations are in flight.
+func (ctx *Context) SetDocFilter(filter map[string]bool) {
+	ctx.DocFilter = filter
+	if filter == nil {
+		ctx.subsetMarker, ctx.subsetFor = "", 0
+		return
+	}
+	ctx.subsetMarker = subsetMarkerFor(filter)
+	ctx.subsetFor = reflect.ValueOf(filter).Pointer()
+}
+
+// subsetMarkerFor renders the sorted-ID marker that prefixes subset-mode
+// cache keys, so subset and full evaluations never alias and different
+// subsets never share results.
+func subsetMarkerFor(filter map[string]bool) string {
+	ids := make([]string, 0, len(filter))
+	total := 0
+	for id, ok := range filter {
+		if ok {
+			ids = append(ids, id)
+			total += len(id) + 1
+		}
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	b.Grow(len("subset") + total)
+	b.WriteString("subset")
+	for _, id := range ids {
+		b.WriteByte(':')
+		b.WriteString(id)
+	}
+	return b.String()
+}
+
 // cacheKey augments a node signature with the subset marker so subset and
-// full evaluations never alias.
+// full evaluations never alias. The marker is memoised by SetDocFilter;
+// a DocFilter assigned directly to the field (bypassing SetDocFilter) is
+// detected by map identity and re-sorted per call.
 func (ctx *Context) cacheKey(sig string) string {
 	if ctx.DocFilter == nil {
 		return "full|" + sig
 	}
-	ids := make([]string, 0, len(ctx.DocFilter))
-	for id, ok := range ctx.DocFilter {
-		if ok {
-			ids = append(ids, id)
-		}
+	marker := ctx.subsetMarker
+	if ctx.subsetFor != reflect.ValueOf(ctx.DocFilter).Pointer() {
+		marker = subsetMarkerFor(ctx.DocFilter)
 	}
-	sort.Strings(ids)
-	key := "subset"
-	for _, id := range ids {
-		key += ":" + id
-	}
-	return key + "|" + sig
+	return marker + "|" + sig
 }
 
 // Node is one operator of a compiled plan. Nodes are immutable after
@@ -233,8 +296,10 @@ type Node interface {
 	Columns() []string
 	// Children returns the node's input operators.
 	Children() []Node
-	// eval computes the node's output table (uncached).
-	eval(ctx *Context) (*compact.Table, error)
+	// eval computes the node's output table (uncached). ev receives
+	// per-evaluation trace attribution (valuation-limit fallbacks) and
+	// may be nil when tracing is off.
+	eval(ctx *Context, ev *EvalTrace) (*compact.Table, error)
 }
 
 // SumAssignments evaluates every node of the plan (through the cache) and
@@ -273,12 +338,21 @@ func SumAssignments(ctx *Context, root Node) (int, error) {
 // evaluates it; concurrent requesters for the same key block until it
 // finishes and share the result (counted as cache hits). Failed
 // evaluations are not cached, so a later request retries.
+//
+// If the node's evaluation panics, the in-flight entry is removed and its
+// done channel closed before the panic propagates, so concurrent waiters
+// unblock with an error instead of deadlocking and a later request for
+// the same key evaluates afresh.
 func Eval(ctx *Context, n Node) (*compact.Table, error) {
 	key := ctx.cacheKey(n.Signature())
+	trace := ctx.trace.Load()
 	ctx.mu.Lock()
 	if t, ok := ctx.Cache[key]; ok {
 		ctx.mu.Unlock()
 		statAdd(&ctx.Stats.CacheHits, 1)
+		if trace != nil {
+			trace.push(TraceRecord{Op: opName(n), Signature: n.Signature(), Key: key, Status: StatusHit})
+		}
 		return t, nil
 	}
 	if ctx.inflight == nil {
@@ -291,6 +365,9 @@ func Eval(ctx *Context, n Node) (*compact.Table, error) {
 			return nil, c.err
 		}
 		statAdd(&ctx.Stats.CacheHits, 1)
+		if trace != nil {
+			trace.push(TraceRecord{Op: opName(n), Signature: n.Signature(), Key: key, Status: StatusWait})
+		}
 		return c.table, nil
 	}
 	c := &inflightEval{done: make(chan struct{})}
@@ -298,7 +375,33 @@ func Eval(ctx *Context, n Node) (*compact.Table, error) {
 	ctx.mu.Unlock()
 
 	statAdd(&ctx.Stats.NodesEvaluated, 1)
-	t, err := n.eval(ctx)
+	var ev *EvalTrace
+	if trace != nil {
+		ev = &EvalTrace{}
+	}
+	finished := false
+	start := time.Now()
+	defer func() {
+		if finished {
+			return
+		}
+		// n.eval panicked (or exited the goroutine): unblock waiters with
+		// an error, leave the key uncached and un-poisoned, then let the
+		// panic continue.
+		r := recover()
+		c.err = fmt.Errorf("engine: panic evaluating %s: %v", n.Signature(), r)
+		ctx.mu.Lock()
+		delete(ctx.inflight, key)
+		ctx.mu.Unlock()
+		close(c.done)
+		if r != nil {
+			panic(r)
+		}
+	}()
+	t, err := n.eval(ctx, ev)
+	finished = true
+	wall := time.Since(start)
+	atomic.AddInt64(&ctx.Stats.OpTimeNs[kindOf(n)], int64(wall))
 	c.table, c.err = t, err
 
 	ctx.mu.Lock()
@@ -309,6 +412,19 @@ func Eval(ctx *Context, n Node) (*compact.Table, error) {
 	delete(ctx.inflight, key)
 	ctx.mu.Unlock()
 	close(c.done)
+	if trace != nil {
+		rec := TraceRecord{
+			Op: opName(n), Signature: n.Signature(), Key: key,
+			Status: StatusMiss, Wall: wall, Goroutine: goid(),
+			Fallbacks: ev.fallbacks.Load(),
+		}
+		if err == nil {
+			rec.Tuples = len(t.Tuples)
+			rec.Expanded = t.NumExpandedTuples()
+			rec.Assignments = t.NumAssignments()
+		}
+		trace.push(rec)
+	}
 	return t, err
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // opName returns a short operator label for plan rendering, mirroring the
@@ -73,6 +74,84 @@ func CountNodes(root Node) int {
 		n += CountNodes(c)
 	}
 	return n
+}
+
+// Explain renders an EXPLAIN ANALYZE-style tree for the plan: one line
+// per operator with output sizes, evaluation wall time, reuse-cache
+// status, valuation-limit fallbacks, the worker goroutine that evaluated
+// it, and a prefix of the signature (the reuse key). Tracing is enabled
+// on the context if it is not already on, and the plan is evaluated
+// through the cache — after Execute that costs no recomputation. Nodes
+// evaluated before tracing started show cache=hit with no timing.
+//
+// Worker ids are densified in tree order (w0, w1, ...), so runs are
+// comparable even though the underlying goroutine ids differ; timing and
+// worker attribution vary run to run, the counts do not.
+func Explain(ctx *Context, root Node) (string, error) {
+	if !ctx.Tracing() {
+		ctx.StartTrace()
+	}
+	if _, err := Eval(ctx, root); err != nil {
+		return "", err
+	}
+	byKey := map[string]OpStats{}
+	for _, o := range ctx.TraceOps() {
+		byKey[o.Key] = o
+	}
+	workers := map[int64]int{}
+	var b strings.Builder
+	var walk func(n Node, depth int) error
+	walk = func(n Node, depth int) error {
+		key := ctx.cacheKey(n.Signature())
+		o, traced := byKey[key]
+		rows, expanded, assigns := o.Tuples, o.Expanded, o.Assignments
+		if !traced || o.Evals == 0 {
+			// Evaluated before tracing started: sizes come from the cached
+			// table itself.
+			t, err := Eval(ctx, n)
+			if err != nil {
+				return err
+			}
+			rows, expanded, assigns = len(t.Tuples), t.NumExpandedTuples(), t.NumAssignments()
+		}
+		cache := "hit"
+		wall := "-"
+		worker := "-"
+		if o.Evals > 0 {
+			cache = "miss"
+			wall = o.Wall.Round(time.Microsecond).String()
+			id, ok := workers[o.Goroutine]
+			if !ok {
+				id = len(workers)
+				workers[o.Goroutine] = id
+			}
+			worker = fmt.Sprintf("w%d", id)
+		}
+		if hits := o.Hits + o.Waits; hits > 0 {
+			cache += fmt.Sprintf("+%dhit", hits)
+		}
+		extra := ""
+		if o.Fallbacks > 0 {
+			extra = fmt.Sprintf(" fallbacks=%d", o.Fallbacks)
+		}
+		sig := n.Signature()
+		if len(sig) > 44 {
+			sig = sig[:44] + "…"
+		}
+		fmt.Fprintf(&b, "%-36s %6d rows %8d exp %8d asg %10s  cache=%-9s %-3s%s  sig=%s\n",
+			strings.Repeat("  ", depth)+opName(n), rows, expanded, assigns,
+			wall, cache, worker, extra, sig)
+		for _, c := range n.Children() {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, 0); err != nil {
+		return "", err
+	}
+	return b.String(), nil
 }
 
 // AnalyzeString renders the plan with per-operator result sizes (tuples,

@@ -26,7 +26,7 @@ func (n *scanNode) Signature() string {
 func (n *scanNode) Columns() []string { return n.cols }
 func (n *scanNode) Children() []Node  { return nil }
 
-func (n *scanNode) eval(ctx *Context) (*compact.Table, error) {
+func (n *scanNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	src, ok := ctx.Env.Tables[n.pred]
 	if !ok {
 		return nil, fmt.Errorf("engine: extensional table %q not bound", n.pred)
@@ -81,7 +81,7 @@ func (n *fromNode) Columns() []string {
 	return append(append([]string(nil), n.parent.Columns()...), n.outVar)
 }
 
-func (n *fromNode) eval(ctx *Context) (*compact.Table, error) {
+func (n *fromNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	in, err := Eval(ctx, n.parent)
 	if err != nil {
 		return nil, err
@@ -137,7 +137,7 @@ func (n *crossNode) Signature() string { return n.sig }
 func (n *crossNode) Columns() []string { return n.cols }
 func (n *crossNode) Children() []Node  { return []Node{n.left, n.right} }
 
-func (n *crossNode) eval(ctx *Context) (*compact.Table, error) {
+func (n *crossNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	lt, rt, err := evalPair(ctx, n.left, n.right)
 	if err != nil {
 		return nil, err
@@ -156,7 +156,10 @@ func (n *crossNode) eval(ctx *Context) (*compact.Table, error) {
 				for _, sc := range n.shared {
 					lc := ltp.Cells[colIndex(lt.Cols, sc)]
 					rc := rtp.Cells[colIndex(rt.Cols, sc)]
-					eq := cellsMayEqual(lc, rc, lim)
+					eq, capped := cellsMayEqual(lc, rc, lim)
+					if capped {
+						ev.fallback(ctx, 1)
+					}
 					if eq == noValuation {
 						keep = false
 						break
@@ -208,18 +211,19 @@ const (
 // cellsMayEqual tests value-set overlap of two cells with superset
 // semantics: noValuation if the sets certainly do not intersect,
 // allValuations if both are the same single value, someValuations
-// otherwise (including when enumeration is capped).
-func cellsMayEqual(a, b compact.Cell, lim Limits) satisfaction {
+// otherwise. capped reports that enumeration hit the cell-value limit
+// and the conservative someValuations answer was used.
+func cellsMayEqual(a, b compact.Cell, lim Limits) (sat satisfaction, capped bool) {
 	av, aok := a.Singleton()
 	bv, bok := b.Singleton()
 	if aok && bok {
 		if av.NormText() == bv.NormText() {
-			return allValuations
+			return allValuations, false
 		}
-		return noValuation
+		return noValuation, false
 	}
 	if a.NumValues() > lim.MaxCellValues || b.NumValues() > lim.MaxCellValues {
-		return someValuations // conservative
+		return someValuations, true // conservative
 	}
 	texts := map[string]bool{}
 	a.Values(func(s text.Span) bool {
@@ -235,9 +239,9 @@ func cellsMayEqual(a, b compact.Cell, lim Limits) satisfaction {
 		return true
 	})
 	if found {
-		return someValuations
+		return someValuations, false
 	}
-	return noValuation
+	return noValuation, false
 }
 
 // unionNode concatenates the tuples of several same-schema inputs (an IE
@@ -259,7 +263,7 @@ func (n *unionNode) Signature() string { return n.sig }
 func (n *unionNode) Columns() []string { return n.parts[0].Columns() }
 func (n *unionNode) Children() []Node  { return append([]Node(nil), n.parts...) }
 
-func (n *unionNode) eval(ctx *Context) (*compact.Table, error) {
+func (n *unionNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	tables, err := evalAll(ctx, n.parts)
 	if err != nil {
 		return nil, err
@@ -294,7 +298,7 @@ func (n *projectNode) Signature() string { return n.sig }
 func (n *projectNode) Columns() []string { return n.outCols }
 func (n *projectNode) Children() []Node  { return []Node{n.parent} }
 
-func (n *projectNode) eval(ctx *Context) (*compact.Table, error) {
+func (n *projectNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	in, err := Eval(ctx, n.parent)
 	if err != nil {
 		return nil, err

@@ -61,17 +61,17 @@ func TestCellsMayEqual(t *testing.T) {
 	a2 := compact.ExactCell(d.Span(11, 16)) // alpha (different span, same text)
 	b := compact.ExactCell(d.Span(6, 10))   // beta
 	multi := compact.ContainCell(d.WholeSpan())
-	if got := cellsMayEqual(a1, a2, lim); got != allValuations {
+	if got, _ := cellsMayEqual(a1, a2, lim); got != allValuations {
 		t.Errorf("same-text singletons = %v", got)
 	}
-	if got := cellsMayEqual(a1, b, lim); got != noValuation {
+	if got, _ := cellsMayEqual(a1, b, lim); got != noValuation {
 		t.Errorf("different singletons = %v", got)
 	}
-	if got := cellsMayEqual(a1, multi, lim); got != someValuations {
+	if got, _ := cellsMayEqual(a1, multi, lim); got != someValuations {
 		t.Errorf("singleton vs multi = %v", got)
 	}
 	disjoint := compact.ContainCell(d.Span(6, 10))
-	if got := cellsMayEqual(disjoint, compact.ExactCell(d.Span(17, 22)), lim); got != noValuation {
+	if got, _ := cellsMayEqual(disjoint, compact.ExactCell(d.Span(17, 22)), lim); got != noValuation {
 		t.Errorf("disjoint sets = %v", got)
 	}
 }
@@ -246,8 +246,8 @@ func TestAnnotateConservativeFallback(t *testing.T) {
 		compact.ContainCell(d.WholeSpan()), // enormous key cell
 		compact.ExactCell(d.Span(0, 1)),
 	}})
-	out := cAnnotate(in, []string{"v"}, DefaultLimits())
-	if len(out.Tuples) != 1 || !out.Tuples[0].Maybe {
+	out, fallbacks := cAnnotate(in, []string{"v"}, DefaultLimits())
+	if len(out.Tuples) != 1 || !out.Tuples[0].Maybe || fallbacks != 1 {
 		t.Fatalf("fallback wrong:\n%s", out)
 	}
 }

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iflex/internal/compact"
+)
+
+// panicNode panics on its first evaluation and succeeds afterwards; the
+// channels let the test interleave a concurrent waiter with the panic.
+type panicNode struct {
+	calls   atomic.Int32
+	started chan struct{}
+	release chan struct{}
+}
+
+func (n *panicNode) Signature() string { return "panicNode" }
+func (n *panicNode) Columns() []string { return []string{"x"} }
+func (n *panicNode) Children() []Node  { return nil }
+
+func (n *panicNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
+	if n.calls.Add(1) == 1 {
+		close(n.started)
+		<-n.release
+		// Give the concurrent Eval time to park on the in-flight entry's
+		// done channel before the panic tears the evaluation down.
+		time.Sleep(50 * time.Millisecond)
+		panic("boom")
+	}
+	return compact.NewTable("x"), nil
+}
+
+// TestEvalPanicUnblocksWaiters is the regression test for the in-flight
+// leak: a panicking node evaluation must unblock concurrent waiters with
+// an error, re-panic in the evaluating goroutine, and leave the key
+// retryable rather than poisoned.
+func TestEvalPanicUnblocksWaiters(t *testing.T) {
+	ctx := NewContext(NewEnv())
+	n := &panicNode{started: make(chan struct{}), release: make(chan struct{})}
+
+	evalPanic := make(chan any, 1)
+	go func() {
+		defer func() { evalPanic <- recover() }()
+		Eval(ctx, n)
+	}()
+	<-n.started
+
+	waiter := make(chan error, 1)
+	go func() {
+		_, err := Eval(ctx, n)
+		waiter <- err
+	}()
+	// Let the waiter reach the in-flight wait, then release the panic.
+	time.Sleep(10 * time.Millisecond)
+	close(n.release)
+
+	select {
+	case r := <-evalPanic:
+		if r == nil {
+			t.Fatal("evaluating goroutine did not re-panic")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("evaluating goroutine never finished")
+	}
+	select {
+	case err := <-waiter:
+		if err == nil {
+			t.Fatal("waiter got a nil error from a panicked evaluation")
+		}
+		if !strings.Contains(err.Error(), "panic") {
+			t.Errorf("waiter error %q does not mention the panic", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter deadlocked: in-flight entry leaked on panic")
+	}
+
+	// The key must not be poisoned: a fresh request re-evaluates.
+	tbl, err := Eval(ctx, n)
+	if err != nil || tbl == nil {
+		t.Fatalf("retry after panic: table=%v err=%v", tbl, err)
+	}
+	ctx.mu.Lock()
+	leaked := len(ctx.inflight)
+	ctx.mu.Unlock()
+	if leaked != 0 {
+		t.Errorf("%d in-flight entries leaked", leaked)
+	}
+}

@@ -26,14 +26,19 @@ func (ctx *Context) workers() int {
 
 // tryAcquire reserves one pool slot beyond the caller's own goroutine,
 // without blocking. Callers that fail to acquire run the work inline.
+// Outcomes are counted in Stats (PoolSlotsGranted / PoolSlotsDenied) so
+// the bench harness can report pool utilization; a denial is not a
+// stall — it means the requesting goroutine did the work itself.
 func (ctx *Context) tryAcquire() bool {
 	limit := int64(ctx.workers() - 1)
 	for {
 		cur := ctx.extraWorkers.Load()
 		if cur >= limit {
+			statAdd(&ctx.Stats.PoolSlotsDenied, 1)
 			return false
 		}
 		if ctx.extraWorkers.CompareAndSwap(cur, cur+1) {
+			statAdd(&ctx.Stats.PoolSlotsGranted, 1)
 			return true
 		}
 	}

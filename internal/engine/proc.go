@@ -36,7 +36,7 @@ func (n *procNode) Columns() []string {
 	return append(append([]string(nil), n.parent.Columns()...), n.outVars...)
 }
 
-func (n *procNode) eval(ctx *Context) (*compact.Table, error) {
+func (n *procNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	proc, ok := ctx.Env.Procs[n.pname]
 	if !ok {
 		return nil, fmt.Errorf("engine: procedure %q not bound", n.pname)

@@ -15,9 +15,10 @@ type valuePred func(vals []text.Span) (bool, error)
 // filterOutcome is the result of applying a predicate to one compact tuple
 // with superset semantics.
 type filterOutcome struct {
-	keep bool
-	sure bool                 // every valuation satisfies, precisely
-	repl map[int]compact.Cell // replacement cells for filtered expansion columns
+	keep     bool
+	sure     bool                 // every valuation satisfies, precisely
+	repl     map[int]compact.Cell // replacement cells for filtered expansion columns
+	fallback bool                 // kept conservatively: enumeration exceeded Limits
 }
 
 // filterTuple evaluates pred over every possible valuation of the involved
@@ -29,7 +30,7 @@ type filterOutcome struct {
 //   - when value enumeration exceeds the limits, fall back to keeping the
 //     tuple as maybe without filtering — conservative but superset-safe
 func filterTuple(tp compact.Tuple, involved []int, pred valuePred, lim Limits, stats *Stats) (filterOutcome, error) {
-	conservative := filterOutcome{keep: true, sure: false}
+	conservative := filterOutcome{keep: true, sure: false, fallback: true}
 	// Enumerate the value list of each involved cell, bailing out to the
 	// conservative outcome when any single cell is too large.
 	vals := make([][]text.Span, len(involved))
@@ -153,7 +154,7 @@ func filterTuple(tp compact.Tuple, involved []int, pred valuePred, lim Limits, s
 // pool; per-index result slots keep the output order serial-identical.
 // The predicate must therefore be safe for concurrent calls (the built-in
 // p-functions and comparison operands are pure).
-func applyFilter(ctx *Context, in *compact.Table, involved []int, pred valuePred) (*compact.Table, error) {
+func applyFilter(ctx *Context, ev *EvalTrace, in *compact.Table, involved []int, pred valuePred) (*compact.Table, error) {
 	lim := ctx.Env.Limits
 	out := compact.NewTable(in.Cols...)
 	rows := make([]*compact.Tuple, len(in.Tuples))
@@ -163,6 +164,9 @@ func applyFilter(ctx *Context, in *compact.Table, involved []int, pred valuePred
 			res, err := filterTuple(tp, involved, pred, lim, &ctx.Stats)
 			if err != nil {
 				return err
+			}
+			if res.fallback {
+				ev.fallback(ctx, 1)
 			}
 			if !res.keep {
 				continue
@@ -207,7 +211,7 @@ func (n *compareNode) Signature() string { return n.sig }
 func (n *compareNode) Columns() []string { return n.parent.Columns() }
 func (n *compareNode) Children() []Node  { return []Node{n.parent} }
 
-func (n *compareNode) eval(ctx *Context) (*compact.Table, error) {
+func (n *compareNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	in, err := Eval(ctx, n.parent)
 	if err != nil {
 		return nil, err
@@ -244,7 +248,7 @@ func (n *compareNode) eval(ctx *Context) (*compact.Table, error) {
 		}
 		return compareOperands(op, l, r)
 	}
-	return applyFilter(ctx, in, involved, pred)
+	return applyFilter(ctx, ev, in, involved, pred)
 }
 
 // operand is one side of a comparison at valuation time.
@@ -341,7 +345,7 @@ func (n *funcNode) Signature() string { return n.sig }
 func (n *funcNode) Columns() []string { return n.parent.Columns() }
 func (n *funcNode) Children() []Node  { return []Node{n.parent} }
 
-func (n *funcNode) eval(ctx *Context) (*compact.Table, error) {
+func (n *funcNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	fn, ok := ctx.Env.Funcs[n.fname]
 	if !ok {
 		return nil, fmt.Errorf("engine: p-function %q not bound", n.fname)
@@ -370,5 +374,5 @@ func (n *funcNode) eval(ctx *Context) (*compact.Table, error) {
 		}
 		return fn(args)
 	}
-	return applyFilter(ctx, in, involved, pred)
+	return applyFilter(ctx, ev, in, involved, pred)
 }

@@ -100,7 +100,7 @@ func (n *simJoinNode) rightIndex(ctx *Context, rt *compact.Table, ri int) *block
 	return idx
 }
 
-func (n *simJoinNode) eval(ctx *Context) (*compact.Table, error) {
+func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	fn, ok := ctx.Env.Funcs[n.fname]
 	if !ok {
 		return nil, fmt.Errorf("engine: p-function %q not bound", n.fname)
@@ -155,6 +155,10 @@ func (n *simJoinNode) eval(ctx *Context) (*compact.Table, error) {
 			ltoks := blockTokens(ltp.Cells[li], lim)
 			if ltoks == nil {
 				// Oversized left cell: every right tuple is a candidate.
+				// (Counted as a fallback only on the probe side — the index
+				// side is built by whichever goroutine wins a benign race,
+				// so counting there would vary with the worker count.)
+				ev.fallback(ctx, 1)
 				cands = make([]int, len(rt.Tuples))
 				for j := range rt.Tuples {
 					cands[j] = j
@@ -198,6 +202,9 @@ func (n *simJoinNode) eval(ctx *Context) (*compact.Table, error) {
 				res, err := filterTuple(joined, involved, pred, lim, &ctx.Stats)
 				if err != nil {
 					return err
+				}
+				if res.fallback {
+					ev.fallback(ctx, 1)
 				}
 				if !res.keep {
 					continue

@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the engine's observability layer. When tracing is enabled
+// on a Context (StartTrace, or implicitly by Explain), every Eval call
+// publishes one TraceRecord onto a lock-free list: records are fully
+// built before a CAS push, so concurrent readers never observe partial
+// writes and tracing adds no lock contention to evaluation. Snapshots
+// merge the list into per-operator aggregates keyed and sorted by cache
+// key; the aggregate counts (evaluations, hits, output sizes, limit
+// fallbacks) are identical at any worker count — the same determinism
+// guarantee the evaluator itself makes — while wall times and worker
+// attribution naturally vary run to run.
+
+// CacheStatus classifies how one Eval call was satisfied.
+type CacheStatus int
+
+const (
+	// StatusMiss marks the call that actually evaluated the node.
+	StatusMiss CacheStatus = iota
+	// StatusHit marks a call served from the reuse cache.
+	StatusHit
+	// StatusWait marks a call that blocked on a concurrent in-flight
+	// evaluation of the same key and shared its result.
+	StatusWait
+)
+
+func (s CacheStatus) String() string {
+	switch s {
+	case StatusMiss:
+		return "miss"
+	case StatusHit:
+		return "hit"
+	case StatusWait:
+		return "wait"
+	}
+	return "unknown"
+}
+
+// OpKind buckets plan operators for the per-operator time histogram in
+// Stats.OpTimeNs.
+type OpKind int
+
+const (
+	OpScan OpKind = iota
+	OpFrom
+	OpCross
+	OpSimJoin
+	OpUnion
+	OpProject
+	OpAnnotate
+	OpConstraint
+	OpCompare
+	OpFunc
+	OpProc
+	OpOther
+	numOpKinds
+)
+
+var opKindNames = [numOpKinds]string{
+	"scan", "from", "cross", "simjoin", "union", "project",
+	"annotate", "constrain", "compare", "pfunc", "proc", "other",
+}
+
+func (k OpKind) String() string {
+	if k >= 0 && int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return "other"
+}
+
+// kindOf buckets a node by its operator type.
+func kindOf(n Node) OpKind {
+	switch n.(type) {
+	case *scanNode:
+		return OpScan
+	case *fromNode:
+		return OpFrom
+	case *crossNode:
+		return OpCross
+	case *simJoinNode:
+		return OpSimJoin
+	case *unionNode:
+		return OpUnion
+	case *projectNode:
+		return OpProject
+	case *annotateNode:
+		return OpAnnotate
+	case *constraintNode:
+		return OpConstraint
+	case *compareNode:
+		return OpCompare
+	case *funcNode:
+		return OpFunc
+	case *procNode:
+		return OpProc
+	}
+	return OpOther
+}
+
+// EvalTrace is the per-evaluation counter block threaded through one
+// node's eval call. Operator loops may run chunks of one evaluation on
+// several pool goroutines at once, so updates are atomic. A nil
+// *EvalTrace is valid and discards per-eval attribution (the context-wide
+// Stats totals are still maintained).
+type EvalTrace struct {
+	fallbacks atomic.Int64
+}
+
+// fallback records n valuation-limit fallbacks — places where an operator
+// kept a tuple conservatively instead of enumerating its values — against
+// both this evaluation's record and the context-wide total.
+func (ev *EvalTrace) fallback(ctx *Context, n int) {
+	if n == 0 {
+		return
+	}
+	if ev != nil {
+		ev.fallbacks.Add(int64(n))
+	}
+	statAdd(&ctx.Stats.LimitFallbacks, n)
+}
+
+// TraceRecord is one Eval call's measurement.
+type TraceRecord struct {
+	Op        string
+	Signature string
+	Key       string // cache key: subset marker + signature
+	Status    CacheStatus
+	// Wall, output sizes, and Fallbacks are recorded only on the
+	// evaluating (StatusMiss) call; hits and waits carry the key alone.
+	Wall        time.Duration
+	Tuples      int // output compact tuples
+	Expanded    int // output expanded tuples
+	Assignments int // output assignments
+	Fallbacks   int64
+	Goroutine   int64 // id of the goroutine that evaluated the node
+}
+
+type traceNode struct {
+	rec  TraceRecord
+	next *traceNode
+}
+
+// tracer accumulates trace records via lock-free pushes. The zero value
+// is ready to use; a nil *tracer discards records.
+type tracer struct {
+	head atomic.Pointer[traceNode]
+}
+
+func (t *tracer) push(rec TraceRecord) {
+	if t == nil {
+		return
+	}
+	node := &traceNode{rec: rec}
+	for {
+		old := t.head.Load()
+		node.next = old
+		if t.head.CompareAndSwap(old, node) {
+			return
+		}
+	}
+}
+
+// StartTrace enables per-operator tracing on the context, discarding any
+// previously collected records. Tracing is optional and off by default;
+// the always-on Stats counters are unaffected.
+func (ctx *Context) StartTrace() { ctx.trace.Store(&tracer{}) }
+
+// StopTrace disables tracing and discards the collected records.
+func (ctx *Context) StopTrace() { ctx.trace.Store(nil) }
+
+// Tracing reports whether per-operator tracing is enabled.
+func (ctx *Context) Tracing() bool { return ctx.trace.Load() != nil }
+
+// OpStats aggregates every traced Eval call of one plan operator
+// (identified by its cache key, so subset and full evaluations of the
+// same subtree stay separate).
+type OpStats struct {
+	Key         string
+	Op          string
+	Signature   string
+	Evals       int64         // calls that computed the node
+	Hits        int64         // calls served from the reuse cache
+	Waits       int64         // calls that blocked on an in-flight evaluation
+	Wall        time.Duration // total evaluation time
+	Tuples      int           // output compact tuples
+	Expanded    int           // output expanded tuples
+	Assignments int           // output assignments
+	Fallbacks   int64         // valuation-limit fallbacks during evaluation
+	Goroutine   int64         // goroutine id of the (last) evaluating call
+}
+
+// TraceOps merges the collected trace into per-operator aggregates,
+// sorted by cache key — a deterministic order regardless of the worker
+// interleaving that produced the records. Returns nil when tracing is
+// off.
+func (ctx *Context) TraceOps() []OpStats {
+	t := ctx.trace.Load()
+	if t == nil {
+		return nil
+	}
+	byKey := map[string]*OpStats{}
+	for node := t.head.Load(); node != nil; node = node.next {
+		r := &node.rec
+		o := byKey[r.Key]
+		if o == nil {
+			o = &OpStats{Key: r.Key, Op: r.Op, Signature: r.Signature}
+			byKey[r.Key] = o
+		}
+		switch r.Status {
+		case StatusMiss:
+			o.Evals++
+			o.Wall += r.Wall
+			o.Tuples = r.Tuples
+			o.Expanded = r.Expanded
+			o.Assignments = r.Assignments
+			o.Fallbacks += r.Fallbacks
+			o.Goroutine = r.Goroutine
+		case StatusHit:
+			o.Hits++
+		case StatusWait:
+			o.Waits++
+		}
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]OpStats, len(keys))
+	for i, k := range keys {
+		out[i] = *byKey[k]
+	}
+	return out
+}
+
+// goid extracts the current goroutine's id from the runtime stack header
+// ("goroutine 123 [running]:"). It is called once per traced evaluation —
+// node granularity, not tuple granularity — so the ~µs stack capture is
+// negligible, and it is never called when tracing is off.
+func goid() int64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	const prefix = "goroutine "
+	if len(s) < len(prefix) {
+		return 0
+	}
+	var id int64
+	for i := len(prefix); i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
+// StatsSnapshot is the JSON rendering of Stats with derived rates, the
+// shape iflex-bench -bench-json emits.
+type StatsSnapshot struct {
+	NodesEvaluated   int64              `json:"nodes_evaluated"`
+	CacheHits        int64              `json:"cache_hits"`
+	CacheHitRate     float64            `json:"cache_hit_rate"`
+	TuplesBuilt      int64              `json:"tuples_built"`
+	ProcCalls        int64              `json:"proc_calls"`
+	FuncCalls        int64              `json:"func_calls"`
+	VerifyCalls      int64              `json:"verify_calls"`
+	RefineCalls      int64              `json:"refine_calls"`
+	LimitFallbacks   int64              `json:"limit_fallbacks"`
+	PoolSlotsGranted int64              `json:"pool_slots_granted"`
+	PoolSlotsDenied  int64              `json:"pool_slots_denied"`
+	PoolUtilization  float64            `json:"pool_utilization"`
+	OpTimeSeconds    map[string]float64 `json:"op_time_seconds,omitempty"`
+}
+
+// Snapshot derives the JSON view from the raw counters. Call it only
+// after evaluation quiesces (the same contract as reading Stats fields).
+func (s *Stats) Snapshot() StatsSnapshot {
+	snap := StatsSnapshot{
+		NodesEvaluated:   s.NodesEvaluated,
+		CacheHits:        s.CacheHits,
+		TuplesBuilt:      s.TuplesBuilt,
+		ProcCalls:        s.ProcCalls,
+		FuncCalls:        s.FuncCalls,
+		VerifyCalls:      s.VerifyCalls,
+		RefineCalls:      s.RefineCalls,
+		LimitFallbacks:   s.LimitFallbacks,
+		PoolSlotsGranted: s.PoolSlotsGranted,
+		PoolSlotsDenied:  s.PoolSlotsDenied,
+	}
+	if total := s.NodesEvaluated + s.CacheHits; total > 0 {
+		snap.CacheHitRate = float64(s.CacheHits) / float64(total)
+	}
+	if attempts := s.PoolSlotsGranted + s.PoolSlotsDenied; attempts > 0 {
+		snap.PoolUtilization = float64(s.PoolSlotsGranted) / float64(attempts)
+	}
+	for k, ns := range s.OpTimeNs {
+		if ns > 0 {
+			if snap.OpTimeSeconds == nil {
+				snap.OpTimeSeconds = map[string]float64{}
+			}
+			snap.OpTimeSeconds[OpKind(k).String()] = float64(ns) / 1e9
+		}
+	}
+	return snap
+}

@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"iflex/internal/alog"
+)
+
+// TestExplainFreshContext runs the Figure 2 plan with tracing on from the
+// start: every operator line must show real evaluation data (miss status,
+// row counts, a worker id) plus the signature prefix.
+func TestExplainFreshContext(t *testing.T) {
+	env := figure2Env()
+	plan, err := Compile(alog.MustParse(figure2Src), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(env)
+	ctx.StartTrace()
+	if _, err := plan.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Explain(ctx, plan.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scan housePages", "scan schoolPages", "rows", "cache=miss", "w0", "sig=", "ψ["} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "cache=hit ") {
+		t.Errorf("fresh traced run should have no hit-only operators:\n%s", out)
+	}
+}
+
+// TestExplainWarmContext executes first and enables tracing only inside
+// Explain — the cmd/iflex -explain=false-then-inspect path. Every node is
+// already cached, so the tree must render hit status with no timings.
+func TestExplainWarmContext(t *testing.T) {
+	env := figure2Env()
+	plan, err := Compile(alog.MustParse(figure2Src), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(env)
+	if _, err := plan.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Tracing() {
+		t.Fatal("tracing should be off by default")
+	}
+	out, err := Explain(ctx, plan.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.Tracing() {
+		t.Error("Explain should have enabled tracing")
+	}
+	if !strings.Contains(out, "cache=hit") {
+		t.Errorf("warm Explain should show cache hits:\n%s", out)
+	}
+	if strings.Contains(out, "cache=miss") {
+		t.Errorf("warm Explain re-evaluated a cached operator:\n%s", out)
+	}
+}
+
+// traceTotals runs the Figure 2 plan at the given worker count and
+// returns the deterministic per-operator aggregates plus the
+// deterministic subset of the context stats.
+func traceTotals(t *testing.T, workers int) ([]OpStats, Stats) {
+	t.Helper()
+	env := figure2Env()
+	plan, err := Compile(alog.MustParse(figure2Src), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(env)
+	ctx.Workers = workers
+	ctx.StartTrace()
+	if _, err := plan.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SumAssignments(ctx, plan.Root); err != nil {
+		t.Fatal(err)
+	}
+	return ctx.TraceOps(), ctx.Stats
+}
+
+// TestTraceTotalsDeterministic is the observability side of the engine's
+// determinism guarantee: per-operator trace aggregates (and the
+// deterministic stats counters) must be identical for Workers=1 and
+// Workers=8. Wall time, worker ids, and the hit/wait split are the only
+// fields allowed to differ.
+func TestTraceTotalsDeterministic(t *testing.T) {
+	serialOps, serialStats := traceTotals(t, 1)
+	parOps, parStats := traceTotals(t, 8)
+	if len(serialOps) != len(parOps) {
+		t.Fatalf("operator counts differ: serial %d, parallel %d", len(serialOps), len(parOps))
+	}
+	for i, s := range serialOps {
+		p := parOps[i]
+		if s.Key != p.Key {
+			t.Fatalf("operator %d: key %q vs %q", i, s.Key, p.Key)
+		}
+		if s.Evals != p.Evals || s.Tuples != p.Tuples || s.Expanded != p.Expanded ||
+			s.Assignments != p.Assignments || s.Fallbacks != p.Fallbacks {
+			t.Errorf("operator %s diverges:\nserial   %+v\nparallel %+v", s.Key, s, p)
+		}
+		// The hit/wait split depends on timing, but the total number of
+		// cache-served requests does not.
+		if s.Hits+s.Waits != p.Hits+p.Waits {
+			t.Errorf("operator %s: cache-served count %d vs %d", s.Key, s.Hits+s.Waits, p.Hits+p.Waits)
+		}
+	}
+	det := func(s Stats) [8]int64 {
+		return [8]int64{s.NodesEvaluated, s.CacheHits, s.TuplesBuilt, s.ProcCalls,
+			s.FuncCalls, s.VerifyCalls, s.RefineCalls, s.LimitFallbacks}
+	}
+	if det(serialStats) != det(parStats) {
+		t.Errorf("deterministic stats diverge:\nserial   %+v\nparallel %+v", det(serialStats), det(parStats))
+	}
+}
+
+// TestConcurrentExplainAndEval hammers a shared traced context with
+// simultaneous Explain and Execute calls — run under -race. Explain must
+// stay coherent (no error, non-empty output) while evaluation proceeds.
+func TestConcurrentExplainAndEval(t *testing.T) {
+	env := figure2Env()
+	plan, err := Compile(alog.MustParse(figure2Src), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(env)
+	ctx.StartTrace()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*2)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 3; r++ {
+				if (g+r)%2 == 0 {
+					if _, err := plan.Execute(ctx); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				out, err := Explain(ctx, plan.Root)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if out == "" {
+					errs <- fmt.Errorf("goroutine %d: empty Explain output", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// benchSubset builds a DocFilter with n entries, the shape that made the
+// per-Eval subset-marker sort expensive.
+func benchSubset(n int) map[string]bool {
+	f := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		f[fmt.Sprintf("doc-%04d", i)] = true
+	}
+	return f
+}
+
+// BenchmarkCacheKeySubsetMemoised measures cacheKey with the marker
+// precomputed by SetDocFilter (the session execution path).
+func BenchmarkCacheKeySubsetMemoised(b *testing.B) {
+	ctx := NewContext(NewEnv())
+	ctx.SetDocFilter(benchSubset(500))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.cacheKey("scan(pages->x)")
+	}
+}
+
+// BenchmarkCacheKeySubsetUnmemoised measures the fallback path taken when
+// DocFilter is assigned directly — the pre-memoisation per-Eval cost.
+func BenchmarkCacheKeySubsetUnmemoised(b *testing.B) {
+	ctx := NewContext(NewEnv())
+	ctx.DocFilter = benchSubset(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.cacheKey("scan(pages->x)")
+	}
+}
+
+// TestCacheKeyMemoisedMatchesUnmemoised pins the two paths to the same
+// key, and checks SetDocFilter(nil) restores full-mode keys.
+func TestCacheKeyMemoisedMatchesUnmemoised(t *testing.T) {
+	filter := benchSubset(5)
+	memo := NewContext(NewEnv())
+	memo.SetDocFilter(filter)
+	direct := NewContext(NewEnv())
+	direct.DocFilter = filter
+	if got, want := memo.cacheKey("sig"), direct.cacheKey("sig"); got != want {
+		t.Errorf("memoised key %q != direct key %q", got, want)
+	}
+	memo.SetDocFilter(nil)
+	if got := memo.cacheKey("sig"); got != "full|sig" {
+		t.Errorf("after SetDocFilter(nil): %q", got)
+	}
+	// Re-assigning a different map directly must not reuse the stale marker.
+	memo.SetDocFilter(filter)
+	memo.DocFilter = benchSubset(2)
+	if got, want := memo.cacheKey("sig"), subsetMarkerFor(memo.DocFilter)+"|sig"; got != want {
+		t.Errorf("stale marker used: got %q, want %q", got, want)
+	}
+}

@@ -468,15 +468,21 @@ func Scaling(o Options, taskID string, sizes []int) ([]ScalingRow, error) {
 
 // ParallelResult compares a serial (Workers=1) and a parallel session on
 // the same scenario. Identical reports whether the transcripts and final
-// tables match byte for byte — the engine's determinism guarantee.
+// tables match byte for byte — the engine's determinism guarantee. The
+// stats snapshots carry the engine counters of each run, including the
+// reuse-cache hit rate and worker-pool utilization.
 type ParallelResult struct {
-	Task      string  `json:"task"`
-	Records   int     `json:"records"`
-	Workers   int     `json:"workers"`
-	SerialS   float64 `json:"serial_s"`
-	ParallelS float64 `json:"parallel_s"`
-	Speedup   float64 `json:"speedup"`
-	Identical bool    `json:"identical"`
+	Task            string               `json:"task"`
+	Records         int                  `json:"records"`
+	Workers         int                  `json:"workers"`
+	SerialS         float64              `json:"serial_s"`
+	ParallelS       float64              `json:"parallel_s"`
+	Speedup         float64              `json:"speedup"`
+	Identical       bool                 `json:"identical"`
+	CacheHitRate    float64              `json:"cache_hit_rate"`
+	PoolUtilization float64              `json:"pool_utilization"`
+	SerialStats     engine.StatsSnapshot `json:"serial_stats"`
+	ParallelStats   engine.StatsSnapshot `json:"parallel_stats"`
 }
 
 // ParallelCompare runs one scenario twice — serial and with the
@@ -486,7 +492,7 @@ func ParallelCompare(o Options, taskID string, records int) (*ParallelResult, er
 	o = o.withDefaults()
 	workers := o.Workers
 	if workers <= 0 {
-		workers = runtime.NumCPU()
+		workers = runtime.GOMAXPROCS(0)
 	}
 	run := func(w int) (*assistant.Result, float64, error) {
 		task, err := corpus.TaskByID(taskID)
@@ -525,13 +531,20 @@ func ParallelCompare(o Options, taskID string, records int) (*ParallelResult, er
 		SerialS: serialS, ParallelS: parS,
 		Identical: serial.Transcript() == par.Transcript() &&
 			serial.Final.String() == par.Final.String(),
+		SerialStats:   serial.Stats.Snapshot(),
+		ParallelStats: par.Stats.Snapshot(),
 	}
+	r.CacheHitRate = r.ParallelStats.CacheHitRate
+	r.PoolUtilization = r.ParallelStats.PoolUtilization
 	if parS > 0 {
 		r.Speedup = serialS / parS
 	}
 	fmt.Fprintf(o.Out, "Parallel comparison: task %s, %d records, strategy %s\n", taskID, records, o.Strategy)
-	fmt.Fprintf(o.Out, "%8s %10s %10s %8s %10s\n", "Workers", "Serial(s)", "Parallel(s)", "Speedup", "Identical")
-	fmt.Fprintf(o.Out, "%8d %10.3f %10.3f %7.2fx %10v\n", r.Workers, r.SerialS, r.ParallelS, r.Speedup, r.Identical)
+	fmt.Fprintf(o.Out, "%8s %10s %10s %8s %10s %9s %9s\n",
+		"Workers", "Serial(s)", "Parallel(s)", "Speedup", "Identical", "HitRate", "PoolUtil")
+	fmt.Fprintf(o.Out, "%8d %10.3f %10.3f %7.2fx %10v %8.1f%% %8.1f%%\n",
+		r.Workers, r.SerialS, r.ParallelS, r.Speedup, r.Identical,
+		100*r.CacheHitRate, 100*r.PoolUtilization)
 	if !r.Identical {
 		return r, fmt.Errorf("experiments: parallel run of %s diverged from serial (workers=%d)", taskID, workers)
 	}

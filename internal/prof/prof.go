@@ -1,0 +1,75 @@
+// Package prof wires the standard Go profiling hooks into the CLIs: CPU
+// profiles and runtime execution traces start immediately, and a heap
+// profile is captured at stop time. All hooks are optional — empty paths
+// produce a no-op stop function — so the flags cost nothing when unused.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Start begins profiling for every non-empty path and returns a stop
+// function that flushes and closes the outputs (call it exactly once,
+// typically via defer). cpuPath receives a pprof CPU profile, tracePath a
+// runtime/trace execution trace, and memPath a heap profile written at
+// stop time after a final GC.
+func Start(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	var stops []func() error
+	fail := func(err error) (func() error, error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		return nil, err
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fail(err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	if memPath != "" {
+		stops = append(stops, func() error {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialise up-to-date allocation statistics
+			return pprof.WriteHeapProfile(f)
+		})
+	}
+	return func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

@@ -13,8 +13,8 @@ import (
 )
 
 // runT9 executes the Table 5 simulation scenario for T9 with the given
-// worker count and returns the transcript and rendered final table.
-func runT9(t *testing.T, workers int) (transcript, final string) {
+// worker count and returns the session result.
+func runT9(t *testing.T, workers int) *iflex.SessionResult {
 	t.Helper()
 	task, err := corpus.TaskByID("T9")
 	if err != nil {
@@ -35,19 +35,48 @@ func runT9(t *testing.T, workers int) (transcript, final string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return res.Transcript(), res.Final.String()
+	return res
 }
 
 func TestParallelSessionDeterminism(t *testing.T) {
-	serialTranscript, serialFinal := runT9(t, 1)
-	parTranscript, parFinal := runT9(t, 8)
-	if serialTranscript != parTranscript {
-		t.Errorf("transcripts diverge:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
-			serialTranscript, parTranscript)
+	serial := runT9(t, 1)
+	par := runT9(t, 8)
+	if st, pt := serial.Transcript(), par.Transcript(); st != pt {
+		t.Errorf("transcripts diverge:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", st, pt)
 	}
-	if serialFinal != parFinal {
-		t.Errorf("final tables diverge:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
-			serialFinal, parFinal)
+	if sf, pf := serial.Final.String(), par.Final.String(); sf != pf {
+		t.Errorf("final tables diverge:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", sf, pf)
+	}
+}
+
+// TestParallelStatsDeterminism extends the byte-identity guarantee to the
+// engine counters: every deterministic stats total and every per-iteration
+// evals/cache-hits delta must match between Workers=1 and Workers=8. Only
+// the pool counters and the per-operator wall times may differ.
+func TestParallelStatsDeterminism(t *testing.T) {
+	serial := runT9(t, 1)
+	par := runT9(t, 8)
+	det := func(r *iflex.SessionResult) [8]int64 {
+		s := r.Stats
+		return [8]int64{s.NodesEvaluated, s.CacheHits, s.TuplesBuilt, s.ProcCalls,
+			s.FuncCalls, s.VerifyCalls, s.RefineCalls, s.LimitFallbacks}
+	}
+	if det(serial) != det(par) {
+		t.Errorf("deterministic stats diverge:\n--- workers=1 ---\n%+v\n--- workers=8 ---\n%+v",
+			det(serial), det(par))
+	}
+	if len(serial.Iterations) != len(par.Iterations) {
+		t.Fatalf("iteration counts diverge: %d vs %d", len(serial.Iterations), len(par.Iterations))
+	}
+	for i, s := range serial.Iterations {
+		p := par.Iterations[i]
+		if s.Evals != p.Evals || s.CacheHits != p.CacheHits {
+			t.Errorf("iteration %d counters diverge: workers=1 evals=%d hits=%d, workers=8 evals=%d hits=%d",
+				s.N, s.Evals, s.CacheHits, p.Evals, p.CacheHits)
+		}
+	}
+	if serial.Stats.NodesEvaluated == 0 || serial.Stats.CacheHits == 0 {
+		t.Error("session recorded no evaluations or no cache hits; counters look dead")
 	}
 }
 
