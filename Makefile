@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-all bench bench-parallel profile vet
+.PHONY: build test race race-all bench bench-parallel bench-hotpath benchdiff profile vet verify
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,14 @@ vet:
 race:
 	$(GO) test -race ./internal/engine/... ./internal/assistant/...
 
+# The pre-merge gate: vet, the race run over the concurrent core, and the
+# full tier-1 suite. Bench-heavy tests honour -short, so this stays fast.
+verify:
+	$(GO) vet ./...
+	$(GO) test -short -race ./internal/engine/... ./internal/assistant/...
+	$(GO) build ./...
+	$(GO) test -short ./...
+
 # Full race-detector run, including the root determinism tests.
 race-all:
 	$(GO) test -race ./...
@@ -27,6 +35,16 @@ bench:
 bench-parallel:
 	$(GO) test -bench='BenchmarkTable5SimulationT9' -benchmem -run='^$$' .
 	$(GO) run ./cmd/iflex-bench -table parallel -scale 0.05 -bench-json BENCH_PARALLEL.json
+
+# Serial hot-path counters and wall time on the T9 join task.
+bench-hotpath:
+	$(GO) run ./cmd/iflex-bench -table hotpath -scale 0.05 -bench-json /tmp/hotpath.json
+
+# Re-run the parallel bench and fail on a >10% wall-time regression
+# against the committed snapshot.
+benchdiff:
+	$(GO) run ./cmd/iflex-bench -table parallel -scale 0.05 -workers 4 -bench-json /tmp/bench-new.json
+	$(GO) run ./cmd/iflex-bench -compare BENCH_PARALLEL.json /tmp/bench-new.json
 
 # Capture CPU, heap, and execution-trace profiles from the parallel
 # harness; inspect with `go tool pprof` / `go tool trace`.

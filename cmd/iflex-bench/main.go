@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"iflex/internal/experiments"
 	"iflex/internal/prof"
@@ -24,7 +26,8 @@ import (
 
 func main() {
 	var (
-		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, parallel, or all")
+		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, parallel, hotpath, or all")
+		compare    = flag.Bool("compare", false, "compare two benchmark JSON files (old new); exit non-zero on a >10% wall-time regression")
 		scale      = flag.Float64("scale", 0.2, "corpus size factor (1.0 = paper sizes)")
 		seed       = flag.Int64("seed", 1, "corpus generation seed")
 		strategy   = flag.String("strategy", "sim", "assistant strategy for Tables 3/4/conv: seq or sim")
@@ -36,6 +39,18 @@ func main() {
 		tracePath  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "iflex-bench: -compare needs two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareBenchFiles(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "iflex-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile, *tracePath)
 	if err != nil {
@@ -101,15 +116,87 @@ func main() {
 		if err != nil {
 			return err
 		}
-		if *benchJSON != "" {
-			data, err := json.MarshalIndent(res, "", "  ")
-			if err != nil {
-				return err
-			}
-			if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
-				return err
-			}
-		}
-		return nil
+		return writeJSON(*benchJSON, res)
 	})
+	run("hotpath", func() error {
+		n := int(float64(5000) * *scale)
+		if n < 10 {
+			n = 10
+		}
+		res, err := experiments.Hotpath(o, "T9", n)
+		if err != nil {
+			return err
+		}
+		return writeJSON(*benchJSON, res)
+	})
+}
+
+// writeJSON writes v as indented JSON to path (no-op when path is empty).
+func writeJSON(path string, v any) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compareBenchFiles diffs the wall-time fields of two benchmark JSON
+// files (any top-level number whose key ends in "_s") and returns an
+// error when the new file regresses any of them by more than 10%.
+// Non-time fields are reported for context but never fail the check.
+func compareBenchFiles(w io.Writer, oldPath, newPath string) error {
+	load := func(path string) (map[string]any, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return m, nil
+	}
+	oldM, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newM, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	const tolerance = 1.10
+	var regressed []string
+	keys := make([]string, 0, len(oldM))
+	for k := range oldM {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "benchmark comparison: %s -> %s (threshold +%.0f%%)\n", oldPath, newPath, 100*(tolerance-1))
+	for _, k := range keys {
+		ov, ook := oldM[k].(float64)
+		nv, nok := newM[k].(float64)
+		if !ook || !nok {
+			continue
+		}
+		timing := strings.HasSuffix(k, "_s")
+		delta := "n/a"
+		if ov != 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(nv-ov)/ov)
+		}
+		mark := " "
+		if timing && ov > 0 && nv > ov*tolerance {
+			mark = "!"
+			regressed = append(regressed, fmt.Sprintf("%s: %.3f -> %.3f (%s)", k, ov, nv, delta))
+		}
+		fmt.Fprintf(w, "%s %-24s %14.3f %14.3f  %s\n", mark, k, ov, nv, delta)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("wall-time regression over %0.f%%:\n  %s",
+			100*(tolerance-1), strings.Join(regressed, "\n  "))
+	}
+	fmt.Fprintln(w, "no wall-time regressions")
+	return nil
 }

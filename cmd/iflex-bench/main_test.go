@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompareBenchFiles(t *testing.T) {
+	old := `{"serial_s": 2.0, "parallel_s": 1.0, "func_calls": 1000, "speedup": 2.0}`
+	cases := []struct {
+		name    string
+		newJSON string
+		wantErr string
+	}{
+		{
+			// Both timings within +10%: counters may explode, only "_s"
+			// fields gate.
+			name:    "within tolerance",
+			newJSON: `{"serial_s": 2.1, "parallel_s": 1.05, "func_calls": 99999, "speedup": 1.9}`,
+		},
+		{
+			name:    "improvement passes",
+			newJSON: `{"serial_s": 0.5, "parallel_s": 0.4, "func_calls": 10, "speedup": 1.2}`,
+		},
+		{
+			name:    "serial regression fails",
+			newJSON: `{"serial_s": 2.3, "parallel_s": 1.0, "func_calls": 10, "speedup": 2.0}`,
+			wantErr: "serial_s",
+		},
+		{
+			name:    "parallel regression fails",
+			newJSON: `{"serial_s": 2.0, "parallel_s": 1.2, "func_calls": 10, "speedup": 2.0}`,
+			wantErr: "parallel_s",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			oldP := writeTemp(t, "old.json", old)
+			newP := writeTemp(t, "new.json", c.newJSON)
+			var sb strings.Builder
+			err := compareBenchFiles(&sb, oldP, newP)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected failure: %v\n%s", err, sb.String())
+				}
+				if !strings.Contains(sb.String(), "no wall-time regressions") {
+					t.Errorf("missing pass line:\n%s", sb.String())
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected regression on %s, got pass:\n%s", c.wantErr, sb.String())
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not name %s", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestCompareBenchFilesBadInput(t *testing.T) {
+	good := writeTemp(t, "good.json", `{"serial_s": 1.0}`)
+	bad := writeTemp(t, "bad.json", `not json`)
+	var sb strings.Builder
+	if err := compareBenchFiles(&sb, good, bad); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+	if err := compareBenchFiles(&sb, filepath.Join(t.TempDir(), "missing.json"), good); err == nil {
+		t.Error("missing file should fail")
+	}
+}

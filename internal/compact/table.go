@@ -143,6 +143,17 @@ func (t Tuple) Clone() Tuple {
 	return Tuple{Cells: cs, Maybe: t.Maybe}
 }
 
+// Copy returns a tuple with a fresh Cells slice whose cells share the
+// underlying assignment slices. The engine treats assignment slices as
+// immutable (cells are only ever replaced wholesale, never edited in
+// place), so Copy is the allocation-free substitute for Clone on hot
+// paths; use Clone when assignments will be mutated.
+func (t Tuple) Copy() Tuple {
+	cs := make([]Cell, len(t.Cells))
+	copy(cs, t.Cells)
+	return Tuple{Cells: cs, Maybe: t.Maybe}
+}
+
 // String renders the tuple like (cell, cell, ...) with a trailing ? for
 // maybe tuples.
 func (t Tuple) String() string {

@@ -44,20 +44,38 @@ func (n *constraintNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, erro
 	ci := colIndex(in.Cols, n.cons.Attr)
 	all := append(append([]feature.Constraint(nil), n.prior...), n.cons)
 	out := compact.NewTable(in.Cols...)
-	for _, tp := range in.Tuples {
-		cell, err := refineCell(ctx, tp.Cells[ci], n.cons, all)
-		if err != nil {
-			return nil, err
+	// Tuples refine independently (features are pure, the memo is
+	// concurrency-safe), so the loop is partitioned across the worker
+	// pool; per-index result slots keep the output order serial-identical.
+	rows := make([]*compact.Tuple, len(in.Tuples))
+	err = ctx.parallelChunksSized(len(in.Tuples), minChunkConstraint, func(start, end int) error {
+		var batch statBatch
+		defer batch.flush(ctx)
+		for i := start; i < end; i++ {
+			tp := in.Tuples[i]
+			cell, err := refineCell(ctx, &batch, tp.Cells[ci], n.cons, all)
+			if err != nil {
+				return err
+			}
+			if len(cell.Assigns) == 0 {
+				// No possible value for the attribute survives: the tuple is
+				// certainly gone (both for expansion cells — all expanded
+				// tuples fail — and plain cells — no valuation exists).
+				continue
+			}
+			nt := tp.Copy()
+			nt.Cells[ci] = cell
+			rows[i] = &nt
 		}
-		if len(cell.Assigns) == 0 {
-			// No possible value for the attribute survives: the tuple is
-			// certainly gone (both for expansion cells — all expanded
-			// tuples fail — and plain cells — no valuation exists).
-			continue
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, nt := range rows {
+		if nt != nil {
+			out.Tuples = append(out.Tuples, *nt)
 		}
-		nt := tp.Clone()
-		nt.Cells[ci] = cell
-		out.Tuples = append(out.Tuples, nt)
 	}
 	return out, nil
 }
@@ -66,8 +84,8 @@ func (n *constraintNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, erro
 // iterates the full constraint set to a fixpoint (bounded) so that every
 // exact span satisfies all constraints and every contain span is the
 // result of refining under all of them.
-func refineCell(ctx *Context, c compact.Cell, k feature.Constraint, all []feature.Constraint) (compact.Cell, error) {
-	as, err := applyConstraint(ctx, k, c.Assigns)
+func refineCell(ctx *Context, batch *statBatch, c compact.Cell, k feature.Constraint, all []feature.Constraint) (compact.Cell, error) {
+	as, err := applyConstraint(ctx, batch, k, c.Assigns)
 	if err != nil {
 		return compact.Cell{}, err
 	}
@@ -75,7 +93,7 @@ func refineCell(ctx *Context, c compact.Cell, k feature.Constraint, all []featur
 	for round := 0; round < maxRounds; round++ {
 		before := text.FormatAssignments(as)
 		for _, kc := range all {
-			as, err = applyConstraint(ctx, kc, as)
+			as, err = applyConstraint(ctx, batch, kc, as)
 			if err != nil {
 				return compact.Cell{}, err
 			}
@@ -87,31 +105,37 @@ func refineCell(ctx *Context, c compact.Cell, k feature.Constraint, all []featur
 	return compact.Cell{Assigns: text.DedupAssignments(as), Expand: c.Expand}, nil
 }
 
-// applyConstraint applies one constraint to a list of assignments:
-// Verify for exact assignments, Refine for contain assignments.
-func applyConstraint(ctx *Context, k feature.Constraint, as []text.Assignment) ([]text.Assignment, error) {
+// applyConstraint applies one constraint to a list of assignments: Verify
+// for exact assignments, Refine for contain assignments — both through
+// the Env's feature memo. VerifyCalls/RefineCalls count logical calls
+// (deterministic at any worker count); the memo hit/miss split is
+// recorded separately.
+func applyConstraint(ctx *Context, batch *statBatch, k feature.Constraint, as []text.Assignment) ([]text.Assignment, error) {
 	f, err := ctx.Env.Features.Lookup(k.Feature)
 	if err != nil {
 		return nil, err
 	}
+	memo := ctx.Env.FeatureMemo
 	var out []text.Assignment
 	for _, a := range as {
 		if a.Mode == text.Exact {
-			statAdd(&ctx.Stats.VerifyCalls, 1)
-			ok, err := f.Verify(a.Span, k.Value)
+			batch.verifyCalls++
+			ok, hit, err := memo.Verify(f, a.Span, k.Value)
 			if err != nil {
 				return nil, err
 			}
+			batch.countMemo(hit)
 			if ok {
 				out = append(out, a)
 			}
 			continue
 		}
-		statAdd(&ctx.Stats.RefineCalls, 1)
-		refined, err := f.Refine(a.Span, k.Value)
+		batch.refineCalls++
+		refined, hit, err := memo.Refine(f, a.Span, k.Value)
 		if err != nil {
 			return nil, err
 		}
+		batch.countMemo(hit)
 		out = append(out, refined...)
 	}
 	return out, nil

@@ -67,6 +67,11 @@ type Env struct {
 	Procs    map[string]Procedure
 	Features *feature.Registry
 	Limits   Limits
+	// FeatureMemo caches Verify/Refine results per (document, span,
+	// feature, param). Documents are immutable and features are pure, so
+	// entries never invalidate; sharing the Env across a session's
+	// simulation fan-out shares the memo too. May be nil (no caching).
+	FeatureMemo *feature.Memo
 	// Blockable names p-functions that guarantee matching values share at
 	// least one token, enabling the fused token-blocked similarity join.
 	Blockable map[string]bool
@@ -80,11 +85,12 @@ type Env struct {
 // limits, and the default p-functions similar and approxMatch.
 func NewEnv() *Env {
 	e := &Env{
-		Tables:   map[string]*compact.Table{},
-		Funcs:    map[string]Func{},
-		Procs:    map[string]Procedure{},
-		Features: feature.NewRegistry(),
-		Limits:   DefaultLimits(),
+		Tables:      map[string]*compact.Table{},
+		Funcs:       map[string]Func{},
+		Procs:       map[string]Procedure{},
+		Features:    feature.NewRegistry(),
+		Limits:      DefaultLimits(),
+		FeatureMemo: feature.NewMemo(),
 	}
 	sim := func(args []text.Span) (bool, error) {
 		if len(args) != 2 {
@@ -214,6 +220,19 @@ type Stats struct {
 	// denial means the work ran inline on the requesting goroutine.
 	PoolSlotsGranted int64
 	PoolSlotsDenied  int64
+	// FeatureMemoHits / FeatureMemoMisses count Verify/Refine invocations
+	// served from (or inserted into) the Env's feature memo. Concurrent
+	// evaluations may race to fill the same key, so — like the pool
+	// counters — these vary slightly with scheduling; VerifyCalls and
+	// RefineCalls count logical calls and stay deterministic.
+	FeatureMemoHits   int64
+	FeatureMemoMisses int64
+	// StatMergeNs / StatMerges measure the per-worker counter-shard
+	// flushes: hot loops batch their deterministic counter deltas locally
+	// and merge once per chunk, so these report how much wall time the
+	// shared-counter synchronisation costs in total.
+	StatMergeNs int64
+	StatMerges  int64
 	// OpTimeNs accumulates evaluation wall time per operator kind,
 	// indexed by OpKind. Overlapping concurrent evaluations each count
 	// their full duration, so the sum can exceed elapsed wall clock.
@@ -224,6 +243,62 @@ type Stats struct {
 // engine goes through it because node evaluation may run on several
 // goroutines at once.
 func statAdd(p *int64, n int) { atomic.AddInt64(p, int64(n)) }
+
+// statBatch is a worker-local shard of the deterministic call counters.
+// Hot loops (filterTupleF odometers, similarity-join probes, constraint
+// refinement) increment plain fields and flush once per chunk, replacing
+// one atomic add per predicate call with one per counter per chunk — the
+// contention fix for the parallel op-time inflation seen in PR 2's traces.
+type statBatch struct {
+	funcCalls   int64
+	verifyCalls int64
+	refineCalls int64
+	memoHits    int64
+	memoMisses  int64
+}
+
+// flush merges the shard into the shared Stats and times the merge
+// (surfaced as stat_merge_seconds in snapshots). The batch is reset so a
+// deferred flush composes with explicit mid-chunk flushes.
+func (b *statBatch) flush(ctx *Context) {
+	if *b == (statBatch{}) {
+		return
+	}
+	start := time.Now()
+	b.flushTo(&ctx.Stats)
+	atomic.AddInt64(&ctx.Stats.StatMergeNs, int64(time.Since(start)))
+	atomic.AddInt64(&ctx.Stats.StatMerges, 1)
+}
+
+// countMemo records one feature-memo lookup outcome.
+func (b *statBatch) countMemo(hit bool) {
+	if hit {
+		b.memoHits++
+	} else {
+		b.memoMisses++
+	}
+}
+
+// flushTo merges the shard into stats without merge-cost accounting (used
+// by entry points that hold no Context).
+func (b *statBatch) flushTo(stats *Stats) {
+	if b.funcCalls != 0 {
+		atomic.AddInt64(&stats.FuncCalls, b.funcCalls)
+	}
+	if b.verifyCalls != 0 {
+		atomic.AddInt64(&stats.VerifyCalls, b.verifyCalls)
+	}
+	if b.refineCalls != 0 {
+		atomic.AddInt64(&stats.RefineCalls, b.refineCalls)
+	}
+	if b.memoHits != 0 {
+		atomic.AddInt64(&stats.FeatureMemoHits, b.memoHits)
+	}
+	if b.memoMisses != 0 {
+		atomic.AddInt64(&stats.FeatureMemoMisses, b.memoMisses)
+	}
+	*b = statBatch{}
+}
 
 // NewContext returns a fresh context with an empty reuse cache.
 func NewContext(env *Env) *Context {

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -150,6 +151,20 @@ func Explain(ctx *Context, root Node) (string, error) {
 	}
 	if err := walk(root, 0); err != nil {
 		return "", err
+	}
+	// Hot-path footer: feature-memo effectiveness and what the batched
+	// stat merging cost. Both are scheduling-dependent (unlike the counts
+	// in the tree above) and meant for eyeballing, not diffing. Counters
+	// are loaded atomically: Explain may run concurrently with evaluation.
+	hits := atomic.LoadInt64(&ctx.Stats.FeatureMemoHits)
+	misses := atomic.LoadInt64(&ctx.Stats.FeatureMemoMisses)
+	if total := hits + misses; total > 0 {
+		fmt.Fprintf(&b, "feature memo: %d/%d hits (%.1f%%)\n",
+			hits, total, 100*float64(hits)/float64(total))
+	}
+	if merges := atomic.LoadInt64(&ctx.Stats.StatMerges); merges > 0 {
+		fmt.Fprintf(&b, "stat merges: %d batches, %s total\n", merges,
+			time.Duration(atomic.LoadInt64(&ctx.Stats.StatMergeNs)).Round(time.Microsecond))
 	}
 	return b.String(), nil
 }

@@ -39,7 +39,9 @@ func (n *scanNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 		if ctx.DocFilter != nil && !tupleInSubset(tp, ctx.DocFilter) {
 			continue
 		}
-		out.Tuples = append(out.Tuples, tp.Clone())
+		// Tuples are values and downstream operators copy before mutating,
+		// so the scan shares the extensional table's cells directly.
+		out.Tuples = append(out.Tuples, tp)
 	}
 	return out, nil
 }
@@ -89,7 +91,7 @@ func (n *fromNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	idx := colIndex(in.Cols, n.inVar)
 	out := compact.NewTable(n.Columns()...)
 	for _, tp := range in.Tuples {
-		nt := tp.Clone()
+		nt := tp.Copy()
 		var as []text.Assignment
 		for _, a := range tp.Cells[idx].Assigns {
 			// contain(s) for every possible value region of the input cell;
@@ -147,7 +149,7 @@ func (n *crossNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	// Partition the product over left tuples; per-index result slots keep
 	// the output order identical to the serial nested loop.
 	rows := make([][]compact.Tuple, len(lt.Tuples))
-	_ = ctx.parallelChunks(len(lt.Tuples), func(start, end int) error {
+	_ = ctx.parallelChunksSized(len(lt.Tuples), minChunkCross, func(start, end int) error {
 		for i := start; i < end; i++ {
 			ltp := lt.Tuples[i]
 			for _, rtp := range rt.Tuples {
@@ -171,10 +173,10 @@ func (n *crossNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 				if !keep {
 					continue
 				}
-				nt := ltp.Clone()
+				nt := ltp.Copy()
 				for j, c := range rt.Cols {
 					if !containsStr(n.shared, c) {
-						nt.Cells = append(nt.Cells, rtp.Cells[j].Clone())
+						nt.Cells = append(nt.Cells, rtp.Cells[j])
 					}
 				}
 				nt.Maybe = ltp.Maybe || rtp.Maybe || !sure
@@ -270,9 +272,8 @@ func (n *unionNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	}
 	out := compact.NewTable(n.Columns()...)
 	for _, t := range tables {
-		for _, tp := range t.Tuples {
-			out.Tuples = append(out.Tuples, tp.Clone())
-		}
+		// Cells are immutable once built; the union shares them.
+		out.Tuples = append(out.Tuples, t.Tuples...)
 	}
 	return out, nil
 }
@@ -308,12 +309,13 @@ func (n *projectNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) 
 		idx[i] = colIndex(in.Cols, c)
 	}
 	out := compact.NewTable(n.outCols...)
-	for _, tp := range in.Tuples {
+	out.Tuples = make([]compact.Tuple, len(in.Tuples))
+	for ti, tp := range in.Tuples {
 		nt := compact.Tuple{Maybe: tp.Maybe, Cells: make([]compact.Cell, len(idx))}
 		for i, j := range idx {
-			nt.Cells[i] = tp.Cells[j].Clone()
+			nt.Cells[i] = tp.Cells[j]
 		}
-		out.Tuples = append(out.Tuples, nt)
+		out.Tuples[ti] = nt
 	}
 	return out, nil
 }

@@ -47,6 +47,20 @@ func (ctx *Context) tryAcquire() bool {
 // release returns a slot taken by tryAcquire.
 func (ctx *Context) release() { ctx.extraWorkers.Add(-1) }
 
+// Minimum items per chunk for the fan-out of each operator family,
+// derived from their measured per-item cost: similarity-join probes run a
+// blocking lookup plus a token odometer per item (expensive), selections
+// a factored predicate (medium), cross products and constraint refinement
+// sit in between. Nodes smaller than one chunk run serially and skip the
+// pool bookkeeping entirely — the fix for pool_slots_denied ≈ granted on
+// tiny nodes.
+const (
+	minChunkProbe      = 4
+	minChunkFilter     = 16
+	minChunkCross      = 16
+	minChunkConstraint = 8
+)
+
 // parallelChunks splits [0, n) into up to workers() contiguous chunks and
 // runs body on each, spawning goroutines only for the slots tryAcquire
 // grants; the caller's goroutine runs the first chunk (and any chunk that
@@ -56,9 +70,25 @@ func (ctx *Context) release() { ctx.extraWorkers.Add(-1) }
 // body stops at its first error, and across chunks the lowest-indexed
 // chunk's error wins.
 func (ctx *Context) parallelChunks(n int, body func(start, end int) error) error {
+	return ctx.parallelChunksSized(n, 1, body)
+}
+
+// parallelChunksSized is parallelChunks with a per-chunk work floor: the
+// fan-out is capped so every chunk covers at least minChunk items, which
+// keeps cheap nodes serial instead of paying goroutine and pool-slot
+// overhead for sub-microsecond chunks.
+func (ctx *Context) parallelChunksSized(n, minChunk int, body func(start, end int) error) error {
 	w := ctx.workers()
 	if w > n {
 		w = n
+	}
+	if minChunk > 1 && w > 1 {
+		if m := n / minChunk; m < w {
+			w = m
+			if w < 1 {
+				w = 1
+			}
+		}
 	}
 	if w <= 1 {
 		if n <= 0 {

@@ -3,14 +3,66 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"iflex/internal/alog"
 	"iflex/internal/compact"
+	"iflex/internal/similarity"
 	"iflex/internal/text"
 )
 
 // valuePred is a predicate over one concrete value per involved column.
 type valuePred func(vals []text.Span) (bool, error)
+
+// colPred is a single-column conjunct: it tests one value of one involved
+// column in isolation.
+type colPred func(v text.Span) (bool, error)
+
+// idxPred tests one valuation, identified by the value index chosen for
+// each involved column (idx[i] indexes the column's enumerated values).
+type idxPred func(idx []int) (bool, error)
+
+// factoredPred is a conjunctive tuple predicate factored by column: a
+// valuation satisfies it iff every per-column conjunct accepts its value
+// AND the residual (when present) accepts the combination.
+//
+//   - cols[i], when non-nil, is evaluated once per value of involved
+//     column i — O(Σ|vals|) work instead of a factor of the cross product.
+//   - prepare, when non-nil, builds the residual predicate after
+//     precomputing whatever per-value state it needs (parsed operands,
+//     normalised token slices); the returned idxPred then runs only over
+//     combinations of values that passed their conjuncts.
+//
+// The residual counts its own predicate evaluations into the batch given
+// to prepare (conjunct evaluations are counted by filterTupleF), so a
+// residual that rejects a combination with a cheap necessary-condition
+// check — the filter step of filter-and-verify — does not inflate
+// FuncCalls with evaluations that never ran.
+//
+// A predicate with no residual never enumerates the cross product at all.
+type factoredPred struct {
+	cols    []colPred
+	prepare func(vals [][]text.Span, batch *statBatch) (idxPred, error)
+}
+
+// genericPred lifts an opaque valuePred into a residual-only factoredPred
+// (no per-column decomposition), preserving the classic full-odometer
+// behaviour for callers that cannot factor their condition.
+func genericPred(pred valuePred, arity int) factoredPred {
+	return factoredPred{
+		cols: make([]colPred, arity),
+		prepare: func(vals [][]text.Span, batch *statBatch) (idxPred, error) {
+			cur := make([]text.Span, len(vals))
+			return func(idx []int) (bool, error) {
+				for i, j := range idx {
+					cur[i] = vals[i][j]
+				}
+				batch.funcCalls++
+				return pred(cur)
+			}, nil
+		},
+	}
+}
 
 // filterOutcome is the result of applying a predicate to one compact tuple
 // with superset semantics.
@@ -21,26 +73,90 @@ type filterOutcome struct {
 	fallback bool                 // kept conservatively: enumeration exceeded Limits
 }
 
-// filterTuple evaluates pred over every possible valuation of the involved
-// columns of tp (Section 4.1):
+// filterScratch pools the per-call working set of filterTupleF: the value
+// lists, per-value conjunct verdicts, satisfied flags, and odometer
+// positions. One scratch serves one call at a time (callers never hold it
+// across predicate evaluations of other tuples).
+type filterScratch struct {
+	vals [][]text.Span
+	pass [][]bool
+	sat  [][]bool
+	keep [][]int
+	idx  []int
+	cur  []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return &filterScratch{} }}
+
+// grow resizes the scratch for n involved columns, reusing inner slices.
+func (sc *filterScratch) grow(n int) {
+	for len(sc.vals) < n {
+		sc.vals = append(sc.vals, nil)
+		sc.pass = append(sc.pass, nil)
+		sc.sat = append(sc.sat, nil)
+		sc.keep = append(sc.keep, nil)
+	}
+	if cap(sc.idx) < n {
+		sc.idx = make([]int, n)
+		sc.cur = make([]int, n)
+	}
+}
+
+// boolRow returns dst resized to n entries, all false.
+func boolRow(dst []bool, n int) []bool {
+	if cap(dst) < n {
+		return make([]bool, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = false
+	}
+	return dst
+}
+
+// filterTuple evaluates an opaque predicate over every valuation of the
+// involved columns — the unfactored entry point kept for predicates with
+// no per-column structure (and for tests exercising the odometer).
+func filterTuple(tp compact.Tuple, involved []int, pred valuePred, lim Limits, stats *Stats) (filterOutcome, error) {
+	var batch statBatch
+	res, err := filterTupleF(tp, involved, genericPred(pred, len(involved)), lim, &batch)
+	if stats != nil {
+		batch.flushTo(stats)
+	}
+	return res, err
+}
+
+// filterTupleF evaluates a factored predicate over one compact tuple
+// (Section 4.1) with superset semantics:
 //
 //   - keep the tuple if any valuation satisfies; mark it maybe unless all do
 //   - expansion cells stand for one tuple per value, so their values are
 //     filtered down to those participating in a satisfying valuation
 //   - when value enumeration exceeds the limits, fall back to keeping the
-//     tuple as maybe without filtering — conservative but superset-safe
-func filterTuple(tp compact.Tuple, involved []int, pred valuePred, lim Limits, stats *Stats) (filterOutcome, error) {
-	conservative := filterOutcome{keep: true, sure: false, fallback: true}
+//     tuple as maybe — conservative but superset-safe; per-column conjunct
+//     verdicts already decided are still applied (dropping a value whose
+//     conjunct failed can never drop a satisfying valuation)
+//
+// The residual odometer runs only over values that passed their conjuncts
+// and short-circuits once the keep/maybe verdict is decided and every
+// expansion column's satisfied-set is saturated. Conjunct evaluations are
+// counted into batch (FuncCalls) here; residual evaluations count
+// themselves (see factoredPred).
+func filterTupleF(tp compact.Tuple, involved []int, fp factoredPred, lim Limits, batch *statBatch) (filterOutcome, error) {
+	sc := scratchPool.Get().(*filterScratch)
+	defer scratchPool.Put(sc)
+	sc.grow(len(involved))
+	conservative := filterOutcome{keep: true, fallback: true}
+
 	// Enumerate the value list of each involved cell, bailing out to the
-	// conservative outcome when any single cell is too large.
-	vals := make([][]text.Span, len(involved))
-	combos := 1
+	// fully conservative outcome when any single cell is too large.
+	vals := sc.vals[:len(involved)]
 	for i, ci := range involved {
 		cell := tp.Cells[ci]
 		if cell.NumValues() > lim.MaxCellValues {
 			return conservative, nil
 		}
-		var vs []text.Span
+		vs := vals[i][:0]
 		cell.Values(func(s text.Span) bool {
 			vs = append(vs, s)
 			return true
@@ -49,45 +165,126 @@ func filterTuple(tp compact.Tuple, involved []int, pred valuePred, lim Limits, s
 			return filterOutcome{keep: false}, nil
 		}
 		vals[i] = vs
-		combos *= len(vs)
+	}
+
+	// Per-column conjunct passes: pass[i][j] records whether value j of
+	// column i satisfies its conjunct; keep[i] lists the passing indices.
+	// A column with no passing value kills the tuple outright (the overall
+	// predicate is a conjunction).
+	anyColFailed := false
+	for i := range involved {
+		n := len(vals[i])
+		pass := boolRow(sc.pass[i], n)
+		kp := sc.keep[i][:0]
+		cp := fp.cols[i]
+		if cp == nil {
+			for j := 0; j < n; j++ {
+				pass[j] = true
+				kp = append(kp, j)
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				batch.funcCalls++
+				ok, err := cp(vals[i][j])
+				if err != nil {
+					return filterOutcome{}, err
+				}
+				pass[j] = ok
+				if ok {
+					kp = append(kp, j)
+				} else {
+					anyColFailed = true
+				}
+			}
+			if len(kp) == 0 {
+				return filterOutcome{keep: false}, nil
+			}
+		}
+		sc.pass[i], sc.keep[i] = pass, kp
+	}
+
+	// Fully factored predicate: the conjunct verdicts decide everything —
+	// a value participates in a satisfying valuation iff it passed (every
+	// other column has at least one passing value).
+	if fp.prepare == nil {
+		if !anyColFailed {
+			return filterOutcome{keep: true, sure: true}, nil
+		}
+		out := filterOutcome{keep: true}
+		return finishRepl(out, tp, involved, sc.pass)
+	}
+
+	// Residual odometer over passing values only. The combination count is
+	// checked against the restricted product, so conjuncts shrink the
+	// valuation space before the limit applies.
+	combos := 1
+	for i := range involved {
+		combos *= len(sc.keep[i])
 		if combos > lim.MaxValuations {
-			return conservative, nil
+			// Conservative keep, but per-column verdicts already decided
+			// still filter the expansion cells (superset-safe: a value whose
+			// conjunct failed satisfies no valuation).
+			if !anyColFailed {
+				return conservative, nil
+			}
+			out, err := finishRepl(filterOutcome{keep: true, fallback: true}, tp, involved, sc.pass)
+			out.fallback = true
+			return out, err
+		}
+	}
+	res, err := fp.prepare(vals, batch)
+	if err != nil {
+		return filterOutcome{}, err
+	}
+
+	// satNeeded marks expansion columns: only their satisfied-sets matter
+	// for output filtering, so saturation is tracked on them alone.
+	satRemaining := 0
+	for i, ci := range involved {
+		if tp.Cells[ci].Expand {
+			sc.sat[i] = boolRow(sc.sat[i], len(vals[i]))
+			satRemaining += len(sc.keep[i])
+		} else {
+			sc.sat[i] = nil
 		}
 	}
 
-	// satisfied[i][j] records whether value j of involved cell i appears in
-	// at least one satisfying valuation.
-	satisfied := make([][]bool, len(involved))
-	for i := range satisfied {
-		satisfied[i] = make([]bool, len(vals[i]))
+	idx := sc.idx[:len(involved)]
+	cur := sc.cur[:len(involved)]
+	for i := range idx {
+		idx[i] = 0
 	}
-	idx := make([]int, len(involved))
-	cur := make([]text.Span, len(involved))
 	anySat, allSat := false, true
 	for {
-		for i, j := range idx {
-			cur[i] = vals[i][j]
+		for i, p := range idx {
+			cur[i] = sc.keep[i][p]
 		}
-		ok, err := pred(cur)
+		ok, err := res(cur)
 		if err != nil {
 			return filterOutcome{}, err
 		}
-		if stats != nil {
-			statAdd(&stats.FuncCalls, 1)
-		}
 		if ok {
 			anySat = true
-			for i, j := range idx {
-				satisfied[i][j] = true
+			for i := range idx {
+				if sc.sat[i] != nil && !sc.sat[i][cur[i]] {
+					sc.sat[i][cur[i]] = true
+					satRemaining--
+				}
 			}
 		} else {
 			allSat = false
+		}
+		// Short-circuit: once some valuation satisfies, some fails (here or
+		// in a conjunct), and every expansion value's fate is decided,
+		// remaining combinations cannot change the outcome.
+		if anySat && (anyColFailed || !allSat) && satRemaining == 0 {
+			break
 		}
 		// advance the odometer
 		k := len(idx) - 1
 		for k >= 0 {
 			idx[k]++
-			if idx[k] < len(vals[k]) {
+			if idx[k] < len(sc.keep[k]) {
 				break
 			}
 			idx[k] = 0
@@ -100,13 +297,23 @@ func filterTuple(tp compact.Tuple, involved []int, pred valuePred, lim Limits, s
 	if !anySat {
 		return filterOutcome{keep: false}, nil
 	}
-	out := filterOutcome{keep: true, sure: allSat}
-	if allSat {
-		return out, nil
+	if allSat && !anyColFailed {
+		return filterOutcome{keep: true, sure: true}, nil
 	}
-	// Rebuild filtered expansion cells: values with no satisfying valuation
-	// denote expanded tuples that certainly fail, so they are dropped.
-	out.repl = map[int]compact.Cell{}
+	// A value participates in a satisfying valuation iff the residual
+	// marked it; merge that into pass[i] for expansion columns.
+	for i := range involved {
+		if sc.sat[i] != nil {
+			sc.pass[i] = sc.sat[i]
+		}
+	}
+	return finishRepl(filterOutcome{keep: true}, tp, involved, sc.pass)
+}
+
+// finishRepl rebuilds filtered expansion cells: values with no satisfying
+// valuation (pass[i][j] == false) denote expanded tuples that certainly
+// fail, so they are dropped. Non-expansion cells are left untouched.
+func finishRepl(out filterOutcome, tp compact.Tuple, involved []int, pass [][]bool) (filterOutcome, error) {
 	for i, ci := range involved {
 		cell := tp.Cells[ci]
 		if !cell.Expand {
@@ -114,12 +321,12 @@ func filterTuple(tp compact.Tuple, involved []int, pred valuePred, lim Limits, s
 		}
 		var kept []text.Assignment
 		j := 0
+		changed := false
 		for _, a := range cell.Assigns {
 			n := a.NumValues()
 			allKept, noneKept := true, true
-			var exacts []text.Assignment
 			for v := 0; v < n; v++ {
-				if satisfied[i][j+v] {
+				if pass[i][j+v] {
 					noneKept = false
 				} else {
 					allKept = false
@@ -127,41 +334,53 @@ func filterTuple(tp compact.Tuple, involved []int, pred valuePred, lim Limits, s
 			}
 			if allKept {
 				kept = append(kept, a)
-			} else if !noneKept {
-				v := 0
-				a.Values(func(s text.Span) bool {
-					if satisfied[i][j+v] {
-						exacts = append(exacts, text.ExactOf(s))
-					}
-					v++
-					return true
-				})
-				kept = append(kept, exacts...)
+			} else {
+				changed = true
+				if !noneKept {
+					v := 0
+					row := pass[i]
+					base := j
+					a.Values(func(s text.Span) bool {
+						if row[base+v] {
+							kept = append(kept, text.ExactOf(s))
+						}
+						v++
+						return true
+					})
+				}
 			}
 			j += n
 		}
 		if len(kept) == 0 {
 			return filterOutcome{keep: false}, nil
 		}
-		out.repl[ci] = compact.Cell{Assigns: kept, Expand: true}
+		if changed {
+			if out.repl == nil {
+				out.repl = map[int]compact.Cell{}
+			}
+			out.repl[ci] = compact.Cell{Assigns: kept, Expand: true}
+		}
 	}
 	return out, nil
 }
 
-// applyFilter runs filterTuple over a whole table, producing the selected
+// applyFilter runs filterTupleF over a whole table, producing the selected
 // table with maybe flags and expansion-cell filtering applied. Tuples are
 // independent, so the loop is partitioned across the context's worker
 // pool; per-index result slots keep the output order serial-identical.
 // The predicate must therefore be safe for concurrent calls (the built-in
-// p-functions and comparison operands are pure).
-func applyFilter(ctx *Context, ev *EvalTrace, in *compact.Table, involved []int, pred valuePred) (*compact.Table, error) {
+// p-functions and comparison operands are pure). Stat deltas batch per
+// chunk and flush once, so hot loops pay no per-call atomics.
+func applyFilter(ctx *Context, ev *EvalTrace, in *compact.Table, involved []int, fp factoredPred) (*compact.Table, error) {
 	lim := ctx.Env.Limits
 	out := compact.NewTable(in.Cols...)
 	rows := make([]*compact.Tuple, len(in.Tuples))
-	err := ctx.parallelChunks(len(in.Tuples), func(start, end int) error {
+	err := ctx.parallelChunksSized(len(in.Tuples), minChunkFilter, func(start, end int) error {
+		var batch statBatch
+		defer batch.flush(ctx)
 		for i := start; i < end; i++ {
 			tp := in.Tuples[i]
-			res, err := filterTuple(tp, involved, pred, lim, &ctx.Stats)
+			res, err := filterTupleF(tp, involved, fp, lim, &batch)
 			if err != nil {
 				return err
 			}
@@ -171,7 +390,7 @@ func applyFilter(ctx *Context, ev *EvalTrace, in *compact.Table, involved []int,
 			if !res.keep {
 				continue
 			}
-			nt := tp.Clone()
+			nt := tp.Copy()
 			for ci, cell := range res.repl {
 				nt.Cells[ci] = cell
 			}
@@ -211,44 +430,86 @@ func (n *compareNode) Signature() string { return n.sig }
 func (n *compareNode) Columns() []string { return n.parent.Columns() }
 func (n *compareNode) Children() []Node  { return []Node{n.parent} }
 
+// constTerm resolves a non-variable comparison term to its operand.
+func constTerm(t alog.Term) operand {
+	switch t.Kind {
+	case alog.TermNum:
+		return operand{isNum: true, num: t.Num}
+	case alog.TermStr:
+		return operand{str: t.Str}
+	}
+	return operand{isNull: true}
+}
+
 func (n *compareNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	in, err := Eval(ctx, n.parent)
 	if err != nil {
 		return nil, err
 	}
-	var involved []int
-	var sides []func(vals []text.Span) operand // lazily resolve L and R
-	addSide := func(t alog.Term) {
-		switch t.Kind {
-		case alog.TermVar:
-			pos := len(involved)
-			involved = append(involved, colIndex(in.Cols, t.Var))
-			sides = append(sides, func(vals []text.Span) operand { return spanOperand(vals[pos]) })
-		case alog.TermNum:
-			num := t.Num
-			sides = append(sides, func([]text.Span) operand { return operand{isNum: true, num: num} })
-		case alog.TermStr:
-			str := t.Str
-			sides = append(sides, func([]text.Span) operand { return operand{str: str} })
-		case alog.TermNull:
-			sides = append(sides, func([]text.Span) operand { return operand{isNull: true} })
-		}
-	}
-	addSide(n.cmp.L)
-	addSide(n.cmp.R)
 	op := n.cmp.Op
 	offset := n.cmp.ROffset
-	pred := func(vals []text.Span) (bool, error) {
-		l, r := sides[0](vals), sides[1](vals)
+	// withOffset applies the rule's numeric offset to the right operand;
+	// offsets only apply to numeric right sides.
+	compare := func(l, r operand) (bool, error) {
 		if offset != 0 {
 			if !r.isNum {
-				return false, nil // offsets only apply to numeric right sides
+				return false, nil
 			}
 			r.num += offset
 		}
 		return compareOperands(op, l, r)
 	}
-	return applyFilter(ctx, ev, in, involved, pred)
+	lVar, rVar := n.cmp.L.Kind == alog.TermVar, n.cmp.R.Kind == alog.TermVar
+	switch {
+	case lVar && rVar:
+		// var ⋈ var: precompute both columns' operands once per value, then
+		// run the cheap residual over the (early-terminated) cross product.
+		involved := []int{colIndex(in.Cols, n.cmp.L.Var), colIndex(in.Cols, n.cmp.R.Var)}
+		fp := factoredPred{
+			cols: make([]colPred, 2),
+			prepare: func(vals [][]text.Span, batch *statBatch) (idxPred, error) {
+				lops := make([]operand, len(vals[0]))
+				for j, v := range vals[0] {
+					lops[j] = spanOperand(v)
+				}
+				rops := make([]operand, len(vals[1]))
+				for j, v := range vals[1] {
+					rops[j] = spanOperand(v)
+				}
+				return func(idx []int) (bool, error) {
+					batch.funcCalls++
+					return compare(lops[idx[0]], rops[idx[1]])
+				}, nil
+			},
+		}
+		return applyFilter(ctx, ev, in, involved, fp)
+	case lVar:
+		// var ⋈ const: a pure single-column conjunct — O(|vals|) per tuple.
+		involved := []int{colIndex(in.Cols, n.cmp.L.Var)}
+		r := constTerm(n.cmp.R)
+		fp := factoredPred{cols: []colPred{func(v text.Span) (bool, error) {
+			return compare(spanOperand(v), r)
+		}}}
+		return applyFilter(ctx, ev, in, involved, fp)
+	case rVar:
+		involved := []int{colIndex(in.Cols, n.cmp.R.Var)}
+		l := constTerm(n.cmp.L)
+		fp := factoredPred{cols: []colPred{func(v text.Span) (bool, error) {
+			return compare(l, spanOperand(v))
+		}}}
+		return applyFilter(ctx, ev, in, involved, fp)
+	default:
+		// const ⋈ const: one evaluation decides every tuple.
+		ok, err := compare(constTerm(n.cmp.L), constTerm(n.cmp.R))
+		if err != nil {
+			return nil, err
+		}
+		out := compact.NewTable(in.Cols...)
+		if ok {
+			out.Tuples = append(out.Tuples, in.Tuples...)
+		}
+		return out, nil
+	}
 }
 
 // operand is one side of a comparison at valuation time.
@@ -355,24 +616,78 @@ func (n *funcNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 		return nil, err
 	}
 	var involved []int
-	type argSrc struct {
-		pos   int // index into valuation values, or -1
-		fixed text.Span
-	}
-	srcs := make([]argSrc, len(n.args))
-	for i, a := range n.args {
+	for _, a := range n.args {
 		if a.Kind != alog.TermVar {
 			return nil, fmt.Errorf("engine: p-function %s: only variable arguments are supported, got %s", n.fname, a)
 		}
-		srcs[i] = argSrc{pos: len(involved)}
 		involved = append(involved, colIndex(in.Cols, a.Var))
 	}
-	pred := func(vals []text.Span) (bool, error) {
-		args := make([]text.Span, len(srcs))
-		for i, s := range srcs {
-			args[i] = vals[s.pos]
+	// Token fast path: a binary p-function with a token-slice twin (similar,
+	// approxMatch) compares pre-normalised token slices, tokenising each
+	// value once per tuple instead of once per valuation.
+	if tokenFn := ctx.Env.TokenSimilar[n.fname]; tokenFn != nil && len(involved) == 2 {
+		fp := factoredPred{
+			cols: make([]colPred, 2),
+			prepare: func(vals [][]text.Span, batch *statBatch) (idxPred, error) {
+				ltoks := tokenizeValues(vals[0])
+				rtoks := tokenizeValues(vals[1])
+				return tokenResidual(tokenFn, ltoks, rtoks, batch), nil
+			},
 		}
-		return fn(args)
+		return applyFilter(ctx, ev, in, involved, fp)
 	}
-	return applyFilter(ctx, ev, in, involved, pred)
+	fp := factoredPred{
+		cols: make([]colPred, len(involved)),
+		prepare: func(vals [][]text.Span, batch *statBatch) (idxPred, error) {
+			args := make([]text.Span, len(vals))
+			return func(idx []int) (bool, error) {
+				for i, j := range idx {
+					args[i] = vals[i][j]
+				}
+				batch.funcCalls++
+				return fn(args)
+			}, nil
+		},
+	}
+	return applyFilter(ctx, ev, in, involved, fp)
+}
+
+// tokenizeValues normalises and tokenises each value span once.
+func tokenizeValues(vals []text.Span) [][]string {
+	out := make([][]string, len(vals))
+	for i, v := range vals {
+		out[i] = similarity.NormalizedTokens(v.NormText())
+	}
+	return out
+}
+
+// sharesToken reports whether the two token slices have a token in
+// common. Token lists are short (a handful of words per value), so the
+// nested scan beats building a set.
+func sharesToken(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tokenResidual builds the residual for a token-similarity predicate
+// using filter-and-verify: every built-in token similarity (normalised
+// equality, token-prefix containment, Jaccard >= 0.6) requires at least
+// one shared token — the same guarantee the join blocking rests on — so
+// a cheap shared-token check rejects most pairs before the full
+// similarity computation runs (and is counted).
+func tokenResidual(tokenFn func(a, b []string) bool, ltoks, rtoks [][]string, batch *statBatch) idxPred {
+	return func(idx []int) (bool, error) {
+		l, r := ltoks[idx[0]], rtoks[idx[1]]
+		if !sharesToken(l, r) {
+			return false, nil
+		}
+		batch.funcCalls++
+		return tokenFn(l, r), nil
+	}
 }

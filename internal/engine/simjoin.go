@@ -118,10 +118,6 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) 
 	idx := n.rightIndex(ctx, rt, ri)
 	index, always := idx.byToken, idx.always
 
-	involved := []int{li, len(lt.Cols) + ri}
-	pred := func(vals []text.Span) (bool, error) {
-		return fn([]text.Span{vals[0], vals[1]})
-	}
 	// Fast path for pinned cells: compare pre-normalised token slices when
 	// the p-function has a token implementation with identical semantics.
 	tokenFn := ctx.Env.TokenSimilar[n.fname]
@@ -139,6 +135,22 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) 
 		rtoks[j] = singletonTokens(rtp.Cells[ri])
 	}
 	out := compact.NewTable(n.cols...)
+	// join assembles the output tuple for one matching pair with shallow
+	// cell copies (cells are immutable once built); only kept pairs
+	// allocate anything at all.
+	join := func(ltp, rtp compact.Tuple, maybe bool, repl map[int]compact.Cell) compact.Tuple {
+		cells := make([]compact.Cell, 0, len(ltp.Cells)+len(rtp.Cells))
+		cells = append(cells, ltp.Cells...)
+		cells = append(cells, rtp.Cells...)
+		if c, ok := repl[0]; ok {
+			cells[li] = c
+		}
+		if c, ok := repl[1]; ok {
+			cells[len(lt.Cols)+ri] = c
+		}
+		return compact.Tuple{Cells: cells, Maybe: maybe}
+	}
+	pairInvolved := []int{0, 1}
 	// Partition the probe loop over left tuples; each chunk keeps its own
 	// seen-generation map and writes matches into its tuples' result slots,
 	// so the merged output is identical to a serial probe. Candidates are
@@ -146,8 +158,54 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) 
 	// map), which also makes the output order deterministic run to run.
 	rows := make([][]compact.Tuple, len(lt.Tuples))
 	probe := func(start, end int) error {
+		var batch statBatch
+		defer batch.flush(ctx)
 		seen := make(map[int]int) // right idx -> generation marker
 		gen := 0
+		// Chunk-local span-token memo: a right cell's values tokenise once
+		// per chunk, not once per candidate pair it appears in.
+		type spanKey struct {
+			doc        *text.Document
+			start, end int
+		}
+		tokMemo := map[spanKey][]string{}
+		tokensOf := func(s text.Span) []string {
+			k := spanKey{s.Doc(), s.Start(), s.End()}
+			if t, ok := tokMemo[k]; ok {
+				return t
+			}
+			t := similarity.NormalizedTokens(s.NormText())
+			if t == nil {
+				t = []string{}
+			}
+			tokMemo[k] = t
+			return t
+		}
+		// The pair predicate, factored for the odometer: token-slice
+		// comparison when the p-function has a token twin, the opaque
+		// function otherwise.
+		fp := factoredPred{
+			cols: make([]colPred, 2),
+			prepare: func(vals [][]text.Span, batch *statBatch) (idxPred, error) {
+				if tokenFn == nil {
+					args := make([]text.Span, 2)
+					return func(idx []int) (bool, error) {
+						args[0], args[1] = vals[0][idx[0]], vals[1][idx[1]]
+						batch.funcCalls++
+						return fn(args)
+					}, nil
+				}
+				ltoks := make([][]string, len(vals[0]))
+				for j, v := range vals[0] {
+					ltoks[j] = tokensOf(v)
+				}
+				rtoks := make([][]string, len(vals[1]))
+				for j, v := range vals[1] {
+					rtoks[j] = tokensOf(v)
+				}
+				return tokenResidual(tokenFn, ltoks, rtoks, batch), nil
+			},
+		}
 		for i := start; i < end; i++ {
 			ltp := lt.Tuples[i]
 			gen++
@@ -185,21 +243,17 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) 
 				rtp := rt.Tuples[j]
 				if lpinned != nil && rtoks[j] != nil {
 					// Both values pinned: one token comparison decides the pair.
-					statAdd(&ctx.Stats.FuncCalls, 1)
+					batch.funcCalls++
 					if !tokenFn(lpinned, rtoks[j]) {
 						continue
 					}
-					joined := ltp.Clone()
-					joined.Cells = append(joined.Cells, rtp.Clone().Cells...)
-					joined.Maybe = ltp.Maybe || rtp.Maybe
-					rows[i] = append(rows[i], joined)
+					rows[i] = append(rows[i], join(ltp, rtp, ltp.Maybe || rtp.Maybe, nil))
 					continue
 				}
-				joined := ltp.Clone()
-				rc := rtp.Clone()
-				joined.Cells = append(joined.Cells, rc.Cells...)
-				joined.Maybe = ltp.Maybe || rtp.Maybe
-				res, err := filterTuple(joined, involved, pred, lim, &ctx.Stats)
+				// Filter over the two join cells alone — no tuple is built
+				// (let alone cloned) unless the pair survives.
+				pair := compact.Tuple{Cells: []compact.Cell{ltp.Cells[li], rtp.Cells[ri]}}
+				res, err := filterTupleF(pair, pairInvolved, fp, lim, &batch)
 				if err != nil {
 					return err
 				}
@@ -209,18 +263,13 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) 
 				if !res.keep {
 					continue
 				}
-				for ci, cell := range res.repl {
-					joined.Cells[ci] = cell
-				}
-				if !res.sure {
-					joined.Maybe = true
-				}
-				rows[i] = append(rows[i], joined)
+				maybe := ltp.Maybe || rtp.Maybe || !res.sure
+				rows[i] = append(rows[i], join(ltp, rtp, maybe, res.repl))
 			}
 		}
 		return nil
 	}
-	if err := ctx.parallelChunks(len(lt.Tuples), probe); err != nil {
+	if err := ctx.parallelChunksSized(len(lt.Tuples), minChunkProbe, probe); err != nil {
 		return nil, err
 	}
 	for _, r := range rows {

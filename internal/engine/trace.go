@@ -278,6 +278,11 @@ type StatsSnapshot struct {
 	PoolSlotsGranted int64              `json:"pool_slots_granted"`
 	PoolSlotsDenied  int64              `json:"pool_slots_denied"`
 	PoolUtilization  float64            `json:"pool_utilization"`
+	FeatureMemoHits  int64              `json:"feature_memo_hits"`
+	FeatureMemoMiss  int64              `json:"feature_memo_misses"`
+	FeatureMemoRate  float64            `json:"feature_memo_hit_rate"`
+	StatMergeSeconds float64            `json:"stat_merge_seconds"`
+	StatMerges       int64              `json:"stat_merges"`
 	OpTimeSeconds    map[string]float64 `json:"op_time_seconds,omitempty"`
 }
 
@@ -295,9 +300,16 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		LimitFallbacks:   s.LimitFallbacks,
 		PoolSlotsGranted: s.PoolSlotsGranted,
 		PoolSlotsDenied:  s.PoolSlotsDenied,
+		FeatureMemoHits:  s.FeatureMemoHits,
+		FeatureMemoMiss:  s.FeatureMemoMisses,
+		StatMergeSeconds: float64(s.StatMergeNs) / 1e9,
+		StatMerges:       s.StatMerges,
 	}
 	if total := s.NodesEvaluated + s.CacheHits; total > 0 {
 		snap.CacheHitRate = float64(s.CacheHits) / float64(total)
+	}
+	if total := s.FeatureMemoHits + s.FeatureMemoMisses; total > 0 {
+		snap.FeatureMemoRate = float64(s.FeatureMemoHits) / float64(total)
 	}
 	if attempts := s.PoolSlotsGranted + s.PoolSlotsDenied; attempts > 0 {
 		snap.PoolUtilization = float64(s.PoolSlotsGranted) / float64(attempts)

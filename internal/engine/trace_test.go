@@ -27,7 +27,8 @@ func TestExplainFreshContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"scan housePages", "scan schoolPages", "rows", "cache=miss", "w0", "sig=", "ψ["} {
+	for _, want := range []string{"scan housePages", "scan schoolPages", "rows", "cache=miss", "w0", "sig=", "ψ[",
+		"feature memo:", "stat merges:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Explain output missing %q:\n%s", want, out)
 		}

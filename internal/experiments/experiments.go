@@ -475,6 +475,7 @@ type ParallelResult struct {
 	Task            string               `json:"task"`
 	Records         int                  `json:"records"`
 	Workers         int                  `json:"workers"`
+	CPUs            int                  `json:"cpus"`
 	SerialS         float64              `json:"serial_s"`
 	ParallelS       float64              `json:"parallel_s"`
 	Speedup         float64              `json:"speedup"`
@@ -528,6 +529,7 @@ func ParallelCompare(o Options, taskID string, records int) (*ParallelResult, er
 	}
 	r := &ParallelResult{
 		Task: taskID, Records: records, Workers: workers,
+		CPUs:    runtime.NumCPU(),
 		SerialS: serialS, ParallelS: parS,
 		Identical: serial.Transcript() == par.Transcript() &&
 			serial.Final.String() == par.Final.String(),
@@ -539,7 +541,8 @@ func ParallelCompare(o Options, taskID string, records int) (*ParallelResult, er
 	if parS > 0 {
 		r.Speedup = serialS / parS
 	}
-	fmt.Fprintf(o.Out, "Parallel comparison: task %s, %d records, strategy %s\n", taskID, records, o.Strategy)
+	fmt.Fprintf(o.Out, "Parallel comparison: task %s, %d records, strategy %s, %d CPUs\n",
+		taskID, records, o.Strategy, r.CPUs)
 	fmt.Fprintf(o.Out, "%8s %10s %10s %8s %10s %9s %9s\n",
 		"Workers", "Serial(s)", "Parallel(s)", "Speedup", "Identical", "HitRate", "PoolUtil")
 	fmt.Fprintf(o.Out, "%8d %10.3f %10.3f %7.2fx %10v %8.1f%% %8.1f%%\n",
@@ -548,6 +551,56 @@ func ParallelCompare(o Options, taskID string, records int) (*ParallelResult, er
 	if !r.Identical {
 		return r, fmt.Errorf("experiments: parallel run of %s diverged from serial (workers=%d)", taskID, workers)
 	}
+	return r, nil
+}
+
+// HotpathResult is one serial end-to-end run of a scenario with its full
+// counter snapshot — the unit of before/after comparison for hot-path
+// work (BENCH_HOTPATH.json pairs a committed baseline with a current run).
+type HotpathResult struct {
+	Task    string               `json:"task"`
+	Records int                  `json:"records"`
+	CPUs    int                  `json:"cpus"`
+	WallS   float64              `json:"wall_s"`
+	Stats   engine.StatsSnapshot `json:"stats"`
+}
+
+// Hotpath runs one scenario serially (Workers=1, so the wall time is
+// scheduling-free) and reports the time plus every engine counter.
+func Hotpath(o Options, taskID string, records int) (*HotpathResult, error) {
+	o = o.withDefaults()
+	task, err := corpus.TaskByID(taskID)
+	if err != nil {
+		return nil, err
+	}
+	strat, err := assistant.ByName(o.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	c := task.Generate(records, o.Seed)
+	env := task.Env(c)
+	prog := alog.MustParse(task.Program)
+	start := time.Now()
+	session := assistant.NewSession(env, prog, task.Oracle(), assistant.Config{
+		Strategy:   strat,
+		SubsetSeed: uint64(o.Seed),
+		Workers:    1,
+	})
+	res, err := session.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hotpath %s: %w", taskID, err)
+	}
+	r := &HotpathResult{
+		Task: taskID, Records: records, CPUs: runtime.NumCPU(),
+		WallS: time.Since(start).Seconds(),
+		Stats: res.Stats.Snapshot(),
+	}
+	fmt.Fprintf(o.Out, "Hotpath: task %s, %d records, serial\n", taskID, records)
+	fmt.Fprintf(o.Out, "%10s %12s %12s %12s %10s %10s\n",
+		"Wall(s)", "FuncCalls", "VerifyCalls", "RefineCalls", "Fallbacks", "MemoHit")
+	fmt.Fprintf(o.Out, "%10.3f %12d %12d %12d %10d %9.1f%%\n",
+		r.WallS, r.Stats.FuncCalls, r.Stats.VerifyCalls, r.Stats.RefineCalls,
+		r.Stats.LimitFallbacks, 100*r.Stats.FeatureMemoRate)
 	return r, nil
 }
 

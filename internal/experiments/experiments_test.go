@@ -188,3 +188,20 @@ func TestVariance(t *testing.T) {
 		}
 	}
 }
+
+func TestHotpathHarness(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Hotpath(Options{Seed: 1, Strategy: "sim", Out: &buf}, "T9", 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallS <= 0 || res.CPUs < 1 {
+		t.Errorf("implausible run: %+v", res)
+	}
+	if res.Stats.FuncCalls == 0 && res.Stats.VerifyCalls == 0 {
+		t.Error("hotpath run recorded no predicate work; counters look dead")
+	}
+	if !strings.Contains(buf.String(), "Hotpath") {
+		t.Error("output missing header")
+	}
+}

@@ -1,0 +1,121 @@
+// Feature memoisation. Verify and Refine are pure functions of
+// (document, span, feature, parameter): documents are immutable after
+// construction and Feature implementations are stateless by contract. The
+// engine re-verifies the same spans across tuples, across operators of
+// one plan, and — most expensively — across every trial execution of the
+// assistant's question-simulation fan-out, so a process-wide-per-Env memo
+// turns that repetition into map lookups. Entries never need invalidation;
+// the memo simply grows with the set of distinct (span, constraint) pairs
+// the session touches, which the per-document line and case indexes keep
+// small and cheap to compute on miss.
+package feature
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"iflex/internal/text"
+)
+
+// memoShards bounds lock contention: keys hash onto independent
+// RWMutex-guarded shards, so concurrent workers rarely collide.
+const memoShards = 64
+
+// memoKey identifies one Verify/Refine invocation. The document is keyed
+// by identity (pointer), not ID, so two corpora loaded into one process
+// never alias.
+type memoKey struct {
+	doc        *text.Document
+	start, end int
+	feat       string
+	param      string
+}
+
+type memoShard struct {
+	mu     sync.RWMutex
+	verify map[memoKey]bool
+	refine map[memoKey][]text.Assignment
+}
+
+// Memo is a sharded, concurrency-safe cache of feature Verify/Refine
+// results. The zero value is not usable; construct with NewMemo. A nil
+// *Memo is valid and caches nothing (every call goes to the feature).
+type Memo struct {
+	seed   maphash.Seed
+	shards [memoShards]memoShard
+}
+
+// NewMemo returns an empty memo.
+func NewMemo() *Memo {
+	m := &Memo{seed: maphash.MakeSeed()}
+	for i := range m.shards {
+		m.shards[i].verify = map[memoKey]bool{}
+		m.shards[i].refine = map[memoKey][]text.Assignment{}
+	}
+	return m
+}
+
+func (m *Memo) shard(k memoKey) *memoShard {
+	var h maphash.Hash
+	h.SetSeed(m.seed)
+	h.WriteString(k.doc.ID())
+	h.WriteString(k.feat)
+	h.WriteString(k.param)
+	h.WriteByte(byte(k.start))
+	h.WriteByte(byte(k.start >> 8))
+	h.WriteByte(byte(k.end))
+	h.WriteByte(byte(k.end >> 8))
+	return &m.shards[h.Sum64()%memoShards]
+}
+
+// Verify answers f(s) = v through the cache. hit reports whether the
+// result came from the cache. Errors are never cached (they indicate a
+// malformed parameter, and the caller surfaces them immediately).
+func (m *Memo) Verify(f Feature, s text.Span, v string) (ok, hit bool, err error) {
+	if m == nil {
+		ok, err = f.Verify(s, v)
+		return ok, false, err
+	}
+	k := memoKey{doc: s.Doc(), start: s.Start(), end: s.End(), feat: f.Name(), param: v}
+	sh := m.shard(k)
+	sh.mu.RLock()
+	ok, found := sh.verify[k]
+	sh.mu.RUnlock()
+	if found {
+		return ok, true, nil
+	}
+	ok, err = f.Verify(s, v)
+	if err != nil {
+		return false, false, err
+	}
+	sh.mu.Lock()
+	sh.verify[k] = ok
+	sh.mu.Unlock()
+	return ok, false, nil
+}
+
+// Refine computes the refinement of s under f = v through the cache. The
+// returned slice is shared across callers and must not be mutated. hit
+// reports whether the result came from the cache.
+func (m *Memo) Refine(f Feature, s text.Span, v string) (as []text.Assignment, hit bool, err error) {
+	if m == nil {
+		as, err = f.Refine(s, v)
+		return as, false, err
+	}
+	k := memoKey{doc: s.Doc(), start: s.Start(), end: s.End(), feat: f.Name(), param: v}
+	sh := m.shard(k)
+	sh.mu.RLock()
+	as, found := sh.refine[k]
+	sh.mu.RUnlock()
+	if found {
+		return as, true, nil
+	}
+	as, err = f.Refine(s, v)
+	if err != nil {
+		return nil, false, err
+	}
+	sh.mu.Lock()
+	sh.refine[k] = as
+	sh.mu.Unlock()
+	return as, false, nil
+}

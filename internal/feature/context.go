@@ -8,26 +8,6 @@ import (
 	"iflex/internal/text"
 )
 
-// lineStart returns the offset just after the previous '\n' before off.
-func lineStart(body string, off int) int {
-	for i := off - 1; i >= 0; i-- {
-		if body[i] == '\n' {
-			return i + 1
-		}
-	}
-	return 0
-}
-
-// lineEnd returns the offset of the next '\n' at or after off, or len(body).
-func lineEnd(body string, off int) int {
-	for i := off; i < len(body); i++ {
-		if body[i] == '\n' {
-			return i
-		}
-	}
-	return len(body)
-}
-
 // normFold normalises whitespace and case for context comparisons.
 func normFold(s string) string {
 	return strings.ToLower(strings.Join(strings.Fields(s), " "))
@@ -46,15 +26,24 @@ func (precededByFeature) Verify(s text.Span, v string) (bool, error) {
 	if v == "" {
 		return false, fmt.Errorf("feature: preceded-by needs a non-empty label")
 	}
-	body := s.Doc().Text()
-	pre := body[lineStart(body, s.Start()):s.Start()]
+	d := s.Doc()
+	pre := d.Text()[d.LineStart(s.Start()):s.Start()]
 	return strings.HasSuffix(normFold(pre), normFold(v)), nil
 }
 
-// occurrences finds case/space-insensitive occurrences of label in
-// body[lo:hi], returning (start, end) offsets in document coordinates.
-func occurrences(body, label string, lo, hi int) [][2]int {
-	window := strings.ToLower(body[lo:hi])
+// occurrences finds case-insensitive occurrences of label in the
+// document's [lo, hi) window, returning (start, end) offsets in document
+// coordinates. Overlapping occurrences are all reported ("aa" occurs
+// twice in "aaa"). The document's cached lower-cased text is used when
+// lowering preserved byte offsets; otherwise (Unicode case mappings that
+// change byte length) the window is folded per call.
+func occurrences(d *text.Document, label string, lo, hi int) [][2]int {
+	var window string
+	if lower := d.LowerText(); len(lower) == d.Len() {
+		window = lower[lo:hi]
+	} else {
+		window = strings.ToLower(d.Text()[lo:hi])
+	}
 	needle := strings.ToLower(label)
 	var out [][2]int
 	from := 0
@@ -73,14 +62,14 @@ func (precededByFeature) Refine(s text.Span, v string) ([]text.Assignment, error
 	if v == "" {
 		return nil, fmt.Errorf("feature: preceded-by needs a non-empty label")
 	}
-	body := s.Doc().Text()
+	d := s.Doc()
 	// Labels may sit just before s's start, so search a window that begins
 	// at the start of the line containing s.
-	lo := lineStart(body, s.Start())
+	lo := d.LineStart(s.Start())
 	var out []text.Assignment
-	for _, occ := range occurrences(body, v, lo, s.End()) {
+	for _, occ := range occurrences(d, v, lo, s.End()) {
 		regionStart := occ[1]
-		regionEnd := lineEnd(body, regionStart)
+		regionEnd := d.LineEnd(regionStart)
 		if regionEnd > s.End() {
 			regionEnd = s.End()
 		}
@@ -108,8 +97,8 @@ func (followedByFeature) Verify(s text.Span, v string) (bool, error) {
 	if v == "" {
 		return false, fmt.Errorf("feature: followed-by needs a non-empty label")
 	}
-	body := s.Doc().Text()
-	post := body[s.End():lineEnd(body, s.End())]
+	d := s.Doc()
+	post := d.Text()[s.End():d.LineEnd(s.End())]
 	return strings.HasPrefix(normFold(post), normFold(v)), nil
 }
 
@@ -117,12 +106,12 @@ func (followedByFeature) Refine(s text.Span, v string) ([]text.Assignment, error
 	if v == "" {
 		return nil, fmt.Errorf("feature: followed-by needs a non-empty label")
 	}
-	body := s.Doc().Text()
-	hi := lineEnd(body, s.End())
+	d := s.Doc()
+	hi := d.LineEnd(s.End())
 	var out []text.Assignment
-	for _, occ := range occurrences(body, v, s.Start(), hi) {
+	for _, occ := range occurrences(d, v, s.Start(), hi) {
 		regionEnd := occ[0]
-		regionStart := lineStart(body, regionEnd)
+		regionStart := d.LineStart(regionEnd)
 		if regionStart < s.Start() {
 			regionStart = s.Start()
 		}

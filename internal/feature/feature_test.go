@@ -584,3 +584,33 @@ func TestFollowedByVerifyMiss(t *testing.T) {
 		t.Error("wrong following label accepted")
 	}
 }
+
+func TestOccurrencesSelfOverlap(t *testing.T) {
+	// Overlapping occurrences must all be reported: "aa" occurs at 0 and 1
+	// in "aaa". A scanner that resumes past the end of each match would
+	// find only the first.
+	d := markup.MustParse("d", "aaa")
+	occs := occurrences(d, "aa", 0, 3)
+	want := [][2]int{{0, 2}, {1, 3}}
+	if len(occs) != len(want) {
+		t.Fatalf("occurrences(aa, aaa) = %v, want %v", occs, want)
+	}
+	for i := range want {
+		if occs[i] != want[i] {
+			t.Errorf("occurrence %d = %v, want %v", i, occs[i], want[i])
+		}
+	}
+}
+
+func TestOccurrencesCaseAndWindow(t *testing.T) {
+	d := markup.MustParse("d", "Beds: 3\nBEDS: 4")
+	// Case-insensitive across the whole document...
+	if got := occurrences(d, "beds", 0, d.Len()); len(got) != 2 {
+		t.Fatalf("occurrences(beds) = %v, want 2 matches", got)
+	}
+	// ...and offsets stay in document coordinates inside a sub-window.
+	got := occurrences(d, "beds", 8, d.Len())
+	if len(got) != 1 || got[0] != [2]int{8, 12} {
+		t.Fatalf("windowed occurrences = %v, want [[8 12]]", got)
+	}
+}

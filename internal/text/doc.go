@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // MarkKind identifies a style or structural region of a document.
@@ -79,6 +80,11 @@ type Document struct {
 	byKind [][]Mark // marks grouped by kind, each sorted by Start
 	tokAt  []int    // tokAt[i] = index of the token covering byte i, or -1
 	links  []Link   // hyperlink targets, sorted by Start
+
+	lineStarts []int // offset of each line's first byte; lineStarts[0] == 0
+
+	lowerOnce sync.Once
+	lower     string // lazily computed strings.ToLower(text)
 }
 
 // NewDocument builds a document from an id, its plain text, and style marks.
@@ -100,6 +106,12 @@ func NewDocument(id, txt string, marks []Mark) *Document {
 		}
 	}
 	d.tokenize()
+	d.lineStarts = append(d.lineStarts, 0)
+	for i := 0; i < len(txt); i++ {
+		if txt[i] == '\n' {
+			d.lineStarts = append(d.lineStarts, i+1)
+		}
+	}
 	return d
 }
 
@@ -221,6 +233,33 @@ func (d *Document) tokenRange(start, end int) (lo, hi int) {
 		hi++
 	}
 	return lo, hi
+}
+
+// LineStart returns the byte offset of the first byte of the line
+// containing offset (0 for the first line). Offsets past the text clamp
+// to the last line. O(log lines) via the line-start index.
+func (d *Document) LineStart(offset int) int {
+	i := sort.Search(len(d.lineStarts), func(i int) bool { return d.lineStarts[i] > offset })
+	return d.lineStarts[i-1]
+}
+
+// LineEnd returns the byte offset just past the last byte of the line
+// containing offset, excluding the newline itself.
+func (d *Document) LineEnd(offset int) int {
+	i := sort.Search(len(d.lineStarts), func(i int) bool { return d.lineStarts[i] > offset })
+	if i < len(d.lineStarts) {
+		return d.lineStarts[i] - 1 // byte before the next line's start is '\n'
+	}
+	return len(d.text)
+}
+
+// LowerText returns strings.ToLower of the full text, computed once per
+// document. Callers doing case-insensitive offset arithmetic must check
+// len(LowerText()) == Len(): Unicode case mapping can change byte length,
+// in which case offsets do not line up and a per-window fold is needed.
+func (d *Document) LowerText() string {
+	d.lowerOnce.Do(func() { d.lower = strings.ToLower(d.text) })
+	return d.lower
 }
 
 // HeaderBefore returns the closest header mark that ends at or before

@@ -304,3 +304,59 @@ func TestQuickSubSpanInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLineIndex(t *testing.T) {
+	// Reference implementations: the linear scans the index replaced.
+	refStart := func(body string, off int) int {
+		for i := off - 1; i >= 0; i-- {
+			if body[i] == '\n' {
+				return i + 1
+			}
+		}
+		return 0
+	}
+	refEnd := func(body string, off int) int {
+		for i := off; i < len(body); i++ {
+			if body[i] == '\n' {
+				return i
+			}
+		}
+		return len(body)
+	}
+	bodies := []string{
+		"",
+		"one line",
+		"a\nb\nc",
+		"trailing newline\n",
+		"\nleading",
+		"\n\n\n",
+		"beds: 3\nbaths: 2\nprice: 150000",
+	}
+	for _, body := range bodies {
+		d := NewDocument("x", body, nil)
+		for off := 0; off <= len(body); off++ {
+			if got, want := d.LineStart(off), refStart(body, off); got != want {
+				t.Errorf("LineStart(%q, %d) = %d, want %d", body, off, got, want)
+			}
+			if got, want := d.LineEnd(off), refEnd(body, off); got != want {
+				t.Errorf("LineEnd(%q, %d) = %d, want %d", body, off, got, want)
+			}
+		}
+	}
+}
+
+func TestLowerText(t *testing.T) {
+	d := NewDocument("x", "Cozy HOUSE", nil)
+	if got := d.LowerText(); got != "cozy house" {
+		t.Errorf("LowerText() = %q, want %q", got, "cozy house")
+	}
+	if d.LowerText() != d.LowerText() {
+		t.Error("LowerText() not stable across calls")
+	}
+	// Kelvin sign (U+212A, 3 bytes) lowers to 'k' (1 byte): callers doing
+	// offset arithmetic must detect the length change and fall back.
+	k := NewDocument("k", "aKb", nil)
+	if len(k.LowerText()) == k.Len() {
+		t.Error("Kelvin sign should change byte length under ToLower")
+	}
+}

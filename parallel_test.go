@@ -83,6 +83,9 @@ func TestParallelStatsDeterminism(t *testing.T) {
 // TestParallelCompareHarness exercises the iflex-bench "parallel" table:
 // it must report Identical=true and a positive speedup value.
 func TestParallelCompareHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness: runs the scenario twice; skipped in -short")
+	}
 	res, err := experiments.ParallelCompare(
 		experiments.Options{Seed: 1, Strategy: "sim", Workers: 4}, "T9", 20)
 	if err != nil {
