@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-all bench bench-parallel bench-hotpath benchdiff profile vet verify
+.PHONY: build test race race-all bench bench-parallel bench-hotpath bench-reuse benchdiff profile vet verify
 
 build:
 	$(GO) build ./...
@@ -40,11 +40,17 @@ bench-parallel:
 bench-hotpath:
 	$(GO) run ./cmd/iflex-bench -table hotpath -scale 0.05 -bench-json /tmp/hotpath.json
 
-# Re-run the parallel bench and fail on a >10% wall-time regression
-# against the committed snapshot.
+# Incremental (delta) evaluation versus full recomputation on T9 sessions.
+bench-reuse:
+	$(GO) run ./cmd/iflex-bench -table reuse -scale 0.05 -bench-json BENCH_REUSE.json
+
+# Re-run the parallel and reuse benches and fail on a >10% wall-time
+# regression against the committed snapshots.
 benchdiff:
 	$(GO) run ./cmd/iflex-bench -table parallel -scale 0.05 -workers 4 -bench-json /tmp/bench-new.json
 	$(GO) run ./cmd/iflex-bench -compare BENCH_PARALLEL.json /tmp/bench-new.json
+	$(GO) run ./cmd/iflex-bench -table reuse -scale 0.05 -bench-json /tmp/bench-reuse-new.json
+	$(GO) run ./cmd/iflex-bench -compare BENCH_REUSE.json /tmp/bench-reuse-new.json
 
 # Capture CPU, heap, and execution-trace profiles from the parallel
 # harness; inspect with `go tool pprof` / `go tool trace`.

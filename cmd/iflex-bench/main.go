@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, parallel, hotpath, or all")
+		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, parallel, hotpath, reuse, or all")
 		compare    = flag.Bool("compare", false, "compare two benchmark JSON files (old new); exit non-zero on a >10% wall-time regression")
 		scale      = flag.Float64("scale", 0.2, "corpus size factor (1.0 = paper sizes)")
 		seed       = flag.Int64("seed", 1, "corpus generation seed")
@@ -124,6 +124,17 @@ func main() {
 			n = 10
 		}
 		res, err := experiments.Hotpath(o, "T9", n)
+		if err != nil {
+			return err
+		}
+		return writeJSON(*benchJSON, res)
+	})
+	run("reuse", func() error {
+		n := int(float64(5000) * *scale)
+		if n < 10 {
+			n = 10
+		}
+		res, err := experiments.Reuse(o, "T9", n)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,9 @@
+package assistant
+
+// QuestionSpaceForTest exposes questionSpace to the external test package
+// (delta_test.go lives in assistant_test so it can import corpus, which
+// itself imports assistant).
+var QuestionSpaceForTest = questionSpace
+
+// KeyForTest exposes the question's asked/known bookkeeping key.
+func (q Question) KeyForTest() string { return q.key() }

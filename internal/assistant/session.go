@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"iflex/internal/alog"
 	"iflex/internal/compact"
@@ -46,6 +48,17 @@ type Config struct {
 	// fan-out never oversubscribes the pool under a CPU quota.
 	// Transcripts and results are byte-identical across worker counts.
 	Workers int
+	// CacheBudget bounds the session's reuse cache in bytes (0 =
+	// unlimited); see engine.Context.CacheBudget. Long sessions and wide
+	// simulation fan-outs evict least-recently-used intermediate tables
+	// instead of growing without limit. Results are unaffected.
+	CacheBudget int64
+	// DisableDeltaReuse turns off incremental (delta) evaluation between
+	// iterations and simulation candidates, forcing every changed operator
+	// to recompute from its full inputs. Results are byte-identical either
+	// way; this exists for benchmarking the delta win and as an escape
+	// hatch.
+	DisableDeltaReuse bool
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +105,14 @@ type Iteration struct {
 	// are deterministic across worker counts.
 	Evals     int64
 	CacheHits int64
+	// TuplesReused and TuplesRecomputed are the delta-evaluation counter
+	// deltas for this iteration: input tuples replayed from a previous
+	// plan version's memo versus computed fresh (also deterministic).
+	// WallS is the iteration's wall-clock seconds (not deterministic; it
+	// is reported by the reuse bench, never by Transcript).
+	TuplesReused     int64
+	TuplesRecomputed int64
+	WallS            float64
 }
 
 // Result is the outcome of a session run.
@@ -115,11 +136,21 @@ type Session struct {
 
 	Alpha float64 // resolved from Config; read by strategies
 
-	ctx     *engine.Context
-	subset  map[string]bool
-	asked   map[string]bool
-	sizes   []int // per-iteration expanded sizes (subset mode)
-	assigns []int
+	ctx      *engine.Context
+	subset   map[string]bool
+	asked    map[string]bool
+	sizes    []int // per-iteration expanded sizes (subset mode)
+	assigns  []int
+	prevPlan *engine.Plan // last executed plan, the delta predecessor
+
+	// trialPrev remembers each simulated candidate's previous trial plan
+	// (keyed by attr/feature/value), so re-simulating the same candidate in
+	// a later iteration links to its own last incarnation: the inserted
+	// constraint node then replays tuples whose constrained attribute the
+	// intervening answers did not touch. Guarded by trialMu (simulations
+	// fan out across goroutines).
+	trialMu   sync.Mutex
+	trialPrev map[string]engine.Node
 }
 
 // NewSession prepares a session; the program is cloned so the caller's
@@ -136,6 +167,10 @@ func NewSession(env *engine.Env, prog *alog.Program, oracle Oracle, cfg Config) 
 		asked:  map[string]bool{},
 	}
 	s.ctx.Workers = cfg.Workers
+	s.ctx.CacheBudget = cfg.CacheBudget
+	if !cfg.DisableDeltaReuse {
+		s.ctx.EnableDelta()
+	}
 	s.subset = s.sampleSubset()
 	return s
 }
@@ -217,6 +252,14 @@ func (s *Session) execute(onSubset bool) (*compact.Table, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	// Link this plan version to its predecessor for delta evaluation,
+	// discarding the links accumulated by the previous round's question
+	// simulations (their trial plans are no longer anyone's predecessor).
+	s.ctx.ResetDelta()
+	if s.prevPlan != nil {
+		s.ctx.RegisterDelta(s.prevPlan.Root, plan.Root)
+	}
+	s.prevPlan = plan
 	if onSubset {
 		s.ctx.SetDocFilter(s.subset)
 	} else {
@@ -262,6 +305,25 @@ func (s *Session) simulate(q Question, v string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// The trial plan is one constraint away from the last executed plan:
+	// link them so the changed ancestors evaluate as deltas (RegisterDelta
+	// is safe under the strategy's concurrent fan-out). Then link the trial
+	// to its own previous incarnation, registered second so its links win
+	// for nodes both walks map — the old trial is the closer predecessor.
+	if s.prevPlan != nil {
+		s.ctx.RegisterDelta(s.prevPlan.Root, plan.Root)
+	}
+	tkey := q.Attr.String() + "\x00" + q.Feature + "\x00" + v
+	s.trialMu.Lock()
+	prevTrial := s.trialPrev[tkey]
+	if s.trialPrev == nil {
+		s.trialPrev = map[string]engine.Node{}
+	}
+	s.trialPrev[tkey] = plan.Root
+	s.trialMu.Unlock()
+	if prevTrial != nil {
+		s.ctx.RegisterDelta(prevTrial, plan.Root)
+	}
 	res, err := plan.Execute(s.ctx)
 	if err != nil {
 		return 0, err
@@ -290,13 +352,21 @@ func (s *Session) converged() bool {
 func (s *Session) Run() (*Result, error) {
 	res := &Result{}
 	// record stamps the iteration with the engine-counter deltas since the
-	// previous one (fresh evaluations vs reuse-cache hits) and appends it.
-	var prevEvals, prevHits int64
+	// previous one (fresh evaluations vs reuse-cache hits, delta-replayed
+	// vs recomputed tuples) plus its wall time, and appends it.
+	var prevEvals, prevHits, prevReused, prevRecomp int64
+	iterStart := time.Now()
 	record := func(log Iteration) {
 		log.Evals = s.ctx.Stats.NodesEvaluated - prevEvals
 		log.CacheHits = s.ctx.Stats.CacheHits - prevHits
+		log.TuplesReused = s.ctx.Stats.TuplesReused - prevReused
+		log.TuplesRecomputed = s.ctx.Stats.TuplesRecomputed - prevRecomp
 		prevEvals += log.Evals
 		prevHits += log.CacheHits
+		prevReused += log.TuplesReused
+		prevRecomp += log.TuplesRecomputed
+		log.WallS = time.Since(iterStart).Seconds()
+		iterStart = time.Now()
 		res.Iterations = append(res.Iterations, log)
 	}
 	for iter := 1; iter <= s.Config.MaxIterations; iter++ {

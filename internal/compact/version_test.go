@@ -1,0 +1,81 @@
+package compact
+
+import (
+	"testing"
+
+	"iflex/internal/markup"
+	"iflex/internal/text"
+)
+
+func TestFingerprintAndStructuralEq(t *testing.T) {
+	d := markup.MustParse("d", "Cozy house on quiet street")
+	d2 := markup.MustParse("d2", "Cozy house on quiet street")
+
+	base := Tuple{Cells: []Cell{
+		ExactCell(span(d, "Cozy")),
+		{Assigns: []text.Assignment{text.ContainOf(span(d, "quiet street"))}, Expand: true},
+	}}
+	same := Tuple{Cells: []Cell{
+		ExactCell(span(d, "Cozy")),
+		{Assigns: []text.Assignment{text.ContainOf(span(d, "quiet street"))}, Expand: true},
+	}}
+	if !base.StructuralEq(same) {
+		t.Fatal("identical tuples not StructuralEq")
+	}
+	if base.Fingerprint() != same.Fingerprint() {
+		t.Fatal("identical tuples fingerprint differently")
+	}
+	// Copy shares assignment slices: the aliasing fast path must agree.
+	cp := base.Copy()
+	if !base.StructuralEq(cp) || base.Fingerprint() != cp.Fingerprint() {
+		t.Fatal("Copy not structurally equal to original")
+	}
+
+	variants := map[string]Tuple{
+		"maybe flag": {Maybe: true, Cells: same.Cells},
+		"expand flag": {Cells: []Cell{
+			ExactCell(span(d, "Cozy")),
+			{Assigns: []text.Assignment{text.ContainOf(span(d, "quiet street"))}},
+		}},
+		"different span": {Cells: []Cell{
+			ExactCell(span(d, "house")),
+			same.Cells[1],
+		}},
+		"different doc": {Cells: []Cell{
+			ExactCell(span(d2, "Cozy")),
+			{Assigns: []text.Assignment{text.ContainOf(span(d2, "quiet street"))}, Expand: true},
+		}},
+		"different mode": {Cells: []Cell{
+			{Assigns: []text.Assignment{text.ContainOf(span(d, "Cozy"))}},
+			same.Cells[1],
+		}},
+		"extra cell": {Cells: append(append([]Cell(nil), same.Cells...), ExactCell(span(d, "on")))},
+	}
+	for name, v := range variants {
+		if base.StructuralEq(v) {
+			t.Errorf("%s: StructuralEq true, want false", name)
+		}
+		if base.Fingerprint() == v.Fingerprint() {
+			t.Errorf("%s: fingerprints collide", name)
+		}
+	}
+}
+
+func TestTableMemBytes(t *testing.T) {
+	d := markup.MustParse("d", "Cozy house on quiet street")
+	tb := NewTable("x")
+	if got := tb.MemBytes(); got <= 0 {
+		t.Fatalf("empty table MemBytes = %d, want > 0", got)
+	}
+	before := tb.MemBytes()
+	tb.Append(Tuple{Cells: []Cell{ExactCell(span(d, "Cozy"))}})
+	after := tb.MemBytes()
+	if after <= before {
+		t.Fatalf("MemBytes did not grow on append: %d -> %d", before, after)
+	}
+	// One cell with one assignment must account for at least the
+	// assignment itself.
+	if after-before < assignmentBytes {
+		t.Fatalf("append grew MemBytes by %d, want >= %d", after-before, assignmentBytes)
+	}
+}

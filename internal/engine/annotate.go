@@ -13,35 +13,32 @@ import (
 // possible relations produced by a rule's plan fragment according to the
 // rule's annotations (exists, annotated attribute set).
 type annotateNode struct {
+	nodeSig
 	parent   Node
 	exists   bool
 	annotate []string // annotated column names
-	sig      string
 }
 
 func newAnnotateNode(parent Node, exists bool, annotated []string) *annotateNode {
 	ann := append([]string(nil), annotated...)
 	sort.Strings(ann)
 	return &annotateNode{
-		parent: parent, exists: exists, annotate: ann,
-		sig: fmt.Sprintf("annotate[exists=%t,attrs=%s](%s)", exists, strings.Join(ann, ","), parent.Signature()),
+		nodeSig: sigOf(fmt.Sprintf("annotate[exists=%t,attrs=%s](%s)", exists, strings.Join(ann, ","), parent.Signature())),
+		parent:  parent, exists: exists, annotate: ann,
 	}
 }
 
-func (n *annotateNode) Signature() string { return n.sig }
 func (n *annotateNode) Columns() []string { return n.parent.Columns() }
 func (n *annotateNode) Children() []Node  { return []Node{n.parent} }
 
-func (n *annotateNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
+func (n *annotateNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.Table, error) {
 	in, err := Eval(ctx, n.parent)
 	if err != nil {
 		return nil, err
 	}
 	out := in
 	if len(n.annotate) > 0 {
-		var fallbacks int
-		out, fallbacks = cAnnotate(in, n.annotate, ctx.Env.Limits)
-		ev.fallback(ctx, fallbacks)
+		out = n.annotateTable(ctx, ev, dx, in)
 	}
 	if n.exists {
 		// Existence annotation: every tuple becomes a maybe tuple.
@@ -56,6 +53,196 @@ func (n *annotateNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error)
 		out = in.Clone()
 	}
 	return out, nil
+}
+
+// annotateTable applies the attribute annotation with optional delta
+// reuse: the per-tuple key enumeration (the expensive half of cAnnotate)
+// is memoised as an annContrib, and the grouping merge replays memoised
+// contributions for structurally unchanged tuples. Output is identical to
+// cAnnotate.
+func (n *annotateNode) annotateTable(ctx *Context, ev *EvalTrace, dx *deltaState, in *compact.Table) *compact.Table {
+	lim := ctx.Env.Limits
+	keyIdx, annIdx := splitAnnCols(in.Cols, n.annotate)
+	// The contribution depends only on the key cells, so the memo is keyed
+	// on them alone; the merge reads annotated cells and maybe flags from
+	// the current tuples, so replays stay valid across refinements of the
+	// annotated columns.
+	prior, fps := dx.prep(in, keyIdx, nil, 0)
+	contribs := make([]*annContrib, len(in.Tuples))
+	var batch statBatch
+	reused := 0
+	for i, tp := range in.Tuples {
+		if fps != nil {
+			fps[i] = dx.aux.fpOf(tp)
+			if old, ok := prior.lookup(fps[i], tp); ok {
+				contribs[i] = old.ann
+				ev.fallback(ctx, int(old.fallbacks))
+				reused++
+				continue
+			}
+		}
+		batch.tuplesRecomputed++
+		c := annContribOf(tp, keyIdx, annIdx, lim)
+		contribs[i] = c
+		if c.fallback {
+			ev.fallback(ctx, 1)
+		}
+	}
+	dx.noteReused(&batch, reused)
+	ev.recompute(batch.tuplesRecomputed)
+	batch.flush(ctx)
+	out := annMerge(in, keyIdx, annIdx, contribs)
+	dx.finish(in, func(i int) deltaOut {
+		o := deltaOut{ann: contribs[i]}
+		if contribs[i].fallback {
+			o.fallbacks = 1
+		}
+		return o
+	})
+	return out
+}
+
+// splitAnnCols partitions column indices into key (non-annotated) and
+// annotated positions.
+func splitAnnCols(cols []string, annotated []string) (keyIdx, annIdx []int) {
+	isAnn := map[int]bool{}
+	for _, a := range annotated {
+		isAnn[colIndex(cols, a)] = true
+	}
+	for i := range cols {
+		if isAnn[i] {
+			annIdx = append(annIdx, i)
+		} else {
+			keyIdx = append(keyIdx, i)
+		}
+	}
+	return keyIdx, annIdx
+}
+
+// annContrib is one input tuple's contribution to the annotation grouping:
+// either a conservative pass-through marker (key too large to enumerate,
+// or no key valuation) or the ordered list of group keys the tuple feeds,
+// with the key spans that create each group and whether the key cells are
+// all pinned singletons. It depends only on the tuple's key cells — the
+// merge reads the annotated cells and the maybe flag from the current
+// input tuple — which is what makes it memoisable across plan versions
+// under a key-columns-only memo.
+type annContrib struct {
+	pass     bool
+	fallback bool
+	exactKey bool
+	keys     []string
+	keySpans [][]text.Span
+}
+
+// annContribOf enumerates one tuple's key valuations (the per-tuple half
+// of cAnnotate).
+func annContribOf(tp compact.Tuple, keyIdx, annIdx []int, lim Limits) *annContrib {
+	keyVals := make([][]text.Span, len(keyIdx))
+	exactKey := true
+	tooBig := false
+	combos := 1
+	for i, ki := range keyIdx {
+		cell := tp.Cells[ki]
+		if cell.NumValues() > lim.MaxCellValues {
+			tooBig = true
+			break
+		}
+		var vs []text.Span
+		cell.Values(func(s text.Span) bool { vs = append(vs, s); return true })
+		keyVals[i] = vs
+		if len(vs) != 1 {
+			exactKey = false
+		}
+		combos *= len(vs)
+		if combos > lim.MaxValuations {
+			tooBig = true
+			break
+		}
+	}
+	if tooBig || combos == 0 {
+		// Conservative pass-through (the merge clones the current tuple).
+		return &annContrib{pass: true, fallback: tooBig}
+	}
+	c := &annContrib{exactKey: exactKey}
+	idx := make([]int, len(keyIdx))
+	for {
+		keySpans := make([]text.Span, len(keyIdx))
+		keyParts := make([]string, len(keyIdx))
+		for i, j := range idx {
+			keySpans[i] = keyVals[i][j]
+			keyParts[i] = keyVals[i][j].NormText()
+		}
+		c.keys = append(c.keys, strings.Join(keyParts, "␟"))
+		c.keySpans = append(c.keySpans, keySpans)
+		k := len(idx) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(keyVals[k]) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+	return c
+}
+
+// annGroup accumulates one output group during the merge.
+type annGroup struct {
+	keySpans []text.Span
+	ann      [][]text.Assignment // per annotated column
+	sure     bool                // some non-maybe tuple pins this key exactly
+}
+
+// annMerge folds per-tuple contributions into the grouped output table,
+// in input order: pass-through tuples interleave with the grouping
+// exactly where cAnnotate emitted them, group creation order follows
+// first key occurrence, and per-group assignment concatenation follows
+// tuple order — so the output is byte-identical to the one-pass
+// algorithm.
+func annMerge(in *compact.Table, keyIdx, annIdx []int, contribs []*annContrib) *compact.Table {
+	groups := map[string]*annGroup{}
+	var order []string
+	out := compact.NewTable(in.Cols...)
+	for ti, c := range contribs {
+		if c.pass {
+			nt := in.Tuples[ti].Clone()
+			nt.Maybe = true
+			out.Tuples = append(out.Tuples, nt)
+			continue
+		}
+		tp := in.Tuples[ti]
+		for ki, key := range c.keys {
+			g, ok := groups[key]
+			if !ok {
+				g = &annGroup{keySpans: c.keySpans[ki], ann: make([][]text.Assignment, len(annIdx))}
+				groups[key] = g
+				order = append(order, key)
+			}
+			for i, ai := range annIdx {
+				g.ann[i] = append(g.ann[i], tp.Cells[ai].Assigns...)
+			}
+			if c.exactKey && !tp.Maybe {
+				g.sure = true
+			}
+		}
+	}
+	for _, key := range order {
+		g := groups[key]
+		nt := compact.Tuple{Cells: make([]compact.Cell, len(in.Cols)), Maybe: !g.sure}
+		for i, ki := range keyIdx {
+			nt.Cells[ki] = compact.ExactCell(g.keySpans[i])
+		}
+		for i, ai := range annIdx {
+			nt.Cells[ai] = compact.Cell{Assigns: text.DedupAssignments(g.ann[i])}
+		}
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out
 }
 
 // cAnnotate implements attribute annotations directly over compact tables.
@@ -73,110 +260,15 @@ func (n *annotateNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error)
 // keeps the superset guarantee at the cost of precision. fallbacks counts
 // those ungrouped pass-throughs.
 func cAnnotate(in *compact.Table, annotated []string, lim Limits) (out *compact.Table, fallbacks int) {
-	isAnn := map[int]bool{}
-	for _, a := range annotated {
-		isAnn[colIndex(in.Cols, a)] = true
-	}
-	var keyIdx, annIdx []int
-	for i := range in.Cols {
-		if isAnn[i] {
-			annIdx = append(annIdx, i)
-		} else {
-			keyIdx = append(keyIdx, i)
+	keyIdx, annIdx := splitAnnCols(in.Cols, annotated)
+	contribs := make([]*annContrib, len(in.Tuples))
+	for i, tp := range in.Tuples {
+		contribs[i] = annContribOf(tp, keyIdx, annIdx, lim)
+		if contribs[i].fallback {
+			fallbacks++
 		}
 	}
-
-	type group struct {
-		keySpans []text.Span
-		ann      [][]text.Assignment // per annotated column
-		sure     bool                // some non-maybe tuple pins this key exactly
-	}
-	groups := map[string]*group{}
-	var order []string
-	out = compact.NewTable(in.Cols...)
-
-	for _, tp := range in.Tuples {
-		// Enumerate the possible key valuations of this tuple.
-		keyVals := make([][]text.Span, len(keyIdx))
-		exactKey := true
-		tooBig := false
-		combos := 1
-		for i, ki := range keyIdx {
-			cell := tp.Cells[ki]
-			if cell.NumValues() > lim.MaxCellValues {
-				tooBig = true
-				break
-			}
-			var vs []text.Span
-			cell.Values(func(s text.Span) bool { vs = append(vs, s); return true })
-			keyVals[i] = vs
-			if len(vs) != 1 {
-				exactKey = false
-			}
-			combos *= len(vs)
-			if combos > lim.MaxValuations {
-				tooBig = true
-				break
-			}
-		}
-		if tooBig || combos == 0 {
-			// Conservative pass-through.
-			if tooBig {
-				fallbacks++
-			}
-			nt := tp.Clone()
-			nt.Maybe = true
-			out.Tuples = append(out.Tuples, nt)
-			continue
-		}
-		idx := make([]int, len(keyIdx))
-		for {
-			keySpans := make([]text.Span, len(keyIdx))
-			keyParts := make([]string, len(keyIdx))
-			for i, j := range idx {
-				keySpans[i] = keyVals[i][j]
-				keyParts[i] = keyVals[i][j].NormText()
-			}
-			key := strings.Join(keyParts, "␟")
-			g, ok := groups[key]
-			if !ok {
-				g = &group{keySpans: keySpans, ann: make([][]text.Assignment, len(annIdx))}
-				groups[key] = g
-				order = append(order, key)
-			}
-			for i, ai := range annIdx {
-				g.ann[i] = append(g.ann[i], tp.Cells[ai].Assigns...)
-			}
-			if exactKey && !tp.Maybe {
-				g.sure = true
-			}
-			k := len(idx) - 1
-			for k >= 0 {
-				idx[k]++
-				if idx[k] < len(keyVals[k]) {
-					break
-				}
-				idx[k] = 0
-				k--
-			}
-			if k < 0 {
-				break
-			}
-		}
-	}
-
-	for _, key := range order {
-		g := groups[key]
-		nt := compact.Tuple{Cells: make([]compact.Cell, len(in.Cols)), Maybe: !g.sure}
-		for i, ki := range keyIdx {
-			nt.Cells[ki] = compact.ExactCell(g.keySpans[i])
-		}
-		for i, ai := range annIdx {
-			nt.Cells[ai] = compact.Cell{Assigns: text.DedupAssignments(g.ann[i])}
-		}
-		out.Tuples = append(out.Tuples, nt)
-	}
-	return out, fallbacks
+	return annMerge(in, keyIdx, annIdx, contribs), fallbacks
 }
 
 // BAnnotate is the a-table algorithm of Section 4.3 (Figure 5): given an

@@ -19,24 +19,23 @@ import (
 // previously applied to the same attribute (prior), because refining with
 // a later constraint can produce sub-spans that violate an earlier one.
 type constraintNode struct {
+	nodeSig
 	parent Node
 	cons   feature.Constraint
 	prior  []feature.Constraint
-	sig    string
 }
 
 func newConstraintNode(parent Node, cons feature.Constraint, prior []feature.Constraint) *constraintNode {
 	return &constraintNode{
-		parent: parent, cons: cons, prior: append([]feature.Constraint(nil), prior...),
-		sig: fmt.Sprintf("constrain[%s](%s)", cons, parent.Signature()),
+		nodeSig: sigOf(fmt.Sprintf("constrain[%s](%s)", cons, parent.Signature())),
+		parent:  parent, cons: cons, prior: append([]feature.Constraint(nil), prior...),
 	}
 }
 
-func (n *constraintNode) Signature() string { return n.sig }
 func (n *constraintNode) Columns() []string { return n.parent.Columns() }
 func (n *constraintNode) Children() []Node  { return []Node{n.parent} }
 
-func (n *constraintNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
+func (n *constraintNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.Table, error) {
 	in, err := Eval(ctx, n.parent)
 	if err != nil {
 		return nil, err
@@ -47,12 +46,38 @@ func (n *constraintNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, erro
 	// Tuples refine independently (features are pure, the memo is
 	// concurrency-safe), so the loop is partitioned across the worker
 	// pool; per-index result slots keep the output order serial-identical.
+	// With a delta prior attached, tuples structurally unchanged since the
+	// previous plan version replay their memoised outcome (kept-as cell or
+	// dropped) without re-entering Verify/Refine at all.
+	// The memo depends only on the constrained attribute's cell: a tuple
+	// whose other columns were refined in between still replays, with the
+	// output rebuilt from the current tuple plus the memoised refined cell.
+	prior, fps := dx.prep(in, []int{ci}, nil, 0)
 	rows := make([]*compact.Tuple, len(in.Tuples))
+	var cells []*compact.Cell
+	if fps != nil {
+		cells = make([]*compact.Cell, len(in.Tuples))
+	}
 	err = ctx.parallelChunksSized(len(in.Tuples), minChunkConstraint, func(start, end int) error {
 		var batch statBatch
 		defer batch.flush(ctx)
+		reused := 0
 		for i := start; i < end; i++ {
 			tp := in.Tuples[i]
+			if fps != nil {
+				fps[i] = dx.aux.fpOf(tp)
+				if old, ok := prior.lookup(fps[i], tp); ok {
+					if old.cell != nil {
+						nt := tp.Copy()
+						nt.Cells[ci] = *old.cell
+						rows[i] = &nt
+						cells[i] = old.cell
+					}
+					reused++
+					continue
+				}
+			}
+			batch.tuplesRecomputed++
 			cell, err := refineCell(ctx, &batch, tp.Cells[ci], n.cons, all)
 			if err != nil {
 				return err
@@ -66,7 +91,13 @@ func (n *constraintNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, erro
 			nt := tp.Copy()
 			nt.Cells[ci] = cell
 			rows[i] = &nt
+			if cells != nil {
+				c := cell
+				cells[i] = &c
+			}
 		}
+		dx.noteReused(&batch, reused)
+		ev.recompute(batch.tuplesRecomputed)
 		return nil
 	})
 	if err != nil {
@@ -77,6 +108,7 @@ func (n *constraintNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, erro
 			out.Tuples = append(out.Tuples, *nt)
 		}
 	}
+	dx.finish(in, func(i int) deltaOut { return deltaOut{cell: cells[i]} })
 	return out, nil
 }
 

@@ -8,8 +8,11 @@
 // Context's cache. That cache is the paper's *reuse* optimisation
 // (Section 5.2): refining a program changes signatures only above the
 // touched operator, so unchanged subtrees are reused verbatim across
-// iterations. *Subset evaluation* is the Context's DocFilter: scans drop
-// documents outside the sampled subset.
+// iterations. On top of it, delta evaluation (EnableDelta/RegisterDelta,
+// see delta.go) replays per-tuple outcomes inside the changed ancestors,
+// so a refinement recomputes only the tuples it touched. *Subset
+// evaluation* is the Context's DocFilter: scans drop documents outside
+// the sampled subset.
 package engine
 
 import (
@@ -146,12 +149,14 @@ func (e *Env) Schema() *alog.Schema {
 // result), stats counters are updated atomically, and evaluation fans
 // leaf loops out across a bounded worker pool. Contexts must not be
 // copied after first use.
+//
+// The reuse cache is internal: it memoises node results keyed by
+// (subset, signature hash), holds the similarity-join blocking indexes
+// and the delta-evaluation per-tuple memos, and maintains an LRU order
+// so CacheBudget can bound its total size. Share one Context across
+// iterations to get the paper's reuse behaviour.
 type Context struct {
 	Env *Env
-	// Cache memoises node results by signature; share one Context across
-	// iterations to get the paper's reuse behaviour. Guarded by mu; treat
-	// cached tables as immutable.
-	Cache map[string]*compact.Table
 	// DocFilter, when non-nil, restricts scans to documents whose ID it
 	// maps to true (subset evaluation, Section 5.2). It must not be
 	// mutated while evaluations are in flight. Prefer SetDocFilter, which
@@ -162,48 +167,104 @@ type Context struct {
 	// CPU, 1 evaluates fully serially. Results are byte-identical across
 	// worker counts (deterministic merge order).
 	Workers int
+	// CacheBudget bounds the reuse cache in bytes (0 = unlimited): cached
+	// tables, delta memos, and blocking indexes all count against it, and
+	// least-recently-used entries are evicted when it is exceeded. An
+	// evicted entry is re-evaluated on next use — results never change,
+	// only how much is recomputed. Set it before the first evaluation.
+	CacheBudget int64
 	// Stats accumulates evaluation counters (atomically).
 	Stats Stats
 
-	// mu guards Cache, inflight, and blockIdx.
+	// mu guards cache, lru, cacheBytes, inflight, and deltaPrev.
 	mu sync.Mutex
-	// inflight tracks signatures currently being evaluated, for
-	// single-flight deduplication across goroutines.
-	inflight map[string]*inflightEval
-	// blockIdx caches similarity-join blocking indexes per (subset, node,
-	// variable); trial executions during question simulation share the
-	// unchanged side's index instead of re-tokenising it.
-	blockIdx map[string]*blockIndex
+	// cache memoises node results (and blocking indexes) by hashed key;
+	// entries verify the marker and signature strings on lookup, so a
+	// 64-bit collision degrades to a miss, never to a wrong result.
+	cache map[entryKey]*cacheEntry
+	// lruHead / lruTail order entries from most to least recently used.
+	lruHead, lruTail *cacheEntry
+	// cacheBytes is the total estimated size of all cached entries.
+	cacheBytes int64
+	// inflight tracks keys currently being evaluated, for single-flight
+	// deduplication across goroutines.
+	inflight map[entryKey]*inflightEval
+	// deltaOn enables incremental evaluation (see delta.go).
+	deltaOn bool
+	// deltaPrev maps current-plan node hashes to their predecessors in
+	// the previous plan version (RegisterDelta).
+	deltaPrev map[uint64]deltaLink
 	// extraWorkers counts pool slots handed out beyond the caller's own
 	// goroutine; see parallel.go.
 	extraWorkers atomic.Int64
 	// trace, when set, collects one TraceRecord per Eval call; see
 	// trace.go (StartTrace, TraceOps, Explain).
 	trace atomic.Pointer[tracer]
-	// subsetMarker memoises the sorted-subset cache-key prefix for the
-	// DocFilter map identified by subsetFor, so subset-mode Eval calls
-	// skip the per-call sort (SetDocFilter computes it eagerly).
+	// subsetMarker / subsetHash memoise the sorted-subset cache-key prefix
+	// (and its hash) for the DocFilter map identified by subsetFor, so
+	// subset-mode Eval calls skip the per-call sort (SetDocFilter computes
+	// them eagerly).
 	subsetMarker string
+	subsetHash   uint64
 	subsetFor    uintptr
+	// prevSubsetMarker / prevSubsetHash identify the evaluation mode the
+	// context most recently switched away from (SetDocFilter); delta
+	// evaluation probes it for priors when the current mode has none.
+	prevSubsetMarker string
+	prevSubsetHash   uint64
+}
+
+// fullMarker prefixes cache keys of unfiltered (whole-corpus) evaluations.
+const fullMarker = "full"
+
+var fullMarkerHash = fnv64(fullMarker)
+
+// entryKey identifies one cache entry: the subset marker hash, the node
+// signature hash, and an auxiliary discriminator ("" for the node's
+// result table; the join variable for a similarity-join blocking index).
+type entryKey struct {
+	subset uint64
+	sig    uint64
+	aux    string
+}
+
+// cacheEntry is one resident cache entry. marker and sig hold the strings
+// the key hashes were derived from, verified on every lookup. Exactly one
+// of table (plus optional delta memo aux) or idx is set. Entries form a
+// doubly-linked LRU list under Context.mu.
+type cacheEntry struct {
+	key    entryKey
+	marker string
+	sig    string
+	table  *compact.Table
+	aux    *evalAux
+	idx    *blockIndex
+	bytes  int64
+
+	prev, next *cacheEntry
 }
 
 // inflightEval is one in-progress node evaluation; waiters block on done
-// and then read table/err (written before done is closed).
+// and then read table/err (written before done is closed). marker and sig
+// verify the hashed key.
 type inflightEval struct {
-	done  chan struct{}
-	table *compact.Table
-	err   error
+	done   chan struct{}
+	table  *compact.Table
+	err    error
+	marker string
+	sig    string
 }
 
 // Stats counts evaluation work, exposed for the experiments and benches.
 // Fields are int64 so concurrent evaluation can update them atomically;
 // read them only after evaluation quiesces (or via a copy).
 //
-// NodesEvaluated, CacheHits, TuplesBuilt, the call counters, and
-// LimitFallbacks are deterministic: identical totals at any worker count
-// (the single-flight cache evaluates each key exactly once; every other
-// request is a hit). The pool counters and OpTimeNs depend on scheduling
-// and vary run to run. Snapshot renders the JSON view with derived rates.
+// NodesEvaluated, CacheHits, TuplesBuilt, the call counters,
+// LimitFallbacks, DeltaEvals, TuplesReused, and TuplesRecomputed are
+// deterministic: identical totals at any worker count (the single-flight
+// cache evaluates each key exactly once; every other request is a hit).
+// The pool counters and OpTimeNs depend on scheduling and vary run to
+// run. Snapshot renders the JSON view with derived rates.
 type Stats struct {
 	NodesEvaluated int64
 	CacheHits      int64
@@ -227,16 +288,41 @@ type Stats struct {
 	// RefineCalls count logical calls and stay deterministic.
 	FeatureMemoHits   int64
 	FeatureMemoMisses int64
+	// OpTimeNs accumulates evaluation wall time per operator kind,
+	// indexed by OpKind (see trace.go); like the pool counters it varies
+	// with scheduling.
+	OpTimeNs [numOpKinds]int64
 	// StatMergeNs / StatMerges measure the per-worker counter-shard
 	// flushes: hot loops batch their deterministic counter deltas locally
 	// and merge once per chunk, so these report how much wall time the
 	// shared-counter synchronisation costs in total.
 	StatMergeNs int64
 	StatMerges  int64
-	// OpTimeNs accumulates evaluation wall time per operator kind,
-	// indexed by OpKind. Overlapping concurrent evaluations each count
-	// their full duration, so the sum can exceed elapsed wall clock.
-	OpTimeNs [numOpKinds]int64
+	// DeltaEvals counts node evaluations that ran with a predecessor memo
+	// attached (cache misses where RegisterDelta had mapped the node and
+	// the predecessor's entry was still resident); NodesEvaluated minus
+	// DeltaEvals is the full-evaluation count.
+	DeltaEvals int64
+	// TuplesReused / TuplesRecomputed count, across the delta-capable
+	// operators (constraint, selection, cross, similarity join,
+	// annotation), input tuples whose outcome was replayed from a
+	// predecessor memo versus computed fresh. Recomputed is counted in
+	// both modes, so delta and full runs of the same workload are directly
+	// comparable; with delta off, Reused stays 0.
+	TuplesReused     int64
+	TuplesRecomputed int64
+	// TablesAdopted counts re-evaluations whose output reproduced the
+	// predecessor's table exactly, so the old table object was handed out
+	// instead — preserving downstream pointer identity (and with it the
+	// binary operators' memo transferability).
+	TablesAdopted int64
+	// CacheEvictions / BlockIdxEvictions count entries dropped to keep
+	// the cache under CacheBudget, split by payload kind (result table vs
+	// similarity-join blocking index). CacheBytes is a gauge: the current
+	// estimated resident size of the cache.
+	CacheEvictions    int64
+	BlockIdxEvictions int64
+	CacheBytes        int64
 }
 
 // statAdd atomically bumps one stats counter; every Stats write in the
@@ -250,11 +336,13 @@ func statAdd(p *int64, n int) { atomic.AddInt64(p, int64(n)) }
 // one atomic add per predicate call with one per counter per chunk — the
 // contention fix for the parallel op-time inflation seen in PR 2's traces.
 type statBatch struct {
-	funcCalls   int64
-	verifyCalls int64
-	refineCalls int64
-	memoHits    int64
-	memoMisses  int64
+	funcCalls        int64
+	verifyCalls      int64
+	refineCalls      int64
+	memoHits         int64
+	memoMisses       int64
+	tuplesReused     int64
+	tuplesRecomputed int64
 }
 
 // flush merges the shard into the shared Stats and times the merge
@@ -297,6 +385,12 @@ func (b *statBatch) flushTo(stats *Stats) {
 	if b.memoMisses != 0 {
 		atomic.AddInt64(&stats.FeatureMemoMisses, b.memoMisses)
 	}
+	if b.tuplesReused != 0 {
+		atomic.AddInt64(&stats.TuplesReused, b.tuplesReused)
+	}
+	if b.tuplesRecomputed != 0 {
+		atomic.AddInt64(&stats.TuplesRecomputed, b.tuplesRecomputed)
+	}
 	*b = statBatch{}
 }
 
@@ -304,24 +398,32 @@ func (b *statBatch) flushTo(stats *Stats) {
 func NewContext(env *Env) *Context {
 	return &Context{
 		Env:      env,
-		Cache:    map[string]*compact.Table{},
-		inflight: map[string]*inflightEval{},
-		blockIdx: map[string]*blockIndex{},
+		cache:    map[entryKey]*cacheEntry{},
+		inflight: map[entryKey]*inflightEval{},
 	}
 }
 
 // SetDocFilter switches the context between full evaluation (nil) and
-// subset evaluation, precomputing the subset cache-key marker once
-// instead of per Eval call. Like writing DocFilter directly, it may only
-// be called while no evaluations are in flight.
+// subset evaluation, precomputing the subset cache-key marker (and its
+// hash) once instead of per Eval call. Like writing DocFilter directly,
+// it may only be called while no evaluations are in flight.
 func (ctx *Context) SetDocFilter(filter map[string]bool) {
+	oldHash, oldMarker := ctx.subsetKey()
 	ctx.DocFilter = filter
 	if filter == nil {
-		ctx.subsetMarker, ctx.subsetFor = "", 0
-		return
+		ctx.subsetMarker, ctx.subsetHash, ctx.subsetFor = "", 0, 0
+	} else {
+		ctx.subsetMarker = subsetMarkerFor(filter)
+		ctx.subsetHash = fnv64(ctx.subsetMarker)
+		ctx.subsetFor = reflect.ValueOf(filter).Pointer()
 	}
-	ctx.subsetMarker = subsetMarkerFor(filter)
-	ctx.subsetFor = reflect.ValueOf(filter).Pointer()
+	// Remember the mode we switched away from: delta evaluation falls back
+	// to the previous mode's memos (per-tuple outcomes are subset-
+	// independent), which is what lets the final full-corpus execution
+	// replay the tuples the subset iterations already processed.
+	if _, newMarker := ctx.subsetKey(); newMarker != oldMarker {
+		ctx.prevSubsetHash, ctx.prevSubsetMarker = oldHash, oldMarker
+	}
 }
 
 // subsetMarkerFor renders the sorted-ID marker that prefixes subset-mode
@@ -347,34 +449,132 @@ func subsetMarkerFor(filter map[string]bool) string {
 	return b.String()
 }
 
-// cacheKey augments a node signature with the subset marker so subset and
-// full evaluations never alias. The marker is memoised by SetDocFilter;
-// a DocFilter assigned directly to the field (bypassing SetDocFilter) is
-// detected by map identity and re-sorted per call.
-func (ctx *Context) cacheKey(sig string) string {
+// subsetKey returns the current evaluation mode's marker hash and string.
+// The marker is memoised by SetDocFilter; a DocFilter assigned directly
+// to the field (bypassing SetDocFilter) is detected by map identity and
+// re-sorted per call.
+func (ctx *Context) subsetKey() (uint64, string) {
 	if ctx.DocFilter == nil {
-		return "full|" + sig
+		return fullMarkerHash, fullMarker
 	}
-	marker := ctx.subsetMarker
-	if ctx.subsetFor != reflect.ValueOf(ctx.DocFilter).Pointer() {
-		marker = subsetMarkerFor(ctx.DocFilter)
+	if ctx.subsetFor == reflect.ValueOf(ctx.DocFilter).Pointer() {
+		return ctx.subsetHash, ctx.subsetMarker
 	}
+	marker := subsetMarkerFor(ctx.DocFilter)
+	return fnv64(marker), marker
+}
+
+// cacheKey renders the human-readable cache key (subset marker plus
+// signature) used by trace records and Explain; the cache itself is keyed
+// by the hashed entryKey.
+func (ctx *Context) cacheKey(sig string) string {
+	_, marker := ctx.subsetKey()
 	return marker + "|" + sig
+}
+
+// lookupLocked returns the resident entry for key after verifying the
+// marker and signature strings (a hash collision reads as a miss).
+// Callers hold ctx.mu.
+func (ctx *Context) lookupLocked(key entryKey, marker, sig string) *cacheEntry {
+	e := ctx.cache[key]
+	if e == nil || e.marker != marker || e.sig != sig {
+		return nil
+	}
+	return e
+}
+
+// touchLocked moves an entry to the front of the LRU order.
+func (ctx *Context) touchLocked(e *cacheEntry) {
+	if ctx.lruHead == e {
+		return
+	}
+	ctx.unlinkLocked(e)
+	ctx.pushFrontLocked(e)
+}
+
+func (ctx *Context) unlinkLocked(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if ctx.lruHead == e {
+		ctx.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if ctx.lruTail == e {
+		ctx.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (ctx *Context) pushFrontLocked(e *cacheEntry) {
+	e.next = ctx.lruHead
+	if ctx.lruHead != nil {
+		ctx.lruHead.prev = e
+	}
+	ctx.lruHead = e
+	if ctx.lruTail == nil {
+		ctx.lruTail = e
+	}
+}
+
+// storeLocked inserts an entry (clobbering any previous occupant of the
+// key, which only happens on re-store or a hash collision) and evicts
+// from the LRU tail while over budget. The just-stored entry is never
+// evicted by its own insertion: the cache must be able to hold the result
+// it is about to return.
+func (ctx *Context) storeLocked(e *cacheEntry) {
+	if old := ctx.cache[e.key]; old != nil {
+		ctx.unlinkLocked(old)
+		ctx.cacheBytes -= old.bytes
+	}
+	ctx.cache[e.key] = e
+	ctx.pushFrontLocked(e)
+	ctx.cacheBytes += e.bytes
+	if ctx.CacheBudget > 0 {
+		for ctx.cacheBytes > ctx.CacheBudget && ctx.lruTail != nil && ctx.lruTail != e {
+			ctx.evictLocked(ctx.lruTail)
+		}
+	}
+	atomic.StoreInt64(&ctx.Stats.CacheBytes, ctx.cacheBytes)
+}
+
+// evictLocked removes one entry and counts the eviction by payload kind.
+func (ctx *Context) evictLocked(e *cacheEntry) {
+	ctx.unlinkLocked(e)
+	delete(ctx.cache, e.key)
+	ctx.cacheBytes -= e.bytes
+	if e.idx != nil {
+		statAdd(&ctx.Stats.BlockIdxEvictions, 1)
+	} else {
+		statAdd(&ctx.Stats.CacheEvictions, 1)
+	}
+}
+
+// CacheInfo reports the cache's current estimated size and entry count
+// (tables and blocking indexes combined).
+func (ctx *Context) CacheInfo() (bytes int64, entries int) {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	return ctx.cacheBytes, len(ctx.cache)
 }
 
 // Node is one operator of a compiled plan. Nodes are immutable after
 // construction; evaluation is memoised through the context cache.
 type Node interface {
-	// Signature is a canonical rendering of the subtree, the reuse key.
+	// Signature is a canonical rendering of the subtree, the reuse key
+	// (precomputed at construction; see nodeSig).
 	Signature() string
+	// sigHash is the precomputed 64-bit hash of Signature.
+	sigHash() uint64
 	// Columns names the variables bound by this node's output table.
 	Columns() []string
 	// Children returns the node's input operators.
 	Children() []Node
 	// eval computes the node's output table (uncached). ev receives
 	// per-evaluation trace attribution (valuation-limit fallbacks) and
-	// may be nil when tracing is off.
-	eval(ctx *Context, ev *EvalTrace) (*compact.Table, error)
+	// may be nil when tracing is off; dx carries delta-evaluation state
+	// and is nil when delta evaluation is off.
+	eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.Table, error)
 }
 
 // SumAssignments evaluates every node of the plan (through the cache) and
@@ -414,26 +614,41 @@ func SumAssignments(ctx *Context, root Node) (int, error) {
 // finishes and share the result (counted as cache hits). Failed
 // evaluations are not cached, so a later request retries.
 //
+// With delta evaluation on, a cache miss of a node that RegisterDelta
+// mapped to a predecessor picks up the predecessor's per-tuple memo, so
+// the operator replays unchanged tuples instead of recomputing them; the
+// result is byte-identical either way.
+//
 // If the node's evaluation panics, the in-flight entry is removed and its
 // done channel closed before the panic propagates, so concurrent waiters
 // unblock with an error instead of deadlocking and a later request for
 // the same key evaluates afresh.
 func Eval(ctx *Context, n Node) (*compact.Table, error) {
-	key := ctx.cacheKey(n.Signature())
+	subsetHash, marker := ctx.subsetKey()
+	key := entryKey{subset: subsetHash, sig: n.sigHash()}
+	sig := n.Signature()
 	trace := ctx.trace.Load()
 	ctx.mu.Lock()
-	if t, ok := ctx.Cache[key]; ok {
+	if e := ctx.lookupLocked(key, marker, sig); e != nil && e.table != nil {
+		ctx.touchLocked(e)
 		ctx.mu.Unlock()
 		statAdd(&ctx.Stats.CacheHits, 1)
 		if trace != nil {
-			trace.push(TraceRecord{Op: opName(n), Signature: n.Signature(), Key: key, Status: StatusHit})
+			trace.push(TraceRecord{Op: opName(n), Signature: sig, Key: marker + "|" + sig, Status: StatusHit})
 		}
-		return t, nil
+		return e.table, nil
 	}
 	if ctx.inflight == nil {
-		ctx.inflight = map[string]*inflightEval{}
+		ctx.inflight = map[entryKey]*inflightEval{}
 	}
 	if c, ok := ctx.inflight[key]; ok {
+		if c.marker != marker || c.sig != sig {
+			// A different signature hashed onto this in-flight key (2^-64):
+			// evaluate directly, bypassing the cache, rather than corrupt the
+			// single-flight bookkeeping.
+			ctx.mu.Unlock()
+			return evalUncached(ctx, n, marker, sig, trace)
+		}
 		ctx.mu.Unlock()
 		<-c.done
 		if c.err != nil {
@@ -441,15 +656,51 @@ func Eval(ctx *Context, n Node) (*compact.Table, error) {
 		}
 		statAdd(&ctx.Stats.CacheHits, 1)
 		if trace != nil {
-			trace.push(TraceRecord{Op: opName(n), Signature: n.Signature(), Key: key, Status: StatusWait})
+			trace.push(TraceRecord{Op: opName(n), Signature: sig, Key: marker + "|" + sig, Status: StatusWait})
 		}
 		return c.table, nil
 	}
-	c := &inflightEval{done: make(chan struct{})}
+	c := &inflightEval{done: make(chan struct{}), marker: marker, sig: sig}
 	ctx.inflight[key] = c
+	// Delta prior: a mapped predecessor evaluated under the same subset
+	// whose entry still holds a per-tuple memo. The predecessor's output
+	// table is kept for the adoption check below. When the current mode has
+	// nothing, fall back to the previous evaluation mode (per-tuple memos
+	// are subset-independent: operators decide per tuple, the doc filter
+	// only gates which tuples the scans emit) — including the node's own
+	// previous-mode entry, which covers the final full-corpus execution of
+	// an unchanged plan. Cross-mode priors attach the memo only, never the
+	// table: the tuple sets differ, so adoption would be wrong.
+	var dx *deltaState
+	var priorTable *compact.Table
+	if ctx.deltaOn {
+		dx = &deltaState{}
+		prevMode := ctx.prevSubsetMarker != "" && ctx.prevSubsetMarker != marker
+		if link, ok := ctx.deltaPrev[key.sig]; ok && link.newSig == sig {
+			pk := entryKey{subset: subsetHash, sig: link.oldHash}
+			if pe := ctx.lookupLocked(pk, marker, link.oldSig); pe != nil {
+				dx.prior = pe.aux
+				priorTable = pe.table
+			} else if prevMode {
+				pk = entryKey{subset: ctx.prevSubsetHash, sig: link.oldHash}
+				if pe := ctx.lookupLocked(pk, ctx.prevSubsetMarker, link.oldSig); pe != nil {
+					dx.prior = pe.aux
+				}
+			}
+		}
+		if dx.prior == nil && priorTable == nil && prevMode {
+			pk := entryKey{subset: ctx.prevSubsetHash, sig: key.sig}
+			if pe := ctx.lookupLocked(pk, ctx.prevSubsetMarker, sig); pe != nil {
+				dx.prior = pe.aux
+			}
+		}
+	}
 	ctx.mu.Unlock()
 
 	statAdd(&ctx.Stats.NodesEvaluated, 1)
+	if dx != nil && (dx.prior != nil || priorTable != nil) {
+		statAdd(&ctx.Stats.DeltaEvals, 1)
+	}
 	var ev *EvalTrace
 	if trace != nil {
 		ev = &EvalTrace{}
@@ -464,7 +715,7 @@ func Eval(ctx *Context, n Node) (*compact.Table, error) {
 		// an error, leave the key uncached and un-poisoned, then let the
 		// panic continue.
 		r := recover()
-		c.err = fmt.Errorf("engine: panic evaluating %s: %v", n.Signature(), r)
+		c.err = fmt.Errorf("engine: panic evaluating %s: %v", sig, r)
 		ctx.mu.Lock()
 		delete(ctx.inflight, key)
 		ctx.mu.Unlock()
@@ -473,7 +724,16 @@ func Eval(ctx *Context, n Node) (*compact.Table, error) {
 			panic(r)
 		}
 	}()
-	t, err := n.eval(ctx, ev)
+	t, err := n.eval(ctx, ev, dx)
+	if err == nil && priorTable != nil && t.StructuralEq(priorTable) {
+		// Adoption: the re-evaluation reproduced the predecessor's output
+		// exactly, so hand out the old table itself. Downstream operators
+		// then see a pointer-identical input, which keeps binary operators'
+		// memos (pinned to their right table) transferable and lets the
+		// whole unchanged region of the plan replay.
+		t = priorTable
+		statAdd(&ctx.Stats.TablesAdopted, 1)
+	}
 	finished = true
 	wall := time.Since(start)
 	atomic.AddInt64(&ctx.Stats.OpTimeNs[kindOf(n)], int64(wall))
@@ -482,16 +742,55 @@ func Eval(ctx *Context, n Node) (*compact.Table, error) {
 	ctx.mu.Lock()
 	if err == nil {
 		statAdd(&ctx.Stats.TuplesBuilt, len(t.Tuples))
-		ctx.Cache[key] = t
+		e := &cacheEntry{key: key, marker: marker, sig: sig, table: t}
+		if dx != nil {
+			e.aux = dx.aux
+		}
+		e.bytes = t.MemBytes() + e.aux.memBytes()
+		ctx.storeLocked(e)
 	}
 	delete(ctx.inflight, key)
 	ctx.mu.Unlock()
 	close(c.done)
 	if trace != nil {
 		rec := TraceRecord{
-			Op: opName(n), Signature: n.Signature(), Key: key,
+			Op: opName(n), Signature: sig, Key: marker + "|" + sig,
 			Status: StatusMiss, Wall: wall, Goroutine: goid(),
-			Fallbacks: ev.fallbacks.Load(),
+			Fallbacks: ev.fallbacks.Load(), Recomputed: ev.recomputed.Load(),
+		}
+		if dx != nil {
+			rec.Reused = dx.reused.Load()
+		}
+		if err == nil {
+			rec.Tuples = len(t.Tuples)
+			rec.Expanded = t.NumExpandedTuples()
+			rec.Assignments = t.NumAssignments()
+		}
+		trace.push(rec)
+	}
+	return t, err
+}
+
+// evalUncached evaluates a node without touching the cache or the
+// single-flight map — the escape hatch for a hashed-key collision.
+func evalUncached(ctx *Context, n Node, marker, sig string, trace *tracer) (*compact.Table, error) {
+	statAdd(&ctx.Stats.NodesEvaluated, 1)
+	var ev *EvalTrace
+	if trace != nil {
+		ev = &EvalTrace{}
+	}
+	start := time.Now()
+	t, err := n.eval(ctx, ev, nil)
+	wall := time.Since(start)
+	atomic.AddInt64(&ctx.Stats.OpTimeNs[kindOf(n)], int64(wall))
+	if err == nil {
+		statAdd(&ctx.Stats.TuplesBuilt, len(t.Tuples))
+	}
+	if trace != nil {
+		rec := TraceRecord{
+			Op: opName(n), Signature: sig, Key: marker + "|" + sig,
+			Status: StatusMiss, Wall: wall, Goroutine: goid(),
+			Fallbacks: ev.fallbacks.Load(), Recomputed: ev.recomputed.Load(),
 		}
 		if err == nil {
 			rec.Tuples = len(t.Tuples)

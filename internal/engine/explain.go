@@ -135,6 +135,9 @@ func Explain(ctx *Context, root Node) (string, error) {
 		if o.Fallbacks > 0 {
 			extra = fmt.Sprintf(" fallbacks=%d", o.Fallbacks)
 		}
+		if o.Reused > 0 {
+			extra += fmt.Sprintf(" reused=%d", o.Reused)
+		}
 		sig := n.Signature()
 		if len(sig) > 44 {
 			sig = sig[:44] + "…"
@@ -166,6 +169,23 @@ func Explain(ctx *Context, root Node) (string, error) {
 		fmt.Fprintf(&b, "stat merges: %d batches, %s total\n", merges,
 			time.Duration(atomic.LoadInt64(&ctx.Stats.StatMergeNs)).Round(time.Microsecond))
 	}
+	if deltas := atomic.LoadInt64(&ctx.Stats.DeltaEvals); deltas > 0 {
+		reused := atomic.LoadInt64(&ctx.Stats.TuplesReused)
+		recomputed := atomic.LoadInt64(&ctx.Stats.TuplesRecomputed)
+		rate := 0.0
+		if total := reused + recomputed; total > 0 {
+			rate = 100 * float64(reused) / float64(total)
+		}
+		fmt.Fprintf(&b, "delta evals: %d nodes, %d tuples reused / %d recomputed (%.1f%% reuse), %d tables adopted\n",
+			deltas, reused, recomputed, rate,
+			atomic.LoadInt64(&ctx.Stats.TablesAdopted))
+	}
+	bytes, entries := ctx.CacheInfo()
+	fmt.Fprintf(&b, "reuse cache: %d entries, ~%d bytes", entries, bytes)
+	if ev := atomic.LoadInt64(&ctx.Stats.CacheEvictions) + atomic.LoadInt64(&ctx.Stats.BlockIdxEvictions); ev > 0 {
+		fmt.Fprintf(&b, ", %d evicted", ev)
+	}
+	b.WriteByte('\n')
 	return b.String(), nil
 }
 

@@ -11,22 +11,22 @@ import (
 // scanNode reads an extensional table, renaming its columns to the rule's
 // variable names, and applies the context's document subset filter.
 type scanNode struct {
+	nodeSig
 	pred string
 	cols []string
 }
 
 func newScanNode(pred string, vars []string) *scanNode {
-	return &scanNode{pred: pred, cols: vars}
-}
-
-func (n *scanNode) Signature() string {
-	return fmt.Sprintf("scan(%s->%s)", n.pred, strings.Join(n.cols, ","))
+	return &scanNode{
+		nodeSig: sigOf(fmt.Sprintf("scan(%s->%s)", pred, strings.Join(vars, ","))),
+		pred:    pred, cols: vars,
+	}
 }
 
 func (n *scanNode) Columns() []string { return n.cols }
 func (n *scanNode) Children() []Node  { return nil }
 
-func (n *scanNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
+func (n *scanNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.Table, error) {
 	src, ok := ctx.Env.Tables[n.pred]
 	if !ok {
 		return nil, fmt.Errorf("engine: extensional table %q not bound", n.pred)
@@ -63,27 +63,26 @@ func tupleInSubset(tp compact.Tuple, filter map[string]bool) bool {
 // column s holding an expansion cell expand({contain(s1), ...,
 // contain(sn)}) over the input cell's assignments (Section 4.2).
 type fromNode struct {
+	nodeSig
 	parent Node
 	inVar  string
 	outVar string
-	sig    string
 }
 
 func newFromNode(parent Node, inVar, outVar string) *fromNode {
 	return &fromNode{
-		parent: parent, inVar: inVar, outVar: outVar,
-		sig: fmt.Sprintf("from[%s->%s](%s)", inVar, outVar, parent.Signature()),
+		nodeSig: sigOf(fmt.Sprintf("from[%s->%s](%s)", inVar, outVar, parent.Signature())),
+		parent:  parent, inVar: inVar, outVar: outVar,
 	}
 }
 
-func (n *fromNode) Signature() string { return n.sig }
-func (n *fromNode) Children() []Node  { return []Node{n.parent} }
+func (n *fromNode) Children() []Node { return []Node{n.parent} }
 
 func (n *fromNode) Columns() []string {
 	return append(append([]string(nil), n.parent.Columns()...), n.outVar)
 }
 
-func (n *fromNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
+func (n *fromNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.Table, error) {
 	in, err := Eval(ctx, n.parent)
 	if err != nil {
 		return nil, err
@@ -109,10 +108,10 @@ func (n *fromNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 // shared by both sides are matched with a may-equal test and projected
 // once (natural-join behaviour).
 type crossNode struct {
+	nodeSig
 	left, right Node
 	shared      []string
 	cols        []string
-	sig         string
 }
 
 func newCrossNode(left, right Node) *crossNode {
@@ -131,15 +130,14 @@ func newCrossNode(left, right Node) *crossNode {
 			n.cols = append(n.cols, c)
 		}
 	}
-	n.sig = fmt.Sprintf("cross(%s)(%s)", left.Signature(), right.Signature())
+	n.nodeSig = sigOf(fmt.Sprintf("cross(%s)(%s)", left.Signature(), right.Signature()))
 	return n
 }
 
-func (n *crossNode) Signature() string { return n.sig }
 func (n *crossNode) Columns() []string { return n.cols }
 func (n *crossNode) Children() []Node  { return []Node{n.left, n.right} }
 
-func (n *crossNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
+func (n *crossNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.Table, error) {
 	lt, rt, err := evalPair(ctx, n.left, n.right)
 	if err != nil {
 		return nil, err
@@ -147,12 +145,60 @@ func (n *crossNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 	out := compact.NewTable(n.cols...)
 	lim := ctx.Env.Limits
 	// Partition the product over left tuples; per-index result slots keep
-	// the output order identical to the serial nested loop.
+	// the output order identical to the serial nested loop. The delta memo
+	// is per left tuple too, keyed on the left shared-column cells and
+	// pinned to the right table by a content fingerprint of its shared
+	// columns; replay rebuilds each output row from the current tuples.
+	leftIdx := make([]int, 0, len(n.shared))
+	rightIdx := make([]int, 0, len(n.shared))
+	for _, sc := range n.shared {
+		leftIdx = append(leftIdx, colIndex(lt.Cols, sc))
+		rightIdx = append(rightIdx, colIndex(rt.Cols, sc))
+	}
+	var rdep uint64
+	if dx != nil {
+		rdep = rt.ColsFingerprint(rightIdx)
+	}
+	prior, fps := dx.prep(lt, leftIdx, rt, rdep)
+	var fbs []int32
+	var matches [][]joinMatch
+	if fps != nil {
+		fbs = make([]int32, len(lt.Tuples))
+		matches = make([][]joinMatch, len(lt.Tuples))
+	}
+	rebuild := func(ltp, rtp compact.Tuple, sure bool) compact.Tuple {
+		nt := ltp.Copy()
+		for j, c := range rt.Cols {
+			if !containsStr(n.shared, c) {
+				nt.Cells = append(nt.Cells, rtp.Cells[j])
+			}
+		}
+		nt.Maybe = ltp.Maybe || rtp.Maybe || !sure
+		return nt
+	}
 	rows := make([][]compact.Tuple, len(lt.Tuples))
 	_ = ctx.parallelChunksSized(len(lt.Tuples), minChunkCross, func(start, end int) error {
+		var batch statBatch
+		defer batch.flush(ctx)
+		reused := 0
 		for i := start; i < end; i++ {
 			ltp := lt.Tuples[i]
-			for _, rtp := range rt.Tuples {
+			if fps != nil {
+				fps[i] = dx.aux.fpOf(ltp)
+				if old, ok := prior.lookup(fps[i], ltp); ok {
+					for _, m := range old.sim {
+						rows[i] = append(rows[i], rebuild(ltp, rt.Tuples[m.j], m.sure))
+					}
+					matches[i] = old.sim
+					fbs[i] = old.fallbacks
+					ev.fallback(ctx, int(old.fallbacks))
+					reused++
+					continue
+				}
+			}
+			batch.tuplesRecomputed++
+			var fb int32
+			for j, rtp := range rt.Tuples {
 				keep := true
 				sure := true
 				for _, sc := range n.shared {
@@ -160,7 +206,7 @@ func (n *crossNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 					rc := rtp.Cells[colIndex(rt.Cols, sc)]
 					eq, capped := cellsMayEqual(lc, rc, lim)
 					if capped {
-						ev.fallback(ctx, 1)
+						fb++
 					}
 					if eq == noValuation {
 						keep = false
@@ -173,21 +219,26 @@ func (n *crossNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 				if !keep {
 					continue
 				}
-				nt := ltp.Copy()
-				for j, c := range rt.Cols {
-					if !containsStr(n.shared, c) {
-						nt.Cells = append(nt.Cells, rtp.Cells[j])
-					}
+				rows[i] = append(rows[i], rebuild(ltp, rtp, sure))
+				if matches != nil {
+					matches[i] = append(matches[i], joinMatch{j: j, sure: sure})
 				}
-				nt.Maybe = ltp.Maybe || rtp.Maybe || !sure
-				rows[i] = append(rows[i], nt)
+			}
+			if fb > 0 {
+				ev.fallback(ctx, int(fb))
+			}
+			if fbs != nil {
+				fbs[i] = fb
 			}
 		}
+		dx.noteReused(&batch, reused)
+		ev.recompute(batch.tuplesRecomputed)
 		return nil
 	})
 	for _, r := range rows {
 		out.Tuples = append(out.Tuples, r...)
 	}
+	dx.finish(lt, func(i int) deltaOut { return deltaOut{sim: matches[i], fallbacks: fbs[i]} })
 	return out, nil
 }
 
@@ -249,8 +300,8 @@ func cellsMayEqual(a, b compact.Cell, lim Limits) (sat satisfaction, capped bool
 // unionNode concatenates the tuples of several same-schema inputs (an IE
 // predicate with several rules has union semantics).
 type unionNode struct {
+	nodeSig
 	parts []Node
-	sig   string
 }
 
 func newUnionNode(parts []Node) *unionNode {
@@ -258,14 +309,16 @@ func newUnionNode(parts []Node) *unionNode {
 	for i, p := range parts {
 		sigs[i] = p.Signature()
 	}
-	return &unionNode{parts: parts, sig: "union(" + strings.Join(sigs, ";") + ")"}
+	return &unionNode{
+		nodeSig: sigOf("union(" + strings.Join(sigs, ";") + ")"),
+		parts:   parts,
+	}
 }
 
-func (n *unionNode) Signature() string { return n.sig }
 func (n *unionNode) Columns() []string { return n.parts[0].Columns() }
 func (n *unionNode) Children() []Node  { return append([]Node(nil), n.parts...) }
 
-func (n *unionNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
+func (n *unionNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.Table, error) {
 	tables, err := evalAll(ctx, n.parts)
 	if err != nil {
 		return nil, err
@@ -281,25 +334,24 @@ func (n *unionNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 // projectNode keeps/reorders/renames columns. Duplicate detection is
 // ignored (Section 4.1).
 type projectNode struct {
+	nodeSig
 	parent  Node
 	srcCols []string
 	outCols []string
-	sig     string
 }
 
 func newProjectNode(parent Node, srcCols, outCols []string) *projectNode {
 	return &projectNode{
+		nodeSig: sigOf(fmt.Sprintf("project[%s->%s](%s)",
+			strings.Join(srcCols, ","), strings.Join(outCols, ","), parent.Signature())),
 		parent: parent, srcCols: srcCols, outCols: outCols,
-		sig: fmt.Sprintf("project[%s->%s](%s)",
-			strings.Join(srcCols, ","), strings.Join(outCols, ","), parent.Signature()),
 	}
 }
 
-func (n *projectNode) Signature() string { return n.sig }
 func (n *projectNode) Columns() []string { return n.outCols }
 func (n *projectNode) Children() []Node  { return []Node{n.parent} }
 
-func (n *projectNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
+func (n *projectNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.Table, error) {
 	in, err := Eval(ctx, n.parent)
 	if err != nil {
 		return nil, err

@@ -18,10 +18,11 @@ type panicNode struct {
 }
 
 func (n *panicNode) Signature() string { return "panicNode" }
+func (n *panicNode) sigHash() uint64   { return fnv64("panicNode") }
 func (n *panicNode) Columns() []string { return []string{"x"} }
 func (n *panicNode) Children() []Node  { return nil }
 
-func (n *panicNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
+func (n *panicNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.Table, error) {
 	if n.calls.Add(1) == 1 {
 		close(n.started)
 		<-n.release

@@ -15,28 +15,27 @@ import (
 // Output tuples are maybe when the input tuple represented more than one
 // possible tuple or was itself maybe.
 type procNode struct {
+	nodeSig
 	parent  Node
 	pname   string
 	inVar   string
 	outVars []string
-	sig     string
 }
 
 func newProcNode(parent Node, pname, inVar string, outVars []string) *procNode {
 	return &procNode{
-		parent: parent, pname: pname, inVar: inVar, outVars: outVars,
-		sig: fmt.Sprintf("proc[%s(%s->%s)](%s)", pname, inVar, strings.Join(outVars, ","), parent.Signature()),
+		nodeSig: sigOf(fmt.Sprintf("proc[%s(%s->%s)](%s)", pname, inVar, strings.Join(outVars, ","), parent.Signature())),
+		parent:  parent, pname: pname, inVar: inVar, outVars: outVars,
 	}
 }
 
-func (n *procNode) Signature() string { return n.sig }
-func (n *procNode) Children() []Node  { return []Node{n.parent} }
+func (n *procNode) Children() []Node { return []Node{n.parent} }
 
 func (n *procNode) Columns() []string {
 	return append(append([]string(nil), n.parent.Columns()...), n.outVars...)
 }
 
-func (n *procNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
+func (n *procNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.Table, error) {
 	proc, ok := ctx.Env.Procs[n.pname]
 	if !ok {
 		return nil, fmt.Errorf("engine: procedure %q not bound", n.pname)

@@ -370,22 +370,67 @@ func finishRepl(out filterOutcome, tp compact.Tuple, involved []int, pass [][]bo
 // pool; per-index result slots keep the output order serial-identical.
 // The predicate must therefore be safe for concurrent calls (the built-in
 // p-functions and comparison operands are pure). Stat deltas batch per
-// chunk and flush once, so hot loops pay no per-call atomics.
-func applyFilter(ctx *Context, ev *EvalTrace, in *compact.Table, involved []int, fp factoredPred) (*compact.Table, error) {
+// chunk and flush once, so hot loops pay no per-call atomics. With a
+// delta prior attached (dx), structurally unchanged input tuples replay
+// their memoised outcome — including the valuation-cap fallback charge —
+// without re-running the predicate.
+func applyFilter(ctx *Context, ev *EvalTrace, dx *deltaState, in *compact.Table, involved []int, fp factoredPred) (*compact.Table, error) {
 	lim := ctx.Env.Limits
 	out := compact.NewTable(in.Cols...)
+	// The memo is keyed on the involved columns alone and stores the
+	// filter's outcome (keep/sure/replacements), not the built tuple:
+	// replay rebuilds the output from the current tuple, so refinements of
+	// uninvolved columns — and maybe-flag changes, reapplied here — do not
+	// invalidate it.
+	prior, fps := dx.prep(in, involved, nil, 0)
+	var fbs []int32
+	var outs []*filterOutcome
+	if fps != nil {
+		fbs = make([]int32, len(in.Tuples))
+		outs = make([]*filterOutcome, len(in.Tuples))
+	}
 	rows := make([]*compact.Tuple, len(in.Tuples))
 	err := ctx.parallelChunksSized(len(in.Tuples), minChunkFilter, func(start, end int) error {
 		var batch statBatch
 		defer batch.flush(ctx)
+		reused := 0
 		for i := start; i < end; i++ {
 			tp := in.Tuples[i]
+			if fps != nil {
+				fps[i] = dx.aux.fpOf(tp)
+				if old, ok := prior.lookup(fps[i], tp); ok {
+					fo := old.filt
+					if fo.keep {
+						nt := tp.Copy()
+						for ci, cell := range fo.repl {
+							nt.Cells[ci] = cell
+						}
+						if !fo.sure {
+							nt.Maybe = true
+						}
+						rows[i] = &nt
+					}
+					outs[i] = fo
+					fbs[i] = old.fallbacks
+					ev.fallback(ctx, int(old.fallbacks))
+					reused++
+					continue
+				}
+			}
+			batch.tuplesRecomputed++
 			res, err := filterTupleF(tp, involved, fp, lim, &batch)
 			if err != nil {
 				return err
 			}
+			if outs != nil {
+				ro := res
+				outs[i] = &ro
+			}
 			if res.fallback {
 				ev.fallback(ctx, 1)
+				if fbs != nil {
+					fbs[i] = 1
+				}
 			}
 			if !res.keep {
 				continue
@@ -399,6 +444,8 @@ func applyFilter(ctx *Context, ev *EvalTrace, in *compact.Table, involved []int,
 			}
 			rows[i] = &nt
 		}
+		dx.noteReused(&batch, reused)
+		ev.recompute(batch.tuplesRecomputed)
 		return nil
 	})
 	if err != nil {
@@ -409,24 +456,30 @@ func applyFilter(ctx *Context, ev *EvalTrace, in *compact.Table, involved []int,
 			out.Tuples = append(out.Tuples, *nt)
 		}
 	}
+	dx.finish(in, func(i int) deltaOut {
+		o := deltaOut{filt: outs[i]}
+		if fbs != nil {
+			o.fallbacks = fbs[i]
+		}
+		return o
+	})
 	return out, nil
 }
 
 // compareNode is a selection with a comparison condition, e.g. p > 500000.
 type compareNode struct {
+	nodeSig
 	parent Node
 	cmp    alog.Compare
-	sig    string
 }
 
 func newCompareNode(parent Node, cmp alog.Compare) *compareNode {
 	return &compareNode{
-		parent: parent, cmp: cmp,
-		sig: fmt.Sprintf("select[%s](%s)", cmp, parent.Signature()),
+		nodeSig: sigOf(fmt.Sprintf("select[%s](%s)", cmp, parent.Signature())),
+		parent:  parent, cmp: cmp,
 	}
 }
 
-func (n *compareNode) Signature() string { return n.sig }
 func (n *compareNode) Columns() []string { return n.parent.Columns() }
 func (n *compareNode) Children() []Node  { return []Node{n.parent} }
 
@@ -441,7 +494,7 @@ func constTerm(t alog.Term) operand {
 	return operand{isNull: true}
 }
 
-func (n *compareNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
+func (n *compareNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.Table, error) {
 	in, err := Eval(ctx, n.parent)
 	if err != nil {
 		return nil, err
@@ -482,7 +535,7 @@ func (n *compareNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) 
 				}, nil
 			},
 		}
-		return applyFilter(ctx, ev, in, involved, fp)
+		return applyFilter(ctx, ev, dx, in, involved, fp)
 	case lVar:
 		// var ⋈ const: a pure single-column conjunct — O(|vals|) per tuple.
 		involved := []int{colIndex(in.Cols, n.cmp.L.Var)}
@@ -490,14 +543,14 @@ func (n *compareNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) 
 		fp := factoredPred{cols: []colPred{func(v text.Span) (bool, error) {
 			return compare(spanOperand(v), r)
 		}}}
-		return applyFilter(ctx, ev, in, involved, fp)
+		return applyFilter(ctx, ev, dx, in, involved, fp)
 	case rVar:
 		involved := []int{colIndex(in.Cols, n.cmp.R.Var)}
 		l := constTerm(n.cmp.L)
 		fp := factoredPred{cols: []colPred{func(v text.Span) (bool, error) {
 			return compare(l, spanOperand(v))
 		}}}
-		return applyFilter(ctx, ev, in, involved, fp)
+		return applyFilter(ctx, ev, dx, in, involved, fp)
 	default:
 		// const ⋈ const: one evaluation decides every tuple.
 		ok, err := compare(constTerm(n.cmp.L), constTerm(n.cmp.R))
@@ -585,10 +638,10 @@ func compareOperands(op alog.CompareOp, a, b operand) (bool, error) {
 // funcNode is a selection with a boolean p-function condition, e.g.
 // approxMatch(h, s).
 type funcNode struct {
+	nodeSig
 	parent Node
 	fname  string
 	args   []alog.Term
-	sig    string
 }
 
 func newFuncNode(parent Node, fname string, args []alog.Term) *funcNode {
@@ -597,16 +650,15 @@ func newFuncNode(parent Node, fname string, args []alog.Term) *funcNode {
 		strs[i] = a.String()
 	}
 	return &funcNode{
-		parent: parent, fname: fname, args: args,
-		sig: fmt.Sprintf("pfunc[%s(%s)](%s)", fname, strings.Join(strs, ","), parent.Signature()),
+		nodeSig: sigOf(fmt.Sprintf("pfunc[%s(%s)](%s)", fname, strings.Join(strs, ","), parent.Signature())),
+		parent:  parent, fname: fname, args: args,
 	}
 }
 
-func (n *funcNode) Signature() string { return n.sig }
 func (n *funcNode) Columns() []string { return n.parent.Columns() }
 func (n *funcNode) Children() []Node  { return []Node{n.parent} }
 
-func (n *funcNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
+func (n *funcNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.Table, error) {
 	fn, ok := ctx.Env.Funcs[n.fname]
 	if !ok {
 		return nil, fmt.Errorf("engine: p-function %q not bound", n.fname)
@@ -634,7 +686,7 @@ func (n *funcNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 				return tokenResidual(tokenFn, ltoks, rtoks, batch), nil
 			},
 		}
-		return applyFilter(ctx, ev, in, involved, fp)
+		return applyFilter(ctx, ev, dx, in, involved, fp)
 	}
 	fp := factoredPred{
 		cols: make([]colPred, len(involved)),
@@ -649,7 +701,7 @@ func (n *funcNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
 			}, nil
 		},
 	}
-	return applyFilter(ctx, ev, in, involved, fp)
+	return applyFilter(ctx, ev, dx, in, involved, fp)
 }
 
 // tokenizeValues normalises and tokenises each value span once.

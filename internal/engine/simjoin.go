@@ -19,22 +19,21 @@ import (
 // token). Pairs whose join cells are too large to enumerate are kept
 // conservatively, exactly like crossNode + funcNode would.
 type simJoinNode struct {
+	nodeSig
 	left, right Node
 	fname       string
 	leftVar     string
 	rightVar    string
 	cols        []string
-	sig         string
 }
 
 func newSimJoinNode(left, right Node, fname, leftVar, rightVar string) *simJoinNode {
 	n := &simJoinNode{left: left, right: right, fname: fname, leftVar: leftVar, rightVar: rightVar}
 	n.cols = append(append([]string(nil), left.Columns()...), right.Columns()...)
-	n.sig = fmt.Sprintf("simjoin[%s(%s,%s)](%s)(%s)", fname, leftVar, rightVar, left.Signature(), right.Signature())
+	n.nodeSig = sigOf(fmt.Sprintf("simjoin[%s(%s,%s)](%s)(%s)", fname, leftVar, rightVar, left.Signature(), right.Signature()))
 	return n
 }
 
-func (n *simJoinNode) Signature() string { return n.sig }
 func (n *simJoinNode) Columns() []string { return n.cols }
 func (n *simJoinNode) Children() []Node  { return []Node{n.left, n.right} }
 
@@ -64,18 +63,32 @@ type blockIndex struct {
 	always  []int
 }
 
+// memBytes approximates the index's resident size for cache accounting.
+func (idx *blockIndex) memBytes() int64 {
+	b := int64(48)
+	for tok, ids := range idx.byToken {
+		b += int64(len(tok)) + 40 + 8*int64(len(ids))
+	}
+	b += 8 * int64(len(idx.always))
+	return b
+}
+
 // rightIndex builds (or fetches from the context cache) the blocking index
-// of the join's right side. The cache key includes the subset marker and
-// the node signature, so an index is shared only with executions that see
-// the identical table. Concurrent builders may race to construct the same
-// index; the build is deterministic, so whichever lands in the cache is
-// interchangeable.
+// of the join's right side. The cache entry is keyed by the subset and the
+// right child's signature plus the join variable, so an index is shared
+// only with executions that see the identical table; it lives in the same
+// LRU as the result tables and counts against CacheBudget. Concurrent
+// builders may race to construct the same index; the build is
+// deterministic, so whichever lands in the cache is interchangeable.
 func (n *simJoinNode) rightIndex(ctx *Context, rt *compact.Table, ri int) *blockIndex {
-	key := ctx.cacheKey(n.right.Signature()) + "|" + n.rightVar
+	subsetHash, marker := ctx.subsetKey()
+	key := entryKey{subset: subsetHash, sig: n.right.sigHash(), aux: n.rightVar}
+	sig := n.right.Signature()
 	ctx.mu.Lock()
-	if idx, ok := ctx.blockIdx[key]; ok {
+	if e := ctx.lookupLocked(key, marker, sig); e != nil && e.idx != nil {
+		ctx.touchLocked(e)
 		ctx.mu.Unlock()
-		return idx
+		return e.idx
 	}
 	ctx.mu.Unlock()
 	idx := &blockIndex{byToken: map[string][]int{}}
@@ -91,16 +104,17 @@ func (n *simJoinNode) rightIndex(ctx *Context, rt *compact.Table, ri int) *block
 		}
 	}
 	ctx.mu.Lock()
-	if prev, ok := ctx.blockIdx[key]; ok {
-		idx = prev
-	} else if ctx.blockIdx != nil {
-		ctx.blockIdx[key] = idx
+	if e := ctx.lookupLocked(key, marker, sig); e != nil && e.idx != nil {
+		idx = e.idx
+		ctx.touchLocked(e)
+	} else {
+		ctx.storeLocked(&cacheEntry{key: key, marker: marker, sig: sig, idx: idx, bytes: idx.memBytes()})
 	}
 	ctx.mu.Unlock()
 	return idx
 }
 
-func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) {
+func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.Table, error) {
 	fn, ok := ctx.Env.Funcs[n.fname]
 	if !ok {
 		return nil, fmt.Errorf("engine: p-function %q not bound", n.fname)
@@ -156,10 +170,27 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) 
 	// so the merged output is identical to a serial probe. Candidates are
 	// probed in ascending right-tuple order (the token index enumerates a
 	// map), which also makes the output order deterministic run to run.
+	// The delta memo is per left tuple and depends only on the left join
+	// cell; the right side is pinned by a content fingerprint of its join
+	// column, so the memo survives re-evaluations of either side that leave
+	// the join-relevant cells intact. Replay rebuilds each output row from
+	// the *current* pair of tuples, carrying refreshed non-join cells.
+	var rdep uint64
+	if dx != nil {
+		rdep = rt.ColsFingerprint([]int{ri})
+	}
+	prior, fps := dx.prep(lt, []int{li}, rt, rdep)
+	var fbs []int32
+	var matches [][]joinMatch
+	if fps != nil {
+		fbs = make([]int32, len(lt.Tuples))
+		matches = make([][]joinMatch, len(lt.Tuples))
+	}
 	rows := make([][]compact.Tuple, len(lt.Tuples))
 	probe := func(start, end int) error {
 		var batch statBatch
 		defer batch.flush(ctx)
+		reused := 0
 		seen := make(map[int]int) // right idx -> generation marker
 		gen := 0
 		// Chunk-local span-token memo: a right cell's values tokenise once
@@ -208,6 +239,23 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) 
 		}
 		for i := start; i < end; i++ {
 			ltp := lt.Tuples[i]
+			if fps != nil {
+				fps[i] = dx.aux.fpOf(ltp)
+				if old, ok := prior.lookup(fps[i], ltp); ok {
+					for _, m := range old.sim {
+						rtp := rt.Tuples[m.j]
+						maybe := ltp.Maybe || rtp.Maybe || !m.sure
+						rows[i] = append(rows[i], join(ltp, rtp, maybe, m.repl))
+					}
+					matches[i] = old.sim
+					fbs[i] = old.fallbacks
+					ev.fallback(ctx, int(old.fallbacks))
+					reused++
+					continue
+				}
+			}
+			batch.tuplesRecomputed++
+			var fb int32
 			gen++
 			var cands []int
 			ltoks := blockTokens(ltp.Cells[li], lim)
@@ -216,7 +264,7 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) 
 				// (Counted as a fallback only on the probe side — the index
 				// side is built by whichever goroutine wins a benign race,
 				// so counting there would vary with the worker count.)
-				ev.fallback(ctx, 1)
+				fb++
 				cands = make([]int, len(rt.Tuples))
 				for j := range rt.Tuples {
 					cands[j] = j
@@ -248,6 +296,9 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) 
 						continue
 					}
 					rows[i] = append(rows[i], join(ltp, rtp, ltp.Maybe || rtp.Maybe, nil))
+					if matches != nil {
+						matches[i] = append(matches[i], joinMatch{j: j, sure: true})
+					}
 					continue
 				}
 				// Filter over the two join cells alone — no tuple is built
@@ -258,15 +309,26 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) 
 					return err
 				}
 				if res.fallback {
-					ev.fallback(ctx, 1)
+					fb++
 				}
 				if !res.keep {
 					continue
 				}
 				maybe := ltp.Maybe || rtp.Maybe || !res.sure
 				rows[i] = append(rows[i], join(ltp, rtp, maybe, res.repl))
+				if matches != nil {
+					matches[i] = append(matches[i], joinMatch{j: j, sure: res.sure, repl: res.repl})
+				}
+			}
+			if fb > 0 {
+				ev.fallback(ctx, int(fb))
+			}
+			if fbs != nil {
+				fbs[i] = fb
 			}
 		}
+		dx.noteReused(&batch, reused)
+		ev.recompute(batch.tuplesRecomputed)
 		return nil
 	}
 	if err := ctx.parallelChunksSized(len(lt.Tuples), minChunkProbe, probe); err != nil {
@@ -275,5 +337,12 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace) (*compact.Table, error) 
 	for _, r := range rows {
 		out.Tuples = append(out.Tuples, r...)
 	}
+	dx.finish(lt, func(i int) deltaOut {
+		o := deltaOut{sim: matches[i]}
+		if fbs != nil {
+			o.fallbacks = fbs[i]
+		}
+		return o
+	})
 	return out, nil
 }

@@ -110,7 +110,17 @@ func kindOf(n Node) OpKind {
 // *EvalTrace is valid and discards per-eval attribution (the context-wide
 // Stats totals are still maintained).
 type EvalTrace struct {
-	fallbacks atomic.Int64
+	fallbacks  atomic.Int64
+	recomputed atomic.Int64
+}
+
+// recompute attributes n freshly computed input tuples to this evaluation
+// (the per-operator counterpart of Stats.TuplesRecomputed, which the
+// operators' statBatch maintains). A nil receiver discards the count.
+func (ev *EvalTrace) recompute(n int64) {
+	if ev != nil && n != 0 {
+		ev.recomputed.Add(n)
+	}
 }
 
 // fallback records n valuation-limit fallbacks — places where an operator
@@ -139,7 +149,12 @@ type TraceRecord struct {
 	Expanded    int // output expanded tuples
 	Assignments int // output assignments
 	Fallbacks   int64
-	Goroutine   int64 // id of the goroutine that evaluated the node
+	// Reused counts input tuples replayed from a delta-evaluation memo
+	// (non-zero only on StatusMiss calls evaluated with a delta prior);
+	// Recomputed counts the input tuples the call computed fresh.
+	Reused     int64
+	Recomputed int64
+	Goroutine  int64 // id of the goroutine that evaluated the node
 }
 
 type traceNode struct {
@@ -193,6 +208,8 @@ type OpStats struct {
 	Expanded    int           // output expanded tuples
 	Assignments int           // output assignments
 	Fallbacks   int64         // valuation-limit fallbacks during evaluation
+	Reused      int64         // input tuples replayed from a delta memo
+	Recomputed  int64         // input tuples computed fresh
 	Goroutine   int64         // goroutine id of the (last) evaluating call
 }
 
@@ -221,6 +238,8 @@ func (ctx *Context) TraceOps() []OpStats {
 			o.Expanded = r.Expanded
 			o.Assignments = r.Assignments
 			o.Fallbacks += r.Fallbacks
+			o.Reused += r.Reused
+			o.Recomputed += r.Recomputed
 			o.Goroutine = r.Goroutine
 		case StatusHit:
 			o.Hits++
@@ -283,6 +302,15 @@ type StatsSnapshot struct {
 	FeatureMemoRate  float64            `json:"feature_memo_hit_rate"`
 	StatMergeSeconds float64            `json:"stat_merge_seconds"`
 	StatMerges       int64              `json:"stat_merges"`
+	DeltaEvals       int64              `json:"delta_evals"`
+	FullEvals        int64              `json:"full_evals"`
+	TuplesReused     int64              `json:"tuples_reused"`
+	TuplesRecomputed int64              `json:"tuples_recomputed"`
+	DeltaReuseRate   float64            `json:"delta_reuse_rate"`
+	TablesAdopted    int64              `json:"tables_adopted"`
+	CacheEvictions   int64              `json:"cache_evictions"`
+	BlockIdxEvict    int64              `json:"block_idx_evictions"`
+	CacheBytes       int64              `json:"cache_bytes"`
 	OpTimeSeconds    map[string]float64 `json:"op_time_seconds,omitempty"`
 }
 
@@ -304,6 +332,14 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		FeatureMemoMiss:  s.FeatureMemoMisses,
 		StatMergeSeconds: float64(s.StatMergeNs) / 1e9,
 		StatMerges:       s.StatMerges,
+		DeltaEvals:       s.DeltaEvals,
+		FullEvals:        s.NodesEvaluated - s.DeltaEvals,
+		TuplesReused:     s.TuplesReused,
+		TuplesRecomputed: s.TuplesRecomputed,
+		TablesAdopted:    s.TablesAdopted,
+		CacheEvictions:   s.CacheEvictions,
+		BlockIdxEvict:    s.BlockIdxEvictions,
+		CacheBytes:       s.CacheBytes,
 	}
 	if total := s.NodesEvaluated + s.CacheHits; total > 0 {
 		snap.CacheHitRate = float64(s.CacheHits) / float64(total)
@@ -313,6 +349,9 @@ func (s *Stats) Snapshot() StatsSnapshot {
 	}
 	if attempts := s.PoolSlotsGranted + s.PoolSlotsDenied; attempts > 0 {
 		snap.PoolUtilization = float64(s.PoolSlotsGranted) / float64(attempts)
+	}
+	if total := s.TuplesReused + s.TuplesRecomputed; total > 0 {
+		snap.DeltaReuseRate = float64(s.TuplesReused) / float64(total)
 	}
 	for k, ns := range s.OpTimeNs {
 		if ns > 0 {

@@ -581,10 +581,14 @@ func Hotpath(o Options, taskID string, records int) (*HotpathResult, error) {
 	env := task.Env(c)
 	prog := alog.MustParse(task.Program)
 	start := time.Now()
+	// Delta reuse is pinned off: this harness isolates the serial hot path,
+	// and replayed tuples would skip the very Verify/Refine/p-function work
+	// being measured (the reuse axis has its own harness, Reuse).
 	session := assistant.NewSession(env, prog, task.Oracle(), assistant.Config{
-		Strategy:   strat,
-		SubsetSeed: uint64(o.Seed),
-		Workers:    1,
+		Strategy:          strat,
+		SubsetSeed:        uint64(o.Seed),
+		Workers:           1,
+		DisableDeltaReuse: true,
 	})
 	res, err := session.Run()
 	if err != nil {
@@ -601,6 +605,152 @@ func Hotpath(o Options, taskID string, records int) (*HotpathResult, error) {
 	fmt.Fprintf(o.Out, "%10.3f %12d %12d %12d %10d %9.1f%%\n",
 		r.WallS, r.Stats.FuncCalls, r.Stats.VerifyCalls, r.Stats.RefineCalls,
 		r.Stats.LimitFallbacks, 100*r.Stats.FeatureMemoRate)
+	return r, nil
+}
+
+// ReuseIteration pairs one session iteration's cost under delta reuse with
+// the same iteration of the identical full-recomputation run (transcripts
+// are byte-equal, so iterations align one to one).
+type ReuseIteration struct {
+	N               int     `json:"n"`
+	Mode            string  `json:"mode"`
+	Tuples          int     `json:"tuples"`
+	DeltaWallS      float64 `json:"delta_wall_s"`
+	FullWallS       float64 `json:"full_wall_s"`
+	DeltaReused     int64   `json:"delta_reused"`
+	DeltaRecomputed int64   `json:"delta_recomputed"`
+	FullRecomputed  int64   `json:"full_recomputed"`
+}
+
+// ReuseResult compares a full-recomputation session (delta reuse disabled)
+// with an incremental one on the same scenario: total and post-answer wall
+// time, how many operator-input tuples each mode re-evaluated, and the
+// byte-identity checks at Workers 1 and 8. The post-answer window starts at
+// iteration 2 — every execution from there on follows a program change,
+// which is exactly where delta evaluation can win.
+type ReuseResult struct {
+	Task    string `json:"task"`
+	Records int    `json:"records"`
+	CPUs    int    `json:"cpus"`
+	// Wall-clock seconds for the whole serial session and for its
+	// post-answer iterations, in each mode.
+	FullS            float64 `json:"full_s"`
+	DeltaS           float64 `json:"delta_s"`
+	PostAnswerFullS  float64 `json:"post_answer_full_s"`
+	PostAnswerDeltaS float64 `json:"post_answer_delta_s"`
+	// Re-evaluated operator-input tuples per mode (deterministic), the
+	// replayed count, and their ratio — the primary delta-win metric.
+	FullRecomputed     int64   `json:"full_recomputed_tuples"`
+	DeltaRecomputed    int64   `json:"delta_recomputed_tuples"`
+	DeltaReused        int64   `json:"delta_reused_tuples"`
+	RecomputeReduction float64 `json:"recompute_reduction"`
+	// The same recompute comparison restricted to the post-answer window,
+	// where every execution follows a program change.
+	PostAnswerFullRecomputed  int64   `json:"post_answer_full_recomputed"`
+	PostAnswerDeltaRecomputed int64   `json:"post_answer_delta_recomputed"`
+	PostAnswerReduction       float64 `json:"post_answer_reduction"`
+	// IdenticalW1/W8: the delta sessions (serial and 8 workers) match the
+	// full serial session's transcript and final table byte for byte.
+	IdenticalW1 bool                 `json:"identical_w1"`
+	IdenticalW8 bool                 `json:"identical_w8"`
+	FullStats   engine.StatsSnapshot `json:"full_stats"`
+	DeltaStats  engine.StatsSnapshot `json:"delta_stats"`
+	Iterations  []ReuseIteration     `json:"iterations"`
+}
+
+// Reuse runs one scenario three times — full recomputation (serial),
+// delta reuse (serial), and delta reuse with 8 workers — and reports the
+// delta win plus the byte-identity checks (BENCH_REUSE.json).
+func Reuse(o Options, taskID string, records int) (*ReuseResult, error) {
+	o = o.withDefaults()
+	task, err := corpus.TaskByID(taskID)
+	if err != nil {
+		return nil, err
+	}
+	strat, err := assistant.ByName(o.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	run := func(workers int, disable bool) (*assistant.Result, float64, error) {
+		c := task.Generate(records, o.Seed)
+		env := task.Env(c)
+		prog := alog.MustParse(task.Program)
+		start := time.Now()
+		session := assistant.NewSession(env, prog, task.Oracle(), assistant.Config{
+			Strategy:          strat,
+			SubsetSeed:        uint64(o.Seed),
+			Workers:           workers,
+			DisableDeltaReuse: disable,
+		})
+		res, err := session.Run()
+		if err != nil {
+			return nil, 0, fmt.Errorf("experiments: reuse %s workers=%d disable=%v: %w", taskID, workers, disable, err)
+		}
+		return res, time.Since(start).Seconds(), nil
+	}
+	full, fullS, err := run(1, true)
+	if err != nil {
+		return nil, err
+	}
+	delta, deltaS, err := run(1, false)
+	if err != nil {
+		return nil, err
+	}
+	delta8, _, err := run(8, false)
+	if err != nil {
+		return nil, err
+	}
+	fs, ds := full.Stats.Snapshot(), delta.Stats.Snapshot()
+	r := &ReuseResult{
+		Task: taskID, Records: records, CPUs: runtime.NumCPU(),
+		FullS: fullS, DeltaS: deltaS,
+		FullRecomputed:  fs.TuplesRecomputed,
+		DeltaRecomputed: ds.TuplesRecomputed,
+		DeltaReused:     ds.TuplesReused,
+		IdenticalW1: delta.Transcript() == full.Transcript() &&
+			delta.Final.String() == full.Final.String(),
+		IdenticalW8: delta8.Transcript() == full.Transcript() &&
+			delta8.Final.String() == full.Final.String(),
+		FullStats: fs, DeltaStats: ds,
+	}
+	if r.DeltaRecomputed > 0 {
+		r.RecomputeReduction = float64(r.FullRecomputed) / float64(r.DeltaRecomputed)
+	}
+	for i, it := range delta.Iterations {
+		ri := ReuseIteration{
+			N: it.N, Mode: it.Mode, Tuples: it.Tuples,
+			DeltaWallS:      it.WallS,
+			DeltaReused:     it.TuplesReused,
+			DeltaRecomputed: it.TuplesRecomputed,
+		}
+		if i < len(full.Iterations) {
+			ri.FullWallS = full.Iterations[i].WallS
+			ri.FullRecomputed = full.Iterations[i].TuplesRecomputed
+		}
+		if i >= 1 {
+			r.PostAnswerDeltaS += ri.DeltaWallS
+			r.PostAnswerFullS += ri.FullWallS
+			r.PostAnswerFullRecomputed += ri.FullRecomputed
+			r.PostAnswerDeltaRecomputed += ri.DeltaRecomputed
+		}
+		r.Iterations = append(r.Iterations, ri)
+	}
+	if r.PostAnswerDeltaRecomputed > 0 {
+		r.PostAnswerReduction = float64(r.PostAnswerFullRecomputed) / float64(r.PostAnswerDeltaRecomputed)
+	}
+	fmt.Fprintf(o.Out, "Reuse: task %s, %d records, strategy %s\n", taskID, records, o.Strategy)
+	fmt.Fprintf(o.Out, "%10s %10s %12s %12s %10s %8s %6s %6s\n",
+		"Full(s)", "Delta(s)", "FullRecomp", "DeltaRecomp", "Reused", "Reduce", "IdW1", "IdW8")
+	fmt.Fprintf(o.Out, "%10.3f %10.3f %12d %12d %10d %7.2fx %6v %6v\n",
+		r.FullS, r.DeltaS, r.FullRecomputed, r.DeltaRecomputed, r.DeltaReused,
+		r.RecomputeReduction, r.IdenticalW1, r.IdenticalW8)
+	fmt.Fprintf(o.Out, "post-answer iterations: full %.3fs, delta %.3fs; recomputed %d vs %d (%.2fx)\n",
+		r.PostAnswerFullS, r.PostAnswerDeltaS,
+		r.PostAnswerFullRecomputed, r.PostAnswerDeltaRecomputed, r.PostAnswerReduction)
+	if !r.IdenticalW1 || !r.IdenticalW8 {
+		return r, fmt.Errorf("experiments: delta run of %s diverged from full recomputation (w1=%v w8=%v)",
+			taskID, r.IdenticalW1, r.IdenticalW8)
+	}
 	return r, nil
 }
 
