@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-all bench bench-parallel bench-hotpath bench-reuse benchdiff profile vet verify
+.PHONY: build test race race-all chaos bench bench-parallel bench-hotpath bench-reuse benchdiff profile vet verify
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,11 @@ verify:
 # Full race-detector run, including the root determinism tests.
 race-all:
 	$(GO) test -race ./...
+
+# Fault-injection suite (DESIGN.md §12): deterministic chaos runs across
+# worker counts and delta on/off, under the race detector.
+chaos:
+	$(GO) test -run Chaos -race ./internal/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

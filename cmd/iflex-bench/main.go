@@ -32,6 +32,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "corpus generation seed")
 		strategy   = flag.String("strategy", "sim", "assistant strategy for Tables 3/4/conv: seq or sim")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = serial)")
+		timeout    = flag.Duration("timeout", 0, "best-effort deadline per assistant session: expired sessions report their partial result and a degradation summary (0 = none)")
 		benchJSON  = flag.String("bench-json", "", "write the parallel comparison result to this JSON file")
 		outPath    = flag.String("out", "", "also write output to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -73,7 +74,7 @@ func main() {
 		defer f.Close()
 		out = io.MultiWriter(os.Stdout, f)
 	}
-	o := experiments.Options{Scale: *scale, Seed: *seed, Strategy: *strategy, Workers: *workers, Out: out}
+	o := experiments.Options{Scale: *scale, Seed: *seed, Strategy: *strategy, Workers: *workers, Deadline: *timeout, Out: out}
 
 	run := func(name string, fn func() error) {
 		if *table != "all" && *table != name {

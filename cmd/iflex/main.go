@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -58,6 +59,7 @@ func run() error {
 		workers     = flag.Int("workers", 0, "worker pool size for evaluation and simulation (0 = one per CPU, 1 = serial)")
 		maxTuples   = flag.Int("max-print", 50, "print at most this many result tuples")
 		explain     = flag.Bool("explain", false, "print an EXPLAIN ANALYZE tree: per-operator rows, timing, cache status, fallbacks")
+		timeout     = flag.Duration("timeout", 0, "best-effort deadline: on expiry print the partial result plus a degradation summary (0 = none)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		tracePath   = flag.String("trace", "", "write a runtime execution trace to this file")
@@ -109,7 +111,14 @@ func run() error {
 			// evaluation timings, not all-hit cache lookups.
 			ctx.StartTrace()
 		}
-		result, err := plan.Execute(ctx)
+		var result *iflex.Table
+		if *timeout > 0 {
+			c, cancel := context.WithTimeout(context.Background(), *timeout)
+			defer cancel()
+			result, err = plan.ExecuteContext(c, ctx)
+		} else {
+			result, err = plan.Execute(ctx)
+		}
 		if err != nil {
 			return err
 		}
@@ -120,6 +129,7 @@ func run() error {
 			}
 			fmt.Println(analyzed)
 		}
+		printDegraded(result.Degraded)
 		printResult(result, *maxTuples)
 		return nil
 	}
@@ -137,7 +147,9 @@ func run() error {
 		ans := strings.TrimSpace(stdin.Text())
 		return ans, ans != ""
 	})
-	session := iflex.NewSession(env, prog, oracle, iflex.SessionConfig{Strategy: strat, Workers: *workers})
+	session := iflex.NewSession(env, prog, oracle, iflex.SessionConfig{
+		Strategy: strat, Workers: *workers, Deadline: *timeout,
+	})
 	res, err := session.Run()
 	if err != nil {
 		return err
@@ -146,8 +158,18 @@ func run() error {
 		res.Converged, len(res.Iterations), res.QuestionsAsked)
 	fmt.Println("refined program:")
 	fmt.Println(session.Program())
+	printDegraded(res.Degraded)
 	printResult(res.Final, *maxTuples)
 	return nil
+}
+
+// printDegraded reports a best-effort degradation (deadline cuts,
+// quarantined documents) on stderr; a nil report is a clean run.
+func printDegraded(d *iflex.Degraded) {
+	if d == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "degraded: %s\n", d.Summary())
 }
 
 func printResult(t *iflex.Table, max int) {

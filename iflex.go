@@ -62,6 +62,12 @@ type (
 	Context = engine.Context
 	// Table is a compact table (Section 3 of the paper).
 	Table = compact.Table
+	// Degraded reports best-effort degradation: deadline cuts (which
+	// documents went unprocessed) and per-document quarantine. Attached
+	// to result tables via Table.Degraded and SessionResult.Degraded.
+	Degraded = compact.Degraded
+	// QuarantineRecord names one quarantined document and why.
+	QuarantineRecord = compact.QuarantineRecord
 	// Document is a parsed page: text plus style marks.
 	Document = text.Document
 	// Span is a byte range of a document.

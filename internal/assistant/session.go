@@ -1,6 +1,7 @@
 package assistant
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -59,6 +60,22 @@ type Config struct {
 	// way; this exists for benchmarking the delta win and as an escape
 	// hatch.
 	DisableDeltaReuse bool
+	// Deadline bounds the whole session run in wall-clock time (0 = no
+	// deadline). When it expires the session stops asking questions,
+	// evaluation cuts at operator tuple/chunk boundaries, and Run returns
+	// its best partial result: still superset-correct over the processed
+	// documents, with Result.Degraded naming what was left out.
+	Deadline time.Duration
+	// QuarantineFaults switches the engine to per-document fault
+	// isolation: a panic or error raised while processing a document
+	// quarantines that document (after MaxDocRetries re-attempts for
+	// transient errors) instead of failing the session. Quarantined
+	// document IDs and causes surface in Result.Degraded.
+	QuarantineFaults bool
+	// MaxDocRetries bounds re-attempts before a faulting document is
+	// quarantined (0 = one retry; negative = none; panics are never
+	// retried). Only meaningful with QuarantineFaults.
+	MaxDocRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +140,9 @@ type Result struct {
 	QuestionsAsked int
 	Converged      bool
 	Stats          engine.Stats
+	// Degraded is non-nil when the run hit its deadline or quarantined
+	// documents (also attached to Final); nil for a clean, complete run.
+	Degraded *compact.Degraded
 }
 
 // Session drives the iFlex loop: execute the current approximate program,
@@ -168,6 +188,10 @@ func NewSession(env *engine.Env, prog *alog.Program, oracle Oracle, cfg Config) 
 	}
 	s.ctx.Workers = cfg.Workers
 	s.ctx.CacheBudget = cfg.CacheBudget
+	if cfg.QuarantineFaults {
+		s.ctx.FaultPolicy = engine.QuarantineFaults
+		s.ctx.MaxDocRetries = cfg.MaxDocRetries
+	}
 	if !cfg.DisableDeltaReuse {
 		s.ctx.EnableDelta()
 	}
@@ -351,6 +375,16 @@ func (s *Session) converged() bool {
 // bound), then computes the complete result in reuse (full) mode.
 func (s *Session) Run() (*Result, error) {
 	res := &Result{}
+	if d := s.Config.Deadline; d > 0 {
+		// Best-effort mode: when the deadline fires, in-flight operator
+		// loops cut at tuple/chunk granularity and return their partial
+		// output instead of an error; the loop below then stops asking
+		// questions and jumps straight to the final (partial) result.
+		c, cancel := context.WithTimeout(context.Background(), d)
+		defer cancel()
+		s.ctx.BindCancel(c, engine.CancelBestEffort)
+		defer s.ctx.Unbind()
+	}
 	// record stamps the iteration with the engine-counter deltas since the
 	// previous one (fresh evaluations vs reuse-cache hits, delta-replayed
 	// vs recomputed tuples) plus its wall time, and appends it.
@@ -379,6 +413,10 @@ func (s *Session) Run() (*Result, error) {
 		s.assigns = append(s.assigns, assigns)
 		log := Iteration{N: iter, Tuples: size, Assignments: assigns, Mode: "subset"}
 
+		if s.ctx.Cancelled() {
+			record(log)
+			break
+		}
 		if s.converged() {
 			record(log)
 			break
@@ -417,8 +455,10 @@ func (s *Session) Run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	final = s.ctx.AttachDegraded(final)
 	res.Final = final
 	res.FinalTuples = final.NumExpandedTuples()
+	res.Degraded = final.Degraded
 	record(Iteration{
 		N: len(res.Iterations) + 1, Tuples: res.FinalTuples,
 		Assignments: final.NumAssignments(), Mode: "full",

@@ -223,8 +223,14 @@ func (st Simulation) Next(s *Session, space []Question, n int) ([]Question, erro
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	// A fired best-effort deadline stops workers from claiming further
+	// jobs: the remaining simulations would only measure partial cuts,
+	// and the session loop is about to stop asking questions anyway.
 	if workers <= 1 {
 		for _, j := range jobs {
+			if s.ctx.Cancelled() {
+				break
+			}
 			c := cands[j.c]
 			sizes[j.c][j.v], errs[j.c][j.v] = s.simulate(c.q, c.values[j.v])
 		}
@@ -237,7 +243,7 @@ func (st Simulation) Next(s *Session, space []Question, n int) ([]Question, erro
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
-					if i >= len(jobs) {
+					if i >= len(jobs) || s.ctx.Cancelled() {
 						return
 					}
 					j := jobs[i]

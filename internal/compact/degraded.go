@@ -1,0 +1,72 @@
+package compact
+
+import (
+	"fmt"
+	"strings"
+)
+
+// QuarantineRecord describes one document the engine isolated after a
+// fault: the document's ID, the guard site where the fault surfaced
+// ("pfunc", "feature", "proc"), and the error or recovered panic that
+// caused it.
+type QuarantineRecord struct {
+	Doc   string `json:"doc"`
+	Op    string `json:"op"`
+	Cause string `json:"cause"`
+}
+
+// Degraded reports how far a best-effort evaluation fell short of the
+// full corpus: documents left unprocessed when a deadline expired, and
+// documents quarantined after per-document faults. A table carrying a
+// report is still a correct superset over the documents that were
+// processed — superset semantics are per-document, so removing documents
+// removes exactly their tuples and nothing else (see DESIGN.md §12).
+type Degraded struct {
+	// DeadlineExpired is set when a best-effort cancellation fired and
+	// operator loops were cut short.
+	DeadlineExpired bool `json:"deadline_expired"`
+	// UnprocessedDocs lists (sorted, deduplicated) the documents whose
+	// tuples were still pending in some operator when the cut happened.
+	UnprocessedDocs []string `json:"unprocessed_docs,omitempty"`
+	// Quarantined lists the documents isolated by per-document fault
+	// handling, sorted by document ID.
+	Quarantined []QuarantineRecord `json:"quarantined,omitempty"`
+}
+
+// QuarantinedDocs returns the quarantined document IDs in record order.
+func (d *Degraded) QuarantinedDocs() []string {
+	ids := make([]string, len(d.Quarantined))
+	for i, q := range d.Quarantined {
+		ids[i] = q.Doc
+	}
+	return ids
+}
+
+// Summary renders the report as one human-readable line, e.g.
+// "deadline expired; 12 docs unprocessed; 2 docs quarantined (d3: pfunc:
+// injected error; ...)".
+func (d *Degraded) Summary() string {
+	var parts []string
+	if d.DeadlineExpired {
+		parts = append(parts, "deadline expired")
+	}
+	if n := len(d.UnprocessedDocs); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d docs unprocessed", n))
+	}
+	if n := len(d.Quarantined); n > 0 {
+		const maxShown = 4
+		var causes []string
+		for i, q := range d.Quarantined {
+			if i == maxShown {
+				causes = append(causes, "...")
+				break
+			}
+			causes = append(causes, fmt.Sprintf("%s: %s: %s", q.Doc, q.Op, q.Cause))
+		}
+		parts = append(parts, fmt.Sprintf("%d docs quarantined (%s)", n, strings.Join(causes, "; ")))
+	}
+	if len(parts) == 0 {
+		return "complete"
+	}
+	return strings.Join(parts, "; ")
+}

@@ -207,6 +207,12 @@ func (t Tuple) ExpandCells() []Tuple {
 type Table struct {
 	Cols   []string
 	Tuples []Tuple
+	// Degraded, when non-nil, marks this table as a best-effort partial
+	// result and reports what was skipped (deadline cuts, quarantined
+	// documents). It is attached only to top-level results handed to the
+	// caller, never to cached intermediates, and is ignored by the
+	// structural comparisons in version.go.
+	Degraded *Degraded
 }
 
 // NewTable returns an empty table with the given column names.

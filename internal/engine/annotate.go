@@ -36,6 +36,12 @@ func (n *annotateNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compa
 	if err != nil {
 		return nil, err
 	}
+	// Annotation is pure and cheap (no user code), so a best-effort cut
+	// lets it run to completion over whatever the parent produced; only a
+	// hard cancellation stops it here.
+	if _, cerr := ctx.cutCheck(); cerr != nil {
+		return nil, cerr
+	}
 	out := in
 	if len(n.annotate) > 0 {
 		out = n.annotateTable(ctx, ev, dx, in)

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+
+	"iflex/internal/compact"
+)
+
+// CancelMode selects what a bound cancellation does when it fires.
+type CancelMode int
+
+const (
+	// CancelHard aborts evaluation with the context's error: Eval calls
+	// and operator chunks fail fast and the caller gets no table.
+	CancelHard CancelMode = iota
+	// CancelBestEffort degrades instead of failing: operator loops stop
+	// at tuple/chunk granularity, remaining documents are recorded as
+	// unprocessed, and the caller gets the partial — still
+	// superset-correct over the processed documents — table built so far.
+	CancelBestEffort
+)
+
+// cancelState is one bound cancellation source. fired memoises the first
+// observation of the done channel so later checkpoints skip the select.
+type cancelState struct {
+	c    context.Context
+	soft bool
+	// fired flips to true the first time a checkpoint observes c.Done().
+	fired atomic.Bool
+}
+
+// BindCancel attaches a standard context to this engine context: every
+// subsequent checkpoint (Eval entry, operator tuple/chunk loops,
+// single-flight waits, simulation fan-out) observes c's cancellation in
+// the given mode. It also resets the degradation report collected for
+// the previous binding. Bind before starting an evaluation and Unbind
+// when done; like SetDocFilter it must not race with in-flight
+// evaluations.
+func (ctx *Context) BindCancel(c context.Context, mode CancelMode) {
+	ctx.degMu.Lock()
+	ctx.degExpired = false
+	ctx.degUnprocessed = nil
+	ctx.degMu.Unlock()
+	ctx.cancelSt.Store(&cancelState{c: c, soft: mode == CancelBestEffort})
+}
+
+// Unbind detaches the bound cancellation source. The degradation state
+// collected while bound remains readable through DegradedReport until
+// the next BindCancel.
+func (ctx *Context) Unbind() { ctx.cancelSt.Store(nil) }
+
+// Cancelled reports whether a cancellation bound via BindCancel has
+// fired (either mode). With nothing bound it is false.
+func (ctx *Context) Cancelled() bool {
+	cs := ctx.cancelSt.Load()
+	return cs != nil && cs.observe()
+}
+
+// observe checks the bound context without blocking, memoising a fired
+// cancellation.
+func (cs *cancelState) observe() bool {
+	if cs.fired.Load() {
+		return true
+	}
+	select {
+	case <-cs.c.Done():
+		cs.fired.Store(true)
+		return true
+	default:
+		return false
+	}
+}
+
+// cutCheck is the engine's cancellation checkpoint. With nothing bound
+// (or the source not yet fired) both returns are zero. A fired hard
+// cancellation returns the context's error; a fired best-effort
+// cancellation returns cut=true and marks the degradation report
+// expired — the caller stops its loop, records what it skipped via
+// noteUnprocessed, and returns its partial output.
+func (ctx *Context) cutCheck() (cut bool, err error) {
+	cs := ctx.cancelSt.Load()
+	if cs == nil || !cs.observe() {
+		return false, nil
+	}
+	if !cs.soft {
+		return false, context.Cause(cs.c)
+	}
+	ctx.degMu.Lock()
+	ctx.degExpired = true
+	ctx.degMu.Unlock()
+	return true, nil
+}
+
+// cancelFired reports whether a bound cancellation of either mode has
+// been observed; Eval uses it to keep results computed after the cut out
+// of the reuse cache (a soft-cut evaluation may be partial).
+func (ctx *Context) cancelFired() bool {
+	cs := ctx.cancelSt.Load()
+	return cs != nil && cs.fired.Load()
+}
+
+// waitInflight parks on another goroutine's in-progress evaluation of
+// the same key. Under a hard cancellation the wait itself is
+// cancellable, so a stuck owner cannot hang a cancelled waiter; under
+// best-effort (or no) cancellation the owner is guaranteed to finish
+// promptly, so a plain wait suffices.
+func (ctx *Context) waitInflight(c *inflightEval) error {
+	if cs := ctx.cancelSt.Load(); cs != nil && !cs.soft {
+		select {
+		case <-c.done:
+			return nil
+		case <-cs.c.Done():
+			cs.fired.Store(true)
+			return context.Cause(cs.c)
+		}
+	}
+	<-c.done
+	return nil
+}
+
+// noteUnprocessed records the documents feeding the given tuples as
+// unprocessed: a best-effort cut skipped them, and the degradation
+// report must name them rather than let them vanish silently. It also
+// counts one operator-loop cut (a scheduling-dependent counter, like the
+// pool stats).
+func (ctx *Context) noteUnprocessed(tuples []compact.Tuple) {
+	statAdd(&ctx.Stats.DeadlineCuts, 1)
+	if len(tuples) == 0 {
+		return
+	}
+	ctx.degMu.Lock()
+	defer ctx.degMu.Unlock()
+	if ctx.degUnprocessed == nil {
+		ctx.degUnprocessed = map[string]bool{}
+	}
+	for _, tp := range tuples {
+		for _, cell := range tp.Cells {
+			for _, a := range cell.Assigns {
+				ctx.degUnprocessed[a.Span.Doc().ID()] = true
+			}
+		}
+	}
+}
+
+// DegradedReport assembles the degradation report for the work done
+// since the last BindCancel: the deadline/cancel cut state, the
+// documents left unprocessed by cuts, and the documents quarantined by
+// per-document fault handling. It returns nil when the evaluation was
+// complete and fault-free, so callers can attach it only when there is
+// something to say.
+func (ctx *Context) DegradedReport() *compact.Degraded {
+	rep := &compact.Degraded{}
+	ctx.degMu.Lock()
+	rep.DeadlineExpired = ctx.degExpired
+	for id := range ctx.degUnprocessed {
+		rep.UnprocessedDocs = append(rep.UnprocessedDocs, id)
+	}
+	ctx.degMu.Unlock()
+	sort.Strings(rep.UnprocessedDocs)
+	if q := ctx.qstate.Load(); q != nil {
+		rep.Quarantined = append(rep.Quarantined, q.records...)
+		sort.Slice(rep.Quarantined, func(i, j int) bool { return rep.Quarantined[i].Doc < rep.Quarantined[j].Doc })
+	}
+	if !rep.DeadlineExpired && len(rep.UnprocessedDocs) == 0 && len(rep.Quarantined) == 0 {
+		return nil
+	}
+	return rep
+}
+
+// AttachDegraded returns t with the context's degradation report
+// attached, or t itself when there is nothing to report. The table is
+// shallow-copied: cached intermediates are shared and must never be
+// mutated.
+func (ctx *Context) AttachDegraded(t *compact.Table) *compact.Table {
+	rep := ctx.DegradedReport()
+	if rep == nil || t == nil {
+		return t
+	}
+	t2 := *t
+	t2.Degraded = rep
+	return &t2
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -21,9 +22,32 @@ type Plan struct {
 // Columns returns the result column names (the query head variables).
 func (p *Plan) Columns() []string { return p.Root.Columns() }
 
-// Execute evaluates the plan in the given context.
+// Execute evaluates the plan in the given context. Under the
+// QuarantineFaults policy a pass that hit per-document faults returns
+// ErrQuarantined internally; Execute then restarts the evaluation over
+// the surviving documents (the quarantine set extends the cache-key
+// marker, so nothing a fault ever touched is reused) until a pass runs
+// clean.
 func (p *Plan) Execute(ctx *Context) (*compact.Table, error) {
-	return Eval(ctx, p.Root)
+	return evalRetrying(ctx, p.Root)
+}
+
+// ExecuteContext evaluates the plan best-effort under a standard
+// context: when c is cancelled or its deadline expires, operator loops
+// stop at tuple/chunk granularity and the partial table built so far —
+// still superset-correct over the documents that were processed — is
+// returned with a Degraded report attached naming the unprocessed (and
+// any quarantined) documents. Results computed after the cut are never
+// cached. The binding claims the engine context's single cancellation
+// slot, so concurrent ExecuteContext calls on one Context must share c.
+func (p *Plan) ExecuteContext(c context.Context, ctx *Context) (*compact.Table, error) {
+	ctx.BindCancel(c, CancelBestEffort)
+	defer ctx.Unbind()
+	t, err := p.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.AttachDegraded(t), nil
 }
 
 // Explain renders the plan's EXPLAIN ANALYZE tree (see engine.Explain).

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"iflex/internal/compact"
 	"iflex/internal/feature"
@@ -58,11 +59,19 @@ func (n *constraintNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*com
 	if fps != nil {
 		cells = make([]*compact.Cell, len(in.Tuples))
 	}
+	var nq, ncut atomic.Int64
 	err = ctx.parallelChunksSized(len(in.Tuples), minChunkConstraint, func(start, end int) error {
 		var batch statBatch
 		defer batch.flush(ctx)
 		reused := 0
 		for i := start; i < end; i++ {
+			if cut, cerr := ctx.cutCheck(); cerr != nil {
+				return cerr
+			} else if cut {
+				ctx.noteUnprocessed(in.Tuples[i:end])
+				ncut.Add(1)
+				break
+			}
 			tp := in.Tuples[i]
 			if fps != nil {
 				fps[i] = dx.aux.fpOf(tp)
@@ -78,9 +87,18 @@ func (n *constraintNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*com
 				}
 			}
 			batch.tuplesRecomputed++
-			cell, err := refineCell(ctx, &batch, tp.Cells[ci], n.cons, all)
+			var cell compact.Cell
+			qed, err := ctx.guard(ev, "feature", func() []string { return tupleDocs(tp, []int{ci}) }, func() error {
+				var ferr error
+				cell, ferr = refineCell(ctx, &batch, tp.Cells[ci], n.cons, all)
+				return ferr
+			})
 			if err != nil {
 				return err
+			}
+			if qed {
+				nq.Add(1)
+				continue
 			}
 			if len(cell.Assigns) == 0 {
 				// No possible value for the attribute survives: the tuple is
@@ -103,12 +121,17 @@ func (n *constraintNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*com
 	if err != nil {
 		return nil, err
 	}
+	if n := nq.Load(); n > 0 {
+		return nil, quarantineErr("feature", n)
+	}
 	for _, nt := range rows {
 		if nt != nil {
 			out.Tuples = append(out.Tuples, *nt)
 		}
 	}
-	dx.finish(in, func(i int) deltaOut { return deltaOut{cell: cells[i]} })
+	if ncut.Load() == 0 {
+		dx.finish(in, func(i int) deltaOut { return deltaOut{cell: cells[i]} })
+	}
 	return out, nil
 }
 

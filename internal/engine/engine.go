@@ -82,6 +82,14 @@ type Env struct {
 	// blockable p-function; the fused join uses it to compare pinned
 	// (single-value) cells without re-tokenising every pair.
 	TokenSimilar map[string]func(a, b []string) bool
+	// FaultHook, when non-nil, is invoked before every guarded
+	// per-document unit of user code (p-functions, feature constraint
+	// evaluation, procedures) with the guard site name and the sorted IDs
+	// of the documents involved; a returned error — or a panic — is
+	// handled exactly like a fault in the user code itself. It exists for
+	// deterministic fault injection (internal/fault) and must be set
+	// before evaluation starts.
+	FaultHook func(site string, docs []string) error
 }
 
 // NewEnv returns an Env with the built-in feature registry, default
@@ -173,6 +181,19 @@ type Context struct {
 	// evicted entry is re-evaluated on next use — results never change,
 	// only how much is recomputed. Set it before the first evaluation.
 	CacheBudget int64
+	// FaultPolicy selects per-document fault handling: FailFast (default)
+	// propagates the first error or panic; QuarantineFaults isolates the
+	// offending documents and proceeds over the survivors (quarantine.go).
+	FaultPolicy FaultPolicy
+	// MaxDocRetries caps the retries a transient per-document error gets
+	// before its documents are quarantined: 0 means the default of one
+	// retry, negative means none. Panics are never retried.
+	MaxDocRetries int
+	// ChunkHook, when non-nil, runs at the start of every parallel-chunk
+	// body (including the serial fallback) before any work; a returned
+	// error fails the chunk. It exists for deterministic fault and
+	// latency injection at operator-chunk boundaries (internal/fault).
+	ChunkHook func(start, end int) error
 	// Stats accumulates evaluation counters (atomically).
 	Stats Stats
 
@@ -212,6 +233,19 @@ type Context struct {
 	// evaluation probes it for priors when the current mode has none.
 	prevSubsetMarker string
 	prevSubsetHash   uint64
+	// cancelSt holds the cancellation source bound via BindCancel (nil
+	// when none); see cancel.go.
+	cancelSt atomic.Pointer[cancelState]
+	// degMu guards the degradation report state collected while a
+	// best-effort cancellation is bound.
+	degMu          sync.Mutex
+	degExpired     bool
+	degUnprocessed map[string]bool
+	// qmu serialises quarantine updates; qstate is the immutable current
+	// quarantine set, nil while no document is quarantined (the fault-free
+	// fast path); see quarantine.go.
+	qmu    sync.Mutex
+	qstate atomic.Pointer[quarantineSet]
 }
 
 // fullMarker prefixes cache keys of unfiltered (whole-corpus) evaluations.
@@ -323,6 +357,21 @@ type Stats struct {
 	CacheEvictions    int64
 	BlockIdxEvictions int64
 	CacheBytes        int64
+	// QuarantinedDocs is a gauge: the number of documents currently
+	// quarantined by per-document fault isolation. QuarantineEvents
+	// counts faults converted into quarantine, QuarantineRetries counts
+	// transient-error retries, and EvalRestarts counts the clean
+	// re-evaluations Plan.Execute ran after a pass quarantined documents.
+	// All four are deterministic at any worker count: a faulting pass
+	// still processes every unit, so the per-pass quarantine set is
+	// schedule-independent.
+	QuarantinedDocs   int64
+	QuarantineEvents  int64
+	QuarantineRetries int64
+	EvalRestarts      int64
+	// DeadlineCuts counts operator loops cut short by a fired best-effort
+	// cancellation; like the pool counters it varies with scheduling.
+	DeadlineCuts int64
 }
 
 // statAdd atomically bumps one stats counter; every Stats write in the
@@ -452,8 +501,18 @@ func subsetMarkerFor(filter map[string]bool) string {
 // subsetKey returns the current evaluation mode's marker hash and string.
 // The marker is memoised by SetDocFilter; a DocFilter assigned directly
 // to the field (bypassing SetDocFilter) is detected by map identity and
-// re-sorted per call.
+// re-sorted per call. Quarantined documents extend the marker, so
+// evaluations over different survivor sets never share cache entries —
+// a pass that saw a fault is never resident under the survivors' key.
 func (ctx *Context) subsetKey() (uint64, string) {
+	h, m := ctx.baseSubsetKey()
+	if q := ctx.qstate.Load(); q != nil {
+		return fnv64More(h, q.suffix), m + q.suffix
+	}
+	return h, m
+}
+
+func (ctx *Context) baseSubsetKey() (uint64, string) {
 	if ctx.DocFilter == nil {
 		return fullMarkerHash, fullMarker
 	}
@@ -595,7 +654,7 @@ func SumAssignments(ctx *Context, root Node) (int, error) {
 				return err
 			}
 		}
-		t, err := Eval(ctx, n)
+		t, err := evalRetrying(ctx, n)
 		if err != nil {
 			return err
 		}
@@ -624,6 +683,12 @@ func SumAssignments(ctx *Context, root Node) (int, error) {
 // unblock with an error instead of deadlocking and a later request for
 // the same key evaluates afresh.
 func Eval(ctx *Context, n Node) (*compact.Table, error) {
+	if _, err := ctx.cutCheck(); err != nil {
+		// Hard cancellation: fail fast before touching the cache. (A
+		// best-effort cut falls through — operators degrade per chunk and
+		// the partial result propagates up.)
+		return nil, err
+	}
 	subsetHash, marker := ctx.subsetKey()
 	key := entryKey{subset: subsetHash, sig: n.sigHash()}
 	sig := n.Signature()
@@ -650,7 +715,11 @@ func Eval(ctx *Context, n Node) (*compact.Table, error) {
 			return evalUncached(ctx, n, marker, sig, trace)
 		}
 		ctx.mu.Unlock()
-		<-c.done
+		if werr := ctx.waitInflight(c); werr != nil {
+			// Hard cancellation fired while parked on the owner: give up
+			// without waiting for it (the owner still cleans up its entry).
+			return nil, werr
+		}
 		if c.err != nil {
 			return nil, c.err
 		}
@@ -742,12 +811,18 @@ func Eval(ctx *Context, n Node) (*compact.Table, error) {
 	ctx.mu.Lock()
 	if err == nil {
 		statAdd(&ctx.Stats.TuplesBuilt, len(t.Tuples))
-		e := &cacheEntry{key: key, marker: marker, sig: sig, table: t}
-		if dx != nil {
-			e.aux = dx.aux
+		if !ctx.cancelFired() {
+			// A fired cancellation means this result may be partial (a
+			// best-effort cut truncates operator loops), so it is handed to
+			// the caller but never cached: a later evaluation under the same
+			// key must recompute in full.
+			e := &cacheEntry{key: key, marker: marker, sig: sig, table: t}
+			if dx != nil {
+				e.aux = dx.aux
+			}
+			e.bytes = t.MemBytes() + e.aux.memBytes()
+			ctx.storeLocked(e)
 		}
-		e.bytes = t.MemBytes() + e.aux.memBytes()
-		ctx.storeLocked(e)
 	}
 	delete(ctx.inflight, key)
 	ctx.mu.Unlock()
@@ -757,6 +832,7 @@ func Eval(ctx *Context, n Node) (*compact.Table, error) {
 			Op: opName(n), Signature: sig, Key: marker + "|" + sig,
 			Status: StatusMiss, Wall: wall, Goroutine: goid(),
 			Fallbacks: ev.fallbacks.Load(), Recomputed: ev.recomputed.Load(),
+			Quarantined: ev.quarantined.Load(),
 		}
 		if dx != nil {
 			rec.Reused = dx.reused.Load()

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -138,6 +139,9 @@ func Explain(ctx *Context, root Node) (string, error) {
 		if o.Reused > 0 {
 			extra += fmt.Sprintf(" reused=%d", o.Reused)
 		}
+		if o.Quarantined > 0 {
+			extra += fmt.Sprintf(" quarantined=%d", o.Quarantined)
+		}
 		sig := n.Signature()
 		if len(sig) > 44 {
 			sig = sig[:44] + "…"
@@ -186,6 +190,27 @@ func Explain(ctx *Context, root Node) (string, error) {
 		fmt.Fprintf(&b, ", %d evicted", ev)
 	}
 	b.WriteByte('\n')
+	if q := ctx.quarantined(); q != nil {
+		const maxShown = 8
+		var ids []string
+		for _, r := range q.records {
+			if len(ids) == maxShown {
+				ids = append(ids, "...")
+				break
+			}
+			ids = append(ids, fmt.Sprintf("%s (%s: %s)", r.Doc, r.Op, r.Cause))
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(&b, "quarantine: %d docs, %d events, %d retries, %d restarts: %s\n",
+			atomic.LoadInt64(&ctx.Stats.QuarantinedDocs),
+			atomic.LoadInt64(&ctx.Stats.QuarantineEvents),
+			atomic.LoadInt64(&ctx.Stats.QuarantineRetries),
+			atomic.LoadInt64(&ctx.Stats.EvalRestarts),
+			strings.Join(ids, "; "))
+	}
+	if rep := ctx.DegradedReport(); rep != nil && rep.DeadlineExpired {
+		fmt.Fprintf(&b, "degraded: %s\n", rep.Summary())
+	}
 	return b.String(), nil
 }
 

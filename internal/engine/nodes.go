@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"iflex/internal/compact"
 	"iflex/internal/text"
@@ -35,8 +36,14 @@ func (n *scanNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.T
 		return nil, fmt.Errorf("engine: %s has %d columns, rule uses %d", n.pred, len(src.Cols), len(n.cols))
 	}
 	out := compact.NewTable(n.cols...)
+	q := ctx.quarantined()
 	for _, tp := range src.Tuples {
 		if ctx.DocFilter != nil && !tupleInSubset(tp, ctx.DocFilter) {
+			continue
+		}
+		// Quarantined documents drop out here, exactly like the subset
+		// filter: after a restart the evaluation sees only the survivors.
+		if q != nil && q.tupleBarred(tp) {
 			continue
 		}
 		// Tuples are values and downstream operators copy before mutating,
@@ -177,11 +184,19 @@ func (n *crossNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.
 		return nt
 	}
 	rows := make([][]compact.Tuple, len(lt.Tuples))
-	_ = ctx.parallelChunksSized(len(lt.Tuples), minChunkCross, func(start, end int) error {
+	var ncut atomic.Int64
+	err = ctx.parallelChunksSized(len(lt.Tuples), minChunkCross, func(start, end int) error {
 		var batch statBatch
 		defer batch.flush(ctx)
 		reused := 0
 		for i := start; i < end; i++ {
+			if cut, cerr := ctx.cutCheck(); cerr != nil {
+				return cerr
+			} else if cut {
+				ctx.noteUnprocessed(lt.Tuples[i:end])
+				ncut.Add(1)
+				break
+			}
 			ltp := lt.Tuples[i]
 			if fps != nil {
 				fps[i] = dx.aux.fpOf(ltp)
@@ -235,10 +250,15 @@ func (n *crossNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.
 		ev.recompute(batch.tuplesRecomputed)
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, r := range rows {
 		out.Tuples = append(out.Tuples, r...)
 	}
-	dx.finish(lt, func(i int) deltaOut { return deltaOut{sim: matches[i], fallbacks: fbs[i]} })
+	if ncut.Load() == 0 {
+		dx.finish(lt, func(i int) deltaOut { return deltaOut{sim: matches[i], fallbacks: fbs[i]} })
+	}
 	return out, nil
 }
 

@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"iflex/internal/alog"
 	"iflex/internal/compact"
 )
 
@@ -88,5 +90,65 @@ func TestEvalPanicUnblocksWaiters(t *testing.T) {
 	ctx.mu.Unlock()
 	if leaked != 0 {
 		t.Errorf("%d in-flight entries leaked", leaked)
+	}
+}
+
+// TestChaosWorkerPanicForwarded is the regression test for panics inside
+// pool worker goroutines: before forwarding, a panic raised while a
+// spawned worker processed its chunk crashed the whole process instead
+// of propagating to the Eval caller like a serial panic. The hook panics
+// for one document that lands in a non-caller chunk of the constraint
+// pass.
+func TestChaosWorkerPanicForwarded(t *testing.T) {
+	env := chaosEnv(18, 6, nil)
+	env.FaultHook = func(site string, docs []string) error {
+		if site != "feature" {
+			return nil
+		}
+		for _, d := range docs {
+			if d == "h12" {
+				panic("worker chunk fault for " + d)
+			}
+		}
+		return nil
+	}
+	prog := alog.MustParse(figure2Src)
+	plan, err := Compile(prog, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(env)
+	ctx.Workers = 8
+
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		_, _ = plan.Execute(ctx)
+		return nil
+	}()
+	if recovered == nil {
+		t.Fatal("panic in a worker chunk did not propagate to the caller")
+	}
+	msg := fmt.Sprint(recovered)
+	if !strings.Contains(msg, "worker chunk fault for h12") {
+		t.Errorf("recovered %q does not name the original panic", msg)
+	}
+	ctx.mu.Lock()
+	leaked := len(ctx.inflight)
+	ctx.mu.Unlock()
+	if leaked != 0 {
+		t.Errorf("%d in-flight entries leaked after the worker panic", leaked)
+	}
+
+	// The same fault under quarantine must not panic: the document is
+	// isolated and the run completes.
+	qctx := NewContext(env)
+	qctx.Workers = 8
+	qctx.FaultPolicy = QuarantineFaults
+	if _, err := plan.Execute(qctx); err != nil {
+		t.Fatalf("quarantine run failed: %v", err)
+	}
+	got := qctx.QuarantinedDocs()
+	if len(got) != 1 || got[0] != "h12" {
+		t.Errorf("quarantined %v, want exactly [h12]", got)
 	}
 }

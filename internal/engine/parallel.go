@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"iflex/internal/compact"
@@ -47,6 +49,37 @@ func (ctx *Context) tryAcquire() bool {
 // release returns a slot taken by tryAcquire.
 func (ctx *Context) release() { ctx.extraWorkers.Add(-1) }
 
+// workerPanic carries a panic recovered on a pool worker goroutine back
+// to the coordinating goroutine, which re-panics with it; without this
+// forwarding a panic inside a spawned worker would crash the process
+// instead of propagating to the Eval caller like a serial panic does.
+// The worker's stack is preserved because the re-panic happens on a
+// different goroutine.
+type workerPanic struct {
+	val   any
+	stack string
+}
+
+func (p workerPanic) String() string {
+	return fmt.Sprintf("%v (recovered on a pool worker)\nworker stack:\n%s", p.val, p.stack)
+}
+
+// forward records a recovered panic value into *slot.
+func forwardPanic(slot **workerPanic) {
+	if r := recover(); r != nil {
+		*slot = &workerPanic{val: r, stack: string(debug.Stack())}
+	}
+}
+
+// rethrow re-panics the first recorded worker panic, if any.
+func rethrow(pans []*workerPanic) {
+	for _, p := range pans {
+		if p != nil {
+			panic(*p)
+		}
+	}
+}
+
 // Minimum items per chunk for the fan-out of each operator family,
 // derived from their measured per-item cost: similarity-join probes run a
 // blocking lookup plus a token odometer per item (expensive), selections
@@ -78,6 +111,15 @@ func (ctx *Context) parallelChunks(n int, body func(start, end int) error) error
 // keeps cheap nodes serial instead of paying goroutine and pool-slot
 // overhead for sub-microsecond chunks.
 func (ctx *Context) parallelChunksSized(n, minChunk int, body func(start, end int) error) error {
+	run := body
+	if h := ctx.ChunkHook; h != nil {
+		run = func(start, end int) error {
+			if err := h(start, end); err != nil {
+				return err
+			}
+			return body(start, end)
+		}
+	}
 	w := ctx.workers()
 	if w > n {
 		w = n
@@ -94,9 +136,10 @@ func (ctx *Context) parallelChunksSized(n, minChunk int, body func(start, end in
 		if n <= 0 {
 			return nil
 		}
-		return body(0, n)
+		return run(0, n)
 	}
 	errs := make([]error, w)
+	pans := make([]*workerPanic, w)
 	var wg sync.WaitGroup
 	chunk := func(i int) (start, end int) {
 		return i * n / w, (i + 1) * n / w
@@ -104,20 +147,22 @@ func (ctx *Context) parallelChunksSized(n, minChunk int, body func(start, end in
 	for i := 1; i < w; i++ {
 		if !ctx.tryAcquire() {
 			start, end := chunk(i)
-			errs[i] = body(start, end)
+			errs[i] = run(start, end)
 			continue
 		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			defer ctx.release()
+			defer forwardPanic(&pans[i])
 			start, end := chunk(i)
-			errs[i] = body(start, end)
+			errs[i] = run(start, end)
 		}(i)
 	}
 	start, end := chunk(0)
-	errs[0] = body(start, end)
+	errs[0] = run(start, end)
 	wg.Wait()
+	rethrow(pans)
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -141,14 +186,19 @@ func evalPair(ctx *Context, left, right Node) (lt, rt *compact.Table, err error)
 		return lt, rt, nil
 	}
 	var rerr error
+	var rpan *workerPanic
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		defer ctx.release()
+		defer forwardPanic(&rpan)
 		rt, rerr = Eval(ctx, right)
 	}()
 	lt, err = Eval(ctx, left)
 	<-done
+	if rpan != nil {
+		panic(*rpan)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -163,6 +213,7 @@ func evalPair(ctx *Context, left, right Node) (lt, rt *compact.Table, err error)
 func evalAll(ctx *Context, nodes []Node) ([]*compact.Table, error) {
 	out := make([]*compact.Table, len(nodes))
 	errs := make([]error, len(nodes))
+	pans := make([]*workerPanic, len(nodes))
 	var wg sync.WaitGroup
 	for i, node := range nodes {
 		if i < len(nodes)-1 && ctx.tryAcquire() {
@@ -170,6 +221,7 @@ func evalAll(ctx *Context, nodes []Node) ([]*compact.Table, error) {
 			go func(i int, node Node) {
 				defer wg.Done()
 				defer ctx.release()
+				defer forwardPanic(&pans[i])
 				out[i], errs[i] = Eval(ctx, node)
 			}(i, node)
 			continue
@@ -177,6 +229,7 @@ func evalAll(ctx *Context, nodes []Node) ([]*compact.Table, error) {
 		out[i], errs[i] = Eval(ctx, node)
 	}
 	wg.Wait()
+	rethrow(pans)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

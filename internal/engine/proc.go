@@ -50,9 +50,20 @@ func (n *procNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.T
 	ci := colIndex(in.Cols, n.inVar)
 	lim := ctx.Env.Limits
 	out := compact.NewTable(n.Columns()...)
-	for _, tp := range in.Tuples {
+	nq := int64(0)
+	for ti := 0; ti < len(in.Tuples); ti++ {
+		if cut, cerr := ctx.cutCheck(); cerr != nil {
+			return nil, cerr
+		} else if cut {
+			ctx.noteUnprocessed(in.Tuples[ti:])
+			break
+		}
+		tp := in.Tuples[ti]
 		cell := tp.Cells[ci]
 		if cell.NumValues() > lim.MaxCellValues {
+			// An engine limit, not a document fault: quarantining here would
+			// hide a program that needs an extra constraint, so it stays
+			// fatal under every fault policy.
 			return nil, fmt.Errorf("engine: procedure %s: input cell encodes %d values, over the limit %d; constrain the attribute first",
 				n.pname, cell.NumValues(), lim.MaxCellValues)
 		}
@@ -66,32 +77,48 @@ func (n *procNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.T
 				break
 			}
 		}
-		var evalErr error
-		cell.Values(func(v text.Span) bool {
-			statAdd(&ctx.Stats.ProcCalls, 1)
-			rows, err := proc.Fn(v)
-			if err != nil {
-				evalErr = fmt.Errorf("engine: procedure %s: %w", n.pname, err)
-				return false
-			}
-			for _, row := range rows {
-				if len(row) != proc.Outputs {
-					evalErr = fmt.Errorf("engine: procedure %s returned %d outputs, want %d", n.pname, len(row), proc.Outputs)
+		// The tuple's whole value enumeration is one guarded unit: rows are
+		// built into a local batch and committed only when every procedure
+		// call succeeded, which keeps a retried attempt idempotent.
+		var rowsOut []compact.Tuple
+		qed, gerr := ctx.guard(ev, "proc", func() []string { return tupleDocs(tp, []int{ci}) }, func() error {
+			rowsOut = rowsOut[:0]
+			var evalErr error
+			cell.Values(func(v text.Span) bool {
+				statAdd(&ctx.Stats.ProcCalls, 1)
+				rows, err := proc.Fn(v)
+				if err != nil {
+					evalErr = fmt.Errorf("engine: procedure %s: %w", n.pname, err)
 					return false
 				}
-				nt := tp.Clone()
-				nt.Cells[ci] = compact.ExactCell(v)
-				for _, o := range row {
-					nt.Cells = append(nt.Cells, compact.ExactCell(o))
+				for _, row := range rows {
+					if len(row) != proc.Outputs {
+						evalErr = fmt.Errorf("engine: procedure %s returned %d outputs, want %d", n.pname, len(row), proc.Outputs)
+						return false
+					}
+					nt := tp.Clone()
+					nt.Cells[ci] = compact.ExactCell(v)
+					for _, o := range row {
+						nt.Cells = append(nt.Cells, compact.ExactCell(o))
+					}
+					nt.Maybe = tp.Maybe || multi
+					rowsOut = append(rowsOut, nt)
 				}
-				nt.Maybe = tp.Maybe || multi
-				out.Tuples = append(out.Tuples, nt)
-			}
-			return true
+				return true
+			})
+			return evalErr
 		})
-		if evalErr != nil {
-			return nil, evalErr
+		if gerr != nil {
+			return nil, gerr
 		}
+		if qed {
+			nq++
+			continue
+		}
+		out.Tuples = append(out.Tuples, rowsOut...)
+	}
+	if nq > 0 {
+		return nil, quarantineErr("proc", nq)
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"iflex/internal/alog"
 	"iflex/internal/compact"
@@ -390,11 +391,23 @@ func applyFilter(ctx *Context, ev *EvalTrace, dx *deltaState, in *compact.Table,
 		outs = make([]*filterOutcome, len(in.Tuples))
 	}
 	rows := make([]*compact.Tuple, len(in.Tuples))
+	// nq counts tuples dropped by quarantine, ncut the chunks cut short by
+	// a best-effort cancellation; either way the pass's delta memo is
+	// abandoned (it would have holes) and quarantine additionally discards
+	// the output via the restart sentinel.
+	var nq, ncut atomic.Int64
 	err := ctx.parallelChunksSized(len(in.Tuples), minChunkFilter, func(start, end int) error {
 		var batch statBatch
 		defer batch.flush(ctx)
 		reused := 0
 		for i := start; i < end; i++ {
+			if cut, cerr := ctx.cutCheck(); cerr != nil {
+				return cerr
+			} else if cut {
+				ctx.noteUnprocessed(in.Tuples[i:end])
+				ncut.Add(1)
+				break
+			}
 			tp := in.Tuples[i]
 			if fps != nil {
 				fps[i] = dx.aux.fpOf(tp)
@@ -418,9 +431,18 @@ func applyFilter(ctx *Context, ev *EvalTrace, dx *deltaState, in *compact.Table,
 				}
 			}
 			batch.tuplesRecomputed++
-			res, err := filterTupleF(tp, involved, fp, lim, &batch)
+			var res filterOutcome
+			qed, err := ctx.guard(ev, "pfunc", func() []string { return tupleDocs(tp, involved) }, func() error {
+				var ferr error
+				res, ferr = filterTupleF(tp, involved, fp, lim, &batch)
+				return ferr
+			})
 			if err != nil {
 				return err
+			}
+			if qed {
+				nq.Add(1)
+				continue
 			}
 			if outs != nil {
 				ro := res
@@ -451,18 +473,23 @@ func applyFilter(ctx *Context, ev *EvalTrace, dx *deltaState, in *compact.Table,
 	if err != nil {
 		return nil, err
 	}
+	if n := nq.Load(); n > 0 {
+		return nil, quarantineErr("pfunc", n)
+	}
 	for _, nt := range rows {
 		if nt != nil {
 			out.Tuples = append(out.Tuples, *nt)
 		}
 	}
-	dx.finish(in, func(i int) deltaOut {
-		o := deltaOut{filt: outs[i]}
-		if fbs != nil {
-			o.fallbacks = fbs[i]
-		}
-		return o
-	})
+	if ncut.Load() == 0 {
+		dx.finish(in, func(i int) deltaOut {
+			o := deltaOut{filt: outs[i]}
+			if fbs != nil {
+				o.fallbacks = fbs[i]
+			}
+			return o
+		})
+	}
 	return out, nil
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"iflex/internal/compact"
 	"iflex/internal/similarity"
@@ -187,6 +188,10 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 		matches = make([][]joinMatch, len(lt.Tuples))
 	}
 	rows := make([][]compact.Tuple, len(lt.Tuples))
+	// nq counts candidate pairs dropped by quarantine (both pair documents
+	// are attributed — the guard cannot tell which side faulted); ncut the
+	// chunks cut short by a best-effort cancellation.
+	var nq, ncut atomic.Int64
 	probe := func(start, end int) error {
 		var batch statBatch
 		defer batch.flush(ctx)
@@ -238,6 +243,13 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 			},
 		}
 		for i := start; i < end; i++ {
+			if cut, cerr := ctx.cutCheck(); cerr != nil {
+				return cerr
+			} else if cut {
+				ctx.noteUnprocessed(lt.Tuples[i:end])
+				ncut.Add(1)
+				break
+			}
 			ltp := lt.Tuples[i]
 			if fps != nil {
 				fps[i] = dx.aux.fpOf(ltp)
@@ -289,10 +301,25 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 			lpinned := singletonTokens(ltp.Cells[li])
 			for _, j := range cands {
 				rtp := rt.Tuples[j]
+				pairDocs := func() []string {
+					return tupleDocs(compact.Tuple{Cells: []compact.Cell{ltp.Cells[li], rtp.Cells[ri]}}, nil)
+				}
 				if lpinned != nil && rtoks[j] != nil {
 					// Both values pinned: one token comparison decides the pair.
-					batch.funcCalls++
-					if !tokenFn(lpinned, rtoks[j]) {
+					matched := false
+					qed, gerr := ctx.guard(ev, "pfunc", pairDocs, func() error {
+						batch.funcCalls++
+						matched = tokenFn(lpinned, rtoks[j])
+						return nil
+					})
+					if gerr != nil {
+						return gerr
+					}
+					if qed {
+						nq.Add(1)
+						continue
+					}
+					if !matched {
 						continue
 					}
 					rows[i] = append(rows[i], join(ltp, rtp, ltp.Maybe || rtp.Maybe, nil))
@@ -304,9 +331,18 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 				// Filter over the two join cells alone — no tuple is built
 				// (let alone cloned) unless the pair survives.
 				pair := compact.Tuple{Cells: []compact.Cell{ltp.Cells[li], rtp.Cells[ri]}}
-				res, err := filterTupleF(pair, pairInvolved, fp, lim, &batch)
-				if err != nil {
-					return err
+				var res filterOutcome
+				qed, gerr := ctx.guard(ev, "pfunc", pairDocs, func() error {
+					var ferr error
+					res, ferr = filterTupleF(pair, pairInvolved, fp, lim, &batch)
+					return ferr
+				})
+				if gerr != nil {
+					return gerr
+				}
+				if qed {
+					nq.Add(1)
+					continue
 				}
 				if res.fallback {
 					fb++
@@ -334,15 +370,20 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 	if err := ctx.parallelChunksSized(len(lt.Tuples), minChunkProbe, probe); err != nil {
 		return nil, err
 	}
+	if n := nq.Load(); n > 0 {
+		return nil, quarantineErr("pfunc", n)
+	}
 	for _, r := range rows {
 		out.Tuples = append(out.Tuples, r...)
 	}
-	dx.finish(lt, func(i int) deltaOut {
-		o := deltaOut{sim: matches[i]}
-		if fbs != nil {
-			o.fallbacks = fbs[i]
-		}
-		return o
-	})
+	if ncut.Load() == 0 {
+		dx.finish(lt, func(i int) deltaOut {
+			o := deltaOut{sim: matches[i]}
+			if fbs != nil {
+				o.fallbacks = fbs[i]
+			}
+			return o
+		})
+	}
 	return out, nil
 }

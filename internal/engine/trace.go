@@ -110,8 +110,18 @@ func kindOf(n Node) OpKind {
 // *EvalTrace is valid and discards per-eval attribution (the context-wide
 // Stats totals are still maintained).
 type EvalTrace struct {
-	fallbacks  atomic.Int64
-	recomputed atomic.Int64
+	fallbacks   atomic.Int64
+	recomputed  atomic.Int64
+	quarantined atomic.Int64
+}
+
+// quarantine attributes n quarantined per-document units to this
+// evaluation (the context-wide totals are counted by quarantineDocs).
+// A nil receiver discards the count.
+func (ev *EvalTrace) quarantine(n int64) {
+	if ev != nil && n != 0 {
+		ev.quarantined.Add(n)
+	}
 }
 
 // recompute attributes n freshly computed input tuples to this evaluation
@@ -154,7 +164,11 @@ type TraceRecord struct {
 	// Recomputed counts the input tuples the call computed fresh.
 	Reused     int64
 	Recomputed int64
-	Goroutine  int64 // id of the goroutine that evaluated the node
+	// Quarantined counts the per-document units this call dropped into
+	// quarantine (such a call's output is discarded and re-evaluated, so
+	// the count attributes where faults surfaced, not result contents).
+	Quarantined int64
+	Goroutine   int64 // id of the goroutine that evaluated the node
 }
 
 type traceNode struct {
@@ -210,6 +224,7 @@ type OpStats struct {
 	Fallbacks   int64         // valuation-limit fallbacks during evaluation
 	Reused      int64         // input tuples replayed from a delta memo
 	Recomputed  int64         // input tuples computed fresh
+	Quarantined int64         // per-document units dropped into quarantine
 	Goroutine   int64         // goroutine id of the (last) evaluating call
 }
 
@@ -240,6 +255,7 @@ func (ctx *Context) TraceOps() []OpStats {
 			o.Fallbacks += r.Fallbacks
 			o.Reused += r.Reused
 			o.Recomputed += r.Recomputed
+			o.Quarantined += r.Quarantined
 			o.Goroutine = r.Goroutine
 		case StatusHit:
 			o.Hits++
@@ -311,6 +327,11 @@ type StatsSnapshot struct {
 	CacheEvictions   int64              `json:"cache_evictions"`
 	BlockIdxEvict    int64              `json:"block_idx_evictions"`
 	CacheBytes       int64              `json:"cache_bytes"`
+	QuarantinedDocs  int64              `json:"quarantined_docs"`
+	QuarantineEvents int64              `json:"quarantine_events"`
+	QuarantineRetry  int64              `json:"quarantine_retries"`
+	EvalRestarts     int64              `json:"eval_restarts"`
+	DeadlineCuts     int64              `json:"deadline_cuts"`
 	OpTimeSeconds    map[string]float64 `json:"op_time_seconds,omitempty"`
 }
 
@@ -340,6 +361,11 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		CacheEvictions:   s.CacheEvictions,
 		BlockIdxEvict:    s.BlockIdxEvictions,
 		CacheBytes:       s.CacheBytes,
+		QuarantinedDocs:  s.QuarantinedDocs,
+		QuarantineEvents: s.QuarantineEvents,
+		QuarantineRetry:  s.QuarantineRetries,
+		EvalRestarts:     s.EvalRestarts,
+		DeadlineCuts:     s.DeadlineCuts,
 	}
 	if total := s.NodesEvaluated + s.CacheHits; total > 0 {
 		snap.CacheHitRate = float64(s.CacheHits) / float64(total)

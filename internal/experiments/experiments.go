@@ -19,6 +19,7 @@ import (
 
 	"iflex/internal/alog"
 	"iflex/internal/assistant"
+	"iflex/internal/compact"
 	"iflex/internal/corpus"
 	"iflex/internal/devmodel"
 	"iflex/internal/engine"
@@ -35,6 +36,10 @@ type Options struct {
 	// Workers bounds the assistant worker pool (0 = one per CPU, 1 =
 	// serial). Results are byte-identical across worker counts.
 	Workers int
+	// Deadline bounds each assistant session in wall-clock time (0 =
+	// none); expired sessions report their best partial result and a
+	// degradation summary instead of failing the harness.
+	Deadline time.Duration
 	// Out receives the rendered table (nil = io.Discard).
 	Out io.Writer
 }
@@ -67,6 +72,8 @@ type Scenario struct {
 	Records int
 	// Workers bounds the session's worker pool (0 = one per CPU).
 	Workers int
+	// Deadline bounds the session in wall-clock time (0 = none).
+	Deadline time.Duration
 }
 
 // Table3Sizes lists the paper's 27 scenarios: three sizes per task
@@ -112,6 +119,19 @@ type SessionOutcome struct {
 	Missing     int     // truth keys absent from the result (must be 0)
 	Converged   bool
 	ExecSeconds float64
+	// Degraded is the session's degradation report: non-nil when a
+	// Deadline expired or documents were quarantined.
+	Degraded *compact.Degraded
+}
+
+// noteDegraded prints a session's degradation summary (deadline cuts,
+// quarantined documents) so a bounded harness run says what it skipped;
+// clean runs print nothing.
+func noteDegraded(out io.Writer, label string, d *compact.Degraded) {
+	if d == nil {
+		return
+	}
+	fmt.Fprintf(out, "degraded %s: %s\n", label, d.Summary())
 }
 
 // RunScenario executes one task scenario end to end with the given
@@ -137,6 +157,7 @@ func RunScenario(sc Scenario, strategyName string, seed int64) (*SessionOutcome,
 		Strategy:   strat,
 		SubsetSeed: uint64(seed),
 		Workers:    sc.Workers,
+		Deadline:   sc.Deadline,
 	})
 	res, err := session.Run()
 	if err != nil {
@@ -156,6 +177,7 @@ func RunScenario(sc Scenario, strategyName string, seed int64) (*SessionOutcome,
 		Missing:     len(missing),
 		Converged:   res.Converged,
 		ExecSeconds: time.Since(start).Seconds(),
+		Degraded:    res.Degraded,
 	}, nil
 }
 
@@ -230,10 +252,11 @@ func Table3(o Options) ([]Table3Row, error) {
 		shape := devmodel.ShapeOf(alog.MustParse(task.Program))
 		for i, full := range sizes {
 			n := o.scale(full)
-			out, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers}, o.Strategy, o.Seed)
+			out, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers, Deadline: o.Deadline}, o.Strategy, o.Seed)
 			if err != nil {
 				return nil, err
 			}
+			noteDegraded(o.Out, fmt.Sprintf("%s/%d", task.ID, n), out.Degraded)
 			cleanups := 0
 			if needsCleanup(out.Superset) {
 				cleanups = 1
@@ -282,10 +305,11 @@ func Table4(o Options) ([]*SessionOutcome, error) {
 		"Task", "Records", "Correct", "TuplesPerIteration(full in [])", "Quest", "Time(s)", "Superset")
 	for _, task := range corpus.Tasks() {
 		n := o.scale(sizes[task.ID])
-		out, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers}, o.Strategy, o.Seed)
+		out, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers, Deadline: o.Deadline}, o.Strategy, o.Seed)
 		if err != nil {
 			return nil, err
 		}
+		noteDegraded(o.Out, fmt.Sprintf("%s/%d", task.ID, n), out.Degraded)
 		outs = append(outs, out)
 		iters := ""
 		for _, it := range out.Iterations {
@@ -330,14 +354,16 @@ func Table5(o Options) ([]Table5Row, error) {
 		"Task", "Records", "itS", "qS", "tS(s)", "ssSeq", "itM", "qM", "tM(s)", "ssSim", "p.ssSeq", "p.ssSim")
 	for _, task := range corpus.Tasks() {
 		n := o.scale(sizes[task.ID])
-		seq, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers}, "seq", o.Seed)
+		seq, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers, Deadline: o.Deadline}, "seq", o.Seed)
 		if err != nil {
 			return nil, err
 		}
-		sim, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers}, "sim", o.Seed)
+		sim, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers, Deadline: o.Deadline}, "sim", o.Seed)
 		if err != nil {
 			return nil, err
 		}
+		noteDegraded(o.Out, task.ID+" seq", seq.Degraded)
+		noteDegraded(o.Out, task.ID+" sim", sim.Degraded)
 		row := Table5Row{
 			Seq: seq, Sim: sim,
 			PaperSeqSuperset: paperTable5[task.ID][0],
@@ -390,11 +416,13 @@ func Table6(o Options) ([]Table6Row, error) {
 			Strategy:   assistant.Simulation{},
 			SubsetSeed: uint64(o.Seed),
 			Workers:    o.Workers,
+			Deadline:   o.Deadline,
 		})
 		res, err := session.Run()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: DBLife %s: %w", task.ID, err)
 		}
+		noteDegraded(o.Out, task.ID, res.Degraded)
 		exec := time.Since(start).Seconds()
 		shape := devmodel.ShapeOf(prog)
 		cleanups := 0
@@ -512,11 +540,13 @@ func ParallelCompare(o Options, taskID string, records int) (*ParallelResult, er
 			Strategy:   strat,
 			SubsetSeed: uint64(o.Seed),
 			Workers:    w,
+			Deadline:   o.Deadline,
 		})
 		res, err := session.Run()
 		if err != nil {
 			return nil, 0, fmt.Errorf("experiments: parallel compare %s workers=%d: %w", taskID, w, err)
 		}
+		noteDegraded(o.Out, fmt.Sprintf("%s workers=%d", taskID, w), res.Degraded)
 		return res, time.Since(start).Seconds(), nil
 	}
 	serial, serialS, err := run(1)
@@ -589,11 +619,13 @@ func Hotpath(o Options, taskID string, records int) (*HotpathResult, error) {
 		SubsetSeed:        uint64(o.Seed),
 		Workers:           1,
 		DisableDeltaReuse: true,
+		Deadline:          o.Deadline,
 	})
 	res, err := session.Run()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: hotpath %s: %w", taskID, err)
 	}
+	noteDegraded(o.Out, taskID, res.Degraded)
 	r := &HotpathResult{
 		Task: taskID, Records: records, CPUs: runtime.NumCPU(),
 		WallS: time.Since(start).Seconds(),
@@ -681,11 +713,13 @@ func Reuse(o Options, taskID string, records int) (*ReuseResult, error) {
 			SubsetSeed:        uint64(o.Seed),
 			Workers:           workers,
 			DisableDeltaReuse: disable,
+			Deadline:          o.Deadline,
 		})
 		res, err := session.Run()
 		if err != nil {
 			return nil, 0, fmt.Errorf("experiments: reuse %s workers=%d disable=%v: %w", taskID, workers, disable, err)
 		}
+		noteDegraded(o.Out, fmt.Sprintf("%s workers=%d", taskID, workers), res.Degraded)
 		return res, time.Since(start).Seconds(), nil
 	}
 	full, fullS, err := run(1, true)
@@ -770,10 +804,11 @@ func Convergence(o Options) (*ConvergenceSummary, error) {
 	fmt.Fprintf(o.Out, "Section 6.2: convergence over 27 scenarios (scale %.2f, strategy %s)\n", o.Scale, o.Strategy)
 	for _, task := range corpus.Tasks() {
 		for _, full := range Table3Sizes[task.ID] {
-			out, err := RunScenario(Scenario{TaskID: task.ID, Records: o.scale(full), Workers: o.Workers}, o.Strategy, o.Seed)
+			out, err := RunScenario(Scenario{TaskID: task.ID, Records: o.scale(full), Workers: o.Workers, Deadline: o.Deadline}, o.Strategy, o.Seed)
 			if err != nil {
 				return nil, err
 			}
+			noteDegraded(o.Out, fmt.Sprintf("%s/%d", task.ID, o.scale(full)), out.Degraded)
 			s.Total++
 			if out.Superset <= 100.5 && out.Missing == 0 {
 				s.At100++
@@ -825,10 +860,11 @@ func Variance(o Options, seeds []int64) ([]VarianceRow, error) {
 		row := VarianceRow{Task: task.ID, Records: n, Runs: len(seeds),
 			MinSuperset: -1, AllCovered: true}
 		for _, seed := range seeds {
-			out, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers}, o.Strategy, seed)
+			out, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers, Deadline: o.Deadline}, o.Strategy, seed)
 			if err != nil {
 				return nil, err
 			}
+			noteDegraded(o.Out, fmt.Sprintf("%s seed=%d", task.ID, seed), out.Degraded)
 			row.MeanSuperset += out.Superset
 			row.MeanQuestions += float64(out.Questions)
 			if row.MinSuperset < 0 || out.Superset < row.MinSuperset {

@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChaosInjectorDeterministic: the fault schedule is a pure function
+// of (seed, site, doc) — identical across calls and injector instances,
+// different across seeds.
+func TestChaosInjectorDeterministic(t *testing.T) {
+	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	r := Rule{Site: "pfunc", Mode: ModeError, Num: 1, Den: 3}
+	a := New(1, r)
+	b := New(1, r)
+	if got, want := strings.Join(a.FaultyDocs("pfunc", ids), ","), strings.Join(b.FaultyDocs("pfunc", ids), ","); got != want {
+		t.Errorf("same seed, different schedules: %q vs %q", got, want)
+	}
+	if len(a.FaultyDocs("pfunc", ids)) == 0 {
+		t.Error("1/3 rule over 10 docs fired for none")
+	}
+	if len(a.FaultyDocs("pfunc", ids)) == len(ids) {
+		t.Error("1/3 rule over 10 docs fired for all")
+	}
+	if a.WillFault("feature", ids[0]) {
+		t.Error("rule armed at pfunc fired at feature")
+	}
+	other := New(2, r)
+	if strings.Join(a.FaultyDocs("pfunc", ids), ",") == strings.Join(other.FaultyDocs("pfunc", ids), ",") {
+		t.Error("seeds 1 and 2 produced the same schedule (suspicious)")
+	}
+}
+
+// TestChaosHookModes: error rules return errors, panic rules panic,
+// disabled injectors do neither, and the Injected counter tracks fires.
+func TestChaosHookModes(t *testing.T) {
+	in := New(1, Rule{Site: "pfunc", Mode: ModeError, Num: 1, Den: 1})
+	hook := in.Hook()
+	if err := hook("pfunc", []string{"doc"}); err == nil {
+		t.Error("always-on error rule returned nil")
+	}
+	if err := hook("feature", []string{"doc"}); err != nil {
+		t.Errorf("unarmed site returned %v", err)
+	}
+	in.Disable()
+	if err := hook("pfunc", []string{"doc"}); err != nil {
+		t.Errorf("disabled injector returned %v", err)
+	}
+	in.Enable()
+	if got := in.Injected.Load(); got != 1 {
+		t.Errorf("Injected = %d, want 1", got)
+	}
+
+	pin := New(1, Rule{Site: "proc", Mode: ModePanic, Num: 1, Den: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic rule did not panic")
+			}
+		}()
+		pin.Hook()("proc", []string{"doc"})
+	}()
+
+	lin := New(1, Rule{Site: "pfunc", Mode: ModeLatency, Num: 1, Den: 1, Latency: 5 * time.Millisecond})
+	start := time.Now()
+	if err := lin.Hook()("pfunc", []string{"doc"}); err != nil {
+		t.Errorf("latency rule returned %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("latency rule did not sleep")
+	}
+}
+
+// TestChaosMangle: document corruption is deterministic per (seed, doc),
+// changes the bytes of targeted documents, and leaves others alone.
+func TestChaosMangle(t *testing.T) {
+	in := New(3, Rule{Site: "truncate", Mode: ModeTruncate, Num: 1, Den: 2})
+	src := `<b>Title</b><br>Price: 100<br>padding padding padding`
+	mangledAny := false
+	for _, doc := range []string{"d1", "d2", "d3", "d4", "d5", "d6"} {
+		m1 := in.Mangle(doc, src)
+		m2 := in.Mangle(doc, src)
+		if m1 != m2 {
+			t.Errorf("doc %s: mangling not deterministic", doc)
+		}
+		if m1 != src {
+			mangledAny = true
+		}
+	}
+	if !mangledAny {
+		t.Error("1/2 truncate rule mangled no document out of 6")
+	}
+	// Truncate rules never fire through the hooks.
+	if err := in.Hook()("truncate", []string{"d1", "d2", "d3"}); err != nil {
+		t.Errorf("hook fired on a truncate rule: %v", err)
+	}
+}
