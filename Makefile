@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-all chaos bench bench-parallel bench-hotpath bench-reuse benchdiff profile vet verify
+.PHONY: build test race race-all chaos bench bench-parallel bench-hotpath bench-reuse bench-optimizer benchdiff profile vet verify
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,11 @@ bench-hotpath:
 # Incremental (delta) evaluation versus full recomputation on T9 sessions.
 bench-reuse:
 	$(GO) run ./cmd/iflex-bench -table reuse -scale 0.05 -bench-json BENCH_REUSE.json
+
+# Cost-based optimizer versus plans as compiled, with a byte-identity
+# sweep across worker counts and delta on/off (DESIGN.md §13).
+bench-optimizer:
+	$(GO) run ./cmd/iflex-bench -table optimizer -scale 0.05 -bench-json BENCH_OPTIMIZER.json
 
 # Re-run the parallel and reuse benches and fail on a >10% wall-time
 # regression against the committed snapshots.

@@ -26,12 +26,13 @@ import (
 
 func main() {
 	var (
-		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, parallel, hotpath, reuse, or all")
+		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, parallel, hotpath, reuse, optimizer, or all")
 		compare    = flag.Bool("compare", false, "compare two benchmark JSON files (old new); exit non-zero on a >10% wall-time regression")
 		scale      = flag.Float64("scale", 0.2, "corpus size factor (1.0 = paper sizes)")
 		seed       = flag.Int64("seed", 1, "corpus generation seed")
 		strategy   = flag.String("strategy", "sim", "assistant strategy for Tables 3/4/conv: seq or sim")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = serial)")
+		optimize   = flag.Bool("optimize", true, "run assistant sessions with the cost-based plan optimizer; -optimize=false executes plans exactly as compiled (the hotpath/reuse harnesses always pin it off for counter comparability)")
 		timeout    = flag.Duration("timeout", 0, "best-effort deadline per assistant session: expired sessions report their partial result and a degradation summary (0 = none)")
 		benchJSON  = flag.String("bench-json", "", "write the parallel comparison result to this JSON file")
 		outPath    = flag.String("out", "", "also write output to this file")
@@ -74,7 +75,7 @@ func main() {
 		defer f.Close()
 		out = io.MultiWriter(os.Stdout, f)
 	}
-	o := experiments.Options{Scale: *scale, Seed: *seed, Strategy: *strategy, Workers: *workers, Deadline: *timeout, Out: out}
+	o := experiments.Options{Scale: *scale, Seed: *seed, Strategy: *strategy, Workers: *workers, Deadline: *timeout, DisableOptimizer: !*optimize, Out: out}
 
 	run := func(name string, fn func() error) {
 		if *table != "all" && *table != name {
@@ -141,6 +142,13 @@ func main() {
 		}
 		return writeJSON(*benchJSON, res)
 	})
+	run("optimizer", func() error {
+		res, err := experiments.Optimizer(o)
+		if err != nil {
+			return err
+		}
+		return writeJSON(*benchJSON, res)
+	})
 }
 
 // writeJSON writes v as indented JSON to path (no-op when path is empty).
@@ -158,7 +166,12 @@ func writeJSON(path string, v any) error {
 // compareBenchFiles diffs the wall-time fields of two benchmark JSON
 // files (any top-level number whose key ends in "_s") and returns an
 // error when the new file regresses any of them by more than 10%.
-// Non-time fields are reported for context but never fail the check.
+// Two files with no comparable numeric field in common — benchmark JSON
+// of disjoint table kinds — are an error (exit non-zero), not a silent
+// empty comparison. Engine counters (func_calls, cache_hits,
+// tuples_reused) found anywhere in both files are reported as
+// informational delta lines; neither they nor other non-time fields
+// ever fail the check.
 func compareBenchFiles(w io.Writer, oldPath, newPath string) error {
 	load := func(path string) (map[string]any, error) {
 		data, err := os.ReadFile(path)
@@ -178,6 +191,24 @@ func compareBenchFiles(w io.Writer, oldPath, newPath string) error {
 	newM, err := load(newPath)
 	if err != nil {
 		return err
+	}
+	common := 0
+	for k, ov := range oldM {
+		if !strings.HasSuffix(k, "_s") {
+			continue // metadata like records/cpus is shared by every kind
+		}
+		if _, ook := ov.(float64); !ook {
+			continue
+		}
+		if _, nok := newM[k].(float64); nok {
+			common++
+		}
+	}
+	if common == 0 {
+		return fmt.Errorf("nothing to compare: %s and %s share no wall-time field — likely benchmark JSON of different table kinds\n  %s has: %s\n  %s has: %s",
+			oldPath, newPath,
+			oldPath, strings.Join(numericKeys(oldM), ", "),
+			newPath, strings.Join(numericKeys(newM), ", "))
 	}
 	const tolerance = 1.10
 	var regressed []string
@@ -205,10 +236,85 @@ func compareBenchFiles(w io.Writer, oldPath, newPath string) error {
 		}
 		fmt.Fprintf(w, "%s %-24s %14.3f %14.3f  %s\n", mark, k, ov, nv, delta)
 	}
+	printCounterDeltas(w, oldM, newM)
 	if len(regressed) > 0 {
 		return fmt.Errorf("wall-time regression over %0.f%%:\n  %s",
 			100*(tolerance-1), strings.Join(regressed, "\n  "))
 	}
 	fmt.Fprintln(w, "no wall-time regressions")
 	return nil
+}
+
+// numericKeys lists a JSON object's top-level numeric field names.
+func numericKeys(m map[string]any) []string {
+	var out []string
+	for k, v := range m {
+		if _, ok := v.(float64); ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		out = []string{"(none)"}
+	}
+	return out
+}
+
+// counterNames are the engine counters -compare reports as informational
+// deltas wherever they occur in the benchmark JSON (they live inside
+// nested stats snapshots, not at the top level).
+var counterNames = map[string]bool{
+	"func_calls":    true,
+	"cache_hits":    true,
+	"tuples_reused": true,
+}
+
+// collectCounters walks a decoded JSON value and returns every counter
+// field as dotted-path → value (arrays index numerically).
+func collectCounters(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, sub := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			if n, ok := sub.(float64); ok && counterNames[k] {
+				out[p] = n
+				continue
+			}
+			collectCounters(p, sub, out)
+		}
+	case []any:
+		for i, sub := range t {
+			collectCounters(fmt.Sprintf("%s[%d]", prefix, i), sub, out)
+		}
+	}
+}
+
+// printCounterDeltas reports engine-counter changes between the two
+// files as informational lines (never failing the comparison).
+func printCounterDeltas(w io.Writer, oldM, newM map[string]any) {
+	oldC, newC := map[string]float64{}, map[string]float64{}
+	collectCounters("", oldM, oldC)
+	collectCounters("", newM, newC)
+	var keys []string
+	for k := range oldC {
+		if _, ok := newC[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	sort.Strings(keys)
+	fmt.Fprintln(w, "counters (informational):")
+	for _, k := range keys {
+		ov, nv := oldC[k], newC[k]
+		delta := "n/a"
+		if ov != 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(nv-ov)/ov)
+		}
+		fmt.Fprintf(w, "  %-40s %14.0f %14.0f  %s\n", k, ov, nv, delta)
+	}
 }

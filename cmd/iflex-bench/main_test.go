@@ -69,6 +69,43 @@ func TestCompareBenchFiles(t *testing.T) {
 	}
 }
 
+// TestCompareBenchFilesDisjointKinds feeds -compare benchmark JSON of
+// two different table kinds: no shared wall-time field must be a clear
+// error naming both files' fields, never a silent empty comparison —
+// shared metadata like records/cpus must not mask the mismatch.
+func TestCompareBenchFilesDisjointKinds(t *testing.T) {
+	old := writeTemp(t, "old.json", `{"records": 250, "cpus": 8, "serial_s": 2.0}`)
+	new_ := writeTemp(t, "new.json", `{"records": 250, "cpus": 8, "total_opt_s": 1.0}`)
+	var sb strings.Builder
+	err := compareBenchFiles(&sb, old, new_)
+	if err == nil {
+		t.Fatalf("disjoint table kinds compared without error:\n%s", sb.String())
+	}
+	for _, want := range []string{"nothing to compare", "serial_s", "total_opt_s"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestCompareBenchFilesCounterDeltas checks that engine counters nested
+// anywhere in both files surface as informational lines without ever
+// gating the comparison.
+func TestCompareBenchFilesCounterDeltas(t *testing.T) {
+	old := writeTemp(t, "old.json", `{"wall_s": 1.0, "stats": {"func_calls": 100, "cache_hits": 40, "tuples_reused": 7}}`)
+	new_ := writeTemp(t, "new.json", `{"wall_s": 1.0, "stats": {"func_calls": 150, "cache_hits": 40, "tuples_reused": 9}}`)
+	var sb strings.Builder
+	if err := compareBenchFiles(&sb, old, new_); err != nil {
+		t.Fatalf("counter growth must not fail the comparison: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"counters (informational):", "stats.func_calls", "+50.0%", "stats.tuples_reused"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCompareBenchFilesBadInput(t *testing.T) {
 	good := writeTemp(t, "good.json", `{"serial_s": 1.0}`)
 	bad := writeTemp(t, "bad.json", `not json`)

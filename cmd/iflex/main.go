@@ -25,7 +25,7 @@ import (
 	"strings"
 
 	"iflex"
-	"iflex/internal/engine"
+	"iflex/internal/engine/opt"
 	"iflex/internal/prof"
 )
 
@@ -58,7 +58,8 @@ func run() error {
 		strategy    = flag.String("strategy", "seq", "question selection strategy: seq or sim")
 		workers     = flag.Int("workers", 0, "worker pool size for evaluation and simulation (0 = one per CPU, 1 = serial)")
 		maxTuples   = flag.Int("max-print", 50, "print at most this many result tuples")
-		explain     = flag.Bool("explain", false, "print an EXPLAIN ANALYZE tree: per-operator rows, timing, cache status, fallbacks")
+		explain     = flag.Bool("explain", false, "print an EXPLAIN ANALYZE tree: per-operator rows, timing, cache status, fallbacks, optimizer decisions")
+		optimize    = flag.Bool("optimize", true, "run the cost-based plan optimizer (pushdown, join fusion, conjunct ordering); -optimize=false executes plans exactly as compiled")
 		timeout     = flag.Duration("timeout", 0, "best-effort deadline: on expiry print the partial result plus a degradation summary (0 = none)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -104,6 +105,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if *optimize {
+			plan = opt.Optimize(plan, env, opt.NewModel(), nil)
+		}
 		ctx := iflex.NewContext(env)
 		ctx.Workers = *workers
 		if *explain {
@@ -123,7 +127,7 @@ func run() error {
 			return err
 		}
 		if *explain {
-			analyzed, err := engine.Explain(ctx, plan.Root)
+			analyzed, err := plan.Explain(ctx)
 			if err != nil {
 				return err
 			}
@@ -149,6 +153,7 @@ func run() error {
 	})
 	session := iflex.NewSession(env, prog, oracle, iflex.SessionConfig{
 		Strategy: strat, Workers: *workers, Deadline: *timeout,
+		DisableOptimizer: !*optimize,
 	})
 	res, err := session.Run()
 	if err != nil {

@@ -1,0 +1,134 @@
+package assistant_test
+
+// Differential suite for the cost-based plan optimizer through the full
+// session loop: optimizer on versus off over the T1–T9 question space
+// must leave transcripts and final tables byte-identical — at Workers 1
+// and 8, delta reuse on and off, and under the fault injector (plan
+// rewrites commute with quarantine).
+
+import (
+	"testing"
+
+	"iflex/internal/alog"
+	"iflex/internal/assistant"
+	"iflex/internal/corpus"
+	"iflex/internal/fault"
+)
+
+// optSessionConfig mirrors chaosSessionConfig: a data-independent
+// question sequence, so every arm asks the same questions.
+func optSessionConfig(workers int, delta, optimize bool) assistant.Config {
+	return assistant.Config{
+		Strategy:          assistant.Sequential{},
+		MaxIterations:     3,
+		ConvergenceWindow: 100,
+		SubsetSeed:        1,
+		Workers:           workers,
+		DisableDeltaReuse: !delta,
+		DisableOptimizer:  !optimize,
+	}
+}
+
+// TestOptimizerSessionDifferential runs every paper task's refinement
+// session with the optimizer off (the pre-optimizer engine, Workers 1,
+// delta on) as baseline, then with the optimizer on across Workers 1/8
+// and delta on/off: transcripts and final tables must be byte-identical.
+func TestOptimizerSessionDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full task sweep")
+	}
+	for _, task := range corpus.Tasks() {
+		task := task
+		t.Run(task.ID, func(t *testing.T) {
+			t.Parallel()
+			const records = 24
+			c := task.Generate(records, 1)
+			prog := alog.MustParse(task.Program)
+
+			run := func(workers int, delta, optimize bool) (string, string) {
+				res, err := assistant.NewSession(task.Env(c), prog, task.Oracle(),
+					optSessionConfig(workers, delta, optimize)).Run()
+				if err != nil {
+					t.Fatalf("workers=%d delta=%v optimize=%v: %v", workers, delta, optimize, err)
+				}
+				return res.Transcript(), res.Final.String()
+			}
+
+			baseTrans, baseTable := run(1, true, false)
+			for _, arm := range []struct {
+				workers int
+				delta   bool
+			}{{1, true}, {8, true}, {1, false}, {8, false}} {
+				trans, table := run(arm.workers, arm.delta, true)
+				if trans != baseTrans {
+					t.Errorf("workers=%d delta=%v: optimized transcript differs from unoptimized baseline:\n%s\n---\n%s",
+						arm.workers, arm.delta, trans, baseTrans)
+				}
+				if table != baseTable {
+					t.Errorf("workers=%d delta=%v: optimized final table differs from unoptimized baseline",
+						arm.workers, arm.delta)
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizerSessionFaultDifferential reruns the chaos-session
+// determinism check with the optimizer enabled: under injected pfunc
+// faults with quarantine, the optimized session must match the
+// unoptimized faulted session byte-for-byte — surviving results are
+// those of the corpus minus the quarantined documents regardless of
+// plan shape. (The quarantine set itself may only shrink under
+// optimization, because fused joins probe fewer pairs; on the tasks as
+// written no rewrite fires, so here it must be unchanged too.)
+func TestOptimizerSessionFaultDifferential(t *testing.T) {
+	const records = 40
+	task, err := corpus.TaskByID("T9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := task.Generate(records, 1)
+	prog := alog.MustParse(task.Program)
+	inj := fault.New(42, fault.Rule{Site: "pfunc", Mode: fault.ModeError, Num: 1, Den: 8})
+
+	run := func(workers int, delta, optimize bool) *assistant.Result {
+		env := task.Env(c)
+		env.FaultHook = inj.Hook()
+		cfg := optSessionConfig(workers, delta, optimize)
+		cfg.QuarantineFaults = true
+		res, err := assistant.NewSession(env, prog, task.Oracle(), cfg).Run()
+		if err != nil {
+			t.Fatalf("workers=%d delta=%v optimize=%v: %v", workers, delta, optimize, err)
+		}
+		if res.Degraded == nil || len(res.Degraded.Quarantined) == 0 {
+			t.Fatalf("workers=%d delta=%v optimize=%v: no quarantine", workers, delta, optimize)
+		}
+		return res
+	}
+
+	base := run(1, true, false)
+	baseQ := base.Degraded.QuarantinedDocs()
+	for _, arm := range []struct {
+		workers int
+		delta   bool
+	}{{1, true}, {8, true}, {1, false}, {8, false}} {
+		res := run(arm.workers, arm.delta, true)
+		if res.Transcript() != base.Transcript() {
+			t.Errorf("workers=%d delta=%v: faulted optimized transcript differs", arm.workers, arm.delta)
+		}
+		if res.Final.String() != base.Final.String() {
+			t.Errorf("workers=%d delta=%v: faulted optimized final table differs", arm.workers, arm.delta)
+		}
+		q := res.Degraded.QuarantinedDocs()
+		baseSet := map[string]bool{}
+		for _, id := range baseQ {
+			baseSet[id] = true
+		}
+		for _, id := range q {
+			if !baseSet[id] {
+				t.Errorf("workers=%d delta=%v: optimized run quarantined %s, absent from the unoptimized quarantine %v",
+					arm.workers, arm.delta, id, baseQ)
+			}
+		}
+	}
+}

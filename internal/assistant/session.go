@@ -12,6 +12,7 @@ import (
 	"iflex/internal/alog"
 	"iflex/internal/compact"
 	"iflex/internal/engine"
+	"iflex/internal/engine/opt"
 )
 
 // ExplicitZero is a sentinel for Config fields whose zero value selects a
@@ -60,6 +61,12 @@ type Config struct {
 	// way; this exists for benchmarking the delta win and as an escape
 	// hatch.
 	DisableDeltaReuse bool
+	// DisableOptimizer turns off the cost-based plan optimizer, executing
+	// plans exactly as compiled. Results are byte-identical either way
+	// (every rewrite is semantics-preserving down to tuple order and
+	// Maybe flags); this exists for benchmarking the optimizer win and as
+	// an escape hatch.
+	DisableOptimizer bool
 	// Deadline bounds the whole session run in wall-clock time (0 = no
 	// deadline). When it expires the session stops asking questions,
 	// evaluation cuts at operator tuple/chunk boundaries, and Run returns
@@ -171,6 +178,15 @@ type Session struct {
 	// fan out across goroutines).
 	trialMu   sync.Mutex
 	trialPrev map[string]engine.Node
+
+	// costModel and canon drive the plan optimizer (nil when
+	// DisableOptimizer is set): the model refines reported cost estimates
+	// from the session's own execution statistics, the canon table shares
+	// structurally identical subplans across the base plan and all of an
+	// iteration's simulation trials (cross-trial CSE). The canon resets at
+	// each iteration boundary.
+	costModel *opt.Model
+	canon     *engine.CanonTable
 }
 
 // NewSession prepares a session; the program is cloned so the caller's
@@ -195,8 +211,25 @@ func NewSession(env *engine.Env, prog *alog.Program, oracle Oracle, cfg Config) 
 	if !cfg.DisableDeltaReuse {
 		s.ctx.EnableDelta()
 	}
+	if !cfg.DisableOptimizer {
+		s.costModel = opt.NewModel()
+		s.canon = engine.NewCanonTable()
+	}
 	s.subset = s.sampleSubset()
 	return s
+}
+
+// optimize runs the cost-based rewrite pass over a freshly compiled plan
+// (identity when the optimizer is disabled). Rewrite decisions are
+// deterministic — purely structural plus static cardinalities — so the
+// base plan and every trial plan of an iteration rewrite in lockstep and
+// delta links between successive optimized plans line up exactly as they
+// do for unoptimized ones.
+func (s *Session) optimize(plan *engine.Plan) *engine.Plan {
+	if s.costModel == nil {
+		return plan
+	}
+	return opt.Optimize(plan, s.Env, s.costModel, s.canon)
 }
 
 // sampleSubset draws a deterministic sample of document IDs across all
@@ -276,6 +309,14 @@ func (s *Session) execute(onSubset bool) (*compact.Table, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	// Iteration boundary: drop last round's interned subplans (this
+	// round's base plan and trials re-intern against a fresh table), then
+	// optimize. The optimized plan is what executes, links, and becomes
+	// the next predecessor.
+	if s.canon != nil {
+		s.canon.Reset()
+	}
+	plan = s.optimize(plan)
 	// Link this plan version to its predecessor for delta evaluation,
 	// discarding the links accumulated by the previous round's question
 	// simulations (their trial plans are no longer anyone's predecessor).
@@ -296,6 +337,15 @@ func (s *Session) execute(onSubset bool) (*compact.Table, int, error) {
 	assigns, err := engine.SumAssignments(s.ctx, plan.Root)
 	if err != nil {
 		return nil, 0, err
+	}
+	// Refine the cost model from this execution: observed per-node
+	// cardinalities and per-operator timings. Adopted here — before any
+	// of this iteration's trials is optimized — every trial reads one
+	// frozen, scheduling-independent snapshot; and refinement only
+	// touches reported estimates, never rewrite decisions.
+	if s.costModel != nil {
+		s.costModel.AdoptRows(s.ctx.ObservedRows())
+		s.costModel.RefineFromSnapshot(s.ctx.Stats.Snapshot())
 	}
 	return table, assigns, nil
 }
@@ -329,6 +379,12 @@ func (s *Session) simulate(q Question, v string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Optimize the trial exactly like the base plan (deterministic
+	// rewrites keep the two in lockstep); interning against the shared
+	// canon table makes subtrees the trials have in common — and share
+	// with the base plan — pointer-identical, so binary-operator delta
+	// memos and table adoption transfer across trials (cross-trial CSE).
+	plan = s.optimize(plan)
 	// The trial plan is one constraint away from the last executed plan:
 	// link them so the changed ancestors evaluate as deltas (RegisterDelta
 	// is safe under the strategy's concurrent fan-out). Then link the trial

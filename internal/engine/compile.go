@@ -17,6 +17,9 @@ import (
 type Plan struct {
 	Root    Node
 	Program *alog.Program // the unfolded program the plan was built from
+	// Opt carries the optimizer's report when the plan went through
+	// OptimizePlan (nil for plans executed as compiled).
+	Opt *OptInfo
 }
 
 // Columns returns the result column names (the query head variables).
@@ -50,9 +53,11 @@ func (p *Plan) ExecuteContext(c context.Context, ctx *Context) (*compact.Table, 
 	return ctx.AttachDegraded(t), nil
 }
 
-// Explain renders the plan's EXPLAIN ANALYZE tree (see engine.Explain).
+// Explain renders the plan's EXPLAIN ANALYZE tree (see engine.Explain),
+// annotated with the optimizer's decisions and cost estimates when the
+// plan went through OptimizePlan.
 func (p *Plan) Explain(ctx *Context) (string, error) {
-	return Explain(ctx, p.Root)
+	return explainTree(ctx, p.Root, p.Opt)
 }
 
 // Compile validates, unfolds, and compiles an Alog program against an

@@ -215,6 +215,10 @@ type Context struct {
 	// deltaPrev maps current-plan node hashes to their predecessors in
 	// the previous plan version (RegisterDelta).
 	deltaPrev map[uint64]deltaLink
+	// obsRows records the observed output cardinality of every cleanly
+	// evaluated node, keyed by signature hash — the optimizer's cost
+	// model adopts a snapshot of it to refine reported estimates.
+	obsRows map[uint64]RowObservation
 	// extraWorkers counts pool slots handed out beyond the caller's own
 	// goroutine; see parallel.go.
 	extraWorkers atomic.Int64
@@ -617,6 +621,29 @@ func (ctx *Context) CacheInfo() (bytes int64, entries int) {
 	return ctx.cacheBytes, len(ctx.cache)
 }
 
+// RowObservation is one observed output cardinality: the full signature
+// string guards against 64-bit hash collisions, exactly like the reuse
+// cache does.
+type RowObservation struct {
+	Sig  string
+	Rows int64
+}
+
+// ObservedRows snapshots the per-node output cardinalities observed so
+// far (signature hash → observation). Sessions adopt one snapshot per
+// iteration into the optimizer's cost model, so every trial plan of the
+// iteration reads identical, frozen statistics regardless of worker
+// scheduling.
+func (ctx *Context) ObservedRows() map[uint64]RowObservation {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	out := make(map[uint64]RowObservation, len(ctx.obsRows))
+	for k, v := range ctx.obsRows {
+		out[k] = v
+	}
+	return out
+}
+
 // Node is one operator of a compiled plan. Nodes are immutable after
 // construction; evaluation is memoised through the context cache.
 type Node interface {
@@ -812,6 +839,14 @@ func Eval(ctx *Context, n Node) (*compact.Table, error) {
 	if err == nil {
 		statAdd(&ctx.Stats.TuplesBuilt, len(t.Tuples))
 		if !ctx.cancelFired() {
+			// Record the observed output cardinality for the optimizer's
+			// cost model (reported estimates only — never rewrite
+			// decisions, so partial best-effort results are simply skipped
+			// along with caching).
+			if ctx.obsRows == nil {
+				ctx.obsRows = map[uint64]RowObservation{}
+			}
+			ctx.obsRows[n.sigHash()] = RowObservation{Sig: sig, Rows: int64(len(t.Tuples))}
 			// A fired cancellation means this result may be partial (a
 			// best-effort cut truncates operator loops), so it is handed to
 			// the caller but never cached: a later evaluation under the same

@@ -90,6 +90,15 @@ func CountNodes(root Node) int {
 // comparable even though the underlying goroutine ids differ; timing and
 // worker attribution vary run to run, the counts do not.
 func Explain(ctx *Context, root Node) (string, error) {
+	return explainTree(ctx, root, nil)
+}
+
+// explainTree is Explain plus optimizer annotations: when opt is non-nil
+// each operator line carries the cost model's estimate (est=~cost/rows)
+// next to the measured actuals, lines rewritten by a rule are tagged
+// with the rule name, and a footer lists every rule firing with its
+// estimated cost before and after the rewrite.
+func explainTree(ctx *Context, root Node, opt *OptInfo) (string, error) {
 	if !ctx.Tracing() {
 		ctx.StartTrace()
 	}
@@ -142,6 +151,14 @@ func Explain(ctx *Context, root Node) (string, error) {
 		if o.Quarantined > 0 {
 			extra += fmt.Sprintf(" quarantined=%d", o.Quarantined)
 		}
+		if opt != nil {
+			if est, ok := opt.Est[n.sigHash()]; ok {
+				extra += " est=" + est.EstimateString()
+			}
+			for _, r := range opt.rulesFor(n.sigHash()) {
+				extra += " «" + r + "»"
+			}
+		}
 		sig := n.Signature()
 		if len(sig) > 44 {
 			sig = sig[:44] + "…"
@@ -158,6 +175,14 @@ func Explain(ctx *Context, root Node) (string, error) {
 	}
 	if err := walk(root, 0); err != nil {
 		return "", err
+	}
+	if opt != nil {
+		fmt.Fprintf(&b, "optimizer: %s\n", opt.Summary())
+		for _, f := range opt.Fired {
+			fmt.Fprintf(&b, "  %s @ %s: est %s → %s — %s\n", f.Rule, f.Node,
+				time.Duration(f.EstBeforeNs).Round(time.Microsecond),
+				time.Duration(f.EstAfterNs).Round(time.Microsecond), f.Detail)
+		}
 	}
 	// Hot-path footer: feature-memo effectiveness and what the batched
 	// stat merging cost. Both are scheduling-dependent (unlike the counts

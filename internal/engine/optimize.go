@@ -1,0 +1,807 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"iflex/internal/alog"
+)
+
+// This file is the cost-based plan optimizer: a rewrite pass that runs
+// between Compile and Eval. Every rewrite preserves the result byte for
+// byte — not just set-equal: the compact tables (tuple order, cell
+// replacements, Maybe flags) of an optimized plan are identical to the
+// unoptimized plan's, so transcripts, convergence signals, and the
+// differential suites cannot tell the two apart except by wall time.
+//
+// Rule catalogue (see DESIGN.md §13 for the per-rule argument):
+//
+//   - fuse-simjoin: a blockable similarity p-function σ~ sitting above a
+//     selection chain over a shared-column-free cross product is hoisted
+//     down past column-disjoint selections and fused into the
+//     token-blocked simjoin. The compiler's syntactic fusion only fires
+//     when σ~ is directly adjacent to the cross; this rule makes plan
+//     quality independent of the order the developer listed body
+//     literals in.
+//   - pushdown: a unary selection is sunk below a cross/simjoin into the
+//     side that binds all its columns (when disjoint from the join
+//     columns), and below from/proc operators that only add columns it
+//     does not read.
+//   - reorder-conjuncts: adjacent selections over pairwise-disjoint
+//     column sets are reordered cheapest-rank-first (comparisons before
+//     constraints before opaque p-functions). Same-rank and overlapping
+//     selections keep their original relative order, which keeps
+//     constraint prior lists valid.
+//   - cse-share: structurally identical subtrees (same signature) are
+//     interned to one canonical node pointer, within a plan and — via a
+//     session-owned CanonTable — across the Simulation strategy's trial
+//     plans of one iteration. Interning changes no signatures, so the
+//     reuse cache behaves identically; what it buys is pointer-identical
+//     inputs for the binary operators' delta memos and the table
+//     adoption path.
+//
+// Determinism contract: rewrite DECISIONS depend only on the plan
+// structure and the environment's table sizes (via the static cardinality
+// estimator), never on observed timings or online cardinalities. The
+// Coster's observed statistics refine the cost numbers REPORTED in
+// explain trees and benches; feeding them into decisions would let
+// scheduling noise pick different plans at different worker counts and
+// break the byte-identity guarantees above.
+
+// Coster supplies the cost model: per-operator unit costs and default
+// selectivities (used for both decisions and reporting; the defaults are
+// static) plus observed output cardinalities (reporting only, refined
+// online from prior executions). Implementations must be safe for
+// concurrent use — trial-plan optimization fans out across goroutines.
+type Coster interface {
+	// UnitCost is the estimated cost in nanoseconds per unit of work
+	// (input tuple, or candidate pair for joins) of one operator kind.
+	UnitCost(k OpKind) float64
+	// Selectivity is the default output/input row ratio of one operator
+	// kind (joins: output over the candidate-pair count).
+	Selectivity(k OpKind) float64
+	// ObservedRows returns the observed output row count for a node
+	// signature from a previous execution, if any. Used for reported
+	// estimates only, never for rewrite decisions.
+	ObservedRows(sigHash uint64, sig string) (int64, bool)
+}
+
+// defaultCoster is the built-in static model used when no Coster is
+// supplied (and the source of the defaults opt.NewModel starts from).
+type defaultCoster struct{}
+
+// DefaultUnitCost returns the built-in per-kind unit cost (ns per unit
+// of work) and DefaultSelectivity the built-in output/input ratio.
+func DefaultUnitCost(k OpKind) float64 {
+	switch k {
+	case OpScan:
+		return 50
+	case OpFrom:
+		return 400
+	case OpCross:
+		return 120
+	case OpSimJoin:
+		return 80
+	case OpUnion:
+		return 20
+	case OpProject:
+		return 60
+	case OpAnnotate:
+		return 60
+	case OpConstraint:
+		return 4000
+	case OpCompare:
+		return 150
+	case OpFunc:
+		return 2500
+	case OpProc:
+		return 5000
+	}
+	return 100
+}
+
+// DefaultSelectivity returns the built-in output/input row ratio per
+// operator kind (joins: matches over candidate pairs).
+func DefaultSelectivity(k OpKind) float64 {
+	switch k {
+	case OpCompare:
+		return 0.4
+	case OpConstraint:
+		return 0.6
+	case OpFunc:
+		return 0.25
+	case OpSimJoin:
+		return 0.02
+	case OpCross:
+		return 0.1 // shared-column (natural join) crosses only
+	case OpFrom:
+		return 2.0 // fan-out, not a filter
+	}
+	return 1.0
+}
+
+func (defaultCoster) UnitCost(k OpKind) float64               { return DefaultUnitCost(k) }
+func (defaultCoster) Selectivity(k OpKind) float64            { return DefaultSelectivity(k) }
+func (defaultCoster) ObservedRows(uint64, string) (int64, bool) { return 0, false }
+
+// AllOpKinds lists every operator kind (for cost-model tables).
+func AllOpKinds() []OpKind {
+	ks := make([]OpKind, numOpKinds)
+	for i := range ks {
+		ks[i] = OpKind(i)
+	}
+	return ks
+}
+
+// fuseRowThreshold gates fuse-simjoin on the statically estimated
+// candidate-pair count: below it the cross product is too small for the
+// blocking index to pay for itself either way, and leaving the plan
+// alone keeps it maximally comparable.
+const fuseRowThreshold = 64
+
+// CanonTable interns plan subtrees by signature so structurally
+// identical subplans share one node pointer — within a plan and across
+// the trial plans of one session iteration (cross-trial common
+// subexpression sharing). Safe for concurrent use. Reset it at each
+// iteration boundary so canonical nodes never outlive the tables the
+// delta machinery pins them to.
+type CanonTable struct {
+	mu sync.Mutex
+	m  map[uint64]Node
+}
+
+// NewCanonTable returns an empty interning table.
+func NewCanonTable() *CanonTable { return &CanonTable{m: map[uint64]Node{}} }
+
+// Reset drops all interned nodes.
+func (c *CanonTable) Reset() {
+	c.mu.Lock()
+	c.m = map[uint64]Node{}
+	c.mu.Unlock()
+}
+
+// intern returns the canonical node for n's signature, registering n if
+// the signature is new. A 64-bit hash collision (different signature
+// strings) leaves n unshared — correctness never rests on the hash.
+func (c *CanonTable) intern(n Node) Node {
+	if c == nil {
+		return n
+	}
+	h := n.sigHash()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.m[h]; ok {
+		if prev.Signature() == n.Signature() {
+			return prev
+		}
+		return n
+	}
+	c.m[h] = n
+	return n
+}
+
+// RuleFiring records one rewrite decision for explain/bench rendering.
+type RuleFiring struct {
+	Rule   string  `json:"rule"`   // fuse-simjoin | pushdown | reorder-conjuncts
+	Node   string  `json:"node"`   // operator label of the rewritten node
+	Sig    uint64  `json:"-"`      // sigHash of the node the firing attaches to
+	Detail string  `json:"detail"` // human-readable what/why
+	// EstBeforeNs / EstAfterNs are the cost model's estimates for the
+	// affected region before and after the rewrite (reporting only).
+	EstBeforeNs float64 `json:"est_before_ns"`
+	EstAfterNs  float64 `json:"est_after_ns"`
+}
+
+// NodeEstimate is the cost model's per-operator estimate for one node of
+// the optimized plan (rendered next to actuals in the explain tree).
+type NodeEstimate struct {
+	Rows   int64
+	CostNs float64
+}
+
+// OptInfo reports what the optimizer did to a plan.
+type OptInfo struct {
+	// Fired lists every rewrite decision in deterministic plan order.
+	Fired []RuleFiring
+	// CSEShared counts subtrees replaced by an already-interned
+	// canonical node (within-plan and cross-trial sharing combined).
+	CSEShared int
+	// Est holds the cost model's per-node estimates, keyed by the
+	// optimized plan's node signature hashes.
+	Est map[uint64]NodeEstimate
+}
+
+// rulesFor returns the rule labels attached to a node (for explain).
+func (o *OptInfo) rulesFor(sig uint64) []string {
+	if o == nil {
+		return nil
+	}
+	var out []string
+	for _, f := range o.Fired {
+		if f.Sig == sig {
+			out = append(out, f.Rule)
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line rule tally, e.g.
+// "3 rewrites (fuse-simjoin=1 pushdown=2), 4 shared subplans".
+func (o *OptInfo) Summary() string {
+	if o == nil {
+		return "off"
+	}
+	counts := map[string]int{}
+	for _, f := range o.Fired {
+		counts[f.Rule]++
+	}
+	var parts []string
+	for _, r := range []string{"fuse-simjoin", "pushdown", "reorder-conjuncts"} {
+		if counts[r] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", r, counts[r]))
+		}
+	}
+	s := fmt.Sprintf("%d rewrites", len(o.Fired))
+	if len(parts) > 0 {
+		s += " (" + strings.Join(parts, " ") + ")"
+	}
+	if o.CSEShared > 0 {
+		s += fmt.Sprintf(", %d shared subplans", o.CSEShared)
+	}
+	return s
+}
+
+// RuleTally returns the fired-rule labels, deduplicated, sorted.
+func (o *OptInfo) RuleTally() []string {
+	if o == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range o.Fired {
+		if !seen[f.Rule] {
+			seen[f.Rule] = true
+			out = append(out, f.Rule)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OptOptions configure an OptimizePlan call.
+type OptOptions struct {
+	// Coster supplies the cost model (nil = built-in defaults).
+	Coster Coster
+	// Canon, when non-nil, interns subtrees across plans (cross-trial
+	// CSE). The caller owns its lifetime and must Reset it whenever the
+	// delta predecessor generation rolls over (each session iteration).
+	Canon *CanonTable
+}
+
+// OptimizePlan rewrites a compiled plan with the semantics-preserving
+// rule catalogue above and returns a new Plan carrying the rewritten
+// root and an OptInfo report. The input plan is never mutated (nodes are
+// immutable); unchanged subtrees are shared by pointer, so an optimized
+// plan delta-links against an unoptimized predecessor (and vice versa)
+// exactly as well as the overlap of their shapes allows.
+func OptimizePlan(p *Plan, env *Env, opts OptOptions) *Plan {
+	c := opts.Coster
+	if c == nil {
+		c = defaultCoster{}
+	}
+	o := &optimizer{
+		env:     env,
+		coster:  c,
+		canon:   opts.Canon,
+		info:    &OptInfo{Est: map[uint64]NodeEstimate{}},
+		done:    map[Node]Node{},
+		rowsEst: map[Node]float64{},
+		rowsObs: map[Node]float64{},
+	}
+	root := o.rewrite(p.Root)
+	o.estimateTree(root, map[uint64]bool{})
+	return &Plan{Root: root, Program: p.Program, Opt: o.info}
+}
+
+type optimizer struct {
+	env    *Env
+	coster Coster
+	canon  *CanonTable
+	info   *OptInfo
+	// done maps original nodes to their rewritten (and interned)
+	// versions, preserving sharing in the rewritten tree.
+	done map[Node]Node
+	// rowsEst memoises the static cardinality estimate (decisions);
+	// rowsObs the observed-refined one (reporting).
+	rowsEst map[Node]float64
+	rowsObs map[Node]float64
+}
+
+// selInfo is one unary selection of a chain, carried by its original
+// node plus the precomputed column set and rank.
+type selInfo struct {
+	node     Node
+	involved []string
+	rank     int
+}
+
+// isSelection reports whether n is a unary selection operator.
+func isSelection(n Node) bool {
+	switch n.(type) {
+	case *compareNode, *funcNode, *constraintNode:
+		return true
+	}
+	return false
+}
+
+// selParent returns a selection node's input.
+func selParent(n Node) Node { return n.Children()[0] }
+
+// selOf extracts the chain metadata of a selection node.
+func selOf(n Node) selInfo {
+	s := selInfo{node: n}
+	switch t := n.(type) {
+	case *compareNode:
+		vars := 0
+		for _, term := range []alog.Term{t.cmp.L, t.cmp.R} {
+			if term.Kind == alog.TermVar {
+				s.involved = append(s.involved, term.Var)
+				vars++
+			}
+		}
+		if vars <= 1 {
+			s.rank = 0 // variable-vs-constant: cheapest
+		} else {
+			s.rank = 1 // variable-vs-variable odometer
+		}
+	case *constraintNode:
+		s.involved = []string{t.cons.Attr}
+		s.rank = 2 // feature Verify/Refine
+	case *funcNode:
+		for _, term := range t.args {
+			if term.Kind == alog.TermVar {
+				s.involved = append(s.involved, term.Var)
+			}
+		}
+		s.rank = 3 // opaque p-function: most expensive
+	}
+	return s
+}
+
+// disjointStr reports whether two column-name sets share no element.
+func disjointStr(a, b []string) bool {
+	for _, x := range a {
+		if containsStr(b, x) {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetStr reports whether every element of a appears in b.
+func subsetStr(a, b []string) bool {
+	for _, x := range a {
+		if !containsStr(b, x) {
+			return false
+		}
+	}
+	return true
+}
+
+// rewrite returns the optimized version of a subtree (memoised, so
+// shared subtrees rewrite once and stay shared).
+func (o *optimizer) rewrite(n Node) Node {
+	if v, ok := o.done[n]; ok {
+		return v
+	}
+	var out Node
+	if isSelection(n) {
+		out = o.rewriteChain(n)
+	} else {
+		out = o.rebuild(n)
+	}
+	out = o.intern(out)
+	o.done[n] = out
+	return out
+}
+
+// rebuild rewrites a non-selection node's children and reconstructs the
+// node only when a child changed (pointer stability keeps signatures,
+// cache entries, and delta links maximally shared).
+func (o *optimizer) rebuild(n Node) Node {
+	switch t := n.(type) {
+	case *scanNode:
+		return n
+	case *fromNode:
+		if p := o.rewrite(t.parent); p != t.parent {
+			return newFromNode(p, t.inVar, t.outVar)
+		}
+	case *procNode:
+		if p := o.rewrite(t.parent); p != t.parent {
+			return newProcNode(p, t.pname, t.inVar, t.outVars)
+		}
+	case *projectNode:
+		if p := o.rewrite(t.parent); p != t.parent {
+			return newProjectNode(p, t.srcCols, t.outCols)
+		}
+	case *annotateNode:
+		if p := o.rewrite(t.parent); p != t.parent {
+			return newAnnotateNode(p, t.exists, t.annotate)
+		}
+	case *crossNode:
+		l, r := o.rewrite(t.left), o.rewrite(t.right)
+		if l != t.left || r != t.right {
+			return newCrossNode(l, r)
+		}
+	case *simJoinNode:
+		l, r := o.rewrite(t.left), o.rewrite(t.right)
+		if l != t.left || r != t.right {
+			return newSimJoinNode(l, r, t.fname, t.leftVar, t.rightVar)
+		}
+	case *unionNode:
+		parts := make([]Node, len(t.parts))
+		changed := false
+		for i, p := range t.parts {
+			parts[i] = o.rewrite(p)
+			changed = changed || parts[i] != p
+		}
+		if changed {
+			return newUnionNode(parts)
+		}
+	}
+	return n
+}
+
+// rewriteChain optimizes a maximal chain of unary selections: fusion
+// rescue, pushdown into the base, and conjunct reordering, in that
+// order. top is the chain's uppermost selection.
+func (o *optimizer) rewriteChain(top Node) Node {
+	// Collect the chain top-down, then flip to bottom-up (sels[0] is the
+	// selection closest to the base — the first one evaluated).
+	var sels []selInfo
+	cur := top
+	for isSelection(cur) {
+		sels = append(sels, selOf(cur))
+		cur = selParent(cur)
+	}
+	for i, j := 0, len(sels)-1; i < j; i, j = i+1, j-1 {
+		sels[i], sels[j] = sels[j], sels[i]
+	}
+	origBase := cur
+	base := o.rewrite(origBase)
+	changed := base != origBase
+
+	// fuse-simjoin: hoist a fusible similarity selection down past
+	// column-disjoint selections onto the shared-free cross and fuse.
+	for i := 0; i < len(sels); {
+		fn, ok := sels[i].node.(*funcNode)
+		if !ok || !o.canFuse(fn, base, sels[:i]) {
+			i++
+			continue
+		}
+		cross := base.(*crossNode)
+		lv, rv := orientSim(fn, cross)
+		fused := newSimJoinNode(cross.left, cross.right, fn.fname, lv, rv)
+		o.info.Fired = append(o.info.Fired, RuleFiring{
+			Rule: "fuse-simjoin", Node: opName(fused), Sig: fused.sigHash(),
+			Detail: fmt.Sprintf("%s(%s,%s) hoisted past %d selection(s) onto %s and fused",
+				fn.fname, lv, rv, i, opName(cross)),
+			EstBeforeNs: o.cost(cross) + o.coster.UnitCost(OpFunc)*o.rows(cross, false),
+			EstAfterNs:  o.cost(fused),
+		})
+		base = fused
+		sels = append(sels[:i], sels[i+1:]...)
+		changed = true
+		// Restart: removing the func may expose another fusible one
+		// (the base is a simjoin now, so only deeper chains fuse more).
+		i = 0
+	}
+
+	// pushdown: sink each selection into the base when every selection
+	// that stays between it and the base commutes with it.
+	var kept []selInfo
+	for _, s := range sels {
+		commutes := true
+		for _, k := range kept {
+			if !disjointStr(s.involved, k.involved) {
+				commutes = false
+				break
+			}
+		}
+		if commutes {
+			if nb, moved := o.sink(s, base); nb != nil {
+				o.info.Fired = append(o.info.Fired, RuleFiring{
+					Rule: "pushdown", Node: opName(moved), Sig: moved.sigHash(),
+					Detail:      fmt.Sprintf("%s sunk below %s", opName(s.node), opName(base)),
+					EstBeforeNs: o.cost(s.node),
+					EstAfterNs:  o.cost(moved),
+				})
+				base = nb
+				changed = true
+				continue
+			}
+		}
+		kept = append(kept, s)
+	}
+
+	// reorder-conjuncts: bubble cheaper-rank selections toward the base,
+	// swapping only strictly-improving, column-disjoint adjacent pairs
+	// (stable otherwise — constraint prior lists rely on the same-attr
+	// relative order never changing).
+	reordered := false
+	for swapped := true; swapped; {
+		swapped = false
+		for j := 0; j+1 < len(kept); j++ {
+			a, b := kept[j], kept[j+1]
+			if b.rank < a.rank && disjointStr(a.involved, b.involved) {
+				kept[j], kept[j+1] = b, a
+				swapped, reordered, changed = true, true, true
+			}
+		}
+	}
+
+	if !changed {
+		return top
+	}
+	node := base
+	var beforeCost float64
+	for _, s := range sels {
+		beforeCost += o.cost(s.node)
+	}
+	for _, s := range kept {
+		node = o.intern(o.rebuildSel(s, node))
+	}
+	if reordered {
+		var afterCost float64
+		for w := node; isSelection(w); w = selParent(w) {
+			afterCost += o.cost(w)
+		}
+		o.info.Fired = append(o.info.Fired, RuleFiring{
+			Rule: "reorder-conjuncts", Node: opName(node), Sig: node.sigHash(),
+			Detail:      fmt.Sprintf("%d conjuncts ordered cheapest-rank-first", len(kept)),
+			EstBeforeNs: beforeCost, EstAfterNs: afterCost,
+		})
+	}
+	return node
+}
+
+// canFuse reports whether fn can legally fuse with base: base is a
+// shared-free cross with one function variable bound on each side, every
+// selection below fn in the chain is column-disjoint from the function's
+// variables (so hoisting it down commutes byte for byte), and the
+// statically estimated candidate-pair count clears the threshold.
+func (o *optimizer) canFuse(fn *funcNode, base Node, below []selInfo) bool {
+	if !o.env.Blockable[fn.fname] || len(fn.args) != 2 {
+		return false
+	}
+	cross, ok := base.(*crossNode)
+	if !ok || len(cross.shared) > 0 {
+		return false
+	}
+	v1, v2 := fn.args[0], fn.args[1]
+	if v1.Kind != alog.TermVar || v2.Kind != alog.TermVar {
+		return false
+	}
+	lcols, rcols := cross.left.Columns(), cross.right.Columns()
+	split := (containsStr(lcols, v1.Var) && containsStr(rcols, v2.Var)) ||
+		(containsStr(lcols, v2.Var) && containsStr(rcols, v1.Var))
+	if !split {
+		return false
+	}
+	fvars := []string{v1.Var, v2.Var}
+	for _, s := range below {
+		if !disjointStr(s.involved, fvars) {
+			return false
+		}
+	}
+	return o.rows(cross.left, false)*o.rows(cross.right, false) >= fuseRowThreshold
+}
+
+// orientSim returns the function's variables as (leftVar, rightVar) of
+// the cross product (mirrors the compiler's tryFuseSimJoin).
+func orientSim(fn *funcNode, cross *crossNode) (string, string) {
+	v1, v2 := fn.args[0].Var, fn.args[1].Var
+	if containsStr(cross.left.Columns(), v1) {
+		return v1, v2
+	}
+	return v2, v1
+}
+
+// sink tries to place a selection below target, descending recursively
+// through joins and column-adding unary operators; it returns the
+// rebuilt target plus the relocated selection node, or (nil, nil) when
+// no legal position strictly below target exists. Projections, unions,
+// and annotations are never crossed: in compiled plans they only occur
+// at rule-fragment and predicate boundaries, and predicate sub-plans are
+// shared across callers — pushing one caller's selection inside would
+// change the shared intermediate (and the session's convergence signal).
+func (o *optimizer) sink(s selInfo, target Node) (Node, Node) {
+	switch t := target.(type) {
+	case *crossNode:
+		if !disjointStr(s.involved, t.shared) {
+			return nil, nil
+		}
+		if subsetStr(s.involved, t.left.Columns()) {
+			nl, sel := o.sinkOrWrap(s, t.left)
+			return newCrossNode(nl, t.right), sel
+		}
+		if subsetStr(s.involved, t.right.Columns()) {
+			nr, sel := o.sinkOrWrap(s, t.right)
+			return newCrossNode(t.left, nr), sel
+		}
+	case *simJoinNode:
+		if subsetStr(s.involved, t.left.Columns()) && !containsStr(s.involved, t.leftVar) {
+			nl, sel := o.sinkOrWrap(s, t.left)
+			return newSimJoinNode(nl, t.right, t.fname, t.leftVar, t.rightVar), sel
+		}
+		if subsetStr(s.involved, t.right.Columns()) && !containsStr(s.involved, t.rightVar) {
+			nr, sel := o.sinkOrWrap(s, t.right)
+			return newSimJoinNode(t.left, nr, t.fname, t.leftVar, t.rightVar), sel
+		}
+	case *fromNode:
+		if !containsStr(s.involved, t.outVar) {
+			np, sel := o.sinkOrWrap(s, t.parent)
+			return newFromNode(np, t.inVar, t.outVar), sel
+		}
+	case *procNode:
+		if disjointStr(s.involved, t.outVars) {
+			np, sel := o.sinkOrWrap(s, t.parent)
+			return newProcNode(np, t.pname, t.inVar, t.outVars), sel
+		}
+	}
+	return nil, nil
+}
+
+// sinkOrWrap sinks the selection deeper when possible, otherwise places
+// it directly above target.
+func (o *optimizer) sinkOrWrap(s selInfo, target Node) (Node, Node) {
+	if nb, sel := o.sink(s, target); nb != nil {
+		return o.intern(nb), sel
+	}
+	sel := o.intern(o.rebuildSel(s, target))
+	return sel, sel
+}
+
+// rebuildSel reconstructs a selection node over a new input, carrying
+// its parameters (constraint prior lists included) verbatim.
+func (o *optimizer) rebuildSel(s selInfo, parent Node) Node {
+	switch t := s.node.(type) {
+	case *compareNode:
+		if t.parent == parent {
+			return t
+		}
+		return newCompareNode(parent, t.cmp)
+	case *funcNode:
+		if t.parent == parent {
+			return t
+		}
+		return newFuncNode(parent, t.fname, t.args)
+	case *constraintNode:
+		if t.parent == parent {
+			return t
+		}
+		return newConstraintNode(parent, t.cons, t.prior)
+	}
+	return s.node
+}
+
+// intern canonicalizes a node through the CSE table (no-op without one).
+func (o *optimizer) intern(n Node) Node {
+	if o.canon == nil {
+		return n
+	}
+	m := o.canon.intern(n)
+	if m != n {
+		o.info.CSEShared++
+	}
+	return m
+}
+
+// rows estimates a node's output row count. With useObs, observed
+// cardinalities from previous executions override the static estimate
+// (reporting); without, the estimate is purely structural (decisions).
+func (o *optimizer) rows(n Node, useObs bool) float64 {
+	memo := o.rowsEst
+	if useObs {
+		memo = o.rowsObs
+	}
+	if v, ok := memo[n]; ok {
+		return v
+	}
+	var r float64
+	if useObs {
+		if obs, ok := o.coster.ObservedRows(n.sigHash(), n.Signature()); ok {
+			memo[n] = float64(obs)
+			return float64(obs)
+		}
+	}
+	switch t := n.(type) {
+	case *scanNode:
+		if tab, ok := o.env.Tables[t.pred]; ok {
+			r = float64(len(tab.Tuples))
+		} else {
+			r = 10
+		}
+	case *fromNode:
+		r = o.rows(t.parent, useObs) * o.coster.Selectivity(OpFrom)
+	case *procNode:
+		r = o.rows(t.parent, useObs)
+	case *projectNode:
+		r = o.rows(t.parent, useObs)
+	case *annotateNode:
+		r = o.rows(t.parent, useObs)
+	case *crossNode:
+		r = o.rows(t.left, useObs) * o.rows(t.right, useObs)
+		if len(t.shared) > 0 {
+			r *= o.coster.Selectivity(OpCross)
+		}
+	case *simJoinNode:
+		r = o.rows(t.left, useObs) * o.rows(t.right, useObs) * o.coster.Selectivity(OpSimJoin)
+	case *unionNode:
+		for _, p := range t.parts {
+			r += o.rows(p, useObs)
+		}
+	case *compareNode:
+		r = o.rows(t.parent, useObs) * o.coster.Selectivity(OpCompare)
+	case *constraintNode:
+		r = o.rows(t.parent, useObs) * o.coster.Selectivity(OpConstraint)
+	case *funcNode:
+		r = o.rows(t.parent, useObs) * o.coster.Selectivity(OpFunc)
+	default:
+		r = 10
+	}
+	if r < 1 {
+		r = 1
+	}
+	memo[n] = r
+	return r
+}
+
+// cost estimates a node's own evaluation cost in nanoseconds (its work
+// units scaled by the unit cost; observed rows refine the inputs).
+func (o *optimizer) cost(n Node) float64 {
+	u := o.coster.UnitCost(kindOf(n))
+	var work float64
+	switch t := n.(type) {
+	case *scanNode:
+		work = o.rows(n, true)
+	case *crossNode:
+		work = o.rows(t.left, true) * o.rows(t.right, true)
+	case *simJoinNode:
+		l, r := o.rows(t.left, true), o.rows(t.right, true)
+		work = l + r + l*r*o.coster.Selectivity(OpSimJoin)
+	case *unionNode:
+		for _, p := range t.parts {
+			work += o.rows(p, true)
+		}
+	default:
+		if cs := n.Children(); len(cs) == 1 {
+			work = o.rows(cs[0], true)
+		} else {
+			work = o.rows(n, true)
+		}
+	}
+	return u * work
+}
+
+// estimateTree fills OptInfo.Est for every node of the final plan.
+func (o *optimizer) estimateTree(n Node, seen map[uint64]bool) {
+	h := n.sigHash()
+	if seen[h] {
+		return
+	}
+	seen[h] = true
+	o.info.Est[h] = NodeEstimate{Rows: int64(o.rows(n, true)), CostNs: o.cost(n)}
+	for _, c := range n.Children() {
+		o.estimateTree(c, seen)
+	}
+}
+
+// EstimateString renders a node estimate compactly, e.g. "~1.2ms/340r".
+func (e NodeEstimate) EstimateString() string {
+	d := time.Duration(e.CostNs).Round(time.Microsecond)
+	return fmt.Sprintf("~%s/%dr", d, e.Rows)
+}

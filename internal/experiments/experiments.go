@@ -40,6 +40,11 @@ type Options struct {
 	// none); expired sessions report their best partial result and a
 	// degradation summary instead of failing the harness.
 	Deadline time.Duration
+	// DisableOptimizer runs sessions without the cost-based plan
+	// optimizer (results are byte-identical either way). The Hotpath and
+	// Reuse harnesses pin the optimizer off regardless, so their counters
+	// stay comparable across releases.
+	DisableOptimizer bool
 	// Out receives the rendered table (nil = io.Discard).
 	Out io.Writer
 }
@@ -74,6 +79,8 @@ type Scenario struct {
 	Workers int
 	// Deadline bounds the session in wall-clock time (0 = none).
 	Deadline time.Duration
+	// DisableOptimizer turns the session's plan optimizer off.
+	DisableOptimizer bool
 }
 
 // Table3Sizes lists the paper's 27 scenarios: three sizes per task
@@ -154,10 +161,11 @@ func RunScenario(sc Scenario, strategyName string, seed int64) (*SessionOutcome,
 	truth := task.Truth(c)
 	start := time.Now()
 	session := assistant.NewSession(env, prog, task.Oracle(), assistant.Config{
-		Strategy:   strat,
-		SubsetSeed: uint64(seed),
-		Workers:    sc.Workers,
-		Deadline:   sc.Deadline,
+		Strategy:         strat,
+		SubsetSeed:       uint64(seed),
+		Workers:          sc.Workers,
+		Deadline:         sc.Deadline,
+		DisableOptimizer: sc.DisableOptimizer,
 	})
 	res, err := session.Run()
 	if err != nil {
@@ -252,7 +260,7 @@ func Table3(o Options) ([]Table3Row, error) {
 		shape := devmodel.ShapeOf(alog.MustParse(task.Program))
 		for i, full := range sizes {
 			n := o.scale(full)
-			out, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers, Deadline: o.Deadline}, o.Strategy, o.Seed)
+			out, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers, Deadline: o.Deadline, DisableOptimizer: o.DisableOptimizer}, o.Strategy, o.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -305,7 +313,7 @@ func Table4(o Options) ([]*SessionOutcome, error) {
 		"Task", "Records", "Correct", "TuplesPerIteration(full in [])", "Quest", "Time(s)", "Superset")
 	for _, task := range corpus.Tasks() {
 		n := o.scale(sizes[task.ID])
-		out, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers, Deadline: o.Deadline}, o.Strategy, o.Seed)
+		out, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers, Deadline: o.Deadline, DisableOptimizer: o.DisableOptimizer}, o.Strategy, o.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -354,11 +362,11 @@ func Table5(o Options) ([]Table5Row, error) {
 		"Task", "Records", "itS", "qS", "tS(s)", "ssSeq", "itM", "qM", "tM(s)", "ssSim", "p.ssSeq", "p.ssSim")
 	for _, task := range corpus.Tasks() {
 		n := o.scale(sizes[task.ID])
-		seq, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers, Deadline: o.Deadline}, "seq", o.Seed)
+		seq, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers, Deadline: o.Deadline, DisableOptimizer: o.DisableOptimizer}, "seq", o.Seed)
 		if err != nil {
 			return nil, err
 		}
-		sim, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers, Deadline: o.Deadline}, "sim", o.Seed)
+		sim, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers, Deadline: o.Deadline, DisableOptimizer: o.DisableOptimizer}, "sim", o.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -413,10 +421,11 @@ func Table6(o Options) ([]Table6Row, error) {
 		truth := task.Truth(c)
 		start := time.Now()
 		session := assistant.NewSession(env, prog, task.Oracle(), assistant.Config{
-			Strategy:   assistant.Simulation{},
-			SubsetSeed: uint64(o.Seed),
-			Workers:    o.Workers,
-			Deadline:   o.Deadline,
+			Strategy:         assistant.Simulation{},
+			SubsetSeed:       uint64(o.Seed),
+			Workers:          o.Workers,
+			Deadline:         o.Deadline,
+			DisableOptimizer: o.DisableOptimizer,
 		})
 		res, err := session.Run()
 		if err != nil {
@@ -537,10 +546,11 @@ func ParallelCompare(o Options, taskID string, records int) (*ParallelResult, er
 		prog := alog.MustParse(task.Program)
 		start := time.Now()
 		session := assistant.NewSession(env, prog, task.Oracle(), assistant.Config{
-			Strategy:   strat,
-			SubsetSeed: uint64(o.Seed),
-			Workers:    w,
-			Deadline:   o.Deadline,
+			Strategy:         strat,
+			SubsetSeed:       uint64(o.Seed),
+			Workers:          w,
+			Deadline:         o.Deadline,
+			DisableOptimizer: o.DisableOptimizer,
 		})
 		res, err := session.Run()
 		if err != nil {
@@ -614,11 +624,16 @@ func Hotpath(o Options, taskID string, records int) (*HotpathResult, error) {
 	// Delta reuse is pinned off: this harness isolates the serial hot path,
 	// and replayed tuples would skip the very Verify/Refine/p-function work
 	// being measured (the reuse axis has its own harness, Reuse).
+	// The optimizer is pinned off too: its rewrites change which plan
+	// shape executes, and this harness's counters (func calls, memo hits)
+	// are only comparable across releases over a fixed shape. The
+	// optimizer axis has its own harness, Optimizer.
 	session := assistant.NewSession(env, prog, task.Oracle(), assistant.Config{
 		Strategy:          strat,
 		SubsetSeed:        uint64(o.Seed),
 		Workers:           1,
 		DisableDeltaReuse: true,
+		DisableOptimizer:  true,
 		Deadline:          o.Deadline,
 	})
 	res, err := session.Run()
@@ -708,11 +723,14 @@ func Reuse(o Options, taskID string, records int) (*ReuseResult, error) {
 		env := task.Env(c)
 		prog := alog.MustParse(task.Program)
 		start := time.Now()
+		// Optimizer pinned off (like Hotpath): the delta-reuse counters
+		// compared across releases must come from a fixed plan shape.
 		session := assistant.NewSession(env, prog, task.Oracle(), assistant.Config{
 			Strategy:          strat,
 			SubsetSeed:        uint64(o.Seed),
 			Workers:           workers,
 			DisableDeltaReuse: disable,
+			DisableOptimizer:  true,
 			Deadline:          o.Deadline,
 		})
 		res, err := session.Run()
@@ -804,7 +822,7 @@ func Convergence(o Options) (*ConvergenceSummary, error) {
 	fmt.Fprintf(o.Out, "Section 6.2: convergence over 27 scenarios (scale %.2f, strategy %s)\n", o.Scale, o.Strategy)
 	for _, task := range corpus.Tasks() {
 		for _, full := range Table3Sizes[task.ID] {
-			out, err := RunScenario(Scenario{TaskID: task.ID, Records: o.scale(full), Workers: o.Workers, Deadline: o.Deadline}, o.Strategy, o.Seed)
+			out, err := RunScenario(Scenario{TaskID: task.ID, Records: o.scale(full), Workers: o.Workers, Deadline: o.Deadline, DisableOptimizer: o.DisableOptimizer}, o.Strategy, o.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -860,7 +878,7 @@ func Variance(o Options, seeds []int64) ([]VarianceRow, error) {
 		row := VarianceRow{Task: task.ID, Records: n, Runs: len(seeds),
 			MinSuperset: -1, AllCovered: true}
 		for _, seed := range seeds {
-			out, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers, Deadline: o.Deadline}, o.Strategy, seed)
+			out, err := RunScenario(Scenario{TaskID: task.ID, Records: n, Workers: o.Workers, Deadline: o.Deadline, DisableOptimizer: o.DisableOptimizer}, o.Strategy, seed)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"iflex/internal/alog"
+	"iflex/internal/corpus"
+	"iflex/internal/engine"
+	"iflex/internal/engine/opt"
+	"iflex/internal/feature"
+)
+
+// optimizerVariant is one benchmark workload: a task corpus plus a
+// program — either the task's program as written, or a literal-order
+// permutation of it. Permutations matter because the compiler's greedy
+// literal placement fuses a similarity join only when the developer
+// happened to list the similarity literal adjacent to its join; the
+// optimizer's whole job is to make plan quality independent of that.
+type optimizerVariant struct {
+	Task    string
+	Variant string
+	Program string
+}
+
+// t9SelectionFirst is T9 with the price comparison listed before the
+// similarity literal. The compiler then pins the comparison directly
+// over the cross product and cannot fuse the similarity into a blocked
+// join — the optimizer has to rescue the plan.
+const t9SelectionFirst = `
+amT(x, <t1>, <np>) :- Amazon(x), extractAmazonT(x, t1, np).
+bnT(y, <t2>, <bp>) :- Barnes(y), extractBarnesT(y, t2, bp).
+T9(t1) :- amT(x, t1, np), bnT(y, t2, bp), np < bp, similar(t1, t2).
+extractAmazonT(x, t, np) :- from(x, t), from(x, np).
+extractBarnesT(y, t, bp) :- from(y, t), from(y, bp).
+`
+
+// OptimizerQuestion is one (variant, question-count) measurement point.
+type OptimizerQuestion struct {
+	Task    string `json:"task"`
+	Variant string `json:"variant"`
+	// Questions is how many oracle constraints are applied (cumulative,
+	// deterministic order) — the program a session would hold after that
+	// many answered questions.
+	Questions int `json:"questions"`
+	// UnoptS / OptS are serial fresh-context wall times of the plan as
+	// compiled versus optimized.
+	UnoptS  float64 `json:"unopt_s"`
+	OptS    float64 `json:"opt_s"`
+	Speedup float64 `json:"speedup"`
+	// WinPct is the optimizer's wall-time win in percent (negative =
+	// regression).
+	WinPct float64 `json:"win_pct"`
+	// RulesFired lists the rewrite rules that fired on this plan.
+	RulesFired []string `json:"rules_fired"`
+	// Identical reports byte-identity of the optimized result against
+	// the unoptimized one across Workers 1/8 × delta on/off.
+	Identical bool `json:"identical"`
+}
+
+// OptimizerResult is the optimizer benchmark (BENCH_OPTIMIZER.json).
+// Top-level *_s fields feed iflex-bench -compare.
+type OptimizerResult struct {
+	Records      int                 `json:"records"`
+	CPUs         int                 `json:"cpus"`
+	TotalUnoptS  float64             `json:"total_unopt_s"`
+	TotalOptS    float64             `json:"total_opt_s"`
+	BestWinPct   float64             `json:"best_win_pct"`
+	PlanWins     float64             `json:"plan_wins"` // questions won by ≥20%
+	AllIdentical bool                `json:"all_identical"`
+	Questions    []OptimizerQuestion `json:"questions"`
+}
+
+// oracleConstraints flattens a task's oracle answers into a
+// deterministic (attr, feature, value) sequence — the constraints a
+// session would accumulate, in sorted order.
+func oracleConstraints(task *corpus.Task) [][3]string {
+	answers := task.Oracle().Answers
+	var attrs []string
+	for a := range answers {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	var out [][3]string
+	for _, a := range attrs {
+		var feats []string
+		for f := range answers[a] {
+			feats = append(feats, f)
+		}
+		sort.Strings(feats)
+		for _, f := range feats {
+			if v := answers[a][f]; v != feature.Unknown {
+				out = append(out, [3]string{a, f, v})
+			}
+		}
+	}
+	return out
+}
+
+// constrainedProgram returns the variant program with the first q
+// oracle constraints applied.
+func constrainedProgram(src string, cons [][3]string, q int) (*alog.Program, error) {
+	prog, err := alog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cons[:q] {
+		parts := strings.SplitN(c[0], ".", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad attr key %q", c[0])
+		}
+		attr := alog.AttrRef{Pred: parts[0], Var: parts[1]}
+		if err := prog.AddConstraint(attr, c[1], c[2]); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// Optimizer benchmarks the cost-based plan optimizer: for each workload
+// variant and each question count it times the compiled plan against
+// the optimized plan (serial, fresh context), then sweeps Workers 1/8 ×
+// delta on/off asserting the optimized results are byte-identical to
+// the unoptimized baseline. Delta arms chain contexts across question
+// counts, so rewritten plans are also exercised as lockstep-linked
+// predecessors. An identity failure is an error, not a statistic.
+func Optimizer(o Options) (*OptimizerResult, error) {
+	o = o.withDefaults()
+	records := o.scale(5000)
+	variants := []optimizerVariant{}
+	for _, tid := range []string{"T6", "T9"} {
+		task, err := corpus.TaskByID(tid)
+		if err != nil {
+			return nil, err
+		}
+		variants = append(variants, optimizerVariant{Task: tid, Variant: "as-written", Program: task.Program})
+	}
+	variants = append(variants, optimizerVariant{Task: "T9", Variant: "selection-first", Program: t9SelectionFirst})
+
+	res := &OptimizerResult{Records: records, CPUs: runtime.NumCPU(), AllIdentical: true}
+	fmt.Fprintf(o.Out, "Optimizer: %d records per table\n", records)
+	fmt.Fprintf(o.Out, "%-4s %-15s %2s %10s %10s %8s %6s  %s\n",
+		"Task", "Variant", "Q", "Unopt(s)", "Opt(s)", "Win", "Ident", "Rules")
+
+	for _, v := range variants {
+		task, err := corpus.TaskByID(v.Task)
+		if err != nil {
+			return nil, err
+		}
+		c := task.Generate(records, o.Seed)
+		env := task.Env(c)
+		cons := oracleConstraints(task)
+		// Question counts: none, roughly half, all — the plan a session
+		// executes early, mid-refinement, and at convergence.
+		qs := []int{0, len(cons) / 2, len(cons)}
+		qs = dedupInts(qs)
+
+		model := opt.NewModel()
+		// deltaArms chain one context per (optimize, workers) across
+		// question counts, delta-linking each plan to its predecessor.
+		type armKey struct {
+			optimize bool
+			workers  int
+		}
+		type armState struct {
+			ctx  *engine.Context
+			prev engine.Node
+		}
+		arms := map[armKey]*armState{}
+		for _, ok := range []bool{false, true} {
+			for _, w := range []int{1, 8} {
+				ctx := engine.NewContext(env)
+				ctx.Workers = w
+				ctx.EnableDelta()
+				arms[armKey{ok, w}] = &armState{ctx: ctx}
+			}
+		}
+
+		for _, q := range qs {
+			prog, err := constrainedProgram(v.Program, cons, q)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: optimizer %s/%s q=%d: %w", v.Task, v.Variant, q, err)
+			}
+			compileFresh := func() (*engine.Plan, error) { return engine.Compile(prog, env) }
+
+			// Timed arms: serial, fresh context, delta off — pure plan cost.
+			// Interleaved repetitions, keeping the minimum, so allocator and
+			// parse-cache warm-up doesn't flatter whichever arm runs later.
+			timeArm := func(optimize bool) (*engine.Plan, float64, string, error) {
+				plan, err := compileFresh()
+				if err != nil {
+					return nil, 0, "", err
+				}
+				if optimize {
+					plan = opt.Optimize(plan, env, model, nil)
+				}
+				ctx := engine.NewContext(env)
+				ctx.Workers = 1
+				start := time.Now()
+				tab, err := plan.Execute(ctx)
+				if err != nil {
+					return nil, 0, "", err
+				}
+				if optimize {
+					model.AdoptRows(ctx.ObservedRows())
+				}
+				return plan, time.Since(start).Seconds(), tab.String(), nil
+			}
+			const reps = 2
+			var unoptS, optS float64
+			var baseline, optTab string
+			var optPlan *engine.Plan
+			for r := 0; r < reps; r++ {
+				_, uS, uTab, err := timeArm(false)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: optimizer %s/%s q=%d unopt: %w", v.Task, v.Variant, q, err)
+				}
+				p, oS, oTab, err := timeArm(true)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: optimizer %s/%s q=%d opt: %w", v.Task, v.Variant, q, err)
+				}
+				if r == 0 || uS < unoptS {
+					unoptS = uS
+				}
+				if r == 0 || oS < optS {
+					optS = oS
+				}
+				baseline, optTab, optPlan = uTab, oTab, p
+			}
+
+			identical := optTab == baseline
+			// Identity sweep with delta on, chained across question counts.
+			for key, arm := range arms {
+				plan, err := compileFresh()
+				if err != nil {
+					return nil, err
+				}
+				if key.optimize {
+					plan = opt.Optimize(plan, env, model, nil)
+				}
+				arm.ctx.ResetDelta()
+				if arm.prev != nil {
+					arm.ctx.RegisterDelta(arm.prev, plan.Root)
+				}
+				arm.prev = plan.Root
+				tab, err := plan.Execute(arm.ctx)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: optimizer %s/%s q=%d arm %+v: %w", v.Task, v.Variant, q, key, err)
+				}
+				if tab.String() != baseline {
+					identical = false
+				}
+			}
+
+			point := OptimizerQuestion{
+				Task: v.Task, Variant: v.Variant, Questions: q,
+				UnoptS: unoptS, OptS: optS,
+				RulesFired: optPlan.Opt.RuleTally(),
+				Identical:  identical,
+			}
+			if optS > 0 {
+				point.Speedup = unoptS / optS
+			}
+			if unoptS > 0 {
+				point.WinPct = 100 * (unoptS - optS) / unoptS
+			}
+			res.Questions = append(res.Questions, point)
+			res.TotalUnoptS += unoptS
+			res.TotalOptS += optS
+			if point.WinPct > res.BestWinPct {
+				res.BestWinPct = point.WinPct
+			}
+			if point.WinPct >= 20 {
+				res.PlanWins++
+			}
+			res.AllIdentical = res.AllIdentical && identical
+			fmt.Fprintf(o.Out, "%-4s %-15s %2d %10.3f %10.3f %7.1f%% %6v  %s\n",
+				v.Task, v.Variant, q, unoptS, optS, point.WinPct, identical,
+				strings.Join(point.RulesFired, ","))
+		}
+	}
+	fmt.Fprintf(o.Out, "total: unopt %.3fs, opt %.3fs; best win %.1f%%; %d question(s) won by ≥20%%\n",
+		res.TotalUnoptS, res.TotalOptS, res.BestWinPct, int(res.PlanWins))
+	if !res.AllIdentical {
+		return res, fmt.Errorf("experiments: optimizer run diverged from the unoptimized baseline")
+	}
+	return res, nil
+}
+
+// dedupInts sorts and deduplicates.
+func dedupInts(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
