@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-all chaos bench bench-parallel bench-hotpath bench-reuse bench-optimizer benchdiff profile vet verify
+.PHONY: build test race race-all chaos bench bench-parallel bench-hotpath bench-reuse bench-optimizer bench-serve serve-smoke benchdiff profile vet verify
 
 build:
 	$(GO) build ./...
@@ -12,15 +12,16 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector run over the concurrent core: the engine's shared-context
-# single-flight cache and the assistant's simulation fan-out.
+# single-flight cache, the assistant's simulation fan-out, and the
+# multi-tenant server.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/assistant/...
+	$(GO) test -race ./internal/engine/... ./internal/assistant/... ./internal/server/...
 
 # The pre-merge gate: vet, the race run over the concurrent core, and the
 # full tier-1 suite. Bench-heavy tests honour -short, so this stays fast.
 verify:
 	$(GO) vet ./...
-	$(GO) test -short -race ./internal/engine/... ./internal/assistant/...
+	$(GO) test -short -race ./internal/engine/... ./internal/assistant/... ./internal/server/...
 	$(GO) build ./...
 	$(GO) test -short ./...
 
@@ -53,6 +54,29 @@ bench-reuse:
 # sweep across worker counts and delta on/off (DESIGN.md §13).
 bench-optimizer:
 	$(GO) run ./cmd/iflex-bench -table optimizer -scale 0.05 -bench-json BENCH_OPTIMIZER.json
+
+# Multi-tenant service load test: 8 concurrent tenants driving whole
+# sessions over HTTP against an in-process server, with every streamed
+# table checked byte-identical to the library path (DESIGN.md §14).
+bench-serve:
+	$(GO) run ./cmd/iflex-bench -table serve -scale 0.05 -bench-json BENCH_SERVE.json
+
+# Boot iflexd, run a short serve burst against it, and check it drains
+# cleanly on SIGTERM (exit 0). One shell so `wait` sees the daemon.
+serve-smoke:
+	$(GO) build -o /tmp/iflexd ./cmd/iflexd
+	$(GO) build -o /tmp/iflex-bench ./cmd/iflex-bench
+	/tmp/iflexd -addr 127.0.0.1:18080 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18080/healthz >/dev/null && break; sleep 0.1; \
+	done; \
+	/tmp/iflex-bench -table serve -scale 0.05 -tenants 4 -sessions-per-tenant 1 \
+		-serve-addr http://127.0.0.1:18080 || exit 1; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "serve-smoke: drain was not clean"; exit 1; }; \
+	trap - EXIT; \
+	echo "serve-smoke: clean drain"
 
 # Re-run the parallel and reuse benches and fail on a >10% wall-time
 # regression against the committed snapshots.

@@ -6,9 +6,12 @@
 //
 //	iflex-bench -table 5 -scale 0.2          # Table 5 at 20% corpus sizes
 //	iflex-bench -table all -scale 1 -out results.txt
+//	iflex-bench -table serve -tenants 8 -bench-json BENCH_SERVE.json
 //
 // -scale 1 runs the paper's corpus sizes (slow: tens of minutes);
 // benches and CI use small scales, which preserve the result shapes.
+// -table serve load-tests the multi-tenant service (in-process by
+// default; -serve-addr points it at a running iflexd instead).
 package main
 
 import (
@@ -25,130 +28,167 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's body with an exit code instead of os.Exit: every failure
+// path returns, so the deferred profile flush and -out file close always
+// happen. (A CPU profile is only parseable after pprof.StopCPUProfile —
+// calling os.Exit mid-run used to truncate it.)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("iflex-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, parallel, hotpath, reuse, optimizer, or all")
-		compare    = flag.Bool("compare", false, "compare two benchmark JSON files (old new); exit non-zero on a >10% wall-time regression")
-		scale      = flag.Float64("scale", 0.2, "corpus size factor (1.0 = paper sizes)")
-		seed       = flag.Int64("seed", 1, "corpus generation seed")
-		strategy   = flag.String("strategy", "sim", "assistant strategy for Tables 3/4/conv: seq or sim")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = serial)")
-		optimize   = flag.Bool("optimize", true, "run assistant sessions with the cost-based plan optimizer; -optimize=false executes plans exactly as compiled (the hotpath/reuse harnesses always pin it off for counter comparability)")
-		timeout    = flag.Duration("timeout", 0, "best-effort deadline per assistant session: expired sessions report their partial result and a degradation summary (0 = none)")
-		benchJSON  = flag.String("bench-json", "", "write the parallel comparison result to this JSON file")
-		outPath    = flag.String("out", "", "also write output to this file")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-		tracePath  = flag.String("trace", "", "write a runtime execution trace to this file")
+		table      = fs.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, parallel, hotpath, reuse, optimizer, serve, or all")
+		compare    = fs.Bool("compare", false, "compare two benchmark JSON files (old new); exit non-zero on a >10% wall-time regression")
+		scale      = fs.Float64("scale", 0.2, "corpus size factor (1.0 = paper sizes)")
+		seed       = fs.Int64("seed", 1, "corpus generation seed")
+		strategy   = fs.String("strategy", "sim", "assistant strategy for Tables 3/4/conv: seq or sim")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = serial)")
+		optimize   = fs.Bool("optimize", true, "run assistant sessions with the cost-based plan optimizer; -optimize=false executes plans exactly as compiled (the hotpath/reuse harnesses always pin it off for counter comparability)")
+		timeout    = fs.Duration("timeout", 0, "best-effort deadline per assistant session: expired sessions report their partial result and a degradation summary (0 = none)")
+		tenants    = fs.Int("tenants", 8, "concurrent tenants for -table serve")
+		sessions   = fs.Int("sessions-per-tenant", 2, "sessions each tenant runs for -table serve")
+		serveAddr  = fs.String("serve-addr", "", "load-test a running iflexd at this base URL instead of an in-process server (-table serve)")
+		stepDL     = fs.Duration("step-deadline", 0, "per-step deadline for -table serve sessions (0 = none)")
+		benchJSON  = fs.String("bench-json", "", "write the parallel comparison result to this JSON file")
+		outPath    = fs.String("out", "", "also write output to this file")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		tracePath  = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *compare {
-		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "iflex-bench: -compare needs two arguments: old.json new.json")
-			os.Exit(2)
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "iflex-bench: -compare needs two arguments: old.json new.json")
+			return 2
 		}
-		if err := compareBenchFiles(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
-			fmt.Fprintln(os.Stderr, "iflex-bench:", err)
-			os.Exit(1)
+		if err := compareBenchFiles(stdout, fs.Arg(0), fs.Arg(1)); err != nil {
+			fmt.Fprintln(stderr, "iflex-bench:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile, *tracePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "iflex-bench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "iflex-bench:", err)
+		return 1
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
-			fmt.Fprintln(os.Stderr, "iflex-bench: profiling:", err)
+			fmt.Fprintln(stderr, "iflex-bench: profiling:", err)
 		}
 	}()
 
-	var out io.Writer = os.Stdout
+	var out io.Writer = stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "iflex-bench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "iflex-bench:", err)
+			return 1
 		}
 		defer f.Close()
-		out = io.MultiWriter(os.Stdout, f)
+		out = io.MultiWriter(stdout, f)
 	}
 	o := experiments.Options{Scale: *scale, Seed: *seed, Strategy: *strategy, Workers: *workers, Deadline: *timeout, DisableOptimizer: !*optimize, Out: out}
 
-	run := func(name string, fn func() error) {
-		if *table != "all" && *table != name {
-			return
+	scaled := func(n int) int {
+		v := int(float64(n) * *scale)
+		if v < 10 {
+			v = 10
 		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "iflex-bench: table %s: %v\n", name, err)
-			os.Exit(1)
+		return v
+	}
+	tables := []struct {
+		name string
+		fn   func() error
+	}{
+		{"1", func() error { return experiments.Table1(o) }},
+		{"2", func() error { return experiments.Table2(o) }},
+		{"3", func() error { _, err := experiments.Table3(o); return err }},
+		{"4", func() error { _, err := experiments.Table4(o); return err }},
+		{"5", func() error { _, err := experiments.Table5(o); return err }},
+		{"6", func() error { _, err := experiments.Table6(o); return err }},
+		{"conv", func() error { _, err := experiments.Convergence(o); return err }},
+		{"variance", func() error {
+			_, err := experiments.Variance(o, []int64{1, 2, 3})
+			return err
+		}},
+		{"scaling", func() error {
+			sizes := []int{100, 250, 500, 1000, 2500}
+			for i := range sizes {
+				sizes[i] = scaled(sizes[i])
+			}
+			_, err := experiments.Scaling(o, "T7", sizes)
+			return err
+		}},
+		{"parallel", func() error {
+			res, err := experiments.ParallelCompare(o, "T9", scaled(5000))
+			if err != nil {
+				return err
+			}
+			return writeJSON(*benchJSON, res)
+		}},
+		{"hotpath", func() error {
+			res, err := experiments.Hotpath(o, "T9", scaled(5000))
+			if err != nil {
+				return err
+			}
+			return writeJSON(*benchJSON, res)
+		}},
+		{"reuse", func() error {
+			res, err := experiments.Reuse(o, "T9", scaled(5000))
+			if err != nil {
+				return err
+			}
+			return writeJSON(*benchJSON, res)
+		}},
+		{"optimizer", func() error {
+			res, err := experiments.Optimizer(o)
+			if err != nil {
+				return err
+			}
+			return writeJSON(*benchJSON, res)
+		}},
+		{"serve", func() error {
+			res, err := experiments.Serve(o, experiments.ServeOptions{
+				Tenants:           *tenants,
+				SessionsPerTenant: *sessions,
+				Addr:              *serveAddr,
+				StepDeadlineMS:    stepDL.Milliseconds(),
+			})
+			if err != nil {
+				return err
+			}
+			return writeJSON(*benchJSON, res)
+		}},
+	}
+	// The serve harness is a service load test, not a paper table: it only
+	// runs when named explicitly.
+	matched := false
+	for _, tb := range tables {
+		if *table == "all" && tb.name == "serve" {
+			continue
+		}
+		if *table != "all" && *table != tb.name {
+			continue
+		}
+		matched = true
+		if err := tb.fn(); err != nil {
+			fmt.Fprintf(stderr, "iflex-bench: table %s: %v\n", tb.name, err)
+			return 1
 		}
 		fmt.Fprintln(out)
 	}
-	run("1", func() error { return experiments.Table1(o) })
-	run("2", func() error { return experiments.Table2(o) })
-	run("3", func() error { _, err := experiments.Table3(o); return err })
-	run("4", func() error { _, err := experiments.Table4(o); return err })
-	run("5", func() error { _, err := experiments.Table5(o); return err })
-	run("6", func() error { _, err := experiments.Table6(o); return err })
-	run("conv", func() error { _, err := experiments.Convergence(o); return err })
-	run("variance", func() error {
-		_, err := experiments.Variance(o, []int64{1, 2, 3})
-		return err
-	})
-	run("scaling", func() error {
-		sizes := []int{100, 250, 500, 1000, 2500}
-		for i := range sizes {
-			sizes[i] = int(float64(sizes[i]) * *scale)
-			if sizes[i] < 10 {
-				sizes[i] = 10
-			}
-		}
-		_, err := experiments.Scaling(o, "T7", sizes)
-		return err
-	})
-	run("parallel", func() error {
-		n := int(float64(5000) * *scale)
-		if n < 10 {
-			n = 10
-		}
-		res, err := experiments.ParallelCompare(o, "T9", n)
-		if err != nil {
-			return err
-		}
-		return writeJSON(*benchJSON, res)
-	})
-	run("hotpath", func() error {
-		n := int(float64(5000) * *scale)
-		if n < 10 {
-			n = 10
-		}
-		res, err := experiments.Hotpath(o, "T9", n)
-		if err != nil {
-			return err
-		}
-		return writeJSON(*benchJSON, res)
-	})
-	run("reuse", func() error {
-		n := int(float64(5000) * *scale)
-		if n < 10 {
-			n = 10
-		}
-		res, err := experiments.Reuse(o, "T9", n)
-		if err != nil {
-			return err
-		}
-		return writeJSON(*benchJSON, res)
-	})
-	run("optimizer", func() error {
-		res, err := experiments.Optimizer(o)
-		if err != nil {
-			return err
-		}
-		return writeJSON(*benchJSON, res)
-	})
+	if !matched {
+		fmt.Fprintf(stderr, "iflex-bench: unknown table %q\n", *table)
+		return 2
+	}
+	return 0
 }
 
 // writeJSON writes v as indented JSON to path (no-op when path is empty).

@@ -14,6 +14,15 @@
 // bold-font?"), you answer yes / distinct-yes / no / a parameter value, or
 // press enter for "I do not know", and the program is refined until
 // convergence.
+//
+// Exit status:
+//
+//	0  clean run
+//	1  error (bad program, unreadable tables, execution failure)
+//	2  usage error
+//	3  completed, but degraded: a -timeout expired or documents were
+//	   quarantined, so the printed table is a best-effort partial result
+//	   (the degradation summary goes to stderr)
 package main
 
 import (
@@ -44,13 +53,22 @@ func (t tableFlags) Set(v string) error {
 }
 
 func main() {
-	if err := run(); err != nil {
+	degraded, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "iflex:", err)
 		os.Exit(1)
 	}
+	if degraded {
+		// Distinct from success and from failure: the table printed, but it
+		// is a best-effort partial result. Scripts checking only for exit 0
+		// used to treat degraded output as complete.
+		os.Exit(3)
+	}
 }
 
-func run() error {
+// run executes the command and reports whether the result was degraded
+// (deadline cuts or quarantined documents — exit status 3).
+func run() (degraded bool, err error) {
 	var (
 		programPath = flag.String("program", "", "path to the Alog program (required)")
 		tables      = tableFlags{}
@@ -70,7 +88,7 @@ func run() error {
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile, *tracePath)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
@@ -80,21 +98,21 @@ func run() error {
 
 	if *programPath == "" || len(tables) == 0 {
 		flag.Usage()
-		return fmt.Errorf("-program and at least one -table are required")
+		return false, fmt.Errorf("-program and at least one -table are required")
 	}
 	src, err := os.ReadFile(*programPath)
 	if err != nil {
-		return err
+		return false, err
 	}
 	prog, err := iflex.ParseProgram(string(src))
 	if err != nil {
-		return err
+		return false, err
 	}
 	env := iflex.NewEnv()
 	for pred, dir := range tables {
 		docs, err := iflex.LoadDocuments(dir)
 		if err != nil {
-			return err
+			return false, err
 		}
 		env.AddDocTable(pred, "x", docs)
 		fmt.Fprintf(os.Stderr, "loaded %d pages into %s\n", len(docs), pred)
@@ -103,7 +121,7 @@ func run() error {
 	if !*interactive {
 		plan, err := iflex.Compile(prog, env)
 		if err != nil {
-			return err
+			return false, err
 		}
 		if *optimize {
 			plan = opt.Optimize(plan, env, opt.NewModel(), nil)
@@ -124,23 +142,23 @@ func run() error {
 			result, err = plan.Execute(ctx)
 		}
 		if err != nil {
-			return err
+			return false, err
 		}
 		if *explain {
 			analyzed, err := plan.Explain(ctx)
 			if err != nil {
-				return err
+				return false, err
 			}
 			fmt.Println(analyzed)
 		}
 		printDegraded(result.Degraded)
 		printResult(result, *maxTuples)
-		return nil
+		return result.Degraded != nil, nil
 	}
 
 	strat, err := iflex.StrategyByName(*strategy)
 	if err != nil {
-		return err
+		return false, err
 	}
 	stdin := bufio.NewScanner(os.Stdin)
 	oracle := iflex.InteractiveOracle(func(q iflex.Question) (string, bool) {
@@ -157,7 +175,7 @@ func run() error {
 	})
 	res, err := session.Run()
 	if err != nil {
-		return err
+		return false, err
 	}
 	fmt.Printf("converged=%v after %d iterations, %d questions\n",
 		res.Converged, len(res.Iterations), res.QuestionsAsked)
@@ -165,7 +183,7 @@ func run() error {
 	fmt.Println(session.Program())
 	printDegraded(res.Degraded)
 	printResult(res.Final, *maxTuples)
-	return nil
+	return res.Degraded != nil, nil
 }
 
 // printDegraded reports a best-effort degradation (deadline cuts,

@@ -1,0 +1,127 @@
+// Command iflexd serves the best-effort extraction assistant to many
+// concurrent tenants over HTTP/JSON: it creates refinement sessions,
+// serves next-effort questions, folds answers back into programs, and
+// streams result tables with degradation reports and EXPLAIN traces.
+//
+// Usage:
+//
+//	iflexd -addr :8080 -tenant-workers 4 -tenant-cache-budget 67108864
+//
+// Endpoints (see DESIGN.md §14):
+//
+//	POST   /v1/sessions             create a session (task-backed or inline docs)
+//	GET    /v1/sessions/{id}        lifecycle view
+//	POST   /v1/sessions/{id}/step   answer questions, run one iteration
+//	GET    /v1/sessions/{id}/result finalize and stream the result (NDJSON)
+//	DELETE /v1/sessions/{id}        drop a session
+//	GET    /healthz                 "ok" or "draining"
+//	GET    /v1/stats                per-tenant aggregate usage
+//
+// On SIGTERM/SIGINT the server drains: new requests get 503, in-flight
+// steps finish, then the process exits 0. Sessions idle past -session-ttl
+// are evicted by a background sweep.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"iflex/internal/prof"
+	"iflex/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is main's body with an exit code instead of os.Exit, so deferred
+// cleanups (profile flushes, listener close) run on every path.
+func run(args []string) int {
+	fs := flag.NewFlagSet("iflexd", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		maxSessions   = fs.Int("max-sessions", 64, "global live-session cap")
+		tenantCap     = fs.Int("max-sessions-per-tenant", 8, "per-tenant live-session cap")
+		tenantWorkers = fs.Int("tenant-workers", 0, "per-tenant worker-pool share (0 = one per CPU)")
+		tenantCache   = fs.Int64("tenant-cache-budget", 0, "per-tenant reuse-cache byte pool (0 = unlimited)")
+		sessionTTL    = fs.Duration("session-ttl", 15*time.Minute, "evict sessions idle this long")
+		sweepEvery    = fs.Duration("sweep-interval", time.Minute, "idle-eviction scan cadence")
+		defaultStep   = fs.Duration("default-step-deadline", 0, "per-step deadline when the request names none (0 = none)")
+		maxStep       = fs.Duration("max-step-deadline", 30*time.Second, "clamp on requested per-step deadlines")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+		cpuProfile    = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile    = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		tracePath     = fs.String("trace", "", "write a runtime execution trace to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger := log.New(os.Stderr, "iflexd: ", log.LstdFlags)
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *tracePath)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			logger.Print("profiling: ", err)
+		}
+	}()
+
+	srv := server.New(server.Config{
+		MaxSessions:          *maxSessions,
+		MaxSessionsPerTenant: *tenantCap,
+		TenantWorkers:        *tenantWorkers,
+		TenantCacheBudget:    *tenantCache,
+		SessionTTL:           *sessionTTL,
+		SweepInterval:        *sweepEvery,
+		DefaultStepDeadline:  *defaultStep,
+		MaxStepDeadline:      *maxStep,
+		Logf:                 logger.Printf,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	logger.Printf("listening on %s", ln.Addr())
+
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigc)
+
+	select {
+	case sig := <-sigc:
+		logger.Printf("%v: draining (in-flight steps finish, new requests get 503)", sig)
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			logger.Print("drain incomplete: ", err)
+			return 1
+		}
+		logger.Print("drained cleanly")
+		return 0
+	case err := <-served:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Print(err)
+			return 1
+		}
+		return 0
+	}
+}

@@ -67,12 +67,19 @@ type Config struct {
 	// Maybe flags); this exists for benchmarking the optimizer win and as
 	// an escape hatch.
 	DisableOptimizer bool
-	// Deadline bounds the whole session run in wall-clock time (0 = no
-	// deadline). When it expires the session stops asking questions,
-	// evaluation cuts at operator tuple/chunk boundaries, and Run returns
-	// its best partial result: still superset-correct over the processed
-	// documents, with Result.Degraded naming what was left out.
+	// Deadline bounds execution in wall-clock time (0 = no deadline).
+	// Run binds it once over the whole session loop: on expiry the session
+	// stops asking questions, evaluation cuts at operator tuple/chunk
+	// boundaries, and Run returns its best partial result — still
+	// superset-correct over the processed documents, with Result.Degraded
+	// naming what was left out. The step-wise API (Step/Finalize) instead
+	// re-arms it per step, so a long-lived interactive session gets a fresh
+	// window for every step instead of expiring mid-conversation.
 	Deadline time.Duration
+	// Trace enables per-operator tracing from the first execution, so
+	// Explain can render an EXPLAIN ANALYZE tree at any point of the
+	// session (the service's -explain streaming uses this).
+	Trace bool
 	// QuarantineFaults switches the engine to per-document fault
 	// isolation: a panic or error raised while processing a document
 	// quarantines that document (after MaxDocRetries re-attempts for
@@ -168,7 +175,29 @@ type Session struct {
 	asked    map[string]bool
 	sizes    []int // per-iteration expanded sizes (subset mode)
 	assigns  []int
+	// cuts marks iterations whose subset execution was cut short by a
+	// fired deadline: their partial counts are recorded but never count as
+	// evidence of convergence (a truncated size matching a previous one
+	// says nothing about stability).
+	cuts     []bool
 	prevPlan *engine.Plan // last executed plan, the delta predecessor
+
+	// Step-mode state (see step.go). stepRes accumulates the iteration log
+	// across Step calls; pending holds the questions returned by the last
+	// Step, awaiting the next call's answers; iterN counts executed subset
+	// iterations; stepDone blocks further execution once the loop ended;
+	// finished flips when Finalize ran. The counter baselines and iterStart
+	// mirror Run's record closure.
+	stepRes    *Result
+	pending    []Question
+	iterN      int
+	stepDone   bool
+	finished   bool
+	prevEvals  int64
+	prevHits   int64
+	prevReused int64
+	prevRecomp int64
+	iterStart  time.Time
 
 	// trialPrev remembers each simulated candidate's previous trial plan
 	// (keyed by attr/feature/value), so re-simulating the same candidate in
@@ -214,6 +243,9 @@ func NewSession(env *engine.Env, prog *alog.Program, oracle Oracle, cfg Config) 
 	if !cfg.DisableOptimizer {
 		s.costModel = opt.NewModel()
 		s.canon = engine.NewCanonTable()
+	}
+	if cfg.Trace {
+		s.ctx.StartTrace()
 	}
 	s.subset = s.sampleSubset()
 	return s
@@ -413,11 +445,18 @@ func (s *Session) simulate(q Question, v string) (int, error) {
 
 // converged reports whether the last k iterations produced identical tuple
 // and assignment counts (Section 5.1, "Notifying the Developer of
-// Convergence").
+// Convergence"). Iterations whose execution was cut by a fired deadline
+// never count: their partial sizes are not evidence of stability, so an
+// expired step cannot poison the convergence monitor of later steps.
 func (s *Session) converged() bool {
 	k := s.Config.ConvergenceWindow
 	if len(s.sizes) < k {
 		return false
+	}
+	for i := len(s.sizes) - k; i < len(s.sizes); i++ {
+		if i < len(s.cuts) && s.cuts[i] {
+			return false
+		}
 	}
 	for i := len(s.sizes) - k + 1; i < len(s.sizes); i++ {
 		if s.sizes[i] != s.sizes[i-1] || s.assigns[i] != s.assigns[i-1] {
@@ -467,6 +506,7 @@ func (s *Session) Run() (*Result, error) {
 		size := table.NumExpandedTuples()
 		s.sizes = append(s.sizes, size)
 		s.assigns = append(s.assigns, assigns)
+		s.cuts = append(s.cuts, s.ctx.Cancelled())
 		log := Iteration{N: iter, Tuples: size, Assignments: assigns, Mode: "subset"}
 
 		if s.ctx.Cancelled() {

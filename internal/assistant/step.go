@@ -1,0 +1,262 @@
+package assistant
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"iflex/internal/compact"
+	"iflex/internal/engine"
+)
+
+// This file is the session's step-wise (interactive/service) API. Run
+// drives the whole execute-ask-refine loop against an Oracle in one call;
+// a long-lived service instead steps the loop one iteration at a time,
+// shipping questions to a remote developer and folding their answers back
+// in whenever they arrive. The decomposition mirrors Run exactly — same
+// execution order, same counter attribution, same transcript — so a
+// session stepped to completion is byte-identical to a Run with the same
+// answers (pinned by TestStepMatchesRun and the server's identity test).
+//
+// Deadlines differ deliberately: Run binds Config.Deadline once over the
+// whole loop, while Step re-arms it per call. A service session may live
+// for hours between steps; binding once would leave every later step
+// running against a long-expired deadline (the stale-binding bug this API
+// fixes). Each Step gets a fresh window, and an expired step can poison
+// neither the reuse cache (post-cut results are never cached) nor the
+// convergence monitor (cut iterations are excluded — see converged).
+
+// StepResult reports one interactive step: the iteration just executed,
+// the next questions to answer, and whether the loop is over.
+type StepResult struct {
+	// Iteration is the subset iteration this step executed (zero-valued
+	// when Done was reached without executing).
+	Iteration Iteration
+	// Questions are the next-effort questions to answer on the following
+	// Step call (positionally). Empty when Done.
+	Questions []Question
+	// Converged reports the convergence monitor's current verdict.
+	Converged bool
+	// Done means the loop ended (convergence, question space exhausted, or
+	// the iteration bound): call Finalize for the full result. A fired
+	// per-step deadline does NOT end the loop — that step comes back
+	// degraded with no questions, and the next step gets a fresh window.
+	// Further Step calls after Done keep returning Done without executing,
+	// though their answers are still folded into the program.
+	Done bool
+	// Degraded is non-nil when this step's deadline expired or documents
+	// were quarantined during it (see compact.Degraded).
+	Degraded *compact.Degraded
+}
+
+// ensureStepState lazily initialises the step-mode accumulator.
+func (s *Session) ensureStepState() {
+	if s.stepRes == nil {
+		s.stepRes = &Result{}
+		s.iterStart = time.Now()
+	}
+}
+
+// recordStep stamps log with the engine-counter deltas since the previous
+// iteration and appends it — the step-mode twin of Run's record closure.
+func (s *Session) recordStep(log Iteration) {
+	log.Evals = s.ctx.Stats.NodesEvaluated - s.prevEvals
+	log.CacheHits = s.ctx.Stats.CacheHits - s.prevHits
+	log.TuplesReused = s.ctx.Stats.TuplesReused - s.prevReused
+	log.TuplesRecomputed = s.ctx.Stats.TuplesRecomputed - s.prevRecomp
+	s.prevEvals += log.Evals
+	s.prevHits += log.CacheHits
+	s.prevReused += log.TuplesReused
+	s.prevRecomp += log.TuplesRecomputed
+	log.WallS = time.Since(s.iterStart).Seconds()
+	s.iterStart = time.Now()
+	s.stepRes.Iterations = append(s.stepRes.Iterations, log)
+}
+
+// bindStep re-arms the best-effort deadline for one step and returns the
+// unbind function. It always binds — a never-firing background context
+// when d is zero — because BindCancel is also what resets the degradation
+// report: without it, a deadline that expired two steps ago would still be
+// attached to every later step's (complete) result.
+func (s *Session) bindStep(d time.Duration) func() {
+	c, cancel := context.Background(), func() {}
+	if d > 0 {
+		c, cancel = context.WithTimeout(c, d)
+	}
+	s.ctx.BindCancel(c, engine.CancelBestEffort)
+	return func() {
+		s.ctx.Unbind()
+		cancel()
+	}
+}
+
+// applyAnswers folds the answers to the previous step's pending questions
+// into the program, mirroring Run's answer loop: every pending question is
+// marked asked and counted; known answers become domain constraints and
+// are logged on the iteration that asked them. Fewer answers than pending
+// questions treats the remainder as "I do not know"; more is an error.
+func (s *Session) applyAnswers(answers []Answer) error {
+	if len(answers) > len(s.pending) {
+		return fmt.Errorf("assistant: %d answers for %d pending questions", len(answers), len(s.pending))
+	}
+	for i, q := range s.pending {
+		ans := DontKnow()
+		if i < len(answers) {
+			ans = answers[i]
+		}
+		s.asked[q.key()] = true
+		s.stepRes.QuestionsAsked++
+		if v, ok := constraintValue(ans); ok {
+			if err := s.Prog.AddConstraint(q.Attr, q.Feature, v); err != nil {
+				return fmt.Errorf("assistant: applying answer to %s: %w", q, err)
+			}
+		}
+		if n := len(s.stepRes.Iterations); n > 0 {
+			it := &s.stepRes.Iterations[n-1]
+			it.Questions = append(it.Questions, QA{Question: q, Answer: ans})
+		}
+	}
+	s.pending = nil
+	return nil
+}
+
+// Step advances the session one iteration under a per-step deadline of
+// Config.Deadline (re-armed each call; see StepDeadline).
+func (s *Session) Step(answers []Answer) (*StepResult, error) {
+	return s.StepDeadline(s.Config.Deadline, answers)
+}
+
+// StepDeadline folds the answers to the previous step's questions into
+// the program, executes one subset iteration, and returns the next
+// questions. The deadline d (0 = none) covers this call alone: every step
+// of a long-lived session gets a fresh window, and a step that expired
+// degrades that step only — its partial counts are excluded from the
+// convergence monitor and its post-cut results are never cached, so the
+// next step starts clean.
+func (s *Session) StepDeadline(d time.Duration, answers []Answer) (*StepResult, error) {
+	if s.finished {
+		return nil, fmt.Errorf("assistant: session already finalized")
+	}
+	s.ensureStepState()
+	unbind := s.bindStep(d)
+	defer unbind()
+	if err := s.applyAnswers(answers); err != nil {
+		return nil, err
+	}
+	if s.stepDone {
+		return &StepResult{Converged: s.converged(), Done: true}, nil
+	}
+	s.iterN++
+	if s.iterN > s.Config.MaxIterations {
+		s.stepDone = true
+		return &StepResult{Converged: s.converged(), Done: true}, nil
+	}
+
+	table, assigns, err := s.execute(true)
+	if err != nil {
+		return nil, err
+	}
+	size := table.NumExpandedTuples()
+	s.sizes = append(s.sizes, size)
+	s.assigns = append(s.assigns, assigns)
+	s.cuts = append(s.cuts, s.ctx.Cancelled())
+	log := Iteration{N: s.iterN, Tuples: size, Assignments: assigns, Mode: "subset"}
+	res := &StepResult{Iteration: log}
+
+	stop := func() (*StepResult, error) {
+		s.stepDone = true
+		s.recordStep(log)
+		res.Iteration = s.stepRes.Iterations[len(s.stepRes.Iterations)-1]
+		res.Converged = s.converged()
+		res.Done = true
+		res.Degraded = s.ctx.DegradedReport()
+		return res, nil
+	}
+	if s.ctx.Cancelled() {
+		// This step's deadline fired: its output is partial, so asking
+		// questions scored on it would be noise. Unlike Run — whose one
+		// deadline covers the whole loop, so expiry ends it — the step gets
+		// a fresh window next call; only the iteration budget still bounds
+		// the session. The cut iteration is already excluded from the
+		// convergence monitor, and the engine never caches post-cut
+		// results, so the next step re-executes cleanly.
+		s.recordStep(log)
+		res.Iteration = s.stepRes.Iterations[len(s.stepRes.Iterations)-1]
+		res.Degraded = s.ctx.DegradedReport()
+		return res, nil
+	}
+	if s.converged() {
+		return stop()
+	}
+	space := questionSpace(s.Prog, s.Env.Features, s.asked)
+	if len(space) == 0 {
+		return stop()
+	}
+	questions, err := s.Config.Strategy.Next(s, space, s.Config.QuestionsPerIteration)
+	if err != nil {
+		return nil, err
+	}
+	if len(questions) == 0 {
+		return stop()
+	}
+	s.recordStep(log)
+	res.Iteration = s.stepRes.Iterations[len(s.stepRes.Iterations)-1]
+	s.pending = questions
+	res.Questions = questions
+	res.Degraded = s.ctx.DegradedReport()
+	return res, nil
+}
+
+// Finalize computes the complete result over all documents (reuse mode)
+// and returns the accumulated session Result — the step-mode counterpart
+// of Run's tail. The deadline d (0 = none) covers this call alone. The
+// session stays readable afterwards (Program, StatsSnapshot, Explain) but
+// cannot step again.
+func (s *Session) Finalize(d time.Duration) (*Result, error) {
+	if s.finished {
+		return nil, fmt.Errorf("assistant: session already finalized")
+	}
+	s.ensureStepState()
+	s.finished = true
+	s.stepDone = true
+	unbind := s.bindStep(d)
+	defer unbind()
+	res := s.stepRes
+	res.Converged = s.converged()
+	final, _, err := s.execute(false)
+	if err != nil {
+		return nil, err
+	}
+	final = s.ctx.AttachDegraded(final)
+	res.Final = final
+	res.FinalTuples = final.NumExpandedTuples()
+	res.Degraded = final.Degraded
+	s.recordStep(Iteration{
+		N: len(res.Iterations) + 1, Tuples: res.FinalTuples,
+		Assignments: final.NumAssignments(), Mode: "full",
+	})
+	res.Stats = s.ctx.Stats
+	return res, nil
+}
+
+// Pending returns the questions awaiting answers from the next Step call.
+func (s *Session) Pending() []Question { return s.pending }
+
+// Finished reports whether Finalize has run.
+func (s *Session) Finished() bool { return s.finished }
+
+// StatsSnapshot renders the session's engine counters. Call it only while
+// no step is in flight (the same quiescence contract as engine.Stats).
+func (s *Session) StatsSnapshot() engine.StatsSnapshot {
+	return s.ctx.Stats.Snapshot()
+}
+
+// Explain renders the EXPLAIN ANALYZE tree of the last executed plan.
+// It requires Config.Trace (tracing from the first execution); without a
+// plan executed yet it returns an error.
+func (s *Session) Explain() (string, error) {
+	if s.prevPlan == nil {
+		return "", fmt.Errorf("assistant: no plan executed yet")
+	}
+	return s.prevPlan.Explain(s.ctx)
+}

@@ -1,0 +1,319 @@
+package assistant_test
+
+// Tests of the step-wise session API (step.go): a session stepped to
+// completion must be byte-identical to Run with the same answers, the
+// per-step deadline must be re-armed on every call (the stale-binding
+// bug), and an expired step must poison neither later steps nor the
+// final result.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"iflex/internal/alog"
+	"iflex/internal/assistant"
+	"iflex/internal/corpus"
+)
+
+// stepToCompletion drives a session through Step until Done, answering
+// pending questions with the oracle, then finalizes. Each step runs under
+// deadline d (0 = none).
+func stepToCompletion(t *testing.T, s *assistant.Session, o *assistant.MapOracle, d time.Duration) *assistant.Result {
+	t.Helper()
+	var answers []assistant.Answer
+	for i := 0; ; i++ {
+		if i > 200 {
+			t.Fatal("step loop did not terminate")
+		}
+		sr, err := s.StepDeadline(d, answers)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if sr.Done {
+			break
+		}
+		answers = answers[:0]
+		for _, q := range sr.Questions {
+			answers = append(answers, o.Answer(q))
+		}
+	}
+	res, err := s.Finalize(d)
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	return res
+}
+
+// TestStepMatchesRun pins the service-path contract: for every corpus
+// task and both strategies, stepping a session to completion with the
+// oracle's answers yields a transcript and final table byte-identical to
+// Run on a session with the same configuration.
+func TestStepMatchesRun(t *testing.T) {
+	const records = 10
+	for _, strat := range []struct {
+		name string
+		s    assistant.Strategy
+	}{
+		{"sequential", assistant.Sequential{}},
+		{"simulation", assistant.Simulation{}},
+	} {
+		strat := strat
+		t.Run(strat.name, func(t *testing.T) {
+			for _, task := range corpus.Tasks() {
+				c := task.Generate(records, 1)
+				env := task.Env(c)
+				cfg := assistant.Config{Strategy: strat.s, Alpha: assistant.ExplicitZero}
+
+				run := assistant.NewSession(env, alog.MustParse(task.Program), task.Oracle(), cfg)
+				want, err := run.Run()
+				if err != nil {
+					t.Fatalf("%s: run: %v", task.ID, err)
+				}
+
+				stepped := assistant.NewSession(env, alog.MustParse(task.Program), task.Oracle(), cfg)
+				got := stepToCompletion(t, stepped, task.Oracle(), 0)
+
+				if got.Transcript() != want.Transcript() {
+					t.Errorf("%s: step transcript differs from run\nstep:\n%s\nrun:\n%s",
+						task.ID, got.Transcript(), want.Transcript())
+				}
+				if got.Final.String() != want.Final.String() {
+					t.Errorf("%s: step final table differs from run\nstep:\n%s\nrun:\n%s",
+						task.ID, got.Final.String(), want.Final.String())
+				}
+				if got.Converged != want.Converged || got.QuestionsAsked != want.QuestionsAsked {
+					t.Errorf("%s: step (converged=%v, asked=%d) vs run (converged=%v, asked=%d)",
+						task.ID, got.Converged, got.QuestionsAsked, want.Converged, want.QuestionsAsked)
+				}
+			}
+		})
+	}
+}
+
+// TestStepDeadlineRearmed is the regression test for the stale-binding
+// bug: Config.Deadline used to be bound once at session start, so a
+// session stepped across a pause longer than the deadline had every later
+// step running against a long-expired context. Each StepDeadline call
+// must get a fresh window.
+func TestStepDeadlineRearmed(t *testing.T) {
+	task, err := corpus.TaskByID("T9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := task.Generate(12, 1)
+	env := task.Env(c)
+	o := task.Oracle()
+	s := assistant.NewSession(env, alog.MustParse(task.Program), o, assistant.Config{})
+
+	const d = 10 * time.Second
+	sr, err := s.StepDeadline(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Degraded != nil {
+		t.Fatalf("first step degraded under a generous deadline: %+v", sr.Degraded)
+	}
+	// The user thinks for longer than the per-step deadline would allow if
+	// it had been bound at session start... (the clock on the first
+	// binding keeps running between steps).
+	start := time.Now()
+	short := 30 * time.Millisecond
+	time.Sleep(2 * short)
+	// ...then answers. With a re-armed binding this step gets its own
+	// fresh window and completes clean; with the old once-bound deadline
+	// it would start already expired.
+	var answers []assistant.Answer
+	for _, q := range sr.Questions {
+		answers = append(answers, o.Answer(q))
+	}
+	sr2, err := s.StepDeadline(short, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr2.Degraded != nil && sr2.Degraded.DeadlineExpired {
+		// Only meaningful if the step itself was fast enough that a fresh
+		// window could not have expired on its own.
+		if elapsed := time.Since(start); elapsed < 2*short+short {
+			t.Errorf("second step expired despite fresh %v window (elapsed %v): deadline not re-armed", short, elapsed)
+		}
+	}
+}
+
+// TestExpiredStepDoesNotPoison forces a step to expire (1ns deadline) and
+// asserts the blast radius is that step alone: it comes back degraded
+// with no questions but does not end the loop, the next step is clean,
+// and the finalized result is byte-identical to an undisturbed session.
+func TestExpiredStepDoesNotPoison(t *testing.T) {
+	task, err := corpus.TaskByID("T9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := task.Generate(12, 1)
+	env := task.Env(c)
+
+	ref := assistant.NewSession(env, alog.MustParse(task.Program), task.Oracle(), assistant.Config{})
+	want, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := task.Oracle()
+	s := assistant.NewSession(env, alog.MustParse(task.Program), o, assistant.Config{})
+	cut, err := s.StepDeadline(time.Nanosecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Degraded == nil || !cut.Degraded.DeadlineExpired {
+		t.Fatalf("1ns step not degraded: %+v", cut.Degraded)
+	}
+	if cut.Done {
+		t.Fatal("expired step ended the loop; it must only degrade that step")
+	}
+	if len(cut.Questions) != 0 {
+		t.Fatalf("expired step served questions scored on a partial table: %v", cut.Questions)
+	}
+
+	// The next step (fresh window, no answers pending) must be clean: no
+	// stale degradation report, and from here the session must converge to
+	// exactly the undisturbed result.
+	first, err := s.StepDeadline(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Degraded != nil {
+		t.Fatalf("step after expiry inherited degradation: %+v", first.Degraded)
+	}
+
+	answers := make([]assistant.Answer, 0, len(first.Questions))
+	for _, q := range first.Questions {
+		answers = append(answers, o.Answer(q))
+	}
+	sr := first
+	for i := 0; !sr.Done; i++ {
+		if i > 200 {
+			t.Fatal("step loop did not terminate")
+		}
+		if sr, err = s.StepDeadline(0, answers); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if sr.Degraded != nil {
+			t.Fatalf("step %d degraded after the cut was over: %+v", i, sr.Degraded)
+		}
+		answers = answers[:0]
+		for _, q := range sr.Questions {
+			answers = append(answers, o.Answer(q))
+		}
+	}
+	got, err := s.Finalize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded != nil {
+		t.Errorf("finalized result carries stale degradation: %+v", got.Degraded)
+	}
+	if got.Final.String() != want.Final.String() {
+		t.Errorf("final table after an expired step differs from undisturbed run\ngot:\n%s\nwant:\n%s",
+			got.Final.String(), want.Final.String())
+	}
+	if !got.Converged {
+		t.Error("session with one expired step failed to converge")
+	}
+}
+
+// TestEveryStepExpiredStillTerminates starves every step (1ns windows):
+// the loop must still end at MaxIterations, and Finalize without a
+// deadline must still produce the complete, non-degraded table.
+func TestEveryStepExpiredStillTerminates(t *testing.T) {
+	task, err := corpus.TaskByID("T6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := task.Generate(10, 1)
+	env := task.Env(c)
+	s := assistant.NewSession(env, alog.MustParse(task.Program), task.Oracle(), assistant.Config{MaxIterations: 3})
+	steps := 0
+	for {
+		sr, err := s.StepDeadline(time.Nanosecond, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Done {
+			break
+		}
+		steps++
+		if steps > 10 {
+			t.Fatal("starved session did not hit the iteration bound")
+		}
+	}
+	if steps != 3 {
+		t.Errorf("starved session ran %d steps, want MaxIterations=3", steps)
+	}
+	res, err := s.Finalize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded != nil {
+		t.Errorf("clean finalize after starved steps still degraded: %+v", res.Degraded)
+	}
+	if res.Final == nil || res.FinalTuples == 0 {
+		t.Error("finalize produced no result")
+	}
+}
+
+// TestStepAPIErrors pins the misuse errors: answering more questions than
+// pending, and stepping or finalizing a finalized session.
+func TestStepAPIErrors(t *testing.T) {
+	task, err := corpus.TaskByID("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := task.Generate(6, 1)
+	env := task.Env(c)
+	s := assistant.NewSession(env, alog.MustParse(task.Program), task.Oracle(), assistant.Config{})
+	if _, err := s.StepDeadline(0, []assistant.Answer{assistant.DontKnow()}); err == nil {
+		t.Error("answers with no pending questions accepted")
+	}
+	if _, err := s.Finalize(0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Finished() {
+		t.Error("Finished() false after Finalize")
+	}
+	if _, err := s.StepDeadline(0, nil); err == nil {
+		t.Error("Step after Finalize accepted")
+	}
+	if _, err := s.Finalize(0); err == nil {
+		t.Error("double Finalize accepted")
+	}
+}
+
+// TestStepExplain exercises the Trace/Explain accessors used by the
+// service's -explain streaming.
+func TestStepExplain(t *testing.T) {
+	task, err := corpus.TaskByID("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := task.Generate(6, 1)
+	env := task.Env(c)
+	s := assistant.NewSession(env, alog.MustParse(task.Program), task.Oracle(), assistant.Config{Trace: true})
+	if _, err := s.Explain(); err == nil {
+		t.Error("Explain before any execution accepted")
+	}
+	if _, err := s.StepDeadline(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Error("empty explain output")
+	}
+	snap := s.StatsSnapshot()
+	if snap.NodesEvaluated == 0 {
+		t.Errorf("snapshot shows no evaluations: %+v", snap)
+	}
+	_ = fmt.Sprintf("%v", snap) // snapshot must be renderable
+}

@@ -319,6 +319,12 @@ type Stats struct {
 	// denial means the work ran inline on the requesting goroutine.
 	PoolSlotsGranted int64
 	PoolSlotsDenied  int64
+	// PoolMaxExtra is the high-water mark of concurrently held pool slots
+	// (extra workers beyond the requesting goroutine). A service hosting
+	// many tenants on one process reads this per tenant context to see the
+	// peak share of the machine each actually used against its Workers
+	// quota. Scheduling-dependent, like the other pool counters.
+	PoolMaxExtra int64
 	// FeatureMemoHits / FeatureMemoMisses count Verify/Refine invocations
 	// served from (or inserted into) the Env's feature memo. Concurrent
 	// evaluations may race to fill the same key, so — like the pool
@@ -382,6 +388,16 @@ type Stats struct {
 // engine goes through it because node evaluation may run on several
 // goroutines at once.
 func statAdd(p *int64, n int) { atomic.AddInt64(p, int64(n)) }
+
+// statMax raises *p to v if v is larger (atomic high-water mark).
+func statMax(p *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(p)
+		if v <= cur || atomic.CompareAndSwapInt64(p, cur, v) {
+			return
+		}
+	}
+}
 
 // statBatch is a worker-local shard of the deterministic call counters.
 // Hot loops (filterTupleF odometers, similarity-join probes, constraint

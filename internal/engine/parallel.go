@@ -41,6 +41,7 @@ func (ctx *Context) tryAcquire() bool {
 		}
 		if ctx.extraWorkers.CompareAndSwap(cur, cur+1) {
 			statAdd(&ctx.Stats.PoolSlotsGranted, 1)
+			statMax(&ctx.Stats.PoolMaxExtra, cur+1)
 			return true
 		}
 	}

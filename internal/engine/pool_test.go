@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"iflex/internal/alog"
+)
+
+// TestStatMax exercises the atomic high-water helper under contention.
+func TestStatMax(t *testing.T) {
+	var hw int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for v := int64(1); v <= 1000; v++ {
+				statMax(&hw, v*int64(g+1)%977)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if hw != 976 {
+		t.Errorf("high-water = %d, want 976", hw)
+	}
+	statMax(&hw, 10)
+	if hw != 976 {
+		t.Errorf("high-water regressed to %d", hw)
+	}
+}
+
+// TestPoolMaxExtraBounded checks the pool's high-water accounting: after
+// a parallel evaluation the mark is at most Workers-1 (the requesting
+// goroutine never holds a slot), and it lands in the snapshot so a
+// multi-tenant host can read each tenant's peak machine share.
+func TestPoolMaxExtraBounded(t *testing.T) {
+	env := figure2Env()
+	plan, err := Compile(alog.MustParse(figure2Src), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		ctx := NewContext(env)
+		ctx.Workers = workers
+		if _, err := plan.Execute(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if max := ctx.Stats.PoolMaxExtra; max > int64(workers-1) {
+			t.Errorf("workers=%d: PoolMaxExtra = %d, want <= %d", workers, max, workers-1)
+		}
+		if snap := ctx.Stats.Snapshot(); snap.PoolMaxExtra != ctx.Stats.PoolMaxExtra {
+			t.Errorf("snapshot pool_max_extra = %d, stats = %d", snap.PoolMaxExtra, ctx.Stats.PoolMaxExtra)
+		}
+	}
+}

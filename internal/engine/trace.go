@@ -312,6 +312,7 @@ type StatsSnapshot struct {
 	LimitFallbacks   int64              `json:"limit_fallbacks"`
 	PoolSlotsGranted int64              `json:"pool_slots_granted"`
 	PoolSlotsDenied  int64              `json:"pool_slots_denied"`
+	PoolMaxExtra     int64              `json:"pool_max_extra"`
 	PoolUtilization  float64            `json:"pool_utilization"`
 	FeatureMemoHits  int64              `json:"feature_memo_hits"`
 	FeatureMemoMiss  int64              `json:"feature_memo_misses"`
@@ -349,6 +350,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		LimitFallbacks:   s.LimitFallbacks,
 		PoolSlotsGranted: s.PoolSlotsGranted,
 		PoolSlotsDenied:  s.PoolSlotsDenied,
+		PoolMaxExtra:     s.PoolMaxExtra,
 		FeatureMemoHits:  s.FeatureMemoHits,
 		FeatureMemoMiss:  s.FeatureMemoMisses,
 		StatMergeSeconds: float64(s.StatMergeNs) / 1e9,

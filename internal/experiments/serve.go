@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"iflex/internal/alog"
+	"iflex/internal/assistant"
+	"iflex/internal/corpus"
+	"iflex/internal/server"
+)
+
+// ServeOptions tune the multi-tenant service benchmark.
+type ServeOptions struct {
+	// Tenants is the number of concurrent tenants (default 8).
+	Tenants int
+	// SessionsPerTenant is how many sessions each tenant runs back to
+	// back (default 2).
+	SessionsPerTenant int
+	// Addr points at an externally running iflexd ("http://host:port");
+	// empty boots an in-process server on a loopback port.
+	Addr string
+	// StepDeadlineMS bounds each step (0 = none).
+	StepDeadlineMS int64
+}
+
+func (s ServeOptions) withDefaults() ServeOptions {
+	if s.Tenants == 0 {
+		s.Tenants = 8
+	}
+	if s.SessionsPerTenant == 0 {
+		s.SessionsPerTenant = 2
+	}
+	return s
+}
+
+// ServeResult is the BENCH_SERVE.json shape: step-latency percentiles and
+// session throughput for N concurrent tenants driving the service. The
+// _s-suffixed fields are wall times (the -compare gate); counters and
+// identity are informational/correctness fields.
+type ServeResult struct {
+	Task              string  `json:"task"`
+	Records           int     `json:"records"`
+	CPUs              int     `json:"cpus"`
+	Tenants           int     `json:"tenants"`
+	SessionsPerTenant int     `json:"sessions_per_tenant"`
+	Sessions          int     `json:"sessions"`
+	Steps             int     `json:"steps"`
+	WallS             float64 `json:"wall_s"`
+	StepP50S          float64 `json:"step_p50_s"`
+	StepP99S          float64 `json:"step_p99_s"`
+	SessionsPerSec    float64 `json:"sessions_per_sec"`
+	StepsPerSec       float64 `json:"steps_per_sec"`
+	// Identical reports that every session's streamed table was
+	// byte-identical to the library-path reference (an error aborts the
+	// harness before this is ever false; the field documents the check).
+	Identical bool `json:"identical"`
+}
+
+// quantile picks the q-th quantile of sorted latencies.
+func quantile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i].Seconds()
+}
+
+// Serve runs the multi-tenant service benchmark: Tenants concurrent
+// clients each drive SessionsPerTenant full refinement sessions over
+// HTTP — create, step-answer until convergence, stream the result — and
+// every streamed table is checked byte-identical to the library path
+// before latencies are reported. With o.Addr empty the server runs
+// in-process (sharing this process's CPUs with the clients, like a
+// loopback deployment); otherwise the harness load-tests the external
+// iflexd at that address.
+func Serve(o Options, so ServeOptions) (*ServeResult, error) {
+	o = o.withDefaults()
+	so = so.withDefaults()
+	taskID := "T9"
+	records := o.scale(250)
+
+	task, err := corpus.TaskByID(taskID)
+	if err != nil {
+		return nil, err
+	}
+
+	// Library-path reference for the byte-identity check: every server
+	// session runs the same task/records/seed, so one reference covers all.
+	c := task.Generate(records, o.Seed)
+	ref, err := assistant.NewSession(task.Env(c), alog.MustParse(task.Program), task.Oracle(), assistant.Config{
+		Strategy:         assistant.Sequential{},
+		Workers:          o.Workers,
+		DisableOptimizer: o.DisableOptimizer,
+	}).Run()
+	if err != nil {
+		return nil, fmt.Errorf("library reference: %w", err)
+	}
+	wantTable := ref.Final.String()
+
+	base := so.Addr
+	if base == "" {
+		srv := server.New(server.Config{
+			MaxSessions:          so.Tenants*2 + 4,
+			MaxSessionsPerTenant: so.SessionsPerTenant + 2,
+			TenantWorkers:        o.Workers,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer func() {
+			_ = hs.Close()
+			srv.Close()
+		}()
+		base = "http://" + ln.Addr().String()
+	}
+
+	type tenantOut struct {
+		lats     []time.Duration
+		sessions int
+		steps    int
+		err      error
+	}
+	outs := make([]tenantOut, so.Tenants)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ti := 0; ti < so.Tenants; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			cl := server.NewClient(base)
+			// Each tenant gets its own connection pool so 8 tenants are 8
+			// real clients, not one throttled Transport.
+			cl.HTTP = &http.Client{Transport: &http.Transport{}}
+			orc := task.Oracle()
+			out := &outs[ti]
+			for si := 0; si < so.SessionsPerTenant; si++ {
+				created, err := cl.CreateSession(server.CreateSessionRequest{
+					Tenant:  fmt.Sprintf("tenant-%d", ti),
+					Task:    taskID,
+					Records: records,
+					Seed:    o.Seed, // same corpus as the library reference
+					Workers: o.Workers,
+				})
+				if err != nil {
+					out.err = fmt.Errorf("tenant %d: create: %w", ti, err)
+					return
+				}
+				var answers []server.AnswerJSON
+				for n := 0; ; n++ {
+					if n > 300 {
+						out.err = fmt.Errorf("tenant %d: session %s did not terminate", ti, created.ID)
+						return
+					}
+					t0 := time.Now()
+					sr, err := cl.Step(created.ID, server.StepRequest{
+						Answers: answers, DeadlineMS: so.StepDeadlineMS,
+					})
+					out.lats = append(out.lats, time.Since(t0))
+					out.steps++
+					if err != nil {
+						out.err = fmt.Errorf("tenant %d: step: %w", ti, err)
+						return
+					}
+					if sr.Done {
+						break
+					}
+					answers = answers[:0]
+					for _, qj := range sr.Questions {
+						q, err := server.ParseQuestion(qj)
+						if err != nil {
+							out.err = err
+							return
+						}
+						ans := orc.Answer(q)
+						answers = append(answers, server.AnswerJSON{Value: ans.Value, Known: ans.Known})
+					}
+				}
+				res, err := cl.Result(created.ID, false, 0)
+				if err != nil {
+					out.err = fmt.Errorf("tenant %d: result: %w", ti, err)
+					return
+				}
+				if got := res.TableString(); got != wantTable {
+					out.err = fmt.Errorf("tenant %d session %s: server table differs from library path (%d vs %d bytes)",
+						ti, created.ID, len(got), len(wantTable))
+					return
+				}
+				if err := cl.Delete(created.ID); err != nil {
+					out.err = fmt.Errorf("tenant %d: delete: %w", ti, err)
+					return
+				}
+				out.sessions++
+			}
+		}(ti)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := &ServeResult{
+		Task: taskID, Records: records, CPUs: runtime.GOMAXPROCS(0),
+		Tenants: so.Tenants, SessionsPerTenant: so.SessionsPerTenant,
+		WallS: wall.Seconds(), Identical: true,
+	}
+	var lats []time.Duration
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		lats = append(lats, outs[i].lats...)
+		res.Sessions += outs[i].sessions
+		res.Steps += outs[i].steps
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.StepP50S = quantile(lats, 0.50)
+	res.StepP99S = quantile(lats, 0.99)
+	if wall > 0 {
+		res.SessionsPerSec = float64(res.Sessions) / wall.Seconds()
+		res.StepsPerSec = float64(res.Steps) / wall.Seconds()
+	}
+
+	fmt.Fprintf(o.Out, "serve: %d tenants x %d sessions (%s, %d records, %d CPUs)\n",
+		so.Tenants, so.SessionsPerTenant, taskID, records, res.CPUs)
+	fmt.Fprintf(o.Out, "  %d sessions, %d steps in %.2fs\n", res.Sessions, res.Steps, res.WallS)
+	fmt.Fprintf(o.Out, "  step latency p50 %.4fs, p99 %.4fs\n", res.StepP50S, res.StepP99S)
+	fmt.Fprintf(o.Out, "  %.2f sessions/s, %.2f steps/s\n", res.SessionsPerSec, res.StepsPerSec)
+	fmt.Fprintf(o.Out, "  all session tables byte-identical to the library path\n")
+	return res, nil
+}

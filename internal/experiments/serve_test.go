@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeHarness boots the in-process server and drives the acceptance
+// shape — at least 8 concurrent tenants — at test scale, checking the
+// JSON result carries latency percentiles and throughput.
+func TestServeHarness(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Serve(opts(&buf), ServeOptions{Tenants: 8, SessionsPerTenant: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tenants != 8 || res.Sessions != 8 {
+		t.Errorf("expected 8 tenants x 1 session, got tenants=%d sessions=%d", res.Tenants, res.Sessions)
+	}
+	if res.Steps < res.Sessions {
+		t.Errorf("fewer steps (%d) than sessions (%d)", res.Steps, res.Sessions)
+	}
+	if res.WallS <= 0 || res.StepP50S <= 0 || res.StepP99S < res.StepP50S {
+		t.Errorf("implausible latency stats: wall=%v p50=%v p99=%v", res.WallS, res.StepP50S, res.StepP99S)
+	}
+	if res.SessionsPerSec <= 0 || res.StepsPerSec <= 0 {
+		t.Errorf("implausible throughput: %v sessions/s, %v steps/s", res.SessionsPerSec, res.StepsPerSec)
+	}
+	if !res.Identical {
+		t.Error("Identical should always be true on success")
+	}
+	for _, want := range []string{"8 tenants", "byte-identical", "p50"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendered output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestServeHarnessStepDeadline runs with a generous per-step deadline to
+// cover the DeadlineMS plumbing (the deadline must not fire at this size).
+func TestServeHarnessStepDeadline(t *testing.T) {
+	res, err := Serve(opts(&bytes.Buffer{}), ServeOptions{
+		Tenants: 2, SessionsPerTenant: 1,
+		StepDeadlineMS: (10 * time.Second).Milliseconds(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != 2 {
+		t.Errorf("expected 2 sessions, got %d", res.Sessions)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+	lats := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second, 4 * time.Second}
+	if q := quantile(lats, 0.0); q != 1 {
+		t.Errorf("p0 = %v", q)
+	}
+	if q := quantile(lats, 1.0); q != 4 {
+		t.Errorf("p100 = %v", q)
+	}
+	if q := quantile(lats, 0.5); q != 2 {
+		t.Errorf("p50 = %v", q)
+	}
+}

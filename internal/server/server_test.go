@@ -1,0 +1,416 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"iflex/internal/alog"
+	"iflex/internal/assistant"
+	"iflex/internal/corpus"
+)
+
+// newTestServer boots a server on an httptest listener and returns a
+// client plus a shutdown func.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client, func()) {
+	t.Helper()
+	srv := New(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	c := NewClient(hs.URL)
+	return srv, c, func() {
+		hs.Close()
+		srv.Close()
+	}
+}
+
+// driveSession steps a server session to completion, answering questions
+// with the oracle, and returns the streamed result.
+func driveSession(t *testing.T, c *Client, id string, o *assistant.MapOracle, explain bool) *StreamedResult {
+	t.Helper()
+	var answers []AnswerJSON
+	for i := 0; ; i++ {
+		if i > 200 {
+			t.Fatal("server session did not terminate")
+		}
+		sr, err := c.Step(id, StepRequest{Answers: answers})
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if sr.Done {
+			break
+		}
+		answers = answers[:0]
+		for _, qj := range sr.Questions {
+			q, err := ParseQuestion(qj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ans := o.Answer(q)
+			answers = append(answers, AnswerJSON{Value: ans.Value, Known: ans.Known})
+		}
+	}
+	res, err := c.Result(id, explain, 0)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	return res
+}
+
+// libraryReference runs the same scenario through the library path.
+func libraryReference(t *testing.T, taskID string, records int, seed int64, cfg assistant.Config) *assistant.Result {
+	t.Helper()
+	task, err := corpus.TaskByID(taskID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := task.Generate(records, seed)
+	s := assistant.NewSession(task.Env(c), alog.MustParse(task.Program), task.Oracle(), cfg)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestServerMatchesLibrary is the acceptance-criteria identity test: a
+// session driven over HTTP with the same seed and answers produces a
+// result table byte-identical to the library path, for both strategies.
+func TestServerMatchesLibrary(t *testing.T) {
+	const records, seed = 12, int64(1)
+	for _, tc := range []struct {
+		task, strategy string
+	}{
+		{"T1", "seq"},
+		{"T9", "seq"},
+		{"T9", "sim"},
+	} {
+		tc := tc
+		t.Run(tc.task+"/"+tc.strategy, func(t *testing.T) {
+			_, c, shutdown := newTestServer(t, Config{})
+			defer shutdown()
+
+			task, err := corpus.TaskByID(tc.task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			created, err := c.CreateSession(CreateSessionRequest{
+				Tenant: "acme", Task: tc.task, Records: records, Seed: seed, Strategy: tc.strategy,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := driveSession(t, c, created.ID, task.Oracle(), false)
+
+			strat, err := assistant.ByName(tc.strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := libraryReference(t, tc.task, records, seed, assistant.Config{Strategy: strat})
+
+			if got.TableString() != want.Final.String() {
+				t.Errorf("server table differs from library path\nserver:\n%s\nlibrary:\n%s",
+					got.TableString(), want.Final.String())
+			}
+			if got.ExpandedTuples != want.FinalTuples || got.Converged != want.Converged ||
+				got.QuestionsAsked != want.QuestionsAsked {
+				t.Errorf("server (tuples=%d converged=%v asked=%d) vs library (tuples=%d converged=%v asked=%d)",
+					got.ExpandedTuples, got.Converged, got.QuestionsAsked,
+					want.FinalTuples, want.Converged, want.QuestionsAsked)
+			}
+			if got.Stats == nil || got.Stats.NodesEvaluated == 0 {
+				t.Error("stream carried no stats snapshot")
+			}
+		})
+	}
+}
+
+// TestInlineDocsSession creates a session from inline HTML documents and
+// checks it against the same program run directly through the library.
+func TestInlineDocsSession(t *testing.T) {
+	_, c, shutdown := newTestServer(t, Config{})
+	defer shutdown()
+
+	prog := `
+T(x, <p>, <s>) :- pages(x), ext(x, p, s), p > 500000.
+ext(x, p, s) :- from(x, p), from(x, s), numeric(p) = yes.
+`
+	page := func(price, school string) string {
+		return `House for sale.<br>Price: <i>` + price + `</i><br>School: <b>` + school + `</b>`
+	}
+	created, err := c.CreateSession(CreateSessionRequest{
+		Tenant:  "acme",
+		Program: prog,
+		Docs: map[string][]Doc{"pages": {
+			{ID: "h1", HTML: page("351000", "Vanhise High")},
+			{ID: "h2", HTML: page("619000", "Basktall HS")},
+			{ID: "h3", HTML: page("725000", "Lincoln High")},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No oracle: answer everything "I do not know" (empty answer lists).
+	var res *StreamedResult
+	for i := 0; ; i++ {
+		if i > 200 {
+			t.Fatal("inline session did not terminate")
+		}
+		sr, err := c.Step(created.ID, StepRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Done {
+			break
+		}
+	}
+	if res, err = c.Result(created.ID, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("inline session produced no rows")
+	}
+	if res.ExpandedTuples == 0 {
+		t.Error("inline session produced no expanded tuples")
+	}
+}
+
+// TestQuotas exercises the capacity refusals: per-tenant session cap,
+// global cap, and the tenant cache-byte pool.
+func TestQuotas(t *testing.T) {
+	_, c, shutdown := newTestServer(t, Config{
+		MaxSessions:          3,
+		MaxSessionsPerTenant: 2,
+		TenantCacheBudget:    1000,
+	})
+	defer shutdown()
+
+	mk := func(tenant string, cache int64) (CreateSessionResponse, error) {
+		return c.CreateSession(CreateSessionRequest{
+			Tenant: tenant, Task: "T1", Records: 4, CacheBudgetBytes: cache,
+		})
+	}
+	a1, err := mk("a", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.CacheBudgetBytes != 600 {
+		t.Errorf("granted cache = %d, want 600", a1.CacheBudgetBytes)
+	}
+	// Second session would need 600 more from a pool of 1000: refused.
+	if _, err := mk("a", 600); StatusCode(err) != http.StatusTooManyRequests {
+		t.Errorf("cache-pool exhaustion: err = %v, want 429", err)
+	}
+	// A smaller request still fits.
+	if _, err := mk("a", 300); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant "a" is now at its 2-session cap.
+	if _, err := mk("a", 10); StatusCode(err) != http.StatusTooManyRequests {
+		t.Errorf("tenant cap: err = %v, want 429", err)
+	}
+	// Third session overall is fine for tenant b...
+	b1, err := mk("b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default allocation is an equal pool share.
+	if want := int64(1000 / 2); b1.CacheBudgetBytes != want {
+		t.Errorf("default cache share = %d, want %d", b1.CacheBudgetBytes, want)
+	}
+	// ...but the global cap now refuses tenant c.
+	if _, err := mk("c", 0); StatusCode(err) != http.StatusTooManyRequests {
+		t.Errorf("global cap: err = %v, want 429", err)
+	}
+	// Deleting frees capacity.
+	if err := c.Delete(b1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mk("c", 0); err != nil {
+		t.Errorf("create after delete: %v", err)
+	}
+}
+
+// TestTTLEviction checks the idle sweep: an untouched session disappears
+// after the TTL and is accounted as evicted.
+func TestTTLEviction(t *testing.T) {
+	_, c, shutdown := newTestServer(t, Config{
+		SessionTTL:    30 * time.Millisecond,
+		SweepInterval: 10 * time.Millisecond,
+	})
+	defer shutdown()
+
+	created, err := c.CreateSession(CreateSessionRequest{Tenant: "a", Task: "T1", Records: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := c.Info(created.ID); StatusCode(err) == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session not evicted after TTL")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := stats.Tenants["a"]
+	if ts.SessionsEvicted != 1 || ts.Sessions != 0 || ts.CacheBytes != 0 {
+		t.Errorf("tenant stats after eviction = %+v", ts)
+	}
+}
+
+// waitGoroutines waits for the goroutine count to settle back to at most
+// base+slack, failing the test otherwise.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > %d+2\n%s", runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDrainMidStep drains the server while a step is in flight: the step
+// must finish, new work must get 503, health must report draining, and
+// after shutdown no goroutines may linger.
+func TestDrainMidStep(t *testing.T) {
+	base := runtime.NumGoroutine()
+	srv, c, shutdown := newTestServer(t, Config{})
+
+	created, err := c.CreateSession(CreateSessionRequest{Tenant: "a", Task: "T9", Records: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := srv.reg.get(created.ID)
+
+	// Pin the step mid-handler: the test holds the session lock, so the
+	// step request passes the drain gate and blocks on the session — the
+	// deterministic stand-in for "a step is executing right now".
+	sess.mu.Lock()
+	stepDone := make(chan error, 1)
+	go func() {
+		_, err := c.Step(created.ID, StepRequest{})
+		stepDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			sess.mu.Unlock()
+			t.Fatal("step never entered the handler")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	srv.Drain()
+	if st, err := c.Healthz(); err != nil || st != "draining" {
+		t.Errorf("healthz = %q, %v; want draining", st, err)
+	}
+	if _, err := c.CreateSession(CreateSessionRequest{Tenant: "b", Task: "T1", Records: 4}); StatusCode(err) != http.StatusServiceUnavailable {
+		t.Errorf("create while draining: err = %v, want 503", err)
+	}
+	if _, err := c.Step(created.ID, StepRequest{}); StatusCode(err) != http.StatusServiceUnavailable {
+		t.Errorf("new step while draining: err = %v, want 503", err)
+	}
+	// Release the session: the in-flight step must run to completion even
+	// though the server is draining.
+	sess.mu.Unlock()
+	if err := <-stepDone; err != nil {
+		t.Errorf("in-flight step failed during drain: %v", err)
+	}
+
+	shutdown()
+	c.HTTP.CloseIdleConnections()
+	waitGoroutines(t, base)
+}
+
+// TestStepValidation pins the request-shape errors.
+func TestStepValidation(t *testing.T) {
+	_, c, shutdown := newTestServer(t, Config{})
+	defer shutdown()
+
+	if _, err := c.Step("s999", StepRequest{}); StatusCode(err) != http.StatusNotFound {
+		t.Errorf("unknown session: err = %v, want 404", err)
+	}
+	created, err := c.CreateSession(CreateSessionRequest{Tenant: "a", Task: "T1", Records: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Answers with no pending questions.
+	if _, err := c.Step(created.ID, StepRequest{Answers: []AnswerJSON{{Known: true, Value: "yes"}}}); StatusCode(err) != http.StatusBadRequest {
+		t.Errorf("excess answers: err = %v, want 400", err)
+	}
+	// Bad create requests.
+	if _, err := c.CreateSession(CreateSessionRequest{Task: "T1"}); StatusCode(err) != http.StatusBadRequest {
+		t.Errorf("missing tenant: err = %v, want 400", err)
+	}
+	if _, err := c.CreateSession(CreateSessionRequest{Tenant: "a"}); StatusCode(err) != http.StatusBadRequest {
+		t.Errorf("no corpus: err = %v, want 400", err)
+	}
+	if _, err := c.CreateSession(CreateSessionRequest{Tenant: "a", Task: "T99"}); StatusCode(err) != http.StatusBadRequest {
+		t.Errorf("unknown task: err = %v, want 400", err)
+	}
+	// A failed create must not leak the admission reservation.
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts := stats.Tenants["a"]; ts.Sessions != 1 {
+		t.Errorf("tenant sessions after failed creates = %d, want 1", ts.Sessions)
+	}
+}
+
+// TestResultExplain checks the EXPLAIN stream line for traced sessions.
+func TestResultExplain(t *testing.T) {
+	_, c, shutdown := newTestServer(t, Config{})
+	defer shutdown()
+
+	task, err := corpus.TaskByID("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	created, err := c.CreateSession(CreateSessionRequest{
+		Tenant: "a", Task: "T1", Records: 6, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := driveSession(t, c, created.ID, task.Oracle(), true)
+	if res.Explain == "" {
+		t.Error("traced session streamed no explain text")
+	}
+	// A second result call replays the finalized result (no re-execution).
+	res2, err := c.Result(created.ID, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TableString() != res.TableString() {
+		t.Error("second result stream differs from first")
+	}
+	// Stepping a finalized session is refused.
+	if _, err := c.Step(created.ID, StepRequest{}); StatusCode(err) != http.StatusConflict {
+		t.Errorf("step after finalize: err = %v, want 409", err)
+	}
+	info, err := c.Info(created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != "finalized" {
+		t.Errorf("state = %q, want finalized", info.State)
+	}
+	_ = fmt.Sprintf("%v", info)
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"iflex/internal/alog"
+	"iflex/internal/assistant"
+	"iflex/internal/corpus"
+	"iflex/internal/engine"
+)
+
+// TestConcurrentTenantsNoBleed runs two tenants' sessions concurrently in
+// one process — separate engine contexts, distinct cache budgets — and
+// checks complete isolation: each session's result table and
+// deterministic engine counters are byte-identical to the same scenario
+// run alone through the library, and the byte-budgeted tenant evicts
+// while the unlimited tenant never does. Run under -race: any shared
+// mutable state between the two evaluation paths trips the detector.
+func TestConcurrentTenantsNoBleed(t *testing.T) {
+	const (
+		records     = 12
+		smallBudget = 2048
+	)
+	type tenantRun struct {
+		tenant string
+		task   string
+		seed   int64
+		budget int64
+	}
+	runs := []tenantRun{
+		{tenant: "small", task: "T9", seed: 1, budget: smallBudget},
+		{tenant: "unlimited", task: "T6", seed: 2, budget: 0},
+	}
+
+	// Solo library references, computed first so the concurrent server
+	// runs cannot influence them.
+	solo := make([]*assistant.Result, len(runs))
+	soloStats := make([]engine.StatsSnapshot, len(runs))
+	for i, r := range runs {
+		task, err := corpus.TaskByID(r.task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := task.Generate(records, r.seed)
+		s := assistant.NewSession(task.Env(c), alog.MustParse(task.Program), task.Oracle(), assistant.Config{
+			Workers: 1, CacheBudget: r.budget,
+		})
+		if solo[i], err = s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		soloStats[i] = solo[i].Stats.Snapshot()
+	}
+	if soloStats[0].CacheEvictions == 0 {
+		t.Fatalf("small budget (%d bytes) evicted nothing; the bleed check is vacuous", smallBudget)
+	}
+
+	_, c, shutdown := newTestServer(t, Config{})
+	defer shutdown()
+
+	results := make([]*StreamedResult, len(runs))
+	var wg sync.WaitGroup
+	errs := make(chan error, len(runs))
+	for i, r := range runs {
+		wg.Add(1)
+		go func(i int, r tenantRun) {
+			defer wg.Done()
+			task, err := corpus.TaskByID(r.task)
+			if err != nil {
+				errs <- err
+				return
+			}
+			created, err := c.CreateSession(CreateSessionRequest{
+				Tenant: r.tenant, Task: r.task, Records: records, Seed: r.seed,
+				Workers: 1, CacheBudgetBytes: r.budget,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			o := task.Oracle()
+			var answers []AnswerJSON
+			for n := 0; ; n++ {
+				if n > 200 {
+					errs <- errTooManySteps
+					return
+				}
+				sr, err := c.Step(created.ID, StepRequest{Answers: answers})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if sr.Done {
+					break
+				}
+				answers = answers[:0]
+				for _, qj := range sr.Questions {
+					q, err := ParseQuestion(qj)
+					if err != nil {
+						errs <- err
+						return
+					}
+					ans := o.Answer(q)
+					answers = append(answers, AnswerJSON{Value: ans.Value, Known: ans.Known})
+				}
+			}
+			results[i], err = c.Result(created.ID, false, 0)
+			if err != nil {
+				errs <- err
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for i, r := range runs {
+		got, want := results[i], solo[i]
+		if got.TableString() != want.Final.String() {
+			t.Errorf("tenant %s: concurrent result differs from solo run\nconcurrent:\n%s\nsolo:\n%s",
+				r.tenant, got.TableString(), want.Final.String())
+		}
+		// Deterministic counters must match the solo run exactly — any
+		// cross-tenant stat bleed (or cache sharing, which would convert
+		// evaluations into hits) breaks the equality.
+		if got.Stats.NodesEvaluated != soloStats[i].NodesEvaluated ||
+			got.Stats.CacheHits != soloStats[i].CacheHits ||
+			got.Stats.TuplesBuilt != soloStats[i].TuplesBuilt ||
+			got.Stats.CacheEvictions != soloStats[i].CacheEvictions {
+			t.Errorf("tenant %s: counters differ from solo run:\nconcurrent: evals=%d hits=%d tuples=%d evictions=%d\nsolo:       evals=%d hits=%d tuples=%d evictions=%d",
+				r.tenant,
+				got.Stats.NodesEvaluated, got.Stats.CacheHits, got.Stats.TuplesBuilt, got.Stats.CacheEvictions,
+				soloStats[i].NodesEvaluated, soloStats[i].CacheHits, soloStats[i].TuplesBuilt, soloStats[i].CacheEvictions)
+		}
+	}
+	if results[1].Stats.CacheEvictions != 0 {
+		t.Errorf("unlimited tenant evicted %d entries", results[1].Stats.CacheEvictions)
+	}
+}
+
+var errTooManySteps = &apiError{Status: 0, Msg: "session did not terminate"}
