@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-all chaos bench bench-parallel bench-hotpath bench-reuse bench-optimizer bench-serve serve-smoke benchdiff profile vet verify
+.PHONY: build test race race-all chaos bench bench-parallel bench-hotpath bench-reuse bench-optimizer bench-serve bench-scale serve-smoke benchdiff profile vet verify
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,15 @@ bench-optimizer:
 # table checked byte-identical to the library path (DESIGN.md §14).
 bench-serve:
 	$(GO) run ./cmd/iflex-bench -table serve -scale 0.05 -bench-json BENCH_SERVE.json
+
+# Corpus-scale storage bench: ingest a generated DBLife corpus into a
+# sharded store, then measure index load, a budget-bounded content sweep,
+# and postings-served similarity probes (DESIGN.md §15). The committed
+# BENCH_SCALE.json snapshot is from -pages 100000; PAGES=3000 keeps the
+# CI smoke run fast and additionally runs the byte-identity sweep.
+PAGES ?= 100000
+bench-scale:
+	$(GO) run ./cmd/iflex-bench -table scale -pages $(PAGES) -bench-json BENCH_SCALE.json
 
 # Boot iflexd, run a short serve burst against it, and check it drains
 # cleanly on SIGTERM (exit 0). One shell so `wait` sees the daemon.

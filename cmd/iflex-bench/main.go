@@ -12,6 +12,10 @@
 // benches and CI use small scales, which preserve the result shapes.
 // -table serve load-tests the multi-tenant service (in-process by
 // default; -serve-addr points it at a running iflexd instead).
+// -table scale benches the sharded document store on a generated DBLife
+// corpus (-pages, default 100k): ingest throughput, index load time, a
+// budget-bounded content sweep, and postings-served similarity probes
+// (BENCH_SCALE.json via -bench-json).
 package main
 
 import (
@@ -39,7 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("iflex-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		table      = fs.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, parallel, hotpath, reuse, optimizer, serve, or all")
+		table      = fs.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, parallel, hotpath, reuse, optimizer, serve, scale, or all")
 		compare    = fs.Bool("compare", false, "compare two benchmark JSON files (old new); exit non-zero on a >10% wall-time regression")
 		scale      = fs.Float64("scale", 0.2, "corpus size factor (1.0 = paper sizes)")
 		seed       = fs.Int64("seed", 1, "corpus generation seed")
@@ -51,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sessions   = fs.Int("sessions-per-tenant", 2, "sessions each tenant runs for -table serve")
 		serveAddr  = fs.String("serve-addr", "", "load-test a running iflexd at this base URL instead of an in-process server (-table serve)")
 		stepDL     = fs.Duration("step-deadline", 0, "per-step deadline for -table serve sessions (0 = none)")
+		pages      = fs.Int("pages", 100000, "DBLife corpus pages for -table scale")
+		storeDir   = fs.String("store-dir", "", "reuse/build the -table scale document store at this directory (default: a temp dir)")
 		benchJSON  = fs.String("bench-json", "", "write the parallel comparison result to this JSON file")
 		outPath    = fs.String("out", "", "also write output to this file")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -154,6 +160,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			return writeJSON(*benchJSON, res)
 		}},
+		{"scale", func() error {
+			res, err := experiments.Scale(o, experiments.ScaleOptions{Pages: *pages, Dir: *storeDir})
+			if err != nil {
+				return err
+			}
+			return writeJSON(*benchJSON, res)
+		}},
 		{"serve", func() error {
 			res, err := experiments.Serve(o, experiments.ServeOptions{
 				Tenants:           *tenants,
@@ -167,11 +180,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return writeJSON(*benchJSON, res)
 		}},
 	}
-	// The serve harness is a service load test, not a paper table: it only
-	// runs when named explicitly.
+	// The serve harness is a service load test and the scale harness a
+	// corpus-scale storage bench, not paper tables: they only run when
+	// named explicitly.
 	matched := false
 	for _, tb := range tables {
-		if *table == "all" && tb.name == "serve" {
+		if *table == "all" && (tb.name == "serve" || tb.name == "scale") {
 			continue
 		}
 		if *table != "all" && *table != tb.name {
@@ -206,12 +220,13 @@ func writeJSON(path string, v any) error {
 // compareBenchFiles diffs the wall-time fields of two benchmark JSON
 // files (any top-level number whose key ends in "_s") and returns an
 // error when the new file regresses any of them by more than 10%.
-// Two files with no comparable numeric field in common — benchmark JSON
-// of disjoint table kinds — are an error (exit non-zero), not a silent
-// empty comparison. Engine counters (func_calls, cache_hits,
-// tuples_reused) found anywhere in both files are reported as
-// informational delta lines; neither they nor other non-time fields
-// ever fail the check.
+// Keys ending in "_per_s" are throughputs, where more is better: a >10%
+// DROP fails, a rise never does. Two files with no comparable numeric
+// field in common — benchmark JSON of disjoint table kinds — are an
+// error (exit non-zero), not a silent empty comparison. Engine counters
+// (func_calls, cache_hits, tuples_reused) found anywhere in both files
+// are reported as informational delta lines; neither they nor other
+// non-time fields ever fail the check.
 func compareBenchFiles(w io.Writer, oldPath, newPath string) error {
 	load := func(path string) (map[string]any, error) {
 		data, err := os.ReadFile(path)
@@ -264,7 +279,8 @@ func compareBenchFiles(w io.Writer, oldPath, newPath string) error {
 		if !ook || !nok {
 			continue
 		}
-		timing := strings.HasSuffix(k, "_s")
+		throughput := strings.HasSuffix(k, "_per_s") // higher is better
+		timing := !throughput && strings.HasSuffix(k, "_s")
 		delta := "n/a"
 		if ov != 0 {
 			delta = fmt.Sprintf("%+.1f%%", 100*(nv-ov)/ov)
@@ -274,11 +290,15 @@ func compareBenchFiles(w io.Writer, oldPath, newPath string) error {
 			mark = "!"
 			regressed = append(regressed, fmt.Sprintf("%s: %.3f -> %.3f (%s)", k, ov, nv, delta))
 		}
+		if throughput && ov > 0 && nv < ov/tolerance {
+			mark = "!"
+			regressed = append(regressed, fmt.Sprintf("%s: %.3f -> %.3f (%s, throughput drop)", k, ov, nv, delta))
+		}
 		fmt.Fprintf(w, "%s %-24s %14.3f %14.3f  %s\n", mark, k, ov, nv, delta)
 	}
 	printCounterDeltas(w, oldM, newM)
 	if len(regressed) > 0 {
-		return fmt.Errorf("wall-time regression over %0.f%%:\n  %s",
+		return fmt.Errorf("wall-time or throughput regression over %0.f%%:\n  %s",
 			100*(tolerance-1), strings.Join(regressed, "\n  "))
 	}
 	fmt.Fprintln(w, "no wall-time regressions")

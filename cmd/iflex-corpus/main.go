@@ -8,6 +8,16 @@
 //
 // creates ./data/IMDB/*.html, ./data/Ebert/*.html, ./data/Prasanna/*.html
 // and ./data/truth.txt.
+//
+// At corpus scale, -store streams pages straight into a sharded document
+// store with a persistent inverted token index (internal/store) instead
+// of one file per page:
+//
+//	iflex-corpus -domain dblife -pages 1000000 -store ./dblife.ifs
+//
+// The dblife generator streams: resident memory stays constant in the
+// page count (pass -truth=false to keep the ground-truth accumulation
+// flat too).
 package main
 
 import (
@@ -19,19 +29,116 @@ import (
 
 	"iflex/internal/corpus"
 	"iflex/internal/similarity"
+	"iflex/internal/store"
 )
 
 func main() {
 	var (
-		domain  = flag.String("domain", "movies", "domain to generate: movies, dblp, books, dblife")
-		records = flag.Int("records", 100, "records per table (pages for dblife)")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		out     = flag.String("out", "corpus-out", "output directory")
+		domain   = flag.String("domain", "movies", "domain to generate: movies, dblp, books, dblife")
+		records  = flag.Int("records", 100, "records per table (pages for dblife)")
+		pages    = flag.Int("pages", 0, "pages to generate (overrides -records; dblife streams at any scale)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("out", "corpus-out", "output directory for .html pages")
+		storeDir = flag.String("store", "", "write a sharded document store to this directory instead of .html pages")
+		truth    = flag.Bool("truth", true, "collect and write ground truth (disable for constant-memory streaming)")
 	)
 	flag.Parse()
-	if err := run(*domain, *records, *seed, *out); err != nil {
+	n := *records
+	if *pages > 0 {
+		n = *pages
+	}
+	var err error
+	if *storeDir != "" {
+		err = runStore(*domain, n, *seed, *storeDir, *truth)
+	} else {
+		err = run(*domain, n, *seed, *out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "iflex-corpus:", err)
 		os.Exit(1)
+	}
+}
+
+// runStore ingests the generated pages into a sharded document store.
+// The dblife domain streams page by page — no page, document, or index
+// posting list is retained beyond the store writer's bounded state — so
+// million-page corpora build in constant resident memory. The record
+// domains are small; they generate eagerly and ingest from memory.
+func runStore(domain string, n int, seed int64, dir string, withTruth bool) error {
+	w, err := store.Create(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	if domain == "dblife" {
+		var tr *corpus.DBLifeTruth
+		if withTruth {
+			tr = &corpus.DBLifeTruth{}
+		}
+		err := corpus.StreamDBLife(corpus.DBLifeConfig{Pages: n, Seed: seed}, tr,
+			func(id, src string) error { return w.Add(id, src) })
+		if err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		man := w.Manifest()
+		fmt.Printf("wrote %d pages (%d shards, %d index tokens) to %s\n",
+			man.Docs, man.Shards, man.Vocab, dir)
+		if withTruth {
+			f, err := os.Create(filepath.Join(dir, "truth.txt"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			writeTruthSet(f, "Panel", tr.TruthPanel())
+			writeTruthSet(f, "Project", tr.TruthProject())
+			writeTruthSet(f, "Chair", tr.TruthChair())
+		}
+		return nil
+	}
+	var c *corpus.Corpus
+	switch domain {
+	case "movies":
+		c = corpus.Movies(corpus.MoviesConfig{Records: n, Seed: seed})
+	case "dblp":
+		c = corpus.DBLP(corpus.DBLPConfig{Records: n, Seed: seed})
+	case "books":
+		c = corpus.Books(corpus.BooksConfig{Records: n, Seed: seed})
+	default:
+		return fmt.Errorf("unknown domain %q (want movies, dblp, books, dblife)", domain)
+	}
+	var tableNames []string
+	for name := range c.Tables {
+		tableNames = append(tableNames, name)
+	}
+	sort.Strings(tableNames)
+	total := 0
+	for _, name := range tableNames {
+		t := c.Tables[name]
+		for i, raw := range t.Raw {
+			if err := w.Add(t.Docs[i].ID(), raw); err != nil {
+				return err
+			}
+			total++
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d pages to %s\n", total, dir)
+	return nil
+}
+
+func writeTruthSet(f *os.File, label string, set map[string]bool) {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(f, "## %s (%d)\n", label, len(keys))
+	for _, k := range keys {
+		fmt.Fprintln(f, k)
 	}
 }
 

@@ -9,6 +9,15 @@
 // pages (one tuple per page). The program's query predicate (rule named Q,
 // or the last non-description rule) defines the result.
 //
+// -store binds a predicate to a sharded document store built by
+// iflex-corpus -store instead of a page directory:
+//
+//	iflex -program panels.alog -store docs=./dblife.ifs
+//
+// Store pages load lazily (bounded by -store-budget) and, when exactly
+// one store is bound, token prefilters and join blocking are served from
+// its persistent inverted index; results are byte-identical to -table.
+//
 // With -interactive, the next-effort assistant drives a refinement session
 // on the terminal: it asks feature questions ("is extractHouses.p
 // bold-font?"), you answer yes / distinct-yes / no / a parameter value, or
@@ -72,6 +81,8 @@ func run() (degraded bool, err error) {
 	var (
 		programPath = flag.String("program", "", "path to the Alog program (required)")
 		tables      = tableFlags{}
+		stores      = tableFlags{}
+		storeBudget = flag.Int64("store-budget", 256<<20, "resident-memory budget in bytes for -store page content (0 = unlimited)")
 		interactive = flag.Bool("interactive", false, "drive a refinement session with the next-effort assistant")
 		strategy    = flag.String("strategy", "seq", "question selection strategy: seq or sim")
 		workers     = flag.Int("workers", 0, "worker pool size for evaluation and simulation (0 = one per CPU, 1 = serial)")
@@ -84,6 +95,7 @@ func run() (degraded bool, err error) {
 		tracePath   = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Var(tables, "table", "bind an extensional predicate to a directory of .html pages (pred=dir, repeatable)")
+	flag.Var(stores, "store", "bind an extensional predicate to a sharded document store built by iflex-corpus -store (pred=dir, repeatable)")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile, *tracePath)
@@ -96,9 +108,9 @@ func run() (degraded bool, err error) {
 		}
 	}()
 
-	if *programPath == "" || len(tables) == 0 {
+	if *programPath == "" || len(tables)+len(stores) == 0 {
 		flag.Usage()
-		return false, fmt.Errorf("-program and at least one -table are required")
+		return false, fmt.Errorf("-program and at least one -table or -store are required")
 	}
 	src, err := os.ReadFile(*programPath)
 	if err != nil {
@@ -116,6 +128,23 @@ func run() (degraded bool, err error) {
 		}
 		env.AddDocTable(pred, "x", docs)
 		fmt.Fprintf(os.Stderr, "loaded %d pages into %s\n", len(docs), pred)
+	}
+	for pred, dir := range stores {
+		s, err := iflex.OpenStore(dir, *storeBudget)
+		if err != nil {
+			return false, err
+		}
+		defer s.Close()
+		env.AddDocTable(pred, "x", s.Docs())
+		// The engine consults one index per environment; with several
+		// stores bound it falls back to query-time tokenization (results
+		// are identical either way).
+		if len(stores) == 1 {
+			env.DocIndex = s
+			env.Postings = s
+		}
+		fmt.Fprintf(os.Stderr, "opened store %s into %s: %d pages, %d index tokens\n",
+			dir, pred, s.Len(), s.Vocab())
 	}
 
 	if !*interactive {

@@ -7,6 +7,14 @@
 //
 //	iflexd -addr :8080 -tenant-workers 4 -tenant-cache-budget 67108864
 //
+// -store name=dir mounts a sharded document store (built by
+// iflex-corpus -store) under a name sessions reference with the create
+// request's "store" field; all sessions over the same store share one
+// handle, its lazily-materialized pages (bounded by -store-budget), and
+// its persistent inverted token index:
+//
+//	iflexd -store dblife=./dblife.ifs
+//
 // Endpoints (see DESIGN.md §14):
 //
 //	POST   /v1/sessions             create a session (task-backed or inline docs)
@@ -26,16 +34,19 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"iflex/internal/prof"
 	"iflex/internal/server"
+	"iflex/internal/store"
 )
 
 func main() {
@@ -46,8 +57,18 @@ func main() {
 // cleanups (profile flushes, listener close) run on every path.
 func run(args []string) int {
 	fs := flag.NewFlagSet("iflexd", flag.ContinueOnError)
+	storeFlags := map[string]string{}
+	fs.Func("store", "mount a document store under a name (name=dir, repeatable)", func(v string) error {
+		name, dir, ok := strings.Cut(v, "=")
+		if !ok || name == "" || dir == "" {
+			return fmt.Errorf("want name=dir, got %q", v)
+		}
+		storeFlags[name] = dir
+		return nil
+	})
 	var (
 		addr          = fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		storeBudget   = fs.Int64("store-budget", 256<<20, "resident-memory budget in bytes per mounted store's page content (0 = unlimited)")
 		maxSessions   = fs.Int("max-sessions", 64, "global live-session cap")
 		tenantCap     = fs.Int("max-sessions-per-tenant", 8, "per-tenant live-session cap")
 		tenantWorkers = fs.Int("tenant-workers", 0, "per-tenant worker-pool share (0 = one per CPU)")
@@ -77,7 +98,20 @@ func run(args []string) int {
 		}
 	}()
 
+	stores := map[string]*store.DiskStore{}
+	for name, dir := range storeFlags {
+		st, err := store.Open(dir, store.OpenOptions{ResidentBudget: *storeBudget})
+		if err != nil {
+			logger.Print(err)
+			return 1
+		}
+		defer st.Close()
+		stores[name] = st
+		logger.Printf("mounted store %q from %s: %d pages, %d index tokens", name, dir, st.Len(), st.Vocab())
+	}
+
 	srv := server.New(server.Config{
+		Stores:               stores,
 		MaxSessions:          *maxSessions,
 		MaxSessionsPerTenant: *tenantCap,
 		TenantWorkers:        *tenantWorkers,

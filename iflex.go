@@ -44,6 +44,7 @@ import (
 	"iflex/internal/engine"
 	"iflex/internal/feature"
 	"iflex/internal/markup"
+	"iflex/internal/store"
 	"iflex/internal/text"
 )
 
@@ -169,6 +170,21 @@ func LoadDocuments(dir string) ([]*Document, error) {
 		docs = append(docs, d)
 	}
 	return docs, nil
+}
+
+// DocStore is a sharded, file-backed document store with a persistent
+// inverted token index, built by iflex-corpus -store (or store.Create).
+type DocStore = store.DiskStore
+
+// OpenStore opens a document store for querying. residentBudget caps the
+// estimated bytes of materialized page content kept in memory (0 =
+// unlimited); pages beyond it are released and re-read on next touch.
+// Bind the store's pages with env.AddDocTable(pred, col, s.Docs()) and,
+// to serve token prefilters and join blocking from the persistent index
+// instead of tokenizing page text at query time, set env.DocIndex = s
+// and env.Postings = s (results are byte-identical either way).
+func OpenStore(dir string, residentBudget int64) (*DocStore, error) {
+	return store.Open(dir, store.OpenOptions{ResidentBudget: residentBudget})
 }
 
 // InteractiveOracle adapts a callback (e.g. a terminal prompt) into an

@@ -13,6 +13,7 @@ import (
 	"iflex/internal/compact"
 	"iflex/internal/engine"
 	"iflex/internal/engine/opt"
+	"iflex/internal/store"
 )
 
 // ExplicitZero is a sentinel for Config fields whose zero value selects a
@@ -55,6 +56,12 @@ type Config struct {
 	// simulation fan-outs evict least-recently-used intermediate tables
 	// instead of growing without limit. Results are unaffected.
 	CacheBudget int64
+	// SpillDir, when set with a CacheBudget, demotes evicted result
+	// tables to files under this directory instead of dropping them: a
+	// later request for the same table reloads it from disk rather than
+	// re-evaluating (engine.Context.Spill). Results are unaffected; the
+	// directory is cleaned up when the session's Close runs.
+	SpillDir string
 	// DisableDeltaReuse turns off incremental (delta) evaluation between
 	// iterations and simulation candidates, forcing every changed operator
 	// to recompute from its full inputs. Results are byte-identical either
@@ -208,6 +215,10 @@ type Session struct {
 	trialMu   sync.Mutex
 	trialPrev map[string]engine.Node
 
+	// spill owns the on-disk demotion files under Config.SpillDir; Close
+	// deletes them.
+	spill *store.Spill
+
 	// costModel and canon drive the plan optimizer (nil when
 	// DisableOptimizer is set): the model refines reported cost estimates
 	// from the session's own execution statistics, the canon table shares
@@ -233,6 +244,15 @@ func NewSession(env *engine.Env, prog *alog.Program, oracle Oracle, cfg Config) 
 	}
 	s.ctx.Workers = cfg.Workers
 	s.ctx.CacheBudget = cfg.CacheBudget
+	if cfg.SpillDir != "" && cfg.CacheBudget > 0 {
+		// Spilling is a pure demotion path: if the directory cannot be
+		// created the session just re-evaluates evicted tables, so a spill
+		// setup failure degrades performance, never the session.
+		if sp, err := store.NewSpill(cfg.SpillDir, env.DocResolver()); err == nil {
+			s.ctx.Spill = sp
+			s.spill = sp
+		}
+	}
 	if cfg.QuarantineFaults {
 		s.ctx.FaultPolicy = engine.QuarantineFaults
 		s.ctx.MaxDocRetries = cfg.MaxDocRetries
@@ -249,6 +269,16 @@ func NewSession(env *engine.Env, prog *alog.Program, oracle Oracle, cfg Config) 
 	}
 	s.subset = s.sampleSubset()
 	return s
+}
+
+// Close releases session-owned resources: tables demoted to disk under
+// Config.SpillDir are deleted. Safe to call more than once; sessions
+// without a spill directory need no Close.
+func (s *Session) Close() error {
+	if s.spill != nil {
+		return s.spill.Close()
+	}
+	return nil
 }
 
 // optimize runs the cost-based rewrite pass over a freshly compiled plan

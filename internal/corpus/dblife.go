@@ -30,9 +30,32 @@ func DBLife(cfg DBLifeConfig) *Corpus {
 	if cfg.Pages <= 0 {
 		cfg.Pages = 200
 	}
-	r := rng("DBLife", cfg.Seed)
 	c := &Corpus{Domain: "DBLife", Tables: map[string]*Table{}, DBLife: &DBLifeTruth{}}
 	docs := &Table{Name: "docs", Description: "DBLife one-day crawl snapshot", Pages: cfg.Pages}
+	// StreamDBLife draws from the identical rand sequence whether or not
+	// pages are retained, so the eager corpus and a streamed ingest of the
+	// same (Pages, Seed) are byte-identical page for page.
+	_ = StreamDBLife(cfg, c.DBLife, func(id, src string) error {
+		docs.add("dblife", src)
+		return nil
+	})
+	c.Tables["docs"] = docs
+	return c
+}
+
+// StreamDBLife generates the DBLife snapshot one page at a time, calling
+// emit(id, src) for each page in order and retaining nothing: memory
+// stays constant in the page count, which is what lets iflex-corpus
+// write million-page stores. Page IDs and contents are exactly those
+// DBLife produces for the same config (same rand call sequence). truth,
+// when non-nil, accumulates the ground-truth records as pages are
+// generated (truth grows with the corpus; pass nil to stay flat). A
+// non-nil error from emit aborts generation and is returned.
+func StreamDBLife(cfg DBLifeConfig, truth *DBLifeTruth, emit func(id, src string) error) error {
+	if cfg.Pages <= 0 {
+		cfg.Pages = 200
+	}
+	r := rng("DBLife", cfg.Seed)
 
 	person := func() string {
 		return firstNames[r.Intn(len(firstNames))] + " " + lastNames[r.Intn(len(lastNames))]
@@ -51,13 +74,17 @@ func DBLife(cfg DBLifeConfig) *Corpus {
 			for k := 0; k < 2+r.Intn(3); k++ {
 				p := person()
 				fmt.Fprintf(&b, "<li>%s</li>", p)
-				c.DBLife.Panelists = append(c.DBLife.Panelists, PersonAt{Person: p, Conference: conf})
+				if truth != nil {
+					truth.Panelists = append(truth.Panelists, PersonAt{Person: p, Conference: conf})
+				}
 			}
 			b.WriteString("</ul><h2>Organizing Committee</h2><ul>")
 			for k := 0; k < 2+r.Intn(3); k++ {
 				p, ct := person(), chairTypes[r.Intn(len(chairTypes))]
 				fmt.Fprintf(&b, "<li>%s chair: <b>%s</b></li>", ct, p)
-				c.DBLife.Chairs = append(c.DBLife.Chairs, ChairAt{Person: p, Type: ct, Conference: conf})
+				if truth != nil {
+					truth.Chairs = append(truth.Chairs, ChairAt{Person: p, Type: ct, Conference: conf})
+				}
 			}
 			b.WriteString("</ul><h2>Local Information</h2><p>The conference will be held in ")
 			b.WriteString(cityNames[r.Intn(len(cityNames))])
@@ -73,7 +100,9 @@ func DBLife(cfg DBLifeConfig) *Corpus {
 			for k := 0; k < 1+r.Intn(3); k++ {
 				proj := projectNames[r.Intn(len(projectNames))]
 				fmt.Fprintf(&b, "<li><i>%s</i></li>", proj)
-				c.DBLife.Projects = append(c.DBLife.Projects, ProjectOf{Person: owner, Project: proj})
+				if truth != nil {
+					truth.Projects = append(truth.Projects, ProjectOf{Person: owner, Project: proj})
+				}
 			}
 			b.WriteString("</ul><h2>Teaching</h2><p>Databases and distributed systems.</p>")
 			src = b.String()
@@ -84,10 +113,11 @@ func DBLife(cfg DBLifeConfig) *Corpus {
 				paperTopics[r.Intn(len(paperTopics))], 1+r.Intn(28), person())
 			src = b.String()
 		}
-		docs.add("dblife", src)
+		if err := emit(fmt.Sprintf("dblife-%04d", i), src); err != nil {
+			return err
+		}
 	}
-	c.Tables["docs"] = docs
-	return c
+	return nil
 }
 
 // TruthPanel lists (person, conference) panelist pairs as joined keys.

@@ -1,0 +1,64 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+)
+
+func collectStream(t *testing.T, cfg DBLifeConfig, truth *DBLifeTruth) (ids, srcs []string) {
+	t.Helper()
+	err := StreamDBLife(cfg, truth, func(id, src string) error {
+		ids = append(ids, id)
+		srcs = append(srcs, src)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids, srcs
+}
+
+// TestStreamDBLifeDeterministic: the same (pages, seed) produces
+// byte-identical pages on every run, and a different seed does not.
+func TestStreamDBLifeDeterministic(t *testing.T) {
+	cfg := DBLifeConfig{Pages: 120, Seed: 7}
+	ids1, srcs1 := collectStream(t, cfg, nil)
+	ids2, srcs2 := collectStream(t, cfg, nil)
+	if !reflect.DeepEqual(ids1, ids2) || !reflect.DeepEqual(srcs1, srcs2) {
+		t.Fatal("same seed produced different pages")
+	}
+	_, srcs3 := collectStream(t, DBLifeConfig{Pages: 120, Seed: 8}, nil)
+	if reflect.DeepEqual(srcs1, srcs3) {
+		t.Fatal("different seeds produced identical pages")
+	}
+}
+
+// TestStreamDBLifeMatchesEager: the streaming generator and the eager
+// DBLife corpus emit the same page IDs, the same page bytes, and the same
+// ground truth — and skipping truth collection does not perturb the pages.
+func TestStreamDBLifeMatchesEager(t *testing.T) {
+	cfg := DBLifeConfig{Pages: 150, Seed: 3}
+	truth := &DBLifeTruth{}
+	ids, srcs := collectStream(t, cfg, truth)
+
+	c := DBLife(cfg)
+	docs := c.Tables["docs"]
+	if len(docs.Raw) != len(srcs) {
+		t.Fatalf("page counts differ: eager %d, stream %d", len(docs.Raw), len(srcs))
+	}
+	for i := range srcs {
+		if docs.Raw[i] != srcs[i] {
+			t.Fatalf("page %d bytes differ", i)
+		}
+		if docs.Docs[i].ID() != ids[i] {
+			t.Fatalf("page %d: id %q vs %q", i, docs.Docs[i].ID(), ids[i])
+		}
+	}
+	if !reflect.DeepEqual(truth, c.DBLife) {
+		t.Fatal("streamed truth differs from eager truth")
+	}
+	_, noTruthSrcs := collectStream(t, cfg, nil)
+	if !reflect.DeepEqual(srcs, noTruthSrcs) {
+		t.Fatal("disabling truth collection changed the generated pages")
+	}
+}

@@ -90,6 +90,52 @@ type Env struct {
 	// deterministic fault injection (internal/fault) and must be set
 	// before evaluation starts.
 	FaultHook func(site string, docs []string) error
+	// DocIndex, when non-nil, answers whole-document token queries from
+	// an index built at ingest (the document store), so the shared-token
+	// prefilter and simjoin blocking skip re-tokenising resident pages —
+	// and skip paging non-resident pages in at all. Implementations must
+	// return exactly what the engine would compute live: BlockTokens the
+	// distinct similarity.Tokens of the page text, NormTokens the ordered
+	// similarity.NormalizedTokens of the page's normalised text. A false
+	// ok falls back to live tokenisation; results are byte-identical
+	// either way.
+	DocIndex DocIndex
+	// Postings, when non-nil, provides the persistent inverted
+	// blocking-token index over the same store: simjoin blocking consults
+	// it directly when the join's right side is a plain document table,
+	// instead of rebuilding a per-run blocking index from page text.
+	Postings PostingsIndex
+}
+
+// DocIndex answers per-document token queries from a prebuilt index;
+// see Env.DocIndex for the exactness contract.
+type DocIndex interface {
+	// BlockTokens returns the distinct blocking tokens of the document.
+	BlockTokens(d *text.Document) ([]string, bool)
+	// NormTokens returns the document's ordered normalized token sequence.
+	NormTokens(d *text.Document) ([]string, bool)
+}
+
+// PostingsIndex is an inverted blocking-token index over an ordinal
+// document space; see Env.Postings.
+type PostingsIndex interface {
+	// NumDocs returns the size of the ordinal space.
+	NumDocs() int
+	// DocOrdinal returns d's ordinal, or false if d is not indexed.
+	DocOrdinal(d *text.Document) (int, bool)
+	// TokenPostings returns the sorted ordinals of documents whose
+	// blocking-token set contains tok. A token known to match no document
+	// returns (nil, true); ok is false only when the index cannot answer
+	// (callers must then treat every document as a candidate).
+	TokenPostings(tok string) ([]int, bool)
+}
+
+// TableSpill persists evicted result tables so a cache-budget eviction
+// demotes to disk instead of dropping; satisfied by store.Spill.
+type TableSpill interface {
+	Save(key string, t *compact.Table) (int64, error)
+	Load(key string) (*compact.Table, bool, error)
+	Drop(key string)
 }
 
 // NewEnv returns an Env with the built-in feature registry, default
@@ -129,6 +175,29 @@ func (e *Env) AddDocTable(pred, col string, docs []*text.Document) {
 		t.Append(compact.Tuple{Cells: []compact.Cell{compact.ExactCell(d.WholeSpan())}})
 	}
 	e.Tables[pred] = t
+}
+
+// DocResolver returns a lookup from document ID to the handle referenced
+// by this environment's tables — what a table spill needs to decode
+// spilled spans back onto the very documents the engine's memos key on.
+// Build it after the extensional tables are registered.
+func (e *Env) DocResolver() func(id string) (*text.Document, bool) {
+	byID := map[string]*text.Document{}
+	for _, t := range e.Tables {
+		for _, tp := range t.Tuples {
+			for _, c := range tp.Cells {
+				for _, a := range c.Assigns {
+					if d := a.Span.Doc(); d != nil {
+						byID[d.ID()] = d
+					}
+				}
+			}
+		}
+	}
+	return func(id string) (*text.Document, bool) {
+		d, ok := byID[id]
+		return d, ok
+	}
 }
 
 // Schema derives the alog.Schema view of this environment.
@@ -194,6 +263,12 @@ type Context struct {
 	// error fails the chunk. It exists for deterministic fault and
 	// latency injection at operator-chunk boundaries (internal/fault).
 	ChunkHook func(start, end int) error
+	// Spill, when non-nil, demotes result tables evicted by CacheBudget
+	// to disk instead of dropping them; a later request for the key
+	// resurrects the table from the spill rather than re-evaluating.
+	// Results are identical either way — spilling only changes how much
+	// is recomputed. Set it before the first evaluation.
+	Spill TableSpill
 	// Stats accumulates evaluation counters (atomically).
 	Stats Stats
 
@@ -367,6 +442,22 @@ type Stats struct {
 	CacheEvictions    int64
 	BlockIdxEvictions int64
 	CacheBytes        int64
+	// TablesSpilled / SpillLoads / SpillBytes count cache-budget
+	// evictions demoted to the spill area, tables resurrected from it
+	// (instead of re-evaluated), and cumulative bytes written. Like the
+	// pool counters they depend on eviction order and so may vary with
+	// scheduling; SpillLoads is never folded into CacheHits.
+	TablesSpilled int64
+	SpillLoads    int64
+	SpillBytes    int64
+	// BlockIdxPostings counts simjoin blocking indexes served directly
+	// by the persistent inverted token index (Env.Postings) instead of
+	// being rebuilt from page text; IndexTokenHits counts whole-document
+	// token queries answered by Env.DocIndex. Both vary slightly with
+	// scheduling (concurrent builders race benignly; delta reuse skips
+	// lookups), like the feature-memo counters.
+	BlockIdxPostings int64
+	IndexTokenHits   int64
 	// QuarantinedDocs is a gauge: the number of documents currently
 	// quarantined by per-document fault isolation. QuarantineEvents
 	// counts faults converted into quarantine, QuarantineRetries counts
@@ -618,14 +709,26 @@ func (ctx *Context) storeLocked(e *cacheEntry) {
 }
 
 // evictLocked removes one entry and counts the eviction by payload kind.
+// With a spill attached, an evicted result table is demoted to disk
+// first, so the next request for the key resurrects it instead of
+// re-evaluating. The write happens under ctx.mu — eviction is rare (it
+// fires only over budget) and a consistent spill ordering is worth more
+// than the held lock; blocking indexes and delta memos are cheap to
+// rebuild and are dropped, not spilled.
 func (ctx *Context) evictLocked(e *cacheEntry) {
 	ctx.unlinkLocked(e)
 	delete(ctx.cache, e.key)
 	ctx.cacheBytes -= e.bytes
 	if e.idx != nil {
 		statAdd(&ctx.Stats.BlockIdxEvictions, 1)
-	} else {
-		statAdd(&ctx.Stats.CacheEvictions, 1)
+		return
+	}
+	statAdd(&ctx.Stats.CacheEvictions, 1)
+	if ctx.Spill != nil && e.table != nil && e.table.Degraded == nil && e.key.aux == "" {
+		if n, err := ctx.Spill.Save(e.marker+"|"+e.sig, e.table); err == nil {
+			statAdd(&ctx.Stats.TablesSpilled, 1)
+			statAdd(&ctx.Stats.SpillBytes, int(n))
+		}
 	}
 }
 
@@ -808,6 +911,35 @@ func Eval(ctx *Context, n Node) (*compact.Table, error) {
 		}
 	}
 	ctx.mu.Unlock()
+
+	// Spill resurrection: a previous eviction may have demoted this exact
+	// key to disk. Reload it instead of re-evaluating — the spill decoder
+	// resolves spans back to the same document handles, so downstream
+	// memos keyed by handle identity keep working. The file is dropped on
+	// load (the table is resident again; a later eviction re-spills it).
+	if ctx.Spill != nil {
+		if t, ok, serr := ctx.Spill.Load(marker + "|" + sig); serr == nil && ok {
+			ctx.Spill.Drop(marker + "|" + sig)
+			statAdd(&ctx.Stats.SpillLoads, 1)
+			c.table = t
+			ctx.mu.Lock()
+			if !ctx.cancelFired() {
+				if ctx.obsRows == nil {
+					ctx.obsRows = map[uint64]RowObservation{}
+				}
+				ctx.obsRows[n.sigHash()] = RowObservation{Sig: sig, Rows: int64(len(t.Tuples))}
+				e := &cacheEntry{key: key, marker: marker, sig: sig, table: t, bytes: t.MemBytes()}
+				ctx.storeLocked(e)
+			}
+			delete(ctx.inflight, key)
+			ctx.mu.Unlock()
+			close(c.done)
+			if trace != nil {
+				trace.push(TraceRecord{Op: opName(n), Signature: sig, Key: marker + "|" + sig, Status: StatusHit})
+			}
+			return t, nil
+		}
+	}
 
 	statAdd(&ctx.Stats.NodesEvaluated, 1)
 	if dx != nil && (dx.prior != nil || priorTable != nil) {

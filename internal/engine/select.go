@@ -708,8 +708,8 @@ func (n *funcNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.T
 		fp := factoredPred{
 			cols: make([]colPred, 2),
 			prepare: func(vals [][]text.Span, batch *statBatch) (idxPred, error) {
-				ltoks := tokenizeValues(vals[0])
-				rtoks := tokenizeValues(vals[1])
+				ltoks := tokenizeValues(ctx, vals[0])
+				rtoks := tokenizeValues(ctx, vals[1])
 				return tokenResidual(tokenFn, ltoks, rtoks, batch), nil
 			},
 		}
@@ -731,10 +731,24 @@ func (n *funcNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.T
 	return applyFilter(ctx, ev, dx, in, involved, fp)
 }
 
-// tokenizeValues normalises and tokenises each value span once.
-func tokenizeValues(vals []text.Span) [][]string {
+// tokenizeValues normalises and tokenises each value span once. A
+// whole-document span is answered from the document index when one is
+// attached — the stored sequence equals NormalizedTokens(span.NormText())
+// for the whole page, so no page text is touched. (An empty stored list
+// stays as-is: the shared-token residual treats empty and nil alike.)
+func tokenizeValues(ctx *Context, vals []text.Span) [][]string {
 	out := make([][]string, len(vals))
+	di := ctx.Env.DocIndex
 	for i, v := range vals {
+		if di != nil {
+			if d := v.Doc(); d != nil && v.Start() == 0 && v.End() == d.Len() {
+				if toks, ok := di.NormTokens(d); ok && toks != nil {
+					statAdd(&ctx.Stats.IndexTokenHits, 1)
+					out[i] = toks
+					continue
+				}
+			}
+		}
 		out[i] = similarity.NormalizedTokens(v.NormText())
 	}
 	return out

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"iflex/internal/compact"
@@ -38,12 +39,45 @@ func newSimJoinNode(left, right Node, fname, leftVar, rightVar string) *simJoinN
 func (n *simJoinNode) Columns() []string { return n.cols }
 func (n *simJoinNode) Children() []Node  { return []Node{n.left, n.right} }
 
+// wholeDocExact reports whether the cell is a single exact assignment
+// covering an entire document, returning that document. Those cells —
+// whole pages flowing out of a scan — are the shape the persistent token
+// index has precomputed answers for. The check never pages text in
+// (Document.Len is metadata).
+func wholeDocExact(c compact.Cell) (*text.Document, bool) {
+	if len(c.Assigns) != 1 {
+		return nil, false
+	}
+	a := c.Assigns[0]
+	d := a.Span.Doc()
+	if a.Mode != text.Exact || d == nil || a.Span.Start() != 0 || a.Span.End() != d.Len() {
+		return nil, false
+	}
+	return d, true
+}
+
 // blockTokens returns the distinct lower-cased tokens over all value
 // regions of a cell, or nil when the cell is too large to enumerate
-// (callers treat nil as "matches anything").
-func blockTokens(c compact.Cell, lim Limits) map[string]bool {
-	if c.NumValues() > lim.MaxCellValues {
+// (callers treat nil as "matches anything"). With a document index
+// attached, a single exact whole-document cell is answered from the
+// stored token set — exactly the distinct sorted similarity.Tokens of the
+// page text, so the result is identical to tokenizing live but touches no
+// page content.
+func blockTokens(ctx *Context, c compact.Cell) map[string]bool {
+	if c.NumValues() > ctx.Env.Limits.MaxCellValues {
 		return nil
+	}
+	if di := ctx.Env.DocIndex; di != nil {
+		if d, ok := wholeDocExact(c); ok {
+			if toks, ok := di.BlockTokens(d); ok {
+				statAdd(&ctx.Stats.IndexTokenHits, 1)
+				out := make(map[string]bool, len(toks))
+				for _, tok := range toks {
+					out[tok] = true
+				}
+				return out
+			}
+		}
 	}
 	out := map[string]bool{}
 	// Tokens of each assignment's span cover the tokens of every encoded
@@ -56,22 +90,111 @@ func blockTokens(c compact.Cell, lim Limits) map[string]bool {
 	return out
 }
 
-// blockIndex maps block tokens to right-tuple indices for one evaluated
-// side of a similarity join; always lists tuples whose cells were too
-// large to enumerate.
+// blockIndex serves candidate right-tuple indices by block token for one
+// evaluated side of a similarity join; always lists tuples whose cells
+// were too large to enumerate. It has two backings: an explicit
+// token->tuples map built by tokenizing every right cell, or — when every
+// right tuple is a distinct whole document known to the persistent
+// inverted index — the postings lists themselves, decoded lazily per
+// probed token and translated through tupOf.
 type blockIndex struct {
 	byToken map[string][]int
 	always  []int
+
+	post  PostingsIndex
+	tupOf []int32 // doc ordinal -> right tuple index, -1 when absent
+	nTup  int
+
+	pmu    sync.RWMutex
+	pcache map[string][]int // token -> translated candidates
+}
+
+// candidates returns the right-tuple indices whose block-token set may
+// contain tok. Order is unspecified; the probe loop dedups and sorts the
+// merged candidate set. On the postings backing, a token the index cannot
+// answer falls back to every tuple (a superset is always safe — dropping
+// candidates would silently under-approximate the join).
+func (idx *blockIndex) candidates(tok string) []int {
+	if idx.post == nil {
+		return idx.byToken[tok]
+	}
+	idx.pmu.RLock()
+	c, ok := idx.pcache[tok]
+	idx.pmu.RUnlock()
+	if ok {
+		return c
+	}
+	ords, aok := idx.post.TokenPostings(tok)
+	var out []int
+	if !aok {
+		out = make([]int, idx.nTup)
+		for i := range out {
+			out[i] = i
+		}
+	} else {
+		for _, o := range ords {
+			if o >= 0 && o < len(idx.tupOf) && idx.tupOf[o] >= 0 {
+				out = append(out, int(idx.tupOf[o]))
+			}
+		}
+	}
+	idx.pmu.Lock()
+	if prev, ok := idx.pcache[tok]; ok {
+		out = prev
+	} else {
+		idx.pcache[tok] = out
+	}
+	idx.pmu.Unlock()
+	return out
 }
 
 // memBytes approximates the index's resident size for cache accounting.
+// The postings translation cache grows as tokens are probed; its eventual
+// size is bounded by the probed vocabulary and is not re-accounted.
 func (idx *blockIndex) memBytes() int64 {
 	b := int64(48)
 	for tok, ids := range idx.byToken {
 		b += int64(len(tok)) + 40 + 8*int64(len(ids))
 	}
 	b += 8 * int64(len(idx.always))
+	b += 4 * int64(len(idx.tupOf))
 	return b
+}
+
+// postingsBlockIndex tries to back the blocking index directly by the
+// persistent inverted token index. Valid only when every right tuple's
+// join cell is a single exact whole-document assignment over a document
+// with a distinct ordinal in the index — the shape a scan of a stored
+// corpus produces. Returns nil when any tuple doesn't qualify; the caller
+// then builds the per-tuple map.
+func postingsBlockIndex(pi PostingsIndex, rt *compact.Table, ri int) *blockIndex {
+	if pi == nil || len(rt.Tuples) == 0 {
+		return nil
+	}
+	tupOf := make([]int32, pi.NumDocs())
+	for i := range tupOf {
+		tupOf[i] = -1
+	}
+	for j, rtp := range rt.Tuples {
+		d, ok := wholeDocExact(rtp.Cells[ri])
+		if !ok {
+			return nil
+		}
+		ord, ok := pi.DocOrdinal(d)
+		if !ok || ord < 0 || ord >= len(tupOf) || tupOf[ord] != -1 {
+			return nil
+		}
+		tupOf[ord] = int32(j)
+	}
+	return &blockIndex{post: pi, tupOf: tupOf, nTup: len(rt.Tuples), pcache: map[string][]int{}}
+}
+
+// cellDocs is the quarantine attribution list for a fault inside a
+// single-cell operation (index build, token precompute).
+func cellDocs(c compact.Cell) func() []string {
+	return func() []string {
+		return tupleDocs(compact.Tuple{Cells: []compact.Cell{c}}, nil)
+	}
 }
 
 // rightIndex builds (or fetches from the context cache) the blocking index
@@ -81,7 +204,14 @@ func (idx *blockIndex) memBytes() int64 {
 // LRU as the result tables and counts against CacheBudget. Concurrent
 // builders may race to construct the same index; the build is
 // deterministic, so whichever lands in the cache is interchangeable.
-func (n *simJoinNode) rightIndex(ctx *Context, rt *compact.Table, ri int) *blockIndex {
+//
+// When the right side is a stored corpus scan, the persistent inverted
+// index backs the blocking directly (no per-run tokenization). Otherwise
+// each right cell tokenizes under a quarantine guard: a page that faults
+// while being indexed is quarantined and the whole pass restarts, so the
+// survivors' subset gets a cleanly rebuilt index (a partial index is never
+// cached).
+func (n *simJoinNode) rightIndex(ctx *Context, ev *EvalTrace, rt *compact.Table, ri int) (*blockIndex, error) {
 	subsetHash, marker := ctx.subsetKey()
 	key := entryKey{subset: subsetHash, sig: n.right.sigHash(), aux: n.rightVar}
 	sig := n.right.Signature()
@@ -89,19 +219,39 @@ func (n *simJoinNode) rightIndex(ctx *Context, rt *compact.Table, ri int) *block
 	if e := ctx.lookupLocked(key, marker, sig); e != nil && e.idx != nil {
 		ctx.touchLocked(e)
 		ctx.mu.Unlock()
-		return e.idx
+		return e.idx, nil
 	}
 	ctx.mu.Unlock()
-	idx := &blockIndex{byToken: map[string][]int{}}
-	lim := ctx.Env.Limits
-	for j, rtp := range rt.Tuples {
-		toks := blockTokens(rtp.Cells[ri], lim)
-		if toks == nil {
-			idx.always = append(idx.always, j)
-			continue
+	idx := postingsBlockIndex(ctx.Env.Postings, rt, ri)
+	if idx != nil {
+		statAdd(&ctx.Stats.BlockIdxPostings, 1)
+	} else {
+		idx = &blockIndex{byToken: map[string][]int{}}
+		var qn int64
+		for j, rtp := range rt.Tuples {
+			var toks map[string]bool
+			cell := rtp.Cells[ri]
+			qed, gerr := ctx.guard(ev, "blockindex", cellDocs(cell), func() error {
+				toks = blockTokens(ctx, cell)
+				return nil
+			})
+			if gerr != nil {
+				return nil, gerr
+			}
+			if qed {
+				qn++
+				continue
+			}
+			if toks == nil {
+				idx.always = append(idx.always, j)
+				continue
+			}
+			for tok := range toks {
+				idx.byToken[tok] = append(idx.byToken[tok], j)
+			}
 		}
-		for tok := range toks {
-			idx.byToken[tok] = append(idx.byToken[tok], j)
+		if qn > 0 {
+			return nil, quarantineErr("blockindex", qn)
 		}
 	}
 	ctx.mu.Lock()
@@ -112,7 +262,7 @@ func (n *simJoinNode) rightIndex(ctx *Context, rt *compact.Table, ri int) *block
 		ctx.storeLocked(&cacheEntry{key: key, marker: marker, sig: sig, idx: idx, bytes: idx.memBytes()})
 	}
 	ctx.mu.Unlock()
-	return idx
+	return idx, nil
 }
 
 func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compact.Table, error) {
@@ -130,24 +280,64 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 
 	// Index right tuples by block token; oversized cells go on the
 	// always-candidate list. The index is cached per (subset, right side).
-	idx := n.rightIndex(ctx, rt, ri)
-	index, always := idx.byToken, idx.always
+	idx, err := n.rightIndex(ctx, ev, rt, ri)
+	if err != nil {
+		return nil, err
+	}
+	always := idx.always
 
 	// Fast path for pinned cells: compare pre-normalised token slices when
 	// the p-function has a token implementation with identical semantics.
+	// A whole-document singleton is answered from the document index when
+	// one is attached: the stored sequence is exactly
+	// NormalizedTokens(span.NormText()) for the whole page. A stored empty
+	// sequence maps to nil because live tokenization of an empty page
+	// yields nil ("not pinned") — the indexed run must take the same code
+	// path.
 	tokenFn := ctx.Env.TokenSimilar[n.fname]
 	singletonTokens := func(c compact.Cell) []string {
 		if tokenFn == nil {
 			return nil
+		}
+		if di := ctx.Env.DocIndex; di != nil {
+			if d, ok := wholeDocExact(c); ok {
+				if toks, ok := di.NormTokens(d); ok {
+					statAdd(&ctx.Stats.IndexTokenHits, 1)
+					if len(toks) == 0 {
+						return nil
+					}
+					return toks
+				}
+			}
 		}
 		if v, ok := c.Singleton(); ok {
 			return similarity.NormalizedTokens(v.NormText())
 		}
 		return nil
 	}
+	// Tokenizing a right cell can page its document in and fault; guard
+	// each so a corrupt page quarantines (restarting the pass without it)
+	// instead of crashing the evaluation. The guard site is "blockindex",
+	// not "pfunc": a fault here is attributable to the one document being
+	// tokenized, and p-function fault rules must keep injecting at pair
+	// granularity exactly as before.
 	rtoks := make([][]string, len(rt.Tuples))
+	var rqn int64
 	for j, rtp := range rt.Tuples {
-		rtoks[j] = singletonTokens(rtp.Cells[ri])
+		j, cell := j, rtp.Cells[ri]
+		qed, gerr := ctx.guard(ev, "blockindex", cellDocs(cell), func() error {
+			rtoks[j] = singletonTokens(cell)
+			return nil
+		})
+		if gerr != nil {
+			return nil, gerr
+		}
+		if qed {
+			rqn++
+		}
+	}
+	if rqn > 0 {
+		return nil, quarantineErr("blockindex", rqn)
 	}
 	out := compact.NewTable(n.cols...)
 	// join assembles the output tuple for one matching pair with shallow
@@ -210,7 +400,18 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 			if t, ok := tokMemo[k]; ok {
 				return t
 			}
-			t := similarity.NormalizedTokens(s.NormText())
+			var t []string
+			if di := ctx.Env.DocIndex; di != nil {
+				if d := s.Doc(); d != nil && s.Start() == 0 && s.End() == d.Len() {
+					if toks, ok := di.NormTokens(d); ok && toks != nil {
+						statAdd(&ctx.Stats.IndexTokenHits, 1)
+						t = toks
+					}
+				}
+			}
+			if t == nil {
+				t = similarity.NormalizedTokens(s.NormText())
+			}
 			if t == nil {
 				t = []string{}
 			}
@@ -270,7 +471,25 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 			var fb int32
 			gen++
 			var cands []int
-			ltoks := blockTokens(ltp.Cells[li], lim)
+			// Tokenizing the left cell (blocking set and pinned fast path)
+			// can page its document in; a load fault quarantines the tuple's
+			// documents and drops it, like a faulting candidate pair. Site
+			// "blockindex" (single-document attribution), never "pfunc".
+			var ltoks map[string]bool
+			var lpinned []string
+			lcell := ltp.Cells[li]
+			qed, gerr := ctx.guard(ev, "blockindex", cellDocs(lcell), func() error {
+				ltoks = blockTokens(ctx, lcell)
+				lpinned = singletonTokens(lcell)
+				return nil
+			})
+			if gerr != nil {
+				return gerr
+			}
+			if qed {
+				nq.Add(1)
+				continue
+			}
 			if ltoks == nil {
 				// Oversized left cell: every right tuple is a candidate.
 				// (Counted as a fallback only on the probe side — the index
@@ -283,7 +502,7 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 				}
 			} else {
 				for tok := range ltoks {
-					for _, j := range index[tok] {
+					for _, j := range idx.candidates(tok) {
 						if seen[j] != gen {
 							seen[j] = gen
 							cands = append(cands, j)
@@ -298,7 +517,6 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 				}
 				sort.Ints(cands)
 			}
-			lpinned := singletonTokens(ltp.Cells[li])
 			for _, j := range cands {
 				rtp := rt.Tuples[j]
 				pairDocs := func() []string {

@@ -1,0 +1,292 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iflex/internal/alog"
+	"iflex/internal/store"
+	"iflex/internal/text"
+)
+
+// docJoinSrc joins two document tables on whole-page similarity: scans
+// emit exact(whole-document) cells, so the fused similarity join can be
+// served entirely from a persistent token index (postings-backed blocking
+// on the right, stored token sequences for the pinned fast path).
+const docJoinSrc = `Q(x, y) :- L(x), R(y), similar(x, y).`
+
+// TestStoreIndexByteIdentity: attaching a document index and postings to
+// the environment changes how tokens are obtained, never what they are —
+// results stay byte-identical to the index-free run across worker counts,
+// delta evaluation, and the optimizer.
+func TestStoreIndexByteIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ldocs := docsOf(optDocs("l", 12, r))
+	rdocs := docsOf(optDocs("r", 12, r))
+	all := append(append([]*text.Document{}, ldocs...), rdocs...)
+	prog := alog.MustParse(docJoinSrc)
+
+	run := func(indexed bool, workers int, delta, optimize bool) (string, StatsSnapshot) {
+		env := NewEnv()
+		env.AddDocTable("L", "x", ldocs)
+		env.AddDocTable("R", "y", rdocs)
+		if indexed {
+			ms := store.NewMemStore(all)
+			env.DocIndex = ms
+			env.Postings = ms
+		}
+		plan, err := Compile(prog, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if optimize {
+			plan = OptimizePlan(plan, env, OptOptions{})
+		}
+		ctx := NewContext(env)
+		ctx.Workers = workers
+		if delta {
+			ctx.EnableDelta()
+		}
+		res, err := plan.Execute(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Canonical(), ctx.Stats.Snapshot()
+	}
+
+	want, base := run(false, 1, false, false)
+	if base.IndexTokenHits != 0 || base.BlockIdxPostings != 0 {
+		t.Fatalf("index counters moved without an index: %+v", base)
+	}
+	if !strings.Contains(want, "(") {
+		t.Fatalf("join produced no tuples; test corpus too sparse:\n%s", want)
+	}
+	for _, workers := range []int{1, 8} {
+		for _, delta := range []bool{false, true} {
+			for _, optimize := range []bool{false, true} {
+				got, st := run(true, workers, delta, optimize)
+				if got != want {
+					t.Fatalf("workers=%d delta=%t opt=%t: indexed result differs:\n%s\nwant:\n%s",
+						workers, delta, optimize, got, want)
+				}
+				if st.IndexTokenHits == 0 {
+					t.Errorf("workers=%d delta=%t opt=%t: index never consulted", workers, delta, optimize)
+				}
+				if st.BlockIdxPostings == 0 {
+					t.Errorf("workers=%d delta=%t opt=%t: blocking did not use postings", workers, delta, optimize)
+				}
+			}
+		}
+	}
+}
+
+// TestStoreIndexPostingsFallback: a right side that is not pure
+// whole-document scans (extracted sub-spans) cannot be postings-backed;
+// the join must fall back to the per-tuple map and still match the
+// index-free result.
+func TestStoreIndexPostingsFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	ldocs := docsOf(optDocs("l", 8, r))
+	rdocs := docsOf(optDocs("r", 8, r))
+	all := append(append([]*text.Document{}, ldocs...), rdocs...)
+	prog := alog.MustParse(`
+a(x, <s>) :- L(x), e1(x, s).
+b(y, <t>) :- R(y), e2(y, t).
+Q(s, t) :- a(x, s), b(y, t), similar(s, t).
+e1(x, s) :- from(x, s), bold-font(s) = distinct-yes.
+e2(y, t) :- from(y, t), bold-font(t) = distinct-yes.
+`)
+	run := func(indexed bool) (string, StatsSnapshot) {
+		env := NewEnv()
+		env.AddDocTable("L", "x", ldocs)
+		env.AddDocTable("R", "y", rdocs)
+		if indexed {
+			ms := store.NewMemStore(all)
+			env.DocIndex = ms
+			env.Postings = ms
+		}
+		plan, err := Compile(prog, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := NewContext(env)
+		res, err := plan.Execute(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Canonical(), ctx.Stats.Snapshot()
+	}
+	want, _ := run(false)
+	got, st := run(true)
+	if got != want {
+		t.Fatalf("indexed result differs:\n%s\nwant:\n%s", got, want)
+	}
+	if st.BlockIdxPostings != 0 {
+		t.Fatal("postings-backed blocking used for sub-span cells")
+	}
+}
+
+// TestSpillDemoteResurrect: with a Spill attached and a cache budget that
+// evicts everything, an evicted result table is demoted to disk and a
+// later request for the same key reloads it instead of re-evaluating.
+func TestSpillDemoteResurrect(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ldocs := docsOf(optDocs("l", 6, r))
+	rdocs := docsOf(optDocs("r", 6, r))
+	byID := map[string]*text.Document{}
+	for _, d := range append(append([]*text.Document{}, ldocs...), rdocs...) {
+		byID[d.ID()] = d
+	}
+	sp, err := store.NewSpill(t.TempDir(), func(id string) (*text.Document, bool) {
+		d, ok := byID[id]
+		return d, ok
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+
+	env := NewEnv()
+	env.AddDocTable("L", "x", ldocs)
+	env.AddDocTable("R", "y", rdocs)
+	planA, err := Compile(alog.MustParse(`
+Q(x, <s>) :- L(x), e1(x, s).
+e1(x, s) :- from(x, s), bold-font(s) = distinct-yes.
+`), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planB, err := Compile(alog.MustParse(`
+P(y, <t>) :- R(y), e2(y, t).
+e2(y, t) :- from(y, t), bold-font(t) = distinct-yes.
+`), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := NewContext(env)
+	ctx.CacheBudget = 1 // every store evicts all other entries
+	ctx.Spill = sp
+	resA, err := planA.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := planB.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stats.TablesSpilled == 0 || sp.Len() == 0 {
+		t.Fatalf("no tables spilled (spilled=%d, files=%d)", ctx.Stats.TablesSpilled, sp.Len())
+	}
+	if ctx.Stats.SpillBytes == 0 {
+		t.Fatal("spill bytes not accounted")
+	}
+	evaluated := ctx.Stats.NodesEvaluated
+	resA2, err := planA.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stats.SpillLoads == 0 {
+		t.Fatal("no spill resurrection on re-execution")
+	}
+	if resA2.Canonical() != resA.Canonical() {
+		t.Fatalf("resurrected result differs:\n%s\nwant:\n%s", resA2.Canonical(), resA.Canonical())
+	}
+	if ctx.Stats.NodesEvaluated-evaluated >= ctx.Stats.SpillLoads+evaluated {
+		// Sanity only: some nodes resurrect, so fewer evaluate than a cold run.
+		t.Logf("nodes evaluated on rerun: %d", ctx.Stats.NodesEvaluated-evaluated)
+	}
+}
+
+// TestDiskStoreCorruptShardQuarantines: a document whose shard record was
+// corrupted on disk faults at first content access inside a guarded
+// operator; under QuarantineFaults the engine isolates that document and
+// completes over the survivors — the PR-5 fault path, now covering
+// storage-layer corruption.
+func TestDiskStoreCorruptShardQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	w, err := store.Create(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"p0", "p1", "p2", "p3"}
+	raws := []string{
+		"<b>alpha price</b> body text one",
+		"<b>beta price</b> body text two",
+		"<b>gamma price</b> body text three",
+		"<b>delta price</b> body text four",
+	}
+	for i := range ids {
+		if err := w.Add(ids[i], raws[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt p2's raw markup inside the shard file.
+	shard := filepath.Join(dir, "shard-0000.ifs")
+	b, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := bytes.Index(b, []byte(raws[2]))
+	if off < 0 {
+		t.Fatal("raw markup not found in shard")
+	}
+	for i := 0; i < 6; i++ {
+		b[off+i] ^= 0xFF
+	}
+	if err := os.WriteFile(shard, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := store.Open(dir, store.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	env := NewEnv()
+	env.AddDocTable("P", "x", s.Docs())
+	env.DocIndex = s
+	env.Postings = s
+	plan, err := Compile(alog.MustParse(`
+Q(x, <v>) :- P(x), e(x, v).
+e(x, v) :- from(x, v), bold-font(v) = distinct-yes.
+`), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(env)
+	ctx.FaultPolicy = QuarantineFaults
+	res, err := plan.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Canonical()
+	for _, want := range []string{"alpha price", "beta price", "delta price"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("survivor value %q missing from result:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "gamma") {
+		t.Fatalf("corrupt document's tuples survived:\n%s", got)
+	}
+	q := ctx.quarantined()
+	if q == nil {
+		t.Fatal("nothing quarantined")
+	}
+	found := false
+	for _, rec := range q.records {
+		if rec.Doc == "p2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("quarantine records do not name p2: %+v", q.records)
+	}
+}

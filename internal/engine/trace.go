@@ -328,6 +328,11 @@ type StatsSnapshot struct {
 	CacheEvictions   int64              `json:"cache_evictions"`
 	BlockIdxEvict    int64              `json:"block_idx_evictions"`
 	CacheBytes       int64              `json:"cache_bytes"`
+	TablesSpilled    int64              `json:"tables_spilled"`
+	SpillLoads       int64              `json:"spill_loads"`
+	SpillBytes       int64              `json:"spill_bytes"`
+	BlockIdxPostings int64              `json:"block_idx_postings"`
+	IndexTokenHits   int64              `json:"index_token_hits"`
 	QuarantinedDocs  int64              `json:"quarantined_docs"`
 	QuarantineEvents int64              `json:"quarantine_events"`
 	QuarantineRetry  int64              `json:"quarantine_retries"`
@@ -363,6 +368,11 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		CacheEvictions:   s.CacheEvictions,
 		BlockIdxEvict:    s.BlockIdxEvictions,
 		CacheBytes:       s.CacheBytes,
+		TablesSpilled:    s.TablesSpilled,
+		SpillLoads:       s.SpillLoads,
+		SpillBytes:       s.SpillBytes,
+		BlockIdxPostings: s.BlockIdxPostings,
+		IndexTokenHits:   s.IndexTokenHits,
 		QuarantinedDocs:  s.QuarantinedDocs,
 		QuarantineEvents: s.QuarantineEvents,
 		QuarantineRetry:  s.QuarantineRetries,

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// TestScaleSmall runs the corpus-scale harness at a size where the
+// byte-identity sweep is active: the persistent-index probe must match
+// in-memory evaluation across workers × delta × optimizer, serve its
+// blocking from the postings index, and keep resident content under the
+// budget (forcing releases).
+func TestScaleSmall(t *testing.T) {
+	res, err := Scale(Options{Seed: 1, Out: io.Discard}, ScaleOptions{
+		Pages:          300,
+		ResidentBudget: 64 << 10, // ~tens of pages: the sweep must demote
+		Probes:         4,
+		IdentityPages:  5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IdentityChecked {
+		t.Fatal("identity sweep did not run at 300 pages")
+	}
+	if res.Stats.BlockIdxPostings == 0 {
+		t.Fatal("probe join did not use the persistent postings index")
+	}
+	if res.Releases == 0 {
+		t.Fatal("sweep under a tiny budget released no pages")
+	}
+	if res.ResidentMB > res.EagerEstimateMB {
+		t.Fatalf("resident %.2f MB exceeds the eager estimate %.2f MB", res.ResidentMB, res.EagerEstimateMB)
+	}
+	if res.ProbeMatches < 4 {
+		t.Fatalf("got %d probe matches, want >= 4 (each probe page is a corpus page)", res.ProbeMatches)
+	}
+	if res.IngestPagesPerS <= 0 || res.SweepPagesPerS <= 0 || res.ProbePagesPerS <= 0 {
+		t.Fatalf("non-positive throughput: ingest %.0f sweep %.0f probe %.0f",
+			res.IngestPagesPerS, res.SweepPagesPerS, res.ProbePagesPerS)
+	}
+}

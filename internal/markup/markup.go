@@ -29,13 +29,24 @@ import (
 // Parse converts markup source into a document with the given id.
 // Hyperlink targets (href attributes) are preserved on the document.
 func Parse(id, src string) (*text.Document, error) {
+	c, err := ParseContent(id, src)
+	if err != nil {
+		return nil, err
+	}
+	d := text.NewDocument(id, c.Text, c.Marks)
+	d.SetLinks(c.Links)
+	return d, nil
+}
+
+// ParseContent converts markup source into raw document content without
+// constructing a Document. The document store's lazy load path uses it to
+// re-materialize pages from their stored markup on demand.
+func ParseContent(id, src string) (text.DocContent, error) {
 	p := parser{src: src}
 	if err := p.run(); err != nil {
-		return nil, fmt.Errorf("markup: parsing %s: %w", id, err)
+		return text.DocContent{}, fmt.Errorf("markup: parsing %s: %w", id, err)
 	}
-	d := text.NewDocument(id, p.out.String(), p.marks)
-	d.SetLinks(p.links)
-	return d, nil
+	return text.DocContent{Text: p.out.String(), Marks: p.marks, Links: p.links}, nil
 }
 
 // MustParse is Parse but panics on error; for tests and generators whose

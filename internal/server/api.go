@@ -28,10 +28,11 @@ type Doc struct {
 }
 
 // CreateSessionRequest opens a refinement session. Exactly one corpus is
-// given: a built-in task (Task/Records/Seed — the benchmark corpora) or
-// inline documents (Docs + Program). Task-backed sessions default Program
-// to the task's and draw simulation candidates from the task's
-// ground-truth oracle; inline sessions supply Candidates themselves when
+// given: a built-in task (Task/Records/Seed — the benchmark corpora),
+// inline documents (Docs + Program), or a server-mounted document store
+// (Store + Program). Task-backed sessions default Program to the task's
+// and draw simulation candidates from the task's ground-truth oracle;
+// inline and store-backed sessions supply Candidates themselves when
 // they want the simulation strategy to score parametric features.
 type CreateSessionRequest struct {
 	Tenant string `json:"tenant"`
@@ -42,6 +43,14 @@ type CreateSessionRequest struct {
 
 	Docs    map[string][]Doc `json:"docs,omitempty"`
 	Program string           `json:"program,omitempty"`
+	// Store names a document store mounted on the server (iflexd -store
+	// name=dir): the session evaluates over the store's pages — shared,
+	// lazily materialized, with token prefilters and join blocking served
+	// by its persistent inverted index — instead of an inline corpus.
+	// Program is required; StorePred is the extensional predicate the
+	// pages bind to (default "docs").
+	Store     string `json:"store,omitempty"`
+	StorePred string `json:"store_pred,omitempty"`
 	// Candidates maps attribute key ("pred.var") -> feature -> candidate
 	// values for the simulation strategy's parametric questions.
 	Candidates map[string]map[string][]string `json:"candidates,omitempty"`

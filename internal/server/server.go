@@ -15,6 +15,7 @@ import (
 	"iflex/internal/corpus"
 	"iflex/internal/engine"
 	"iflex/internal/markup"
+	"iflex/internal/store"
 	"iflex/internal/text"
 )
 
@@ -38,6 +39,12 @@ type Config struct {
 	SessionTTL time.Duration
 	// SweepInterval is the eviction scan cadence (default 1m).
 	SweepInterval time.Duration
+	// Stores are named document stores (opened at startup, e.g. from
+	// iflexd -store name=dir) that sessions reference by name instead of
+	// shipping a corpus inline: every session over the same store shares
+	// one handle, its lazily-materialized pages, and its persistent
+	// inverted token index.
+	Stores map[string]*store.DiskStore
 	// DefaultStepDeadline applies when a step request carries no
 	// deadline_ms (default 0 = none).
 	DefaultStepDeadline time.Duration
@@ -221,8 +228,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("tenant is required"))
 		return
 	}
-	if (req.Task == "") == (len(req.Docs) == 0) {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("exactly one of task or docs is required"))
+	corpora := 0
+	for _, given := range []bool{req.Task != "", len(req.Docs) > 0, req.Store != ""} {
+		if given {
+			corpora++
+		}
+	}
+	if corpora != 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("exactly one of task, docs, or store is required"))
 		return
 	}
 
@@ -256,7 +269,27 @@ func (s *Server) buildSession(req CreateSessionRequest, workers int, cache int64
 		oracle assistant.Oracle
 	)
 	progSrc := req.Program
-	if req.Task != "" {
+	if req.Store != "" {
+		st := s.cfg.Stores[req.Store]
+		if st == nil {
+			return nil, fmt.Errorf("no store named %q is mounted on this server", req.Store)
+		}
+		if progSrc == "" {
+			return nil, fmt.Errorf("program is required with a store corpus")
+		}
+		pred := req.StorePred
+		if pred == "" {
+			pred = "docs"
+		}
+		env = engine.NewEnv()
+		env.AddDocTable(pred, "x", st.Docs())
+		// Token prefilters and join blocking are served by the store's
+		// persistent inverted index; pages materialize lazily, so the
+		// session references the store handle, not a resident corpus.
+		env.DocIndex = st
+		env.Postings = st
+		oracle = candidateOracle{candidates: req.Candidates}
+	} else if req.Task != "" {
 		task, err := corpus.TaskByID(req.Task)
 		if err != nil {
 			return nil, err

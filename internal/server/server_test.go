@@ -11,6 +11,10 @@ import (
 	"iflex/internal/alog"
 	"iflex/internal/assistant"
 	"iflex/internal/corpus"
+	"iflex/internal/engine"
+	"iflex/internal/markup"
+	"iflex/internal/store"
+	"iflex/internal/text"
 )
 
 // newTestServer boots a server on an httptest listener and returns a
@@ -413,4 +417,108 @@ func TestResultExplain(t *testing.T) {
 		t.Errorf("state = %q, want finalized", info.State)
 	}
 	_ = fmt.Sprintf("%v", info)
+}
+
+// TestStoreBackedSession mounts a sharded document store on the server
+// and creates a session referencing it by name: the result must be
+// byte-identical to the same program run through the library over an
+// eagerly parsed copy of the same pages (no store, no index).
+func TestStoreBackedSession(t *testing.T) {
+	prog := `
+T(x, <p>, <s>) :- docs(x), ext(x, p, s), p > 500000.
+ext(x, p, s) :- from(x, p), from(x, s), numeric(p) = yes.
+`
+	page := func(price, school string) string {
+		return `House for sale.<br>Price: <i>` + price + `</i><br>School: <b>` + school + `</b>`
+	}
+	pages := []struct{ id, html string }{
+		{"h1", page("351000", "Vanhise High")},
+		{"h2", page("619000", "Basktall HS")},
+		{"h3", page("725000", "Lincoln High")},
+	}
+
+	dir := t.TempDir()
+	w, err := store.Create(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pages {
+		if err := w.Add(p.id, p.html); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir, store.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	_, c, shutdown := newTestServer(t, Config{Stores: map[string]*store.DiskStore{"houses": st}})
+	defer shutdown()
+
+	created, err := c.CreateSession(CreateSessionRequest{
+		Tenant: "acme", Store: "houses", Program: prog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		if i > 200 {
+			t.Fatal("store-backed session did not terminate")
+		}
+		sr, err := c.Step(created.ID, StepRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Done {
+			break
+		}
+	}
+	res, err := c.Result(created.ID, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Library reference over eagerly parsed pages, no store or index.
+	env := engine.NewEnv()
+	var docs []*text.Document
+	for _, p := range pages {
+		d, err := markup.Parse(p.id, p.html)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, d)
+	}
+	env.AddDocTable("docs", "x", docs)
+	lib := assistant.NewSession(env, alog.MustParse(prog), candidateOracle{}, assistant.Config{})
+	want, err := lib.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TableString() != want.Final.String() {
+		t.Errorf("store-backed session differs from eager library run\nserver:\n%s\nlibrary:\n%s",
+			res.TableString(), want.Final.String())
+	}
+
+	// An unknown store name is a 400, not a crash.
+	if _, err := c.CreateSession(CreateSessionRequest{
+		Tenant: "acme", Store: "nope", Program: prog,
+	}); StatusCode(err) != http.StatusBadRequest {
+		t.Errorf("unknown store: err = %v, want 400", err)
+	}
+	// A store request without a program is a 400.
+	if _, err := c.CreateSession(CreateSessionRequest{
+		Tenant: "acme", Store: "houses",
+	}); StatusCode(err) != http.StatusBadRequest {
+		t.Errorf("store without program: err = %v, want 400", err)
+	}
+	// Naming both a store and a task is a 400 (exactly one corpus).
+	if _, err := c.CreateSession(CreateSessionRequest{
+		Tenant: "acme", Store: "houses", Task: "T1", Program: prog,
+	}); StatusCode(err) != http.StatusBadRequest {
+		t.Errorf("store+task: err = %v, want 400", err)
+	}
 }

@@ -1,0 +1,511 @@
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"iflex/internal/markup"
+	"iflex/internal/text"
+)
+
+// OpenOptions configures a DiskStore.
+type OpenOptions struct {
+	// ResidentBudget caps the estimated bytes of materialized document
+	// content kept resident; least-recently-loaded pages are released
+	// (and re-materialize on next touch) once the budget is exceeded.
+	// 0 means unlimited.
+	ResidentBudget int64
+}
+
+// docMeta locates one document's record inside its shard.
+type docMeta struct {
+	shard   int
+	offset  uint64 // of the record's recLen field
+	recLen  uint32
+	textLen uint32
+	id      string
+}
+
+// DiskStore is the sharded, file-backed Store. Opening reads only the
+// shard TOCs, the manifest, and the token-index vocabulary; page content
+// is read, parsed, and token/line-indexed on first touch, per document,
+// and released again under the resident budget. It implements the
+// engine's DocIndex and PostingsIndex interfaces, answering token
+// queries from the ingest-time index without paging text in.
+type DiskStore struct {
+	dir    string
+	man    Manifest
+	shards []*os.File
+	meta   []docMeta
+	docs   []*text.Document
+	ord    map[*text.Document]int
+
+	idx *tokenIndex
+
+	budget   int64
+	mu       sync.Mutex // guards lru, loadedB, trimming
+	lru      *list.List // of int (ordinal), front = oldest
+	lruElem  []*list.Element
+	loadedB  int64
+	trimming bool
+	trimDone *sync.Cond // broadcast when a trim pass finishes
+
+	loads    atomic.Int64
+	releases atomic.Int64
+	closed   atomic.Bool
+}
+
+// Open opens a store previously built by a Writer.
+func Open(dir string, opts OpenOptions) (*DiskStore, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(mb, &man); err != nil {
+		return nil, fmt.Errorf("store: open %s: bad manifest: %w", dir, err)
+	}
+	if man.Version != version {
+		return nil, fmt.Errorf("store: open %s: version %d (want %d)", dir, man.Version, version)
+	}
+	s := &DiskStore{
+		dir:    dir,
+		man:    man,
+		budget: opts.ResidentBudget,
+		lru:    list.New(),
+	}
+	s.trimDone = sync.NewCond(&s.mu)
+	for i := 0; i < man.Shards; i++ {
+		f, err := os.Open(filepath.Join(dir, shardName(i)))
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("store: open shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, f)
+		if err := s.readTOC(i, f); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("store: shard %d: %w", i, err)
+		}
+	}
+	if len(s.meta) != man.Docs {
+		s.Close()
+		return nil, fmt.Errorf("store: open %s: shards hold %d docs, manifest says %d", dir, len(s.meta), man.Docs)
+	}
+	s.docs = make([]*text.Document, len(s.meta))
+	s.ord = make(map[*text.Document]int, len(s.meta))
+	s.lruElem = make([]*list.Element, len(s.meta))
+	for i := range s.meta {
+		ord := i
+		s.docs[i] = text.NewLazyDocument(s.meta[i].id, int(s.meta[i].textLen), func() (text.DocContent, error) {
+			return s.loadDoc(ord)
+		})
+		s.ord[s.docs[i]] = i
+	}
+	idx, err := openTokenIndex(filepath.Join(dir, indexName), man.Docs)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.idx = idx
+	return s, nil
+}
+
+// readTOC parses one shard's footer and table of contents.
+func (s *DiskStore) readTOC(shard int, f *os.File) error {
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if size < int64(len(shardMagic))+4+footerSize {
+		return fmt.Errorf("file too short (%d bytes)", size)
+	}
+	hdr := make([]byte, len(shardMagic)+4)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return err
+	}
+	if string(hdr[:4]) != shardMagic {
+		return fmt.Errorf("bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
+		return fmt.Errorf("version %d (want %d)", v, version)
+	}
+	foot := make([]byte, footerSize)
+	if _, err := f.ReadAt(foot, size-footerSize); err != nil {
+		return err
+	}
+	if string(foot[8:]) != footerMagic {
+		return fmt.Errorf("bad footer magic %q", foot[8:])
+	}
+	tocOff := binary.LittleEndian.Uint64(foot[:8])
+	if tocOff < uint64(len(hdr)) || tocOff > uint64(size-footerSize) {
+		return fmt.Errorf("TOC offset %d out of range", tocOff)
+	}
+	tb := make([]byte, uint64(size-footerSize)-tocOff)
+	if _, err := f.ReadAt(tb, int64(tocOff)); err != nil {
+		return err
+	}
+	r := bufReader{b: tb}
+	count := int(r.u32("TOC count"))
+	for i := 0; i < count; i++ {
+		m := docMeta{shard: shard}
+		m.offset = r.u64("TOC offset")
+		m.recLen = r.u32("TOC recLen")
+		m.textLen = r.u32("TOC textLen")
+		idLen := int(r.u32("TOC idLen"))
+		m.id = string(r.bytes(idLen, "TOC id"))
+		if r.err != nil {
+			return r.err
+		}
+		if m.offset+4+uint64(m.recLen) > tocOff {
+			return fmt.Errorf("doc %q record [%d,+%d) overlaps TOC", m.id, m.offset, m.recLen)
+		}
+		s.meta = append(s.meta, m)
+	}
+	if r.err != nil || r.off != len(tb) {
+		return fmt.Errorf("malformed TOC")
+	}
+	return nil
+}
+
+// readRecord reads a document's record bytes (without the recLen
+// prefix) and parses the fixed header, leaving the reader positioned at
+// the token lists.
+func (s *DiskStore) readRecord(ord int) (r *bufReader, rawLen, crc uint32, err error) {
+	m := s.meta[ord]
+	if s.closed.Load() {
+		return nil, 0, 0, fmt.Errorf("store is closed")
+	}
+	b := make([]byte, int(m.recLen))
+	if _, err := s.shards[m.shard].ReadAt(b, int64(m.offset)+4); err != nil {
+		return nil, 0, 0, fmt.Errorf("reading record: %w", err)
+	}
+	r = &bufReader{b: b}
+	idLen := int(r.u32("idLen"))
+	id := string(r.bytes(idLen, "id"))
+	textLen := r.u32("textLen")
+	rawLen = r.u32("rawLen")
+	crc = r.u32("crc")
+	if r.err != nil {
+		return nil, 0, 0, r.err
+	}
+	if id != m.id || textLen != m.textLen {
+		return nil, 0, 0, fmt.Errorf("record/TOC mismatch for doc %q", m.id)
+	}
+	return r, rawLen, crc, nil
+}
+
+// loadDoc is the lazy-load callback: read the record, verify the
+// checksum, re-parse the markup. Any failure is returned (and surfaces
+// as a per-document quarantine through the engine's fault guard).
+func (s *DiskStore) loadDoc(ord int) (text.DocContent, error) {
+	r, rawLen, crc, err := s.readRecord(ord)
+	if err != nil {
+		return text.DocContent{}, err
+	}
+	// Skip the token lists.
+	nBlock := int(r.u32("nBlock"))
+	r.bytes(4*nBlock, "block tokens")
+	nNorm := int(r.u32("nNorm"))
+	r.bytes(4*nNorm, "norm tokens")
+	raw := r.bytes(int(rawLen), "raw markup")
+	if r.err != nil {
+		return text.DocContent{}, r.err
+	}
+	if crc32.ChecksumIEEE(raw) != crc {
+		return text.DocContent{}, fmt.Errorf("doc %q: markup checksum mismatch (corrupt shard?)", s.meta[ord].id)
+	}
+	c, err := markup.ParseContent(s.meta[ord].id, string(raw))
+	if err != nil {
+		return text.DocContent{}, err
+	}
+	s.noteLoad(ord)
+	return c, nil
+}
+
+// estBytes approximates the resident footprint of a materialized page:
+// text + byte->token index (8B/byte) + token/line tables + lazy lower.
+func estBytes(textLen int) int64 { return int64(textLen)*14 + 512 }
+
+// noteLoad records a materialization for the resident budget and kicks
+// off a trim when over. Trimming runs in a separate goroutine because
+// the caller holds the loading document's materialization lock — a
+// same-goroutine release of another mid-load document could deadlock.
+func (s *DiskStore) noteLoad(ord int) {
+	s.loads.Add(1)
+	if s.budget <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if e := s.lruElem[ord]; e != nil {
+		s.lru.MoveToBack(e)
+	} else {
+		s.lruElem[ord] = s.lru.PushBack(ord)
+		s.loadedB += estBytes(int(s.meta[ord].textLen))
+	}
+	over := s.loadedB > s.budget && !s.trimming
+	if over {
+		s.trimming = true
+	}
+	s.mu.Unlock()
+	if over {
+		go s.trim()
+	}
+}
+
+// trim releases least-recently-loaded pages until back under budget.
+func (s *DiskStore) trim() {
+	for {
+		s.mu.Lock()
+		if s.loadedB <= s.budget || s.lru.Len() <= 1 {
+			s.trimming = false
+			s.trimDone.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		e := s.lru.Front()
+		ord := e.Value.(int)
+		s.lru.Remove(e)
+		s.lruElem[ord] = nil
+		s.loadedB -= estBytes(int(s.meta[ord].textLen))
+		s.mu.Unlock()
+		// Outside s.mu: Release takes the document's own lock and may
+		// wait for an in-flight load of that document to finish.
+		if s.docs[ord].Release() {
+			s.releases.Add(1)
+		}
+	}
+}
+
+// Len returns the number of documents.
+func (s *DiskStore) Len() int { return len(s.docs) }
+
+// Doc returns the i'th document handle.
+func (s *DiskStore) Doc(i int) *text.Document { return s.docs[i] }
+
+// Docs returns all document handles in ordinal order.
+func (s *DiskStore) Docs() []*text.Document { return s.docs }
+
+// Manifest returns the store's manifest.
+func (s *DiskStore) Manifest() Manifest { return s.man }
+
+// Loads and Releases report materialization traffic (for stats/tests).
+func (s *DiskStore) Loads() int64    { return s.loads.Load() }
+func (s *DiskStore) Releases() int64 { return s.releases.Load() }
+
+// TrimWait blocks until no budget trim is in flight. Trimming is
+// asynchronous, so Releases and ResidentEstimate read immediately after
+// a bulk sweep may not reflect it yet; a quiesced caller (no concurrent
+// loads) that wants settled numbers waits here first.
+func (s *DiskStore) TrimWait() {
+	s.mu.Lock()
+	for s.trimming {
+		s.trimDone.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// ResidentEstimate returns the current estimated resident content bytes.
+func (s *DiskStore) ResidentEstimate() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadedB
+}
+
+// Close closes the shard files. Content already materialized stays
+// readable; a released page touched after Close faults (and quarantines).
+func (s *DiskStore) Close() error {
+	s.closed.Store(true)
+	var first error
+	for _, f := range s.shards {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.idx != nil {
+		if err := s.idx.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// DocOrdinal returns d's position in Docs(), or false if d is not from
+// this store.
+func (s *DiskStore) DocOrdinal(d *text.Document) (int, bool) {
+	i, ok := s.ord[d]
+	return i, ok
+}
+
+// NumDocs returns the number of documents (the ordinal space size).
+func (s *DiskStore) NumDocs() int { return len(s.docs) }
+
+// BlockTokens returns the distinct blocking tokens recorded for d at
+// ingest, reading only the record's token header (never the page text).
+// ok is false when d is not from this store or the read fails — callers
+// fall back to tokenizing the text.
+func (s *DiskStore) BlockTokens(d *text.Document) ([]string, bool) {
+	return s.docTokens(d, false)
+}
+
+// NormTokens returns the ordered normalized token sequence recorded for
+// the whole page at ingest; same contract as BlockTokens.
+func (s *DiskStore) NormTokens(d *text.Document) ([]string, bool) {
+	return s.docTokens(d, true)
+}
+
+func (s *DiskStore) docTokens(d *text.Document, norm bool) ([]string, bool) {
+	ord, ok := s.ord[d]
+	if !ok {
+		return nil, false
+	}
+	r, _, _, err := s.readRecord(ord)
+	if err != nil {
+		return nil, false
+	}
+	nBlock := int(r.u32("nBlock"))
+	ids := r.u32s(nBlock, "block tokens")
+	if norm {
+		nNorm := int(r.u32("nNorm"))
+		ids = r.u32s(nNorm, "norm tokens")
+	}
+	if r.err != nil {
+		return nil, false
+	}
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		tok, ok := s.idx.token(id)
+		if !ok {
+			return nil, false
+		}
+		out[i] = tok
+	}
+	return out, true
+}
+
+// TokenPostings returns the sorted ordinals of documents whose blocking
+// token set contains tok, from the persistent index. A token absent from
+// the vocabulary returns (nil, true): the index authoritatively says no
+// document contains it. ok is false only on read failure.
+func (s *DiskStore) TokenPostings(tok string) ([]int, bool) {
+	return s.idx.postings(tok)
+}
+
+// tokenIndex is the open tokens.idx: vocabulary and posting offsets in
+// memory, posting runs read lazily.
+type tokenIndex struct {
+	f        *os.File
+	vocab    []string
+	ids      map[string]uint32
+	offs     []uint64
+	docCount int
+}
+
+func openTokenIndex(path string, docCount int) (*tokenIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open token index: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fail := func(format string, args ...any) (*tokenIndex, error) {
+		f.Close()
+		return nil, fmt.Errorf("store: token index: "+format, args...)
+	}
+	hdr := make([]byte, 16)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return fail("reading header: %v", err)
+	}
+	if string(hdr[:4]) != indexMagic {
+		return fail("bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
+		return fail("version %d (want %d)", v, version)
+	}
+	vocabCount := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if dc := int(binary.LittleEndian.Uint32(hdr[12:])); dc != docCount {
+		return fail("indexed %d docs, store has %d", dc, docCount)
+	}
+	// Vocabulary and offsets occupy the file up to the first posting run;
+	// read generously: everything before offs[0] per the writer's layout.
+	body := make([]byte, st.Size()-16)
+	if _, err := f.ReadAt(body, 16); err != nil {
+		return fail("reading vocabulary: %v", err)
+	}
+	r := bufReader{b: body}
+	idx := &tokenIndex{f: f, docCount: docCount, ids: make(map[string]uint32, vocabCount)}
+	idx.vocab = make([]string, vocabCount)
+	for i := 0; i < vocabCount; i++ {
+		n := int(r.u16("vocab len"))
+		idx.vocab[i] = string(r.bytes(n, "vocab token"))
+		idx.ids[idx.vocab[i]] = uint32(i)
+	}
+	idx.offs = make([]uint64, vocabCount+1)
+	for i := range idx.offs {
+		idx.offs[i] = r.u64("posting offset")
+	}
+	if r.err != nil {
+		return fail("%v", r.err)
+	}
+	for i := 0; i < vocabCount; i++ {
+		if idx.offs[i] > idx.offs[i+1] || idx.offs[vocabCount] > uint64(st.Size()) {
+			return fail("posting offsets out of order")
+		}
+	}
+	return idx, nil
+}
+
+func (x *tokenIndex) token(id uint32) (string, bool) {
+	if int(id) >= len(x.vocab) {
+		return "", false
+	}
+	return x.vocab[id], true
+}
+
+func (x *tokenIndex) postings(tok string) ([]int, bool) {
+	id, ok := x.ids[tok]
+	if !ok {
+		return nil, true // authoritative: no page contains this token
+	}
+	n := x.offs[id+1] - x.offs[id]
+	if n == 0 {
+		return nil, true
+	}
+	b := make([]byte, n)
+	if _, err := x.f.ReadAt(b, int64(x.offs[id])); err != nil {
+		return nil, false
+	}
+	out, err := decodePostings(b, x.docCount)
+	if err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+func (x *tokenIndex) close() error { return x.f.Close() }
+
+// Vocab returns the number of distinct indexed tokens.
+func (s *DiskStore) Vocab() int { return len(s.idx.vocab) }
+
+// SortedTokens returns the vocabulary sorted lexically (debug helper).
+func (s *DiskStore) SortedTokens() []string {
+	out := append([]string(nil), s.idx.vocab...)
+	sort.Strings(out)
+	return out
+}
+
+// normalizeSpace matches text.Span.NormText's whitespace collapsing, so
+// ingest-time normalized tokens equal query-time NormalizedTokens(NormText()).
+func normalizeSpace(s string) string { return strings.Join(strings.Fields(s), " ") }

@@ -1,0 +1,296 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"iflex/internal/compact"
+	"iflex/internal/text"
+)
+
+// Spill demotes compact tables to disk so a cache-budget eviction can
+// keep a table recoverable instead of dropping it. Tables are encoded
+// structurally — column names, tuple/cell/assignment shape, and spans as
+// (document, start, end) references — and decoded against a document
+// resolver, so reloaded spans point at the *same* document handles the
+// engine keys its memos and comparisons by. Encoding and decoding
+// preserve multiset order exactly: a reloaded table is structurally
+// identical to what was saved.
+type Spill struct {
+	dir     string
+	resolve func(id string) (*text.Document, bool)
+
+	mu    sync.Mutex
+	files map[string]spillFile // key -> file
+	seq   int
+	bytes int64
+}
+
+type spillFile struct {
+	name  string
+	bytes int64
+}
+
+// NewSpill creates a spill area rooted at dir (created if missing; files
+// are cleaned up by Close). resolve maps a document ID back to its
+// handle; every document referenced by a spilled table must resolve.
+func NewSpill(dir string, resolve func(id string) (*text.Document, bool)) (*Spill, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: spill dir: %w", err)
+	}
+	return &Spill{dir: dir, resolve: resolve, files: make(map[string]spillFile)}, nil
+}
+
+// Save writes the table under key, replacing any previous spill for the
+// same key, and returns the on-disk size. Tables carrying a Degraded
+// report are refused: only clean intermediates may be demoted (a
+// degraded table must never be silently resurrected as authoritative).
+func (sp *Spill) Save(key string, t *compact.Table) (int64, error) {
+	if t.Degraded != nil {
+		return 0, fmt.Errorf("store: refusing to spill degraded table")
+	}
+	b, err := encodeTable(t)
+	if err != nil {
+		return 0, err
+	}
+	sp.mu.Lock()
+	sp.seq++
+	name := fmt.Sprintf("spill-%06d.tbl", sp.seq)
+	prev, had := sp.files[key]
+	sp.files[key] = spillFile{name: name, bytes: int64(len(b))}
+	sp.bytes += int64(len(b))
+	if had {
+		sp.bytes -= prev.bytes
+	}
+	sp.mu.Unlock()
+	if err := os.WriteFile(filepath.Join(sp.dir, name), b, 0o644); err != nil {
+		sp.Drop(key)
+		return 0, fmt.Errorf("store: spill write: %w", err)
+	}
+	if had {
+		os.Remove(filepath.Join(sp.dir, prev.name))
+	}
+	return int64(len(b)), nil
+}
+
+// Load reads the table spilled under key. ok is false when no spill
+// exists for the key; an unreadable or undecodable spill is an error.
+func (sp *Spill) Load(key string) (*compact.Table, bool, error) {
+	sp.mu.Lock()
+	f, ok := sp.files[key]
+	sp.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	b, err := os.ReadFile(filepath.Join(sp.dir, f.name))
+	if err != nil {
+		return nil, false, fmt.Errorf("store: spill read: %w", err)
+	}
+	t, err := decodeTable(b, sp.resolve)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: spill decode: %w", err)
+	}
+	return t, true, nil
+}
+
+// Drop removes the spill for key, if any.
+func (sp *Spill) Drop(key string) {
+	sp.mu.Lock()
+	f, ok := sp.files[key]
+	delete(sp.files, key)
+	if ok {
+		sp.bytes -= f.bytes
+	}
+	sp.mu.Unlock()
+	if ok {
+		os.Remove(filepath.Join(sp.dir, f.name))
+	}
+}
+
+// Bytes returns the total bytes currently spilled.
+func (sp *Spill) Bytes() int64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.bytes
+}
+
+// Len returns the number of spilled tables.
+func (sp *Spill) Len() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return len(sp.files)
+}
+
+// Close deletes all spill files.
+func (sp *Spill) Close() error {
+	sp.mu.Lock()
+	files := sp.files
+	sp.files = make(map[string]spillFile)
+	sp.bytes = 0
+	sp.mu.Unlock()
+	var first error
+	for _, f := range files {
+		if err := os.Remove(filepath.Join(sp.dir, f.name)); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+const spillMagic = "IFSP"
+
+// encodeTable serializes a compact table. Document IDs are interned in a
+// per-file string table; assignments store (docRef, mode, start, end).
+func encodeTable(t *compact.Table) ([]byte, error) {
+	var w bufWriter
+	w.str(spillMagic)
+	w.u32(version)
+
+	docIDs := make(map[string]uint32)
+	var docs []string
+	docRef := func(d *text.Document) uint32 {
+		id := d.ID()
+		if r, ok := docIDs[id]; ok {
+			return r
+		}
+		r := uint32(len(docs))
+		docIDs[id] = r
+		docs = append(docs, id)
+		return r
+	}
+	// Body first (interning discovers the doc table), doc table after;
+	// the decoder reads the doc-table offset from the header.
+	var body bufWriter
+	body.u32(uint32(len(t.Cols)))
+	for _, c := range t.Cols {
+		body.u16(uint16(len(c)))
+		body.str(c)
+	}
+	body.u32(uint32(len(t.Tuples)))
+	for _, tp := range t.Tuples {
+		flag := byte(0)
+		if tp.Maybe {
+			flag = 1
+		}
+		body.b = append(body.b, flag)
+		body.u16(uint16(len(tp.Cells)))
+		for _, cell := range tp.Cells {
+			cflag := byte(0)
+			if cell.Expand {
+				cflag = 1
+			}
+			body.b = append(body.b, cflag)
+			body.u32(uint32(len(cell.Assigns)))
+			for _, a := range cell.Assigns {
+				body.b = append(body.b, byte(a.Mode))
+				d := a.Span.Doc()
+				if d == nil {
+					return nil, fmt.Errorf("store: spill: assignment with no document")
+				}
+				body.u32(docRef(d))
+				body.u32(uint32(a.Span.Start()))
+				body.u32(uint32(a.Span.End()))
+			}
+		}
+	}
+	w.u32(uint32(len(body.b)))
+	w.b = append(w.b, body.b...)
+	w.u32(uint32(len(docs)))
+	for _, id := range docs {
+		w.u16(uint16(len(id)))
+		w.str(id)
+	}
+	return w.b, nil
+}
+
+// decodeTable reconstructs a table, resolving document references
+// through resolve.
+func decodeTable(b []byte, resolve func(id string) (*text.Document, bool)) (*compact.Table, error) {
+	r := bufReader{b: b}
+	if string(r.bytes(4, "magic")) != spillMagic {
+		return nil, fmt.Errorf("bad spill magic")
+	}
+	if v := r.u32("version"); v != version {
+		return nil, fmt.Errorf("spill version %d (want %d)", v, version)
+	}
+	bodyLen := int(r.u32("body length"))
+	body := bufReader{b: r.bytes(bodyLen, "body")}
+	nDocs := int(r.u32("doc count"))
+	docs := make([]*text.Document, nDocs)
+	for i := 0; i < nDocs; i++ {
+		idLen := int(r.u16("doc id len"))
+		id := string(r.bytes(idLen, "doc id"))
+		if r.err != nil {
+			return nil, r.err
+		}
+		d, ok := resolve(id)
+		if !ok {
+			return nil, fmt.Errorf("spilled table references unknown document %q", id)
+		}
+		docs[i] = d
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	nCols := int(body.u32("col count"))
+	cols := make([]string, nCols)
+	for i := range cols {
+		n := int(body.u16("col len"))
+		cols[i] = string(body.bytes(n, "col name"))
+	}
+	t := compact.NewTable(cols...)
+	nTuples := int(body.u32("tuple count"))
+	if body.err == nil && nTuples > 0 {
+		t.Tuples = make([]compact.Tuple, 0, nTuples)
+	}
+	for i := 0; i < nTuples && body.err == nil; i++ {
+		var tp compact.Tuple
+		tp.Maybe = body.bytes(1, "maybe flag")[0] != 0
+		nCells := int(body.u16("cell count"))
+		tp.Cells = make([]compact.Cell, nCells)
+		for ci := 0; ci < nCells && body.err == nil; ci++ {
+			fb := body.bytes(1, "expand flag")
+			if body.err != nil {
+				break
+			}
+			cell := compact.Cell{Expand: fb[0] != 0}
+			nAsn := int(body.u32("assign count"))
+			if body.err == nil && nAsn > 0 {
+				cell.Assigns = make([]text.Assignment, 0, nAsn)
+			}
+			for ai := 0; ai < nAsn && body.err == nil; ai++ {
+				mb := body.bytes(1, "mode")
+				ref := int(body.u32("doc ref"))
+				start := int(body.u32("span start"))
+				end := int(body.u32("span end"))
+				if body.err != nil {
+					break
+				}
+				if ref >= len(docs) {
+					return nil, fmt.Errorf("doc ref %d out of range", ref)
+				}
+				d := docs[ref]
+				if start < 0 || end > d.Len() || start > end {
+					return nil, fmt.Errorf("span [%d,%d) out of range for doc %q", start, end, d.ID())
+				}
+				cell.Assigns = append(cell.Assigns, text.Assignment{
+					Mode: text.Mode(mb[0]),
+					Span: d.Span(start, end),
+				})
+			}
+			cell.Assigns = cell.Assigns[:len(cell.Assigns):len(cell.Assigns)]
+			tp.Cells[ci] = cell
+		}
+		t.Tuples = append(t.Tuples, tp)
+	}
+	if body.err != nil {
+		return nil, body.err
+	}
+	if body.off != len(body.b) {
+		return nil, fmt.Errorf("trailing bytes in spill body")
+	}
+	return t, nil
+}

@@ -1,0 +1,148 @@
+package store
+
+import (
+	"testing"
+
+	"iflex/internal/compact"
+	"iflex/internal/markup"
+	"iflex/internal/text"
+)
+
+func spillFixture(t *testing.T) (*Spill, []*text.Document) {
+	t.Helper()
+	docs := []*text.Document{
+		markup.MustParse("a", "<b>Cozy studio</b> near campus rent $500"),
+		markup.MustParse("b", "Large <i>house</i> with garden rent $1,200"),
+	}
+	byID := map[string]*text.Document{}
+	for _, d := range docs {
+		byID[d.ID()] = d
+	}
+	sp, err := NewSpill(t.TempDir(), func(id string) (*text.Document, bool) {
+		d, ok := byID[id]
+		return d, ok
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp, docs
+}
+
+func spillSample(docs []*text.Document) *compact.Table {
+	tb := compact.NewTable("x", "price")
+	tb.Append(compact.Tuple{Cells: []compact.Cell{
+		compact.ExactCell(docs[0].WholeSpan()),
+		compact.ExpandCell(text.ContainOf(docs[0].Span(21, 31))),
+	}})
+	tb.Append(compact.Tuple{Maybe: true, Cells: []compact.Cell{
+		compact.ContainCell(docs[1].Span(0, 11)),
+		{Assigns: []text.Assignment{
+			text.ExactOf(docs[1].Span(29, 35)),
+			text.ContainOf(docs[1].WholeSpan()),
+		}},
+	}})
+	return tb
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	sp, docs := spillFixture(t)
+	defer sp.Close()
+	tb := spillSample(docs)
+
+	n, err := sp.Save("k1", tb)
+	if err != nil || n <= 0 {
+		t.Fatalf("Save: %d %v", n, err)
+	}
+	if sp.Bytes() != n || sp.Len() != 1 {
+		t.Fatalf("accounting: %d bytes, %d tables", sp.Bytes(), sp.Len())
+	}
+	got, ok, err := sp.Load("k1")
+	if err != nil || !ok {
+		t.Fatalf("Load: %v %v", ok, err)
+	}
+	if got.Canonical() != tb.Canonical() {
+		t.Fatalf("round trip drift:\n%s\nvs\n%s", got.Canonical(), tb.Canonical())
+	}
+	// Reloaded spans must reference the SAME document handles: engine
+	// memos and comparisons are keyed by handle identity.
+	for i, tp := range got.Tuples {
+		for j, cell := range tp.Cells {
+			for k, a := range cell.Assigns {
+				want := tb.Tuples[i].Cells[j].Assigns[k]
+				if a.Span.Doc() != want.Span.Doc() {
+					t.Fatalf("tuple %d cell %d assign %d: new doc handle", i, j, k)
+				}
+				if a.Mode != want.Mode || !a.Span.Equal(want.Span) {
+					t.Fatalf("tuple %d cell %d assign %d: %v != %v", i, j, k, a, want)
+				}
+			}
+		}
+	}
+	if got.Tuples[1].Maybe != true || got.Tuples[0].Cells[1].Expand != true {
+		t.Fatal("maybe/expand flags lost")
+	}
+}
+
+func TestSpillReplaceDropClose(t *testing.T) {
+	sp, docs := spillFixture(t)
+	tb := spillSample(docs)
+	if _, err := sp.Save("k", tb); err != nil {
+		t.Fatal(err)
+	}
+	small := compact.NewTable("x")
+	small.Append(compact.Tuple{Cells: []compact.Cell{compact.ExactCell(docs[0].Span(0, 4))}})
+	n2, err := sp.Save("k", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Bytes() != n2 || sp.Len() != 1 {
+		t.Fatalf("replace accounting: %d bytes, %d tables", sp.Bytes(), sp.Len())
+	}
+	got, ok, _ := sp.Load("k")
+	if !ok || got.Canonical() != small.Canonical() {
+		t.Fatal("replace did not take effect")
+	}
+	sp.Drop("k")
+	if _, ok, _ := sp.Load("k"); ok {
+		t.Fatal("load after drop succeeded")
+	}
+	if sp.Bytes() != 0 || sp.Len() != 0 {
+		t.Fatal("drop accounting")
+	}
+	if _, err := sp.Save("k2", tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := sp.Load("k2"); ok {
+		t.Fatal("load after close succeeded")
+	}
+}
+
+func TestSpillRefusesDegraded(t *testing.T) {
+	sp, docs := spillFixture(t)
+	defer sp.Close()
+	tb := spillSample(docs)
+	tb.Degraded = &compact.Degraded{}
+	if _, err := sp.Save("k", tb); err == nil {
+		t.Fatal("spilled a degraded table")
+	}
+}
+
+func TestSpillUnknownDocFailsLoad(t *testing.T) {
+	docs := []*text.Document{markup.MustParse("a", "hello world")}
+	sp, err := NewSpill(t.TempDir(), func(id string) (*text.Document, bool) { return nil, false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	tb := compact.NewTable("x")
+	tb.Append(compact.Tuple{Cells: []compact.Cell{compact.ExactCell(docs[0].WholeSpan())}})
+	if _, err := sp.Save("k", tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sp.Load("k"); err == nil {
+		t.Fatal("load resolved an unknown document")
+	}
+}

@@ -1,0 +1,153 @@
+// Package store is the document-store abstraction behind corpus-scale
+// evaluation: a narrow interface over a set of documents, with an
+// in-memory implementation (MemStore) for small corpora and a sharded,
+// file-backed implementation (DiskStore) that keeps only a bounded set
+// of pages resident and materializes text.Document token/line indexes
+// lazily per document.
+//
+// A disk store is built once at ingest by a Writer, which also persists
+// an inverted token index (tokens.idx) over the blocking tokens of every
+// page. The engine's shared-token prefilter and simjoin blocking consult
+// that index directly — see the BlockTokens/NormTokens/DocOrdinal/
+// TokenPostings methods, which match the engine's DocIndex and
+// PostingsIndex interfaces — instead of re-tokenizing the corpus on
+// every run. Tokenization at ingest uses the exact functions the engine
+// would apply at query time (similarity.Tokens over the page text for
+// blocking; similarity.NormalizedTokens over the normalized whole-page
+// text for the prefilter), so consulting the index is byte-identical to
+// computing on the fly.
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"iflex/internal/similarity"
+	"iflex/internal/text"
+)
+
+// Store is a handle on a corpus of documents. Document handles are
+// stable for the lifetime of the store (the engine keys caches and
+// quarantine state by handle identity); a file-backed store may drop and
+// re-materialize document *content* behind the handles at any time.
+type Store interface {
+	// Len returns the number of documents.
+	Len() int
+	// Doc returns the i'th document handle (0 <= i < Len()).
+	Doc(i int) *text.Document
+	// Docs returns all document handles in ordinal order. The returned
+	// slice is shared; callers must not modify it.
+	Docs() []*text.Document
+	// Close releases the store's resources. Document content accessed
+	// after Close may fail (surfacing as a per-document load fault).
+	Close() error
+}
+
+// MemStore is the trivial Store over an in-memory document slice — the
+// corpus shape the engine always had. It also serves the token-index
+// interfaces by tokenizing on first use, which lets differential tests
+// drive the engine's index-consulting paths without touching disk.
+type MemStore struct {
+	docs []*text.Document
+
+	once     sync.Once
+	ord      map[*text.Document]int
+	blockTok [][]string       // per ordinal: distinct sorted blocking tokens
+	normTok  [][]string       // per ordinal: ordered normalized tokens
+	postings map[string][]int // blocking token -> sorted doc ordinals
+}
+
+// NewMemStore wraps documents in a Store. The slice is not copied.
+func NewMemStore(docs []*text.Document) *MemStore {
+	return &MemStore{docs: docs}
+}
+
+// Len returns the number of documents.
+func (m *MemStore) Len() int { return len(m.docs) }
+
+// Doc returns the i'th document.
+func (m *MemStore) Doc(i int) *text.Document { return m.docs[i] }
+
+// Docs returns all documents in ordinal order.
+func (m *MemStore) Docs() []*text.Document { return m.docs }
+
+// Close is a no-op for the in-memory store.
+func (m *MemStore) Close() error { return nil }
+
+// index tokenizes every document once, on first index use.
+func (m *MemStore) index() {
+	m.once.Do(func() {
+		m.ord = make(map[*text.Document]int, len(m.docs))
+		m.blockTok = make([][]string, len(m.docs))
+		m.normTok = make([][]string, len(m.docs))
+		m.postings = make(map[string][]int)
+		for i, d := range m.docs {
+			m.ord[d] = i
+			txt := d.Text()
+			m.blockTok[i] = DistinctTokens(txt)
+			m.normTok[i] = similarity.NormalizedTokens(d.WholeSpan().NormText())
+			for _, t := range m.blockTok[i] {
+				m.postings[t] = append(m.postings[t], i)
+			}
+		}
+	})
+}
+
+// BlockTokens returns the distinct blocking tokens of d (the token set
+// simjoin blocking uses), or false if d is not in this store.
+func (m *MemStore) BlockTokens(d *text.Document) ([]string, bool) {
+	m.index()
+	i, ok := m.ord[d]
+	if !ok {
+		return nil, false
+	}
+	return m.blockTok[i], true
+}
+
+// NormTokens returns the ordered normalized token sequence of the whole
+// document (the sequence the prefilter and similarity p-functions use),
+// or false if d is not in this store.
+func (m *MemStore) NormTokens(d *text.Document) ([]string, bool) {
+	m.index()
+	i, ok := m.ord[d]
+	if !ok {
+		return nil, false
+	}
+	return m.normTok[i], true
+}
+
+// DocOrdinal returns d's position in Docs(), or false if absent.
+func (m *MemStore) DocOrdinal(d *text.Document) (int, bool) {
+	m.index()
+	i, ok := m.ord[d]
+	return i, ok
+}
+
+// NumDocs returns the number of documents (the ordinal space size).
+func (m *MemStore) NumDocs() int { return len(m.docs) }
+
+// TokenPostings returns the sorted ordinals of documents whose blocking
+// token set contains tok. ok is false only when the index cannot answer
+// (never for MemStore); an indexed token with no documents returns an
+// empty list with ok true.
+func (m *MemStore) TokenPostings(tok string) ([]int, bool) {
+	m.index()
+	return m.postings[tok], true
+}
+
+// DistinctTokens returns the sorted distinct similarity.Tokens of s —
+// the per-document token set the blocking index is built from.
+func DistinctTokens(s string) []string {
+	toks := similarity.Tokens(s)
+	if len(toks) == 0 {
+		return nil
+	}
+	sort.Strings(toks)
+	out := toks[:1]
+	for _, t := range toks[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

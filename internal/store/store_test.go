@@ -1,0 +1,237 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"iflex/internal/markup"
+	"iflex/internal/text"
+)
+
+func samplePages(n int) (ids, raws []string) {
+	for i := 0; i < n; i++ {
+		ids = append(ids, fmt.Sprintf("page-%04d", i))
+		raws = append(raws, fmt.Sprintf(
+			"<title>Page %d</title>\n<h2>Section %d</h2>\n<p>The <b>Widget %d</b> costs <i>$%d.50</i> at <a href=\"http://shop/%d\">Shop %d</a>.</p>\n<ul><li>alpha beta %d</li><li>gamma</li></ul>",
+			i, i%3, i, 10+i, i, i%5, i))
+	}
+	return ids, raws
+}
+
+func buildStore(t *testing.T, dir string, ids, raws []string, shardDocs int) {
+	t.Helper()
+	w, err := Create(dir, Options{ShardDocs: shardDocs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if err := w.Add(ids[i], raws[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ids, raws := samplePages(25)
+	buildStore(t, dir, ids, raws, 7) // several shards incl. a partial one
+
+	s, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 25 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Manifest().Shards != 4 {
+		t.Fatalf("shards = %d", s.Manifest().Shards)
+	}
+	for i := range ids {
+		d := s.Doc(i)
+		want := markup.MustParse(ids[i], raws[i])
+		if d.ID() != want.ID() || d.Len() != want.Len() {
+			t.Fatalf("doc %d: ID/Len mismatch (%q/%d vs %q/%d)", i, d.ID(), d.Len(), want.ID(), want.Len())
+		}
+		if d.Loaded() {
+			t.Fatalf("doc %d resident before first touch", i)
+		}
+		if d.Text() != want.Text() {
+			t.Fatalf("doc %d: text mismatch", i)
+		}
+		if !reflect.DeepEqual(d.Marks(), want.Marks()) {
+			t.Fatalf("doc %d: marks mismatch", i)
+		}
+		if !reflect.DeepEqual(d.Tokens(), want.Tokens()) {
+			t.Fatalf("doc %d: tokens mismatch", i)
+		}
+		if !reflect.DeepEqual(d.Links(), want.Links()) {
+			t.Fatalf("doc %d: links mismatch", i)
+		}
+	}
+}
+
+func TestDiskStoreTokenIndexMatchesMem(t *testing.T) {
+	dir := t.TempDir()
+	ids, raws := samplePages(12)
+	buildStore(t, dir, ids, raws, 5)
+
+	s, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	eager := make([]*text.Document, len(ids))
+	for i := range ids {
+		eager[i] = markup.MustParse(ids[i], raws[i])
+	}
+	mem := NewMemStore(eager)
+
+	toks := map[string]bool{}
+	for i, d := range s.Docs() {
+		bt, ok := s.BlockTokens(d)
+		if !ok {
+			t.Fatalf("doc %d: BlockTokens not ok", i)
+		}
+		wantBT, _ := mem.BlockTokens(eager[i])
+		if !reflect.DeepEqual(bt, wantBT) {
+			t.Fatalf("doc %d: block tokens %v != %v", i, bt, wantBT)
+		}
+		nt, ok := s.NormTokens(d)
+		if !ok {
+			t.Fatalf("doc %d: NormTokens not ok", i)
+		}
+		wantNT, _ := mem.NormTokens(eager[i])
+		if !reflect.DeepEqual(nt, wantNT) {
+			t.Fatalf("doc %d: norm tokens %v != %v", i, nt, wantNT)
+		}
+		if d.Loaded() {
+			t.Fatalf("doc %d: token queries paged the document in", i)
+		}
+		for _, tok := range bt {
+			toks[tok] = true
+		}
+		if ord, ok := s.DocOrdinal(d); !ok || ord != i {
+			t.Fatalf("doc %d: ordinal %d %v", i, ord, ok)
+		}
+	}
+	for tok := range toks {
+		got, ok := s.TokenPostings(tok)
+		if !ok {
+			t.Fatalf("postings(%q) not ok", tok)
+		}
+		want, _ := mem.TokenPostings(tok)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("postings(%q) = %v, want %v", tok, got, want)
+		}
+	}
+	if got, ok := s.TokenPostings("zzzunseen"); !ok || got != nil {
+		t.Fatalf("postings of unseen token: %v %v", got, ok)
+	}
+}
+
+func TestDiskStoreResidentBudget(t *testing.T) {
+	dir := t.TempDir()
+	ids, raws := samplePages(40)
+	buildStore(t, dir, ids, raws, 16)
+
+	s, err := Open(dir, OpenOptions{ResidentBudget: 4 * estBytes(120)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, d := range s.Docs() {
+		_ = d.Text()
+	}
+	// Trimming is asynchronous; wait for it to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resident := 0
+		for _, d := range s.Docs() {
+			if d.Loaded() {
+				resident++
+			}
+		}
+		if resident < s.Len()/2 || time.Now().After(deadline) {
+			if resident >= s.Len()/2 {
+				t.Fatalf("budget never enforced: %d/%d resident", resident, s.Len())
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s.Releases() == 0 {
+		t.Fatal("no releases recorded")
+	}
+	// Released pages re-materialize transparently and identically.
+	for i, d := range s.Docs() {
+		if d.Text() != markup.MustParse(ids[i], raws[i]).Text() {
+			t.Fatalf("doc %d text drifted after release/reload", i)
+		}
+	}
+}
+
+func TestDiskStoreCorruptShardFaultsOnLoad(t *testing.T) {
+	dir := t.TempDir()
+	ids, raws := samplePages(6)
+	buildStore(t, dir, ids, raws, 100)
+
+	// Flip bytes inside the first document's raw markup region.
+	path := filepath.Join(dir, shardName(0))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := bytes.Index(b, []byte(raws[5]))
+	if off < 0 {
+		t.Fatal("raw markup of doc 5 not found in shard")
+	}
+	for i := 0; i < 8; i++ {
+		b[off+10+i] ^= 0xFF
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err) // TOC is intact; corruption is inside a record
+	}
+	defer s.Close()
+
+	// The undamaged documents still load.
+	if s.Doc(0).Text() == "" {
+		t.Fatal("doc 0 unreadable")
+	}
+	// The damaged one panics with a LoadError naming the document.
+	func() {
+		defer func() {
+			le, ok := recover().(*text.LoadError)
+			if !ok {
+				t.Fatalf("expected *text.LoadError, got %v", le)
+			}
+			if le.Doc != ids[5] {
+				t.Fatalf("fault names %q, want %q", le.Doc, ids[5])
+			}
+		}()
+		_ = s.Doc(5).Text()
+	}()
+}
+
+func TestWriterRejectsExistingStore(t *testing.T) {
+	dir := t.TempDir()
+	ids, raws := samplePages(2)
+	buildStore(t, dir, ids, raws, 10)
+	if _, err := Create(dir, Options{}); err == nil {
+		t.Fatal("Create over an existing store succeeded")
+	}
+}

@@ -92,7 +92,8 @@ func (a Assignment) Covers(v Span) bool {
 	if lo >= hi {
 		return false
 	}
-	return d.tokens[lo].Start == v.Start() && d.tokens[hi-1].End == v.End()
+	toks := d.content().tokens
+	return toks[lo].Start == v.Start() && toks[hi-1].End == v.End()
 }
 
 // CoversText reports whether any value in V(a) has the given normalised text.

@@ -1,0 +1,151 @@
+package text
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLazyDocumentMatchesEager(t *testing.T) {
+	txt := "Cozy  studio near\ncampus. <b>Rent</b> $500.\n"
+	marks := []Mark{{Kind: MarkBold, Start: 25, End: 29}}
+	links := []Link{{Start: 5, End: 11, Target: "http://x"}}
+
+	eager := NewDocument("d1", txt, marks)
+	eager.SetLinks(links)
+
+	var loads atomic.Int32
+	lazy := NewLazyDocument("d1", len(txt), func() (DocContent, error) {
+		loads.Add(1)
+		return DocContent{Text: txt, Marks: marks, Links: links}, nil
+	})
+
+	if lazy.Loaded() {
+		t.Fatal("lazy doc reported loaded before first access")
+	}
+	if lazy.Len() != eager.Len() || lazy.ID() != eager.ID() {
+		t.Fatalf("Len/ID mismatch before load: %d %q", lazy.Len(), lazy.ID())
+	}
+	if loads.Load() != 0 {
+		t.Fatal("Len/ID forced a load")
+	}
+	// WholeSpan and Span construction must not load either.
+	ws := lazy.WholeSpan()
+	_ = lazy.Span(3, 9)
+	if loads.Load() != 0 {
+		t.Fatal("Span construction forced a load")
+	}
+
+	if got, want := ws.Text(), eager.WholeSpan().Text(); got != want {
+		t.Fatalf("text mismatch: %q vs %q", got, want)
+	}
+	if got, want := len(lazy.Tokens()), len(eager.Tokens()); got != want {
+		t.Fatalf("token count mismatch: %d vs %d", got, want)
+	}
+	for i, tok := range lazy.Tokens() {
+		if eager.Tokens()[i] != tok {
+			t.Fatalf("token %d mismatch: %+v vs %+v", i, tok, eager.Tokens()[i])
+		}
+	}
+	if got, want := len(lazy.MarksOf(MarkBold)), 1; got != want {
+		t.Fatalf("bold marks: %d", got)
+	}
+	if l, ok := lazy.LinkAt(6); !ok || l.Target != "http://x" {
+		t.Fatalf("LinkAt: %+v %v", l, ok)
+	}
+	if lazy.LineStart(20) != eager.LineStart(20) || lazy.LineEnd(20) != eager.LineEnd(20) {
+		t.Fatal("line index mismatch")
+	}
+	if loads.Load() != 1 {
+		t.Fatalf("expected exactly 1 load, got %d", loads.Load())
+	}
+}
+
+func TestLazyDocumentReleaseAndReload(t *testing.T) {
+	txt := "alpha beta gamma"
+	var loads atomic.Int32
+	d := NewLazyDocument("d2", len(txt), func() (DocContent, error) {
+		loads.Add(1)
+		return DocContent{Text: txt}, nil
+	})
+	if got := d.Text(); got != txt {
+		t.Fatalf("Text: %q", got)
+	}
+	if d.ResidentBytes() == 0 {
+		t.Fatal("loaded doc reports zero resident bytes")
+	}
+	if !d.Release() {
+		t.Fatal("Release returned false on a loaded lazy doc")
+	}
+	if d.Loaded() || d.ResidentBytes() != 0 {
+		t.Fatal("doc still resident after Release")
+	}
+	if d.Release() {
+		t.Fatal("second Release returned true")
+	}
+	if got := d.Text(); got != txt {
+		t.Fatalf("Text after reload: %q", got)
+	}
+	if loads.Load() != 2 {
+		t.Fatalf("expected 2 loads, got %d", loads.Load())
+	}
+
+	eager := NewDocument("d3", txt, nil)
+	if eager.Release() {
+		t.Fatal("eager document released its content")
+	}
+}
+
+func TestLazyDocumentConcurrentLoadOnce(t *testing.T) {
+	txt := "one two three four five"
+	var loads atomic.Int32
+	d := NewLazyDocument("d4", len(txt), func() (DocContent, error) {
+		loads.Add(1)
+		return DocContent{Text: txt}, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if d.Text() != txt {
+				t.Error("text mismatch")
+			}
+		}()
+	}
+	wg.Wait()
+	if loads.Load() != 1 {
+		t.Fatalf("expected single-flight load, got %d", loads.Load())
+	}
+}
+
+func TestLazyDocumentLoadFailurePanics(t *testing.T) {
+	boom := errors.New("shard unreadable")
+	d := NewLazyDocument("d5", 10, func() (DocContent, error) {
+		return DocContent{}, boom
+	})
+	defer func() {
+		r := recover()
+		le, ok := r.(*LoadError)
+		if !ok {
+			t.Fatalf("expected *LoadError panic, got %v", r)
+		}
+		if le.Doc != "d5" || !errors.Is(le, boom) {
+			t.Fatalf("bad LoadError: %+v", le)
+		}
+	}()
+	_ = d.Text()
+}
+
+func TestLazyDocumentLengthDriftPanics(t *testing.T) {
+	d := NewLazyDocument("d6", 99, func() (DocContent, error) {
+		return DocContent{Text: "short"}, nil
+	})
+	defer func() {
+		if _, ok := recover().(*LoadError); !ok {
+			t.Fatal("expected *LoadError panic on length drift")
+		}
+	}()
+	_ = d.Text()
+}

@@ -28,7 +28,7 @@ func (s Span) End() int { return s.end }
 func (s Span) Len() int { return s.end - s.start }
 
 // Text returns the raw text covered by the span.
-func (s Span) Text() string { return s.doc.text[s.start:s.end] }
+func (s Span) Text() string { return s.doc.content().text[s.start:s.end] }
 
 // NormText returns the span text with whitespace runs collapsed and trimmed.
 func (s Span) NormText() string { return normalizeSpace(s.Text()) }
@@ -86,7 +86,7 @@ func (s Span) TokenSpan(i, j int) Span {
 	if i < 0 || lo+j > hi || i >= j {
 		panic(fmt.Sprintf("text: token span [%d,%d) outside token range of %v", i, j, s))
 	}
-	toks := s.doc.tokens
+	toks := s.doc.content().tokens
 	return Span{doc: s.doc, start: toks[lo+i].Start, end: toks[lo+j-1].End}
 }
 
@@ -98,7 +98,7 @@ func (s Span) Shrink() (Span, bool) {
 	if lo >= hi {
 		return Span{}, false
 	}
-	toks := s.doc.tokens
+	toks := s.doc.content().tokens
 	return Span{doc: s.doc, start: toks[lo].Start, end: toks[hi-1].End}, true
 }
 
@@ -108,7 +108,7 @@ func (s Span) Shrink() (Span, bool) {
 // tokens is t*(t+1)/2.
 func (s Span) SubSpans(fn func(Span) bool) {
 	lo, hi := s.TokenBounds()
-	toks := s.doc.tokens
+	toks := s.doc.content().tokens
 	for i := lo; i < hi; i++ {
 		for j := i; j < hi; j++ {
 			if !fn(Span{doc: s.doc, start: toks[i].Start, end: toks[j].End}) {
