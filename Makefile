@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-all chaos bench bench-parallel bench-hotpath bench-reuse bench-optimizer bench-serve bench-scale serve-smoke benchdiff profile vet verify
+.PHONY: build test race race-all chaos bench bench-parallel bench-hotpath bench-reuse bench-optimizer bench-serve bench-scale bench-live serve-smoke benchdiff profile vet verify
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,16 @@ bench-serve:
 PAGES ?= 100000
 bench-scale:
 	$(GO) run ./cmd/iflex-bench -table scale -pages $(PAGES) -bench-json BENCH_SCALE.json
+
+# Live-corpus incremental bench: converge T9 over a Books store, commit a
+# 1% page mutation, and compare the incremental re-evaluation against a
+# from-scratch run of the same refined program — byte-identity checked
+# across Workers 1/8 x optimizer on/off (DESIGN.md §16). The committed
+# BENCH_LIVE.json snapshot is from the 10000-page default; LIVE_PAGES=1000
+# keeps the CI smoke run fast.
+LIVE_PAGES ?= 10000
+bench-live:
+	$(GO) run ./cmd/iflex-bench -table live -pages $(LIVE_PAGES) -bench-json BENCH_LIVE.json
 
 # Boot iflexd, run a short serve burst against it, and check it drains
 # cleanly on SIGTERM (exit 0). One shell so `wait` sees the daemon.

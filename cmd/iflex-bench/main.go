@@ -16,6 +16,11 @@
 // corpus (-pages, default 100k): ingest throughput, index load time, a
 // budget-bounded content sweep, and postings-served similarity probes
 // (BENCH_SCALE.json via -bench-json).
+// -table live benches live-corpus incremental evaluation: converge T9
+// over a Books store (-pages, default 10k here), commit a mutation
+// updating -mutate-pct% of the pages, and compare the incremental
+// re-evaluation against a from-scratch run of the same refined program
+// (BENCH_LIVE.json via -bench-json).
 package main
 
 import (
@@ -43,7 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("iflex-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		table      = fs.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, parallel, hotpath, reuse, optimizer, serve, scale, or all")
+		table      = fs.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, 6, conv, variance, scaling, parallel, hotpath, reuse, optimizer, serve, scale, live, or all")
 		compare    = fs.Bool("compare", false, "compare two benchmark JSON files (old new); exit non-zero on a >10% wall-time regression")
 		scale      = fs.Float64("scale", 0.2, "corpus size factor (1.0 = paper sizes)")
 		seed       = fs.Int64("seed", 1, "corpus generation seed")
@@ -55,8 +60,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sessions   = fs.Int("sessions-per-tenant", 2, "sessions each tenant runs for -table serve")
 		serveAddr  = fs.String("serve-addr", "", "load-test a running iflexd at this base URL instead of an in-process server (-table serve)")
 		stepDL     = fs.Duration("step-deadline", 0, "per-step deadline for -table serve sessions (0 = none)")
-		pages      = fs.Int("pages", 100000, "DBLife corpus pages for -table scale")
-		storeDir   = fs.String("store-dir", "", "reuse/build the -table scale document store at this directory (default: a temp dir)")
+		pages      = fs.Int("pages", 100000, "DBLife corpus pages for -table scale (also sizes -table live, where the unset default is 10000)")
+		mutatePct  = fs.Float64("mutate-pct", 1, "percentage of pages the -table live mutation updates")
+		storeDir   = fs.String("store-dir", "", "reuse/build the -table scale document store at this directory (default: a temp dir; -table live requires it empty)")
 		benchJSON  = fs.String("bench-json", "", "write the parallel comparison result to this JSON file")
 		outPath    = fs.String("out", "", "also write output to this file")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -66,6 +72,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	// -pages defaults to the scale bench's 100k; live's natural size is
+	// 10k, so only an explicit -pages overrides it there.
+	pagesSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "pages" {
+			pagesSet = true
+		}
+	})
 
 	if *compare {
 		if fs.NArg() != 2 {
@@ -167,6 +181,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			return writeJSON(*benchJSON, res)
 		}},
+		{"live", func() error {
+			lp := 0 // Live's own default (10000) applies
+			if pagesSet {
+				lp = *pages
+			}
+			res, err := experiments.Live(o, experiments.LiveOptions{Pages: lp, MutatePct: *mutatePct, Dir: *storeDir})
+			if err != nil {
+				return err
+			}
+			return writeJSON(*benchJSON, res)
+		}},
 		{"serve", func() error {
 			res, err := experiments.Serve(o, experiments.ServeOptions{
 				Tenants:           *tenants,
@@ -180,12 +205,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return writeJSON(*benchJSON, res)
 		}},
 	}
-	// The serve harness is a service load test and the scale harness a
-	// corpus-scale storage bench, not paper tables: they only run when
-	// named explicitly.
+	// The serve harness is a service load test, the scale harness a
+	// corpus-scale storage bench, and the live harness an incremental
+	// re-evaluation bench, not paper tables: they only run when named
+	// explicitly.
 	matched := false
 	for _, tb := range tables {
-		if *table == "all" && (tb.name == "serve" || tb.name == "scale") {
+		if *table == "all" && (tb.name == "serve" || tb.name == "scale" || tb.name == "live") {
 			continue
 		}
 		if *table != "all" && *table != tb.name {
@@ -226,7 +252,10 @@ func writeJSON(path string, v any) error {
 // error (exit non-zero), not a silent empty comparison. Engine counters
 // (func_calls, cache_hits, tuples_reused) found anywhere in both files
 // are reported as informational delta lines; neither they nor other
-// non-time fields ever fail the check.
+// non-time fields ever fail the check. Top-level numeric fields present
+// in only one of the two files — a field added or dropped between
+// revisions — are listed as informational lines rather than silently
+// skipped.
 func compareBenchFiles(w io.Writer, oldPath, newPath string) error {
 	load := func(path string) (map[string]any, error) {
 		data, err := os.ReadFile(path)
@@ -296,6 +325,8 @@ func compareBenchFiles(w io.Writer, oldPath, newPath string) error {
 		}
 		fmt.Fprintf(w, "%s %-24s %14.3f %14.3f  %s\n", mark, k, ov, nv, delta)
 	}
+	printOneSided(w, oldPath, oldM, newM)
+	printOneSided(w, newPath, newM, oldM)
 	printCounterDeltas(w, oldM, newM)
 	if len(regressed) > 0 {
 		return fmt.Errorf("wall-time or throughput regression over %0.f%%:\n  %s",
@@ -303,6 +334,29 @@ func compareBenchFiles(w io.Writer, oldPath, newPath string) error {
 	}
 	fmt.Fprintln(w, "no wall-time regressions")
 	return nil
+}
+
+// printOneSided lists m's top-level numeric fields that other lacks, as
+// informational lines: a field that appears or disappears between
+// benchmark revisions should be visible in the comparison, not silently
+// ignored.
+func printOneSided(w io.Writer, path string, m, other map[string]any) {
+	var only []string
+	for k, v := range m {
+		n, ok := v.(float64)
+		if !ok {
+			continue
+		}
+		if _, shared := other[k].(float64); shared {
+			continue
+		}
+		only = append(only, fmt.Sprintf("  %-40s %14.3f", k, n))
+	}
+	if len(only) == 0 {
+		return
+	}
+	sort.Strings(only)
+	fmt.Fprintf(w, "fields only in %s (informational):\n%s\n", path, strings.Join(only, "\n"))
 }
 
 // numericKeys lists a JSON object's top-level numeric field names.

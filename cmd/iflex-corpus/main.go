@@ -18,6 +18,16 @@
 // The dblife generator streams: resident memory stays constant in the
 // page count (pass -truth=false to keep the ground-truth accumulation
 // flat too).
+//
+// -mutate updates an existing store in place, simulating a live corpus:
+//
+//	iflex-corpus -domain books -records 5000 -seed 2 -mutate pct=1 -store ./books.ifs
+//
+// regenerates the corpus at the given seed and commits the regenerated
+// content for a deterministic pct% sample of the store's live pages as
+// one mutation generation (the original ingest seed must differ for the
+// content to actually change). -store refuses to overwrite a non-empty
+// directory unless -force is given.
 package main
 
 import (
@@ -26,6 +36,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 
 	"iflex/internal/corpus"
 	"iflex/internal/similarity"
@@ -41,6 +53,8 @@ func main() {
 		out      = flag.String("out", "corpus-out", "output directory for .html pages")
 		storeDir = flag.String("store", "", "write a sharded document store to this directory instead of .html pages")
 		truth    = flag.Bool("truth", true, "collect and write ground truth (disable for constant-memory streaming)")
+		mutate   = flag.String("mutate", "", `mutate an existing store in place: "pct=N" commits regenerated content for N% of its live pages (requires -store)`)
+		force    = flag.Bool("force", false, "allow -store to overwrite a directory that already holds a store")
 	)
 	flag.Parse()
 	n := *records
@@ -48,15 +62,141 @@ func main() {
 		n = *pages
 	}
 	var err error
-	if *storeDir != "" {
+	switch {
+	case *mutate != "":
+		if *storeDir == "" {
+			fmt.Fprintln(os.Stderr, "iflex-corpus: -mutate requires -store")
+			os.Exit(2)
+		}
+		err = runMutate(*domain, n, *seed, *storeDir, *mutate)
+	case *storeDir != "":
+		// Refuse to write a store over a directory that already has
+		// content: ingesting into it would shadow (not replace) the old
+		// shards and index, leaving a corrupt hybrid.
+		if entries, derr := os.ReadDir(*storeDir); derr == nil && len(entries) > 0 {
+			if !*force {
+				fmt.Fprintf(os.Stderr,
+					"iflex-corpus: store directory %s already contains %d entries; refusing to overwrite an existing store (use -mutate to update it in place, or -force to overwrite)\n",
+					*storeDir, len(entries))
+				os.Exit(2)
+			}
+			if err := os.RemoveAll(*storeDir); err != nil {
+				fmt.Fprintln(os.Stderr, "iflex-corpus:", err)
+				os.Exit(1)
+			}
+		}
 		err = runStore(*domain, n, *seed, *storeDir, *truth)
-	} else {
+	default:
 		err = run(*domain, n, *seed, *out)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iflex-corpus:", err)
 		os.Exit(1)
 	}
+}
+
+// generatePages renders the whole corpus at a seed into an id -> raw
+// page map — the content source for -mutate (page ids are positional,
+// so the same id regenerates to different content under a new seed).
+func generatePages(domain string, n int, seed int64) (map[string]string, error) {
+	pages := map[string]string{}
+	if domain == "dblife" {
+		err := corpus.StreamDBLife(corpus.DBLifeConfig{Pages: n, Seed: seed}, nil,
+			func(id, src string) error { pages[id] = src; return nil })
+		return pages, err
+	}
+	var c *corpus.Corpus
+	switch domain {
+	case "movies":
+		c = corpus.Movies(corpus.MoviesConfig{Records: n, Seed: seed})
+	case "dblp":
+		c = corpus.DBLP(corpus.DBLPConfig{Records: n, Seed: seed})
+	case "books":
+		c = corpus.Books(corpus.BooksConfig{Records: n, Seed: seed})
+	default:
+		return nil, fmt.Errorf("unknown domain %q (want movies, dblp, books, dblife)", domain)
+	}
+	for _, t := range c.Tables {
+		for i, raw := range t.Raw {
+			pages[t.Docs[i].ID()] = raw
+		}
+	}
+	return pages, nil
+}
+
+// runMutate commits one mutation generation to an existing store:
+// regenerated content for a deterministic pct% sample of its live pages.
+func runMutate(domain string, n int, seed int64, dir, spec string) error {
+	val, ok := strings.CutPrefix(spec, "pct=")
+	if !ok {
+		return fmt.Errorf(`bad -mutate spec %q (want "pct=N")`, spec)
+	}
+	pct, err := strconv.ParseFloat(val, 64)
+	if err != nil || pct <= 0 || pct > 100 {
+		return fmt.Errorf("bad -mutate percentage %q (want 0 < N <= 100)", val)
+	}
+	pages, err := generatePages(domain, n, seed)
+	if err != nil {
+		return err
+	}
+	st, err := store.Open(dir, store.OpenOptions{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	// Deterministic sample: order live ids by a seeded hash and take the
+	// first pct%. The same seed always mutates the same pages.
+	ids := make([]string, 0, st.Len())
+	for _, d := range st.Docs() {
+		ids = append(ids, d.ID())
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		hi, hj := mutHash(ids[i], seed), mutHash(ids[j], seed)
+		if hi != hj {
+			return hi < hj
+		}
+		return ids[i] < ids[j]
+	})
+	k := int(float64(len(ids))*pct/100 + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ids) {
+		k = len(ids)
+	}
+
+	m, err := st.BeginMutation()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids[:k] {
+		raw, ok := pages[id]
+		if !ok {
+			return fmt.Errorf("no regenerated page for %q — do -domain and -records match the ingested corpus?", id)
+		}
+		if err := m.Put(id, raw); err != nil {
+			return err
+		}
+	}
+	d, err := m.Commit()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mutated %d of %d pages (%.2f%%) in %s: generation %d (+%d ~%d -%d)\n",
+		k, len(ids), 100*float64(k)/float64(len(ids)), dir, st.Generation(),
+		len(d.Added), len(d.Updated), len(d.Removed))
+	return nil
+}
+
+// mutHash is seeded FNV-1a over a document id.
+func mutHash(s string, seed int64) uint64 {
+	h := uint64(14695981039346656037) ^ (uint64(seed) * 0x9E3779B97F4A7C15)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // runStore ingests the generated pages into a sharded document store.

@@ -15,11 +15,18 @@
 //
 //	iflexd -store dblife=./dblife.ifs
 //
+// Mounted stores are live: POST /v1/sessions/{id}/corpus commits a page
+// mutation (put/remove) to the addressed session's store, folds the
+// delta into every session backed by it, and re-evaluates incrementally
+// — tuples sourced from unchanged pages replay from the displaced reuse
+// cache instead of recomputing (DESIGN.md §16).
+//
 // Endpoints (see DESIGN.md §14):
 //
 //	POST   /v1/sessions             create a session (task-backed or inline docs)
 //	GET    /v1/sessions/{id}        lifecycle view
 //	POST   /v1/sessions/{id}/step   answer questions, run one iteration
+//	POST   /v1/sessions/{id}/corpus commit a store mutation, re-evaluate incrementally
 //	GET    /v1/sessions/{id}/result finalize and stream the result (NDJSON)
 //	DELETE /v1/sessions/{id}        drop a session
 //	GET    /healthz                 "ok" or "draining"

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"iflex/internal/compact"
+)
+
+// This file implements corpus-delta invalidation: the engine-level half
+// of live-corpus incremental evaluation. A mutable document store
+// reports which documents a committed mutation added, updated, or
+// removed (store.Delta); ApplyCorpusDelta translates that into cache
+// state so the next evaluation of the same program recomputes only what
+// the mutation can have affected.
+//
+// The soundness argument is deliberately coarse. After any non-empty
+// delta, NO cached result table is authoritative — not even one whose
+// tuples reference only unchanged documents: an added document can
+// contribute new tuples to any node, and a projection can have dropped
+// the very column that carried a removed document's span, so the
+// "does this table touch a changed document" test under-approximates
+// staleness. ApplyCorpusDelta therefore displaces every cached result
+// table (with its per-tuple memo) into corpusPrior and drops everything
+// that cannot be replayed — blocking indexes, degraded tables, spilled
+// tables.
+//
+// What keeps the re-evaluation cheap is document-handle identity:
+// unchanged documents keep their *text.Document pointers across a store
+// mutation, while updated documents get fresh handles. Per-tuple memos
+// compare spans by document pointer (text.Span.Equal), so a memoised
+// outcome replays if and only if its input tuple is sourced entirely
+// from unchanged documents — exactly the invalidation granularity the
+// delta calls for, enforced structurally rather than by bookkeeping.
+
+// CorpusDelta describes one committed corpus mutation: document ids
+// added to, updated in place in, and removed from the corpus. It
+// mirrors store.Delta (the engine does not import the store).
+type CorpusDelta struct {
+	Added   []string
+	Updated []string
+	Removed []string
+}
+
+// Empty reports whether the delta changes nothing.
+func (d *CorpusDelta) Empty() bool {
+	return d == nil || len(d.Added)+len(d.Updated)+len(d.Removed) == 0
+}
+
+// Changed returns the set of every document id the delta touches.
+func (d *CorpusDelta) Changed() map[string]bool {
+	m := make(map[string]bool, len(d.Added)+len(d.Updated)+len(d.Removed))
+	for _, ids := range [][]string{d.Added, d.Updated, d.Removed} {
+		for _, id := range ids {
+			m[id] = true
+		}
+	}
+	return m
+}
+
+// corpusPriorEntry is one displaced cache entry: the stale result table
+// (kept for the adoption check — a node the delta did not affect
+// reproduces it exactly and hands the old pointer back out) and the
+// per-tuple memo (replayed for input tuples sourced from unchanged
+// documents). marker and sig verify the hashed key, exactly like the
+// cache proper.
+type corpusPriorEntry struct {
+	marker string
+	sig    string
+	table  *compact.Table
+	aux    *evalAux
+}
+
+// ApplyCorpusDelta invalidates the context for a committed corpus
+// mutation. Every cached result table is displaced into the corpus-
+// prior map for replay by the next evaluation; blocking indexes and
+// degraded tables are dropped (cheap to rebuild, never replayable);
+// all spilled tables are invalidated (a spill elides the provenance
+// replay needs); and changed documents are released from quarantine
+// (their content was superseded or removed, so the fault that barred
+// them no longer describes the corpus).
+//
+// Like SetDocFilter, it may only be called while no evaluations are in
+// flight. The caller is responsible for having the Env's document
+// tables reflect the mutated corpus (store.DiskStore.Docs() after
+// Commit) before the next evaluation.
+func (ctx *Context) ApplyCorpusDelta(d *CorpusDelta) {
+	if d.Empty() {
+		return
+	}
+	statAdd(&ctx.Stats.CorpusDeltas, 1)
+	changed := d.Changed()
+
+	ctx.mu.Lock()
+	if ctx.corpusPrior == nil {
+		ctx.corpusPrior = map[entryKey]*corpusPriorEntry{}
+	}
+	// Priors left over from an earlier delta stay: replay is keyed by
+	// document-handle identity, so a twice-displaced memo is still exactly
+	// as valid for its unchanged tuples (watch mode may commit several
+	// deltas between evaluations). A newer entry for the same key wins.
+	for key, e := range ctx.cache {
+		if e.table != nil && e.table.Degraded == nil {
+			ctx.corpusPrior[key] = &corpusPriorEntry{marker: e.marker, sig: e.sig, table: e.table, aux: e.aux}
+		}
+	}
+	ctx.cache = map[entryKey]*cacheEntry{}
+	ctx.lruHead, ctx.lruTail = nil, nil
+	ctx.cacheBytes = 0
+	atomic.StoreInt64(&ctx.Stats.CacheBytes, 0)
+	ctx.mu.Unlock()
+
+	if ctx.Spill != nil {
+		type spillWiper interface {
+			InvalidateDocs(ids map[string]bool) int
+			Len() int
+			Close() error
+		}
+		if sp, ok := ctx.Spill.(spillWiper); ok {
+			// Spills touching changed documents first (they would resolve
+			// against superseded handles), then the remainder wholesale:
+			// encoded tables elide the provenance replay would need, and an
+			// added document can extend any node's output. Close drops the
+			// files; the spill area stays usable for future evictions.
+			n := sp.InvalidateDocs(changed)
+			n += sp.Len()
+			sp.Close()
+			statAdd(&ctx.Stats.CorpusSpillsDropped, n)
+		} else {
+			// An unknown spill implementation cannot be invalidated
+			// wholesale; detach it rather than risk resurrecting a stale
+			// table as authoritative.
+			ctx.Spill = nil
+		}
+	}
+
+	ctx.releaseQuarantined(changed)
+}
+
+// releaseQuarantined removes changed documents from the quarantine set:
+// an update or removal supersedes the content whose processing faulted.
+// The survivor-set cache-key suffix changes with the set, so nothing
+// evaluated under the old suffix remains reachable (displaced priors
+// keyed under it simply never match — a reuse loss, never an error).
+func (ctx *Context) releaseQuarantined(changed map[string]bool) {
+	ctx.qmu.Lock()
+	defer ctx.qmu.Unlock()
+	old := ctx.qstate.Load()
+	if old == nil {
+		return
+	}
+	hit := false
+	for id := range old.barred {
+		if changed[id] {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return
+	}
+	ns := &quarantineSet{barred: map[string]bool{}}
+	for id := range old.barred {
+		if !changed[id] {
+			ns.barred[id] = true
+		}
+	}
+	for _, r := range old.records {
+		if !changed[r.Doc] {
+			ns.records = append(ns.records, r)
+		}
+	}
+	if len(ns.barred) == 0 {
+		ctx.qstate.Store(nil)
+		atomic.StoreInt64(&ctx.Stats.QuarantinedDocs, 0)
+		return
+	}
+	ids := make([]string, 0, len(ns.barred))
+	for id := range ns.barred {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	ns.suffix = "|quarantine:" + strings.Join(ids, ",")
+	ctx.qstate.Store(ns)
+	atomic.StoreInt64(&ctx.Stats.QuarantinedDocs, int64(len(ns.barred)))
+}
+
+// corpusSimPrior returns the displaced prior a similarity join may
+// reconcile against when prep declined to hand it out: same dependency
+// narrowing, but a right table that was rebuilt by the corpus
+// re-evaluation (so neither pointer identity nor the dependency
+// fingerprint matches). The join aligns the prior's right tuples with
+// the current ones itself — see simjoin.go.
+func (dx *deltaState) corpusSimPrior(cols []int) *evalAux {
+	if dx == nil || !dx.corpus || dx.prior == nil {
+		return nil
+	}
+	p := dx.prior
+	if p.right == nil || !eqInts(p.cols, cols) {
+		return nil
+	}
+	return p
+}

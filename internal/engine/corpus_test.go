@@ -1,0 +1,365 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"iflex/internal/alog"
+	"iflex/internal/store"
+	"iflex/internal/text"
+)
+
+// corpusJoinSrc extracts bold titles from two document sets and joins
+// them approximately — the extraction chain exercises the unary-operator
+// memos and the join exercises the corpus-mode right-table
+// reconciliation (extracted sub-spans cannot be postings-backed).
+const corpusJoinSrc = `
+a(x, <s>) :- L(x), e1(x, s).
+b(y, <t>) :- R(y), e2(y, t).
+Q(x, s, y, t) :- a(x, s), b(y, t), similar(s, t).
+e1(x, s) :- from(x, s), bold-font(s) = distinct-yes.
+e2(y, t) :- from(y, t), bold-font(t) = distinct-yes.
+`
+
+// buildCorpusStore writes a two-group corpus (l-*/r-* ids) with bold
+// titles drawn from a shared pool so several pairs match.
+func buildCorpusStore(t *testing.T, dir string) {
+	t.Helper()
+	w, err := store.Create(dir, store.Options{ShardDocs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	titles := []string{
+		"query planning handbook", "join order primer", "index structures",
+		"stream systems", "cache coherence", "log structured storage",
+		"query planning handbook", "index structures", "stream systems",
+		"join order primer",
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Add(fmt.Sprintf("l-%d", i), fmt.Sprintf("<b>%s</b> left page %d", titles[i], i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Add(fmt.Sprintf("r-%d", i), fmt.Sprintf("<b>%s</b> right page %d", titles[9-i], i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// corpusEnv builds an Env whose L/R tables are the live l-*/r-* store
+// views, indexed by the store.
+func corpusEnv(s *store.DiskStore) *Env {
+	env := NewEnv()
+	setCorpusTables(env, s)
+	env.DocIndex = s
+	env.Postings = s
+	return env
+}
+
+func setCorpusTables(env *Env, s *store.DiskStore) {
+	var l, r []*text.Document
+	for _, d := range s.Docs() {
+		if d.ID()[0] == 'l' {
+			l = append(l, d)
+		} else {
+			r = append(r, d)
+		}
+	}
+	env.AddDocTable("L", "x", l)
+	env.AddDocTable("R", "y", r)
+}
+
+// TestCorpusDeltaByteIdentity: after a store mutation (update, removal,
+// addition on both join sides), applying the corpus delta and
+// re-executing the same plan yields a result byte-identical to a fresh
+// context over the mutated corpus — while replaying most tuples from
+// the displaced memos instead of recomputing them.
+func TestCorpusDeltaByteIdentity(t *testing.T) {
+	prog := alog.MustParse(corpusJoinSrc)
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			dir := t.TempDir()
+			buildCorpusStore(t, dir)
+			s, err := store.Open(dir, store.OpenOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+
+			env := corpusEnv(s)
+			plan, err := Compile(prog, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := NewContext(env)
+			ctx.Workers = workers
+			ctx.EnableDelta()
+			res1, err := plan.Execute(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := res1.Canonical()
+			base := ctx.Stats.Snapshot()
+
+			m, err := s.BeginMutation()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Update one document on each side, remove a left one, add a
+			// right one whose title matches existing left titles.
+			if err := m.Put("l-1", "<b>cache coherence</b> left page 1 revised"); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Put("r-2", "<b>query planning handbook</b> right page 2 revised"); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Remove("l-3"); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Put("r-10", "<b>index structures</b> fresh right page"); err != nil {
+				t.Fatal(err)
+			}
+			d, err := m.Commit()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			setCorpusTables(env, s)
+			ctx.ApplyCorpusDelta(&CorpusDelta{Added: d.Added, Updated: d.Updated, Removed: d.Removed})
+			res2, err := plan.Execute(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res2.Canonical()
+
+			env2 := corpusEnv(s)
+			plan2, err := Compile(prog, env2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx2 := NewContext(env2)
+			ctx2.Workers = workers
+			res3, err := plan2.Execute(ctx2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := res3.Canonical()
+
+			if got != want {
+				t.Fatalf("incremental result differs from scratch:\n%s\nwant:\n%s", got, want)
+			}
+			if got == before {
+				t.Fatal("mutation did not change the result; test corpus too sparse")
+			}
+			st := ctx.Stats.Snapshot()
+			if st.CorpusDeltas != 1 {
+				t.Fatalf("CorpusDeltas = %d", st.CorpusDeltas)
+			}
+			if st.CorpusPriorHits == 0 {
+				t.Fatal("no displaced priors were picked up")
+			}
+			// Counters accumulate across executions; the incremental run's
+			// share is the difference from the pre-mutation snapshot.
+			reused := st.TuplesReused - base.TuplesReused
+			recomputed := st.TuplesRecomputed - base.TuplesRecomputed
+			if reused == 0 {
+				t.Fatal("no tuples replayed from displaced memos")
+			}
+			if reused < recomputed {
+				t.Fatalf("small delta recomputed more than it reused: reused=%d recomputed=%d",
+					reused, recomputed)
+			}
+		})
+	}
+}
+
+// TestCorpusDeltaRemovalProjection: a removal-only delta must invalidate
+// even tables whose tuples do not reference the removed document — the
+// head projection drops the right-side columns, so the stale tuple
+// "touches" nothing that changed. This pins the uniform displacement
+// rule (doc-touch invalidation would silently keep the stale tuple).
+func TestCorpusDeltaRemovalProjection(t *testing.T) {
+	prog := alog.MustParse(`
+a(x, <s>) :- L(x), e1(x, s).
+b(y, <t>) :- R(y), e2(y, t).
+Q(s) :- a(x, s), b(y, t), similar(s, t).
+e1(x, s) :- from(x, s), bold-font(s) = distinct-yes.
+e2(y, t) :- from(y, t), bold-font(t) = distinct-yes.
+`)
+	dir := t.TempDir()
+	w, err := store.Create(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "cache coherence" matches only through r-0; removing r-0 must
+	// remove the projected Q("cache coherence") tuple.
+	adds := []struct{ id, src string }{
+		{"l-0", "<b>cache coherence</b> left page"},
+		{"l-1", "<b>stream systems</b> left page"},
+		{"r-0", "<b>cache coherence</b> right page"},
+		{"r-1", "<b>stream systems</b> right page"},
+	}
+	for _, a := range adds {
+		if err := w.Add(a.id, a.src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.Open(dir, store.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	env := corpusEnv(s)
+	plan, err := Compile(prog, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(env)
+	ctx.EnableDelta()
+	res1, err := plan.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := res1.Canonical(); want == "" {
+		t.Fatal("empty base result")
+	}
+
+	m, err := s.BeginMutation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("r-0"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	setCorpusTables(env, s)
+	ctx.ApplyCorpusDelta(&CorpusDelta{Removed: d.Removed})
+	res2, err := plan.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env2 := corpusEnv(s)
+	plan2, err := Compile(prog, env2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := plan2.Execute(NewContext(env2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Canonical() != res3.Canonical() {
+		t.Fatalf("incremental removal result differs from scratch:\n%s\nwant:\n%s",
+			res2.Canonical(), res3.Canonical())
+	}
+	if res2.Canonical() == res1.Canonical() {
+		t.Fatal("removed document's projected tuple survived")
+	}
+}
+
+// TestSpillEvictResurrectRace: concurrent executions under a one-byte
+// cache budget constantly evict each other's result tables to the spill
+// and resurrect them back. Run with -race; the assertions check that
+// resurrected results stay byte-identical and resolve spans onto the
+// same document handles the environment registered (no duplicate
+// handles from racing loads).
+func TestSpillEvictResurrectRace(t *testing.T) {
+	dir := t.TempDir()
+	buildCorpusStore(t, dir)
+	s, err := store.Open(dir, store.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	env := corpusEnv(s)
+	sp, err := store.NewSpill(t.TempDir(), env.DocResolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+
+	planA, err := Compile(alog.MustParse(`
+Q(x, <s>) :- L(x), e1(x, s).
+e1(x, s) :- from(x, s), bold-font(s) = distinct-yes.
+`), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planB, err := Compile(alog.MustParse(`
+P(y, <t>) :- R(y), e2(y, t).
+e2(y, t) :- from(y, t), bold-font(t) = distinct-yes.
+`), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := NewContext(env)
+	ctx.CacheBudget = 1 // every store evicts everything else
+	ctx.Spill = sp
+
+	wantA, err := planA.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := planB.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonA, canonB := wantA.Canonical(), wantB.Canonical()
+
+	handles := map[string]*text.Document{}
+	for _, d := range s.Docs() {
+		handles[d.ID()] = d
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	run := func(p *Plan, want string) {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			res, err := p.Execute(ctx)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := res.Canonical(); got != want {
+				errs <- fmt.Errorf("iteration %d: result drifted:\n%s\nwant:\n%s", i, got, want)
+				return
+			}
+			for _, tp := range res.Tuples {
+				for _, cell := range tp.Cells {
+					for _, a := range cell.Assigns {
+						d := a.Span.Doc()
+						if handles[d.ID()] != d {
+							errs <- fmt.Errorf("iteration %d: doc %q resolved to a foreign handle", i, d.ID())
+							return
+						}
+					}
+				}
+			}
+		}
+	}
+	wg.Add(2)
+	go run(planA, canonA)
+	go run(planB, canonB)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if ctx.Stats.SpillLoads == 0 {
+		t.Fatal("race never exercised spill resurrection")
+	}
+}

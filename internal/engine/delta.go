@@ -176,6 +176,13 @@ type deltaState struct {
 	prior *evalAux
 	aux   *evalAux
 	fps   []uint64
+	// corpus marks a prior displaced by ApplyCorpusDelta rather than one
+	// linked across plan versions: the prior's right table (for binary
+	// operators) may have been rebuilt by the same corpus re-evaluation,
+	// so prep's pointer/fingerprint pinning will reject it — the
+	// similarity join reconciles the two right tables instead
+	// (corpusSimPrior).
+	corpus bool
 	// reused counts tuples replayed from the prior during this evaluation,
 	// for per-operator trace attribution (the deterministic Stats totals
 	// are counted through statBatch instead).

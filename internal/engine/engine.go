@@ -290,6 +290,12 @@ type Context struct {
 	// deltaPrev maps current-plan node hashes to their predecessors in
 	// the previous plan version (RegisterDelta).
 	deltaPrev map[uint64]deltaLink
+	// corpusPrior holds the result tables and per-tuple memos displaced
+	// by ApplyCorpusDelta: after a corpus mutation no cached table is
+	// authoritative, but every memo still replays tuples sourced from
+	// unchanged documents. Eval consults it on a cache miss (after the
+	// plan-delta paths) and consumes entries as they are used.
+	corpusPrior map[entryKey]*corpusPriorEntry
 	// obsRows records the observed output cardinality of every cleanly
 	// evaluated node, keyed by signature hash — the optimizer's cost
 	// model adopts a snapshot of it to refine reported estimates.
@@ -473,6 +479,15 @@ type Stats struct {
 	// DeadlineCuts counts operator loops cut short by a fired best-effort
 	// cancellation; like the pool counters it varies with scheduling.
 	DeadlineCuts int64
+	// CorpusDeltas counts ApplyCorpusDelta calls; CorpusPriorHits counts
+	// cache-miss evaluations that picked up a displaced prior (table plus
+	// per-tuple memo) from the last corpus delta, so the operator replayed
+	// tuples from unchanged documents instead of recomputing them.
+	// CorpusSpillsDropped counts spilled tables invalidated by corpus
+	// deltas (spills elide provenance, so all of them are dropped).
+	CorpusDeltas        int64
+	CorpusPriorHits     int64
+	CorpusSpillsDropped int64
 }
 
 // statAdd atomically bumps one stats counter; every Stats write in the
@@ -907,6 +922,23 @@ func Eval(ctx *Context, n Node) (*compact.Table, error) {
 			pk := entryKey{subset: ctx.prevSubsetHash, sig: key.sig}
 			if pe := ctx.lookupLocked(pk, ctx.prevSubsetMarker, sig); pe != nil {
 				dx.prior = pe.aux
+			}
+		}
+		// Corpus prior: ApplyCorpusDelta displaced this node's last result
+		// (the plan is typically unchanged, so the plan-delta links above
+		// have nothing). The displaced table is attached for the adoption
+		// check and the memo for per-tuple replay; dx.corpus tells binary
+		// operators the prior's right table may have been rebuilt, so they
+		// reconcile it against the current one instead of trusting pointer
+		// identity. Entries are consumed: each is valid for exactly one
+		// re-evaluation of its node.
+		if dx.prior == nil && priorTable == nil && len(ctx.corpusPrior) > 0 {
+			if cp := ctx.corpusPrior[key]; cp != nil && cp.marker == marker && cp.sig == sig {
+				dx.prior = cp.aux
+				dx.corpus = true
+				priorTable = cp.table
+				delete(ctx.corpusPrior, key)
+				statAdd(&ctx.Stats.CorpusPriorHits, 1)
 			}
 		}
 	}

@@ -371,6 +371,50 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 		rdep = rt.ColsFingerprint([]int{ri})
 	}
 	prior, fps := dx.prep(lt, []int{li}, rt, rdep)
+	// Corpus-mode reconciliation: after ApplyCorpusDelta the displaced
+	// memo's right table was rebuilt by this same re-evaluation, so prep's
+	// pointer/fingerprint pinning rejects it even though almost every
+	// right tuple is unchanged. Align the two right tables structurally
+	// (span identity — only tuples from unchanged documents can align) and
+	// block the unmatched "fresh" right tuples separately: a memo-hit left
+	// tuple then replays its surviving matches remapped to current indices
+	// and probes only the fresh tuples, instead of the whole right side.
+	var rec *simRecon
+	var freshIdx *blockIndex
+	if prior == nil && fps != nil {
+		if cp := dx.corpusSimPrior([]int{li}); cp != nil {
+			if rec = buildSimRecon(cp.right, rt); rec != nil {
+				prior = cp
+				freshIdx = &blockIndex{byToken: map[string][]int{}}
+				var qn int64
+				for _, j := range rec.fresh {
+					cell := rt.Tuples[j].Cells[ri]
+					var toks map[string]bool
+					qed, gerr := ctx.guard(ev, "blockindex", cellDocs(cell), func() error {
+						toks = blockTokens(ctx, cell)
+						return nil
+					})
+					if gerr != nil {
+						return nil, gerr
+					}
+					if qed {
+						qn++
+						continue
+					}
+					if toks == nil {
+						freshIdx.always = append(freshIdx.always, j)
+						continue
+					}
+					for tok := range toks {
+						freshIdx.byToken[tok] = append(freshIdx.byToken[tok], j)
+					}
+				}
+				if qn > 0 {
+					return nil, quarantineErr("blockindex", qn)
+				}
+			}
+		}
+	}
 	var fbs []int32
 	var matches [][]joinMatch
 	if fps != nil {
@@ -443,6 +487,42 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 				return tokenResidual(tokenFn, ltoks, rtoks, batch), nil
 			},
 		}
+		// evalPairAt decides one candidate pair for the current left tuple:
+		// the pinned token fast path when both values are pinned, the
+		// factored filter otherwise. qed means the pair faulted and was
+		// quarantined (the caller drops it); fbp reports a charged
+		// valuation-limit fallback.
+		evalPairAt := func(ltp compact.Tuple, lpinned []string, j int) (m joinMatch, keep, fbp, qed bool, err error) {
+			rtp := rt.Tuples[j]
+			pairDocs := func() []string {
+				return tupleDocs(compact.Tuple{Cells: []compact.Cell{ltp.Cells[li], rtp.Cells[ri]}}, nil)
+			}
+			if lpinned != nil && rtoks[j] != nil {
+				matched := false
+				qed, err = ctx.guard(ev, "pfunc", pairDocs, func() error {
+					batch.funcCalls++
+					matched = tokenFn(lpinned, rtoks[j])
+					return nil
+				})
+				if err != nil || qed || !matched {
+					return joinMatch{}, false, false, qed, err
+				}
+				return joinMatch{j: j, sure: true}, true, false, false, nil
+			}
+			// Filter over the two join cells alone — no tuple is built
+			// (let alone cloned) unless the pair survives.
+			pair := compact.Tuple{Cells: []compact.Cell{ltp.Cells[li], rtp.Cells[ri]}}
+			var res filterOutcome
+			qed, err = ctx.guard(ev, "pfunc", pairDocs, func() error {
+				var ferr error
+				res, ferr = filterTupleF(pair, pairInvolved, fp, lim, &batch)
+				return ferr
+			})
+			if err != nil || qed {
+				return joinMatch{}, false, false, qed, err
+			}
+			return joinMatch{j: j, sure: res.sure, repl: res.repl}, res.keep, res.fallback, false, nil
+		}
 		for i := start; i < end; i++ {
 			if cut, cerr := ctx.cutCheck(); cerr != nil {
 				return cerr
@@ -455,14 +535,94 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 			if fps != nil {
 				fps[i] = dx.aux.fpOf(ltp)
 				if old, ok := prior.lookup(fps[i], ltp); ok {
+					if rec == nil {
+						for _, m := range old.sim {
+							rtp := rt.Tuples[m.j]
+							maybe := ltp.Maybe || rtp.Maybe || !m.sure
+							rows[i] = append(rows[i], join(ltp, rtp, maybe, m.repl))
+						}
+						matches[i] = old.sim
+						fbs[i] = old.fallbacks
+						ev.fallback(ctx, int(old.fallbacks))
+						reused++
+						continue
+					}
+					// Corpus replay: remap the matches whose right tuple
+					// survived the mutation, probe only the fresh right
+					// tuples, and merge in ascending right-index order — the
+					// order a full probe over the identical candidate set
+					// would have produced, so the output is byte-identical.
+					kept := make([]joinMatch, 0, len(old.sim))
 					for _, m := range old.sim {
+						if nj := rec.newJ[m.j]; nj >= 0 {
+							kept = append(kept, joinMatch{j: nj, sure: m.sure, repl: m.repl})
+						}
+					}
+					fb := old.fallbacks
+					var ltoks map[string]bool
+					var lpinned []string
+					lcell := ltp.Cells[li]
+					qed, gerr := ctx.guard(ev, "blockindex", cellDocs(lcell), func() error {
+						ltoks = blockTokens(ctx, lcell)
+						lpinned = singletonTokens(lcell)
+						return nil
+					})
+					if gerr != nil {
+						return gerr
+					}
+					if qed {
+						nq.Add(1)
+						continue
+					}
+					gen++
+					var cands []int
+					if ltoks == nil {
+						// Oversized left cell: every fresh right tuple is a
+						// candidate (the replayed fallback count already
+						// charged the oversize from the prior evaluation).
+						cands = append(cands, rec.fresh...)
+					} else {
+						for tok := range ltoks {
+							for _, j := range freshIdx.byToken[tok] {
+								if seen[j] != gen {
+									seen[j] = gen
+									cands = append(cands, j)
+								}
+							}
+						}
+						for _, j := range freshIdx.always {
+							if seen[j] != gen {
+								seen[j] = gen
+								cands = append(cands, j)
+							}
+						}
+						sort.Ints(cands)
+					}
+					for _, j := range cands {
+						m, keep, fbp, qed, gerr := evalPairAt(ltp, lpinned, j)
+						if gerr != nil {
+							return gerr
+						}
+						if qed {
+							nq.Add(1)
+							continue
+						}
+						if fbp {
+							fb++
+						}
+						if keep {
+							kept = append(kept, m)
+						}
+					}
+					sort.Slice(kept, func(a, b int) bool { return kept[a].j < kept[b].j })
+					for _, m := range kept {
 						rtp := rt.Tuples[m.j]
 						maybe := ltp.Maybe || rtp.Maybe || !m.sure
 						rows[i] = append(rows[i], join(ltp, rtp, maybe, m.repl))
 					}
-					matches[i] = old.sim
-					fbs[i] = old.fallbacks
-					ev.fallback(ctx, int(old.fallbacks))
+					matches[i] = kept
+					fbs[i] = fb
+					ev.fallback(ctx, int(fb))
 					reused++
 					continue
 				}
@@ -518,43 +678,7 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 				sort.Ints(cands)
 			}
 			for _, j := range cands {
-				rtp := rt.Tuples[j]
-				pairDocs := func() []string {
-					return tupleDocs(compact.Tuple{Cells: []compact.Cell{ltp.Cells[li], rtp.Cells[ri]}}, nil)
-				}
-				if lpinned != nil && rtoks[j] != nil {
-					// Both values pinned: one token comparison decides the pair.
-					matched := false
-					qed, gerr := ctx.guard(ev, "pfunc", pairDocs, func() error {
-						batch.funcCalls++
-						matched = tokenFn(lpinned, rtoks[j])
-						return nil
-					})
-					if gerr != nil {
-						return gerr
-					}
-					if qed {
-						nq.Add(1)
-						continue
-					}
-					if !matched {
-						continue
-					}
-					rows[i] = append(rows[i], join(ltp, rtp, ltp.Maybe || rtp.Maybe, nil))
-					if matches != nil {
-						matches[i] = append(matches[i], joinMatch{j: j, sure: true})
-					}
-					continue
-				}
-				// Filter over the two join cells alone — no tuple is built
-				// (let alone cloned) unless the pair survives.
-				pair := compact.Tuple{Cells: []compact.Cell{ltp.Cells[li], rtp.Cells[ri]}}
-				var res filterOutcome
-				qed, gerr := ctx.guard(ev, "pfunc", pairDocs, func() error {
-					var ferr error
-					res, ferr = filterTupleF(pair, pairInvolved, fp, lim, &batch)
-					return ferr
-				})
+				m, keep, fbp, qed, gerr := evalPairAt(ltp, lpinned, j)
 				if gerr != nil {
 					return gerr
 				}
@@ -562,16 +686,17 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 					nq.Add(1)
 					continue
 				}
-				if res.fallback {
+				if fbp {
 					fb++
 				}
-				if !res.keep {
+				if !keep {
 					continue
 				}
-				maybe := ltp.Maybe || rtp.Maybe || !res.sure
-				rows[i] = append(rows[i], join(ltp, rtp, maybe, res.repl))
+				rtp := rt.Tuples[j]
+				maybe := ltp.Maybe || rtp.Maybe || !m.sure
+				rows[i] = append(rows[i], join(ltp, rtp, maybe, m.repl))
 				if matches != nil {
-					matches[i] = append(matches[i], joinMatch{j: j, sure: res.sure, repl: res.repl})
+					matches[i] = append(matches[i], m)
 				}
 			}
 			if fb > 0 {
@@ -604,4 +729,55 @@ func (n *simJoinNode) eval(ctx *Context, ev *EvalTrace, dx *deltaState) (*compac
 		})
 	}
 	return out, nil
+}
+
+// simRecon aligns the right table a displaced memo was built against
+// with the current right table after a corpus re-evaluation. Alignment
+// is whole-tuple structural identity — spans compare by document
+// pointer, and unchanged documents keep their handles across a store
+// mutation, so exactly the tuples sourced from unchanged documents
+// align (updated documents get fresh handles and read as fresh tuples).
+// Both views preserve relative document order, so the mapping is
+// monotonic; the probe loop still sorts merged matches for safety.
+type simRecon struct {
+	// newJ maps an old right index to its current one, -1 when the tuple
+	// is gone (its document was updated or removed).
+	newJ []int
+	// fresh lists current right indices with no aligned predecessor
+	// (added or updated documents), ascending.
+	fresh []int
+}
+
+// buildSimRecon pairs old and new right tuples greedily in order within
+// fingerprint buckets (duplicates pair first-to-first; any consistent
+// pairing is valid — aligned tuples are structurally interchangeable).
+// Returns nil when the tables cannot correspond.
+func buildSimRecon(oldRt, newRt *compact.Table) *simRecon {
+	if oldRt == nil || len(oldRt.Cols) != len(newRt.Cols) {
+		return nil
+	}
+	rec := &simRecon{newJ: make([]int, len(oldRt.Tuples))}
+	buckets := make(map[uint64][]int, len(oldRt.Tuples))
+	for j, tp := range oldRt.Tuples {
+		rec.newJ[j] = -1
+		h := tp.Fingerprint()
+		buckets[h] = append(buckets[h], j)
+	}
+	for j, tp := range newRt.Tuples {
+		h := tp.Fingerprint()
+		aligned := false
+		bs := buckets[h]
+		for k, oj := range bs {
+			if oldRt.Tuples[oj].StructuralEq(tp) {
+				rec.newJ[oj] = j
+				buckets[h] = append(bs[:k:k], bs[k+1:]...)
+				aligned = true
+				break
+			}
+		}
+		if !aligned {
+			rec.fresh = append(rec.fresh, j)
+		}
+	}
+	return rec
 }

@@ -338,6 +338,9 @@ type StatsSnapshot struct {
 	QuarantineRetry  int64              `json:"quarantine_retries"`
 	EvalRestarts     int64              `json:"eval_restarts"`
 	DeadlineCuts     int64              `json:"deadline_cuts"`
+	CorpusDeltas     int64              `json:"corpus_deltas,omitempty"`
+	CorpusPriorHits  int64              `json:"corpus_prior_hits,omitempty"`
+	CorpusSpillsDrop int64              `json:"corpus_spills_dropped,omitempty"`
 	OpTimeSeconds    map[string]float64 `json:"op_time_seconds,omitempty"`
 }
 
@@ -378,6 +381,9 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		QuarantineRetry:  s.QuarantineRetries,
 		EvalRestarts:     s.EvalRestarts,
 		DeadlineCuts:     s.DeadlineCuts,
+		CorpusDeltas:     s.CorpusDeltas,
+		CorpusPriorHits:  s.CorpusPriorHits,
+		CorpusSpillsDrop: s.CorpusSpillsDropped,
 	}
 	if total := s.NodesEvaluated + s.CacheHits; total > 0 {
 		snap.CacheHitRate = float64(s.CacheHits) / float64(total)

@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"iflex/internal/alog"
+	"iflex/internal/assistant"
+	"iflex/internal/corpus"
+	"iflex/internal/engine"
+	"iflex/internal/store"
+	"iflex/internal/text"
+)
+
+// LiveOptions configures the live-corpus incremental harness.
+type LiveOptions struct {
+	// Pages is the total store size: Pages/2 Books records per table
+	// (default 10000 pages).
+	Pages int
+	// MutatePct is the percentage of live pages updated by the committed
+	// mutation (default 1).
+	MutatePct float64
+	// Dir is where the store is built (default: a temp dir, removed on
+	// return). It must not already hold a store: the harness owns the
+	// mutation history.
+	Dir string
+}
+
+// LiveResult is the benchmark record for iflex-bench -table live,
+// written to BENCH_LIVE.json. The headline numbers are the two
+// reductions: how many fewer operator-input tuples the incremental
+// re-evaluation computes, and how much less wall time it takes, than a
+// from-scratch run of the same refined program over the same mutated
+// corpus.
+type LiveResult struct {
+	Task        string  `json:"task"`
+	Pages       int     `json:"pages"`
+	Records     int     `json:"records"`
+	MutatePct   float64 `json:"mutate_pct"`
+	MutatedDocs int     `json:"mutated_docs"`
+	CPUs        int     `json:"cpus"`
+
+	IngestS float64 `json:"ingest_s"`
+	// ConvergeS is the primary session's refinement dialogue (subset
+	// iterations + final full evaluation) before any mutation.
+	ConvergeS      float64 `json:"converge_s"`
+	QuestionsAsked int     `json:"questions_asked"`
+
+	// Live: ApplyCorpusDelta + full re-evaluation on the converged
+	// session, replaying unchanged tuples from the displaced memos.
+	LiveS           float64 `json:"live_s"`
+	LiveReused      int64   `json:"live_reused_tuples"`
+	LiveRecomputed  int64   `json:"live_recomputed_tuples"`
+	CorpusPriorHits int64   `json:"corpus_prior_hits"`
+
+	// Scratch: a fresh session over the mutated corpus running the same
+	// refined program — what a system without document-delta
+	// invalidation would do after any corpus change.
+	ScratchS          float64 `json:"scratch_s"`
+	ScratchRecomputed int64   `json:"scratch_recomputed_tuples"`
+
+	// RecomputeReduction = scratch recomputed / live recomputed;
+	// WallReduction = scratch wall / live wall (higher is better).
+	RecomputeReduction float64 `json:"recompute_reduction"`
+	WallReduction      float64 `json:"wall_reduction"`
+
+	Tuples int `json:"tuples"`
+	// IdentityChecked: the incremental result was byte-identical across
+	// Workers 1/8 × optimizer on/off and to the from-scratch run.
+	IdentityChecked bool                 `json:"identity_checked"`
+	LiveStats       engine.StatsSnapshot `json:"live_stats"`
+	ScratchStats    engine.StatsSnapshot `json:"scratch_stats"`
+}
+
+// liveTask is the workload: T9's approximate title join between the two
+// Books tables — extraction chains on both sides feeding a similarity
+// join, the paper's heaviest task shape.
+const liveTask = "T9"
+
+// Live benches live-corpus incremental evaluation: build a Books store,
+// converge T9 on it, commit a mutation updating MutatePct% of the
+// pages, fold the delta into the converged sessions, and compare the
+// incremental re-evaluation against a from-scratch run of the same
+// refined program. Byte-identity of the incremental result is checked
+// across Workers 1/8 × optimizer on/off and against the scratch run.
+func Live(o Options, lo LiveOptions) (*LiveResult, error) {
+	o = o.withDefaults()
+	if lo.Pages <= 0 {
+		lo.Pages = 10000
+	}
+	if lo.MutatePct <= 0 {
+		lo.MutatePct = 1
+	}
+	records := lo.Pages / 2
+	task, err := corpus.TaskByID(liveTask)
+	if err != nil {
+		return nil, err
+	}
+	res := &LiveResult{
+		Task: liveTask, Pages: 2 * records, Records: records,
+		MutatePct: lo.MutatePct, CPUs: runtime.NumCPU(),
+	}
+
+	dir := lo.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "iflex-live-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = filepath.Join(tmp, "store")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err == nil {
+		return nil, fmt.Errorf("live: %s already holds a store; the harness owns its mutation history", dir)
+	}
+
+	// Ingest the generated corpus, table by table in name order so the
+	// store layout is deterministic.
+	c := task.Generate(records, o.Seed)
+	start := time.Now()
+	w, err := store.Create(dir, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range sortedTableNames(c) {
+		t := c.Tables[name]
+		for i, raw := range t.Raw {
+			if err := w.Add(t.Docs[i].ID(), raw); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	res.IngestS = time.Since(start).Seconds()
+
+	st, err := store.Open(dir, store.OpenOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	// setTables rebuilds the task's extensional tables from the store's
+	// live view (document ids carry the table prefix); newEnv adds the
+	// persistent index wiring for token prefilters and join blocking.
+	setTables := func(env *engine.Env) {
+		var am, bn []*text.Document
+		for _, d := range st.Docs() {
+			if strings.HasPrefix(d.ID(), "amazon") {
+				am = append(am, d)
+			} else {
+				bn = append(bn, d)
+			}
+		}
+		env.AddDocTable("Amazon", "x", am)
+		env.AddDocTable("Barnes", "x", bn)
+	}
+	newEnv := func() *engine.Env {
+		env := engine.NewEnv()
+		setTables(env)
+		env.DocIndex = st
+		env.Postings = st
+		return env
+	}
+
+	// Converge one session per identity configuration before the
+	// mutation. The sequential strategy is pinned so the dialogue (and
+	// with it the refined program) is cheap and deterministic — the
+	// object here is the delta path, not question selection.
+	type liveCfg struct {
+		workers int
+		opt     bool
+	}
+	configs := []liveCfg{{1, true}, {1, false}, {8, true}, {8, false}}
+	primary := liveCfg{8, !o.DisableOptimizer}
+	sessions := map[liveCfg]*assistant.Session{}
+	for _, cf := range configs {
+		sess := assistant.NewSession(newEnv(), alog.MustParse(task.Program), task.Oracle(), assistant.Config{
+			Strategy:         assistant.Sequential{},
+			SubsetSeed:       uint64(o.Seed),
+			Workers:          cf.workers,
+			DisableOptimizer: !cf.opt,
+			Deadline:         o.Deadline,
+		})
+		start := time.Now()
+		r, err := sess.Run()
+		if err != nil {
+			return nil, fmt.Errorf("live: converge workers=%d opt=%t: %w", cf.workers, cf.opt, err)
+		}
+		noteDegraded(o.Out, fmt.Sprintf("live workers=%d opt=%t", cf.workers, cf.opt), r.Degraded)
+		if cf == primary {
+			res.ConvergeS = time.Since(start).Seconds()
+			res.QuestionsAsked = r.QuestionsAsked
+		}
+		sessions[cf] = sess
+	}
+
+	// Mutate: commit regenerated content (a different seed, so titles
+	// and prices actually change) for a deterministic MutatePct% sample
+	// of the live pages — the same selection iflex-corpus -mutate makes.
+	regen := task.Generate(records, o.Seed+1)
+	pages := map[string]string{}
+	for _, t := range regen.Tables {
+		for i, raw := range t.Raw {
+			pages[t.Docs[i].ID()] = raw
+		}
+	}
+	ids := make([]string, 0, st.Len())
+	for _, d := range st.Docs() {
+		ids = append(ids, d.ID())
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		hi, hj := liveHash(ids[i], o.Seed), liveHash(ids[j], o.Seed)
+		if hi != hj {
+			return hi < hj
+		}
+		return ids[i] < ids[j]
+	})
+	k := int(float64(len(ids))*lo.MutatePct/100 + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	m, err := st.BeginMutation()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids[:k] {
+		if err := m.Put(id, pages[id]); err != nil {
+			return nil, err
+		}
+	}
+	delta, err := m.Commit()
+	if err != nil {
+		return nil, err
+	}
+	res.MutatedDocs = k
+	cd := &engine.CorpusDelta{Added: delta.Added, Updated: delta.Updated, Removed: delta.Removed}
+
+	// Incremental re-evaluation on every converged session.
+	canon := map[liveCfg]string{}
+	for _, cf := range configs {
+		sess := sessions[cf]
+		sess.ApplyCorpusDelta(cd, setTables)
+		up, err := sess.Reevaluate(o.Deadline)
+		if err != nil {
+			return nil, fmt.Errorf("live: reevaluate workers=%d opt=%t: %w", cf.workers, cf.opt, err)
+		}
+		canon[cf] = up.Final.Canonical()
+		if cf == primary {
+			res.LiveS = up.WallS
+			res.LiveReused = up.TuplesReused
+			res.LiveRecomputed = up.TuplesRecomputed
+			res.CorpusPriorHits = up.CorpusPriorHits
+			res.Tuples = up.FinalTuples
+			res.LiveStats = sess.StatsSnapshot()
+		}
+	}
+	for _, cf := range configs {
+		if canon[cf] != canon[primary] {
+			return nil, fmt.Errorf("live: incremental result drifted at workers=%d opt=%t", cf.workers, cf.opt)
+		}
+	}
+
+	// From-scratch baseline: a fresh session over the mutated store
+	// running the refined program the dialogue converged to.
+	scratch := assistant.NewSession(newEnv(), sessions[primary].Program().Clone(),
+		assistant.NewMapOracle(nil), assistant.Config{
+			Strategy:         assistant.Sequential{},
+			SubsetSeed:       uint64(o.Seed),
+			Workers:          primary.workers,
+			DisableOptimizer: !primary.opt,
+			Deadline:         o.Deadline,
+		})
+	start = time.Now()
+	sres, err := scratch.Finalize(o.Deadline)
+	if err != nil {
+		return nil, fmt.Errorf("live: scratch baseline: %w", err)
+	}
+	res.ScratchS = time.Since(start).Seconds()
+	res.ScratchStats = scratch.StatsSnapshot()
+	res.ScratchRecomputed = res.ScratchStats.TuplesRecomputed
+	if sres.Final.Canonical() != canon[primary] {
+		return nil, fmt.Errorf("live: incremental result differs from the from-scratch run")
+	}
+	res.IdentityChecked = true
+
+	if res.LiveRecomputed > 0 {
+		res.RecomputeReduction = float64(res.ScratchRecomputed) / float64(res.LiveRecomputed)
+	}
+	if res.LiveS > 0 {
+		res.WallReduction = res.ScratchS / res.LiveS
+	}
+
+	fmt.Fprintf(o.Out, "Live corpus (T9, %d pages, %.2f%% mutated = %d docs, seed %d)\n",
+		res.Pages, res.MutatePct, res.MutatedDocs, o.Seed)
+	fmt.Fprintf(o.Out, "  ingest %.2fs; converge %.2fs (%d questions)\n",
+		res.IngestS, res.ConvergeS, res.QuestionsAsked)
+	fmt.Fprintf(o.Out, "  incremental: %.3fs, %d reused / %d recomputed tuples, %d priors picked up\n",
+		res.LiveS, res.LiveReused, res.LiveRecomputed, res.CorpusPriorHits)
+	fmt.Fprintf(o.Out, "  from-scratch: %.3fs, %d recomputed tuples\n",
+		res.ScratchS, res.ScratchRecomputed)
+	fmt.Fprintf(o.Out, "  reduction: %.1fx fewer recomputed tuples, %.1fx lower wall time; identity checked: %t\n",
+		res.RecomputeReduction, res.WallReduction, res.IdentityChecked)
+	return res, nil
+}
+
+// sortedTableNames returns a corpus's table names in name order.
+func sortedTableNames(c *corpus.Corpus) []string {
+	names := make([]string, 0, len(c.Tables))
+	for name := range c.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// liveHash is seeded FNV-1a over a document id — the same deterministic
+// mutation sample iflex-corpus -mutate draws.
+func liveHash(s string, seed int64) uint64 {
+	h := uint64(14695981039346656037) ^ (uint64(seed) * 0x9E3779B97F4A7C15)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

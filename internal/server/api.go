@@ -106,6 +106,39 @@ type StepRequest struct {
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
+// CorpusRequest is the watch/ingest path (POST
+// /v1/sessions/{id}/corpus): it commits one mutation to the addressed
+// session's mounted store — Put adds a page or supersedes the live page
+// with the same id; Remove drops a live page — then folds the delta
+// into every session backed by that store and incrementally
+// re-evaluates the addressed session over the full mutated corpus.
+type CorpusRequest struct {
+	Put    []Doc    `json:"put,omitempty"`
+	Remove []string `json:"remove,omitempty"`
+	// DeadlineMS bounds the re-evaluation (0 = the server's default;
+	// clamped to the server's maximum).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// CorpusResponse reports the committed delta and the incremental
+// re-evaluation: the reused/recomputed split is the live-update win
+// over a from-scratch run. The updated result table is streamed by GET
+// result as usual.
+type CorpusResponse struct {
+	Added      []string `json:"added,omitempty"`
+	Updated    []string `json:"updated,omitempty"`
+	Removed    []string `json:"removed,omitempty"`
+	Generation int      `json:"generation"`
+	// SessionsRefreshed counts the sessions (including the addressed
+	// one) whose engine state the delta was folded into.
+	SessionsRefreshed int     `json:"sessions_refreshed"`
+	Tuples            int     `json:"tuples"`
+	TuplesReused      int64   `json:"tuples_reused"`
+	TuplesRecomputed  int64   `json:"tuples_recomputed"`
+	CorpusPriorHits   int64   `json:"corpus_prior_hits"`
+	WallS             float64 `json:"wall_s"`
+}
+
 // IterationJSON mirrors assistant.Iteration's deterministic fields.
 type IterationJSON struct {
 	N           int    `json:"n"`

@@ -92,6 +92,14 @@ func (c *Client) Step(id string, req StepRequest) (StepResponse, error) {
 	return out, err
 }
 
+// Corpus commits a store mutation through a session and returns the
+// delta plus the incremental re-evaluation's reuse counters.
+func (c *Client) Corpus(id string, req CorpusRequest) (CorpusResponse, error) {
+	var out CorpusResponse
+	err := c.do("POST", "/v1/sessions/"+id+"/corpus", req, &out)
+	return out, err
+}
+
 // Info fetches the session's lifecycle view.
 func (c *Client) Info(id string) (SessionInfo, error) {
 	var out SessionInfo

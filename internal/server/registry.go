@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,13 @@ type session struct {
 	cacheBudget int64
 	created     time.Time
 	lastUsed    atomic.Int64 // unix nanos; read by the sweeper without mu
+
+	// storeName/storePred are set for store-backed sessions: the mounted
+	// store the session evaluates over and the extensional predicate its
+	// pages bind to. The corpus endpoint uses them to refresh every
+	// session sharing a mutated store.
+	storeName string
+	storePred string
 }
 
 func (s *session) touch()           { s.lastUsed.Store(time.Now().UnixNano()) }
@@ -154,6 +162,21 @@ func (r *registry) get(id string) *session {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.sessions[id]
+}
+
+// byStore returns the sessions backed by a named store, sorted by id so
+// the corpus endpoint locks them in a deterministic order.
+func (r *registry) byStore(name string) []*session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*session
+	for _, s := range r.sessions {
+		if s.storeName == name {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
 }
 
 // remove drops a session and returns its resources to the tenant.

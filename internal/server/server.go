@@ -87,6 +87,12 @@ type Server struct {
 	reg      *registry
 	mux      *http.ServeMux
 	draining atomic.Bool
+	// storeMu serializes mutations of each mounted store against session
+	// creation over it (a corpus commit rewrites the store's live view,
+	// which buildSession reads). Sessions mid-evaluation are quiesced
+	// separately: the corpus handler holds every backed session's lock
+	// across the commit.
+	storeMu map[string]*sync.Mutex
 	// inflight gauges write-path requests currently inside a handler, so
 	// a drain sequence (and GET /v1/stats) can watch work quiesce.
 	inflight atomic.Int64
@@ -100,17 +106,22 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		reg:  newRegistry(cfg),
-		mux:  http.NewServeMux(),
-		stop: make(chan struct{}),
-		swept: make(chan struct{}),
+		cfg:     cfg,
+		reg:     newRegistry(cfg),
+		mux:     http.NewServeMux(),
+		storeMu: map[string]*sync.Mutex{},
+		stop:    make(chan struct{}),
+		swept:   make(chan struct{}),
+	}
+	for name := range cfg.Stores {
+		s.storeMu[name] = &sync.Mutex{}
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/sessions", s.gated(s.handleCreate))
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.gated(s.handleStep))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/corpus", s.gated(s.handleCorpus))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/result", s.gated(s.handleResult))
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	go s.sweep()
@@ -265,8 +276,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 // buildSession assembles the library session for a create request.
 func (s *Server) buildSession(req CreateSessionRequest, workers int, cache int64) (*session, error) {
 	var (
-		env    *engine.Env
-		oracle assistant.Oracle
+		env       *engine.Env
+		oracle    assistant.Oracle
+		storePred string
 	)
 	progSrc := req.Program
 	if req.Store != "" {
@@ -282,7 +294,13 @@ func (s *Server) buildSession(req CreateSessionRequest, workers int, cache int64
 			pred = "docs"
 		}
 		env = engine.NewEnv()
+		// The store mutex excludes a concurrent corpus commit from
+		// rewriting the live view while this session snapshots it.
+		mu := s.storeMu[req.Store]
+		mu.Lock()
 		env.AddDocTable(pred, "x", st.Docs())
+		mu.Unlock()
+		storePred = pred
 		// Token prefilters and join blocking are served by the store's
 		// persistent inverted index; pages materialize lazily, so the
 		// session references the store handle, not a resident corpus.
@@ -352,6 +370,8 @@ func (s *Server) buildSession(req CreateSessionRequest, workers int, cache int64
 		workers:     workers,
 		cacheBudget: cache,
 		created:     time.Now(),
+		storeName:   req.Store,
+		storePred:   storePred,
 	}
 	sess.touch()
 	return sess, nil
@@ -419,6 +439,134 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		resp.Questions = append(resp.Questions, questionJSON(q))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCorpus is the watch/ingest path: it mutates the addressed
+// session's mounted store (put pages — add or supersede by id — and
+// remove pages), folds the committed delta into every session backed by
+// that store, and incrementally re-evaluates the addressed session's
+// current program over the full mutated corpus. The response carries the
+// delta, the store generation, and the re-evaluation's reuse counters;
+// the result table is streamed by GET result as usual (a finalized
+// session's cached result is swapped for the live one).
+func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	sess := s.reg.get(r.PathValue("id"))
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such session"))
+		return
+	}
+	var req CorpusRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if sess.storeName == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("session is not store-backed"))
+		return
+	}
+	if len(req.Put)+len(req.Remove) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty mutation"))
+		return
+	}
+	st := s.cfg.Stores[sess.storeName]
+	mu := s.storeMu[sess.storeName]
+	mu.Lock()
+	defer mu.Unlock()
+
+	// Quiesce every session over this store: the commit rewrites the live
+	// document view their evaluations read through, and each needs the
+	// delta folded in before its next step. Locks are taken in id order
+	// (byStore sorts) and the store mutex serializes concurrent corpus
+	// posts, so the ordering cannot deadlock.
+	backed := s.reg.byStore(sess.storeName)
+	found := false
+	for _, b := range backed {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b == sess {
+			found = true
+		}
+	}
+	if !found {
+		// Deleted between get and byStore.
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such session"))
+		return
+	}
+	sess.touch()
+
+	m, err := st.BeginMutation()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Staging failures happen before anything reaches disk, so an
+	// abandoned mutation leaves the store untouched.
+	for _, d := range req.Put {
+		if err := m.Put(d.ID, d.HTML); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	for _, id := range req.Remove {
+		if err := m.Remove(id); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	delta, err := m.Commit()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	cd := &engine.CorpusDelta{Added: delta.Added, Updated: delta.Updated, Removed: delta.Removed}
+	for _, b := range backed {
+		pred := b.storePred
+		b.s.ApplyCorpusDelta(cd, func(env *engine.Env) {
+			env.AddDocTable(pred, "x", st.Docs())
+		})
+	}
+
+	// Re-evaluate the addressed session (its counters are the response)
+	// and every finalized sibling — a finalized session keeps serving its
+	// cached result, so the cached table is swapped for the live one.
+	// Active siblings re-execute incrementally on their own next step.
+	var up *assistant.LiveUpdate
+	for _, b := range backed {
+		if b != sess && b.res == nil {
+			continue
+		}
+		u, err := b.s.Reevaluate(s.stepDeadline(req.DeadlineMS))
+		if err != nil {
+			if b == sess {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			s.cfg.Logf("corpus delta: re-evaluating session %s: %v", b.id, err)
+			continue
+		}
+		if b.res != nil {
+			b.res.Final = u.Final
+			b.res.FinalTuples = u.FinalTuples
+			b.res.Degraded = u.Final.Degraded
+		}
+		if b == sess {
+			up = u
+		}
+	}
+	s.cfg.Logf("corpus delta on store %q via session %s: +%d ~%d -%d (gen %d, %d sessions refreshed)",
+		sess.storeName, sess.id, len(delta.Added), len(delta.Updated), len(delta.Removed),
+		st.Generation(), len(backed))
+	writeJSON(w, http.StatusOK, CorpusResponse{
+		Added: delta.Added, Updated: delta.Updated, Removed: delta.Removed,
+		Generation:        st.Generation(),
+		SessionsRefreshed: len(backed),
+		Tuples:            up.FinalTuples,
+		TuplesReused:      up.TuplesReused,
+		TuplesRecomputed:  up.TuplesRecomputed,
+		CorpusPriorHits:   up.CorpusPriorHits,
+		WallS:             up.WallS,
+	})
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {

@@ -522,3 +522,149 @@ ext(x, p, s) :- from(x, p), from(x, s), numeric(p) = yes.
 		t.Errorf("store+task: err = %v, want 400", err)
 	}
 }
+
+// TestCorpusEndpoint: the watch/ingest path. A store mutation posted
+// through one session must update the shared store, fold the delta into
+// every session backed by it, and leave both sessions streaming a result
+// byte-identical to an eager library run over the mutated pages.
+func TestCorpusEndpoint(t *testing.T) {
+	prog := `
+T(x, <p>, <s>) :- docs(x), ext(x, p, s), p > 500000.
+ext(x, p, s) :- from(x, p), from(x, s), numeric(p) = yes.
+`
+	page := func(price, school string) string {
+		return `House for sale.<br>Price: <i>` + price + `</i><br>School: <b>` + school + `</b>`
+	}
+	dir := t.TempDir()
+	w, err := store.Create(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []struct{ id, html string }{
+		{"h1", page("351000", "Vanhise High")},
+		{"h2", page("619000", "Basktall HS")},
+		{"h3", page("725000", "Lincoln High")},
+	} {
+		if err := w.Add(p.id, p.html); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir, store.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	_, c, shutdown := newTestServer(t, Config{Stores: map[string]*store.DiskStore{"houses": st}})
+	defer shutdown()
+
+	mkSession := func() string {
+		t.Helper()
+		created, err := c.CreateSession(CreateSessionRequest{
+			Tenant: "acme", Store: "houses", Program: prog,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; ; i++ {
+			if i > 200 {
+				t.Fatal("session did not terminate")
+			}
+			sr, err := c.Step(created.ID, StepRequest{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sr.Done {
+				break
+			}
+		}
+		if _, err := c.Result(created.ID, false, 0); err != nil {
+			t.Fatal(err)
+		}
+		return created.ID
+	}
+	s1, s2 := mkSession(), mkSession()
+
+	resp, err := c.Corpus(s1, CorpusRequest{
+		Put: []Doc{
+			{ID: "h1", HTML: page("800000", "Vanhise High")},
+			{ID: "h4", HTML: page("910000", "Muir Acres")},
+		},
+		Remove: []string{"h3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Added) != 1 || resp.Added[0] != "h4" ||
+		len(resp.Updated) != 1 || resp.Updated[0] != "h1" ||
+		len(resp.Removed) != 1 || resp.Removed[0] != "h3" {
+		t.Fatalf("delta = +%v ~%v -%v", resp.Added, resp.Updated, resp.Removed)
+	}
+	if resp.Generation != 1 {
+		t.Errorf("generation = %d, want 1", resp.Generation)
+	}
+	if resp.SessionsRefreshed != 2 {
+		t.Errorf("sessions refreshed = %d, want 2", resp.SessionsRefreshed)
+	}
+	if resp.Tuples == 0 {
+		t.Error("re-evaluation produced no tuples")
+	}
+
+	// Eager library reference over the mutated pages, in store view order
+	// (first-seen position; the removed h3 is gone, h4 appended).
+	env := engine.NewEnv()
+	var docs []*text.Document
+	for _, p := range []struct{ id, html string }{
+		{"h1", page("800000", "Vanhise High")},
+		{"h2", page("619000", "Basktall HS")},
+		{"h4", page("910000", "Muir Acres")},
+	} {
+		d, err := markup.Parse(p.id, p.html)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, d)
+	}
+	env.AddDocTable("docs", "x", docs)
+	lib := assistant.NewSession(env, alog.MustParse(prog), candidateOracle{}, assistant.Config{})
+	want, err := lib.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{s1, s2} {
+		res, err := c.Result(id, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TableString() != want.Final.String() {
+			t.Errorf("session %s after delta differs from eager run\nserver:\n%s\nlibrary:\n%s",
+				id, res.TableString(), want.Final.String())
+		}
+	}
+
+	// Error paths: a task-backed session has no store (400); an empty
+	// mutation is refused (400); removing an unknown id fails staging
+	// before anything reaches disk (400); unknown sessions are 404.
+	taskSess, err := c.CreateSession(CreateSessionRequest{Tenant: "acme", Task: "T1", Records: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Corpus(taskSess.ID, CorpusRequest{Remove: []string{"x"}}); StatusCode(err) != http.StatusBadRequest {
+		t.Errorf("corpus on task session: err = %v, want 400", err)
+	}
+	if _, err := c.Corpus(s1, CorpusRequest{}); StatusCode(err) != http.StatusBadRequest {
+		t.Errorf("empty mutation: err = %v, want 400", err)
+	}
+	if _, err := c.Corpus(s1, CorpusRequest{Remove: []string{"nope"}}); StatusCode(err) != http.StatusBadRequest {
+		t.Errorf("unknown remove: err = %v, want 400", err)
+	}
+	if _, err := c.Corpus("zzz", CorpusRequest{Remove: []string{"h2"}}); StatusCode(err) != http.StatusNotFound {
+		t.Errorf("unknown session: err = %v, want 404", err)
+	}
+	if g := st.Generation(); g != 1 {
+		t.Errorf("failed mutations advanced the generation to %d", g)
+	}
+}

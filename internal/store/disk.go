@@ -24,6 +24,10 @@ type OpenOptions struct {
 	// (and re-materialize on next touch) once the budget is exceeded.
 	// 0 means unlimited.
 	ResidentBudget int64
+	// PostingsCacheBytes caps the LRU of decoded posting runs kept by the
+	// token index, so repeated probes of the same token skip the per-call
+	// uvarint decode. 0 means the default (4 MB); negative disables.
+	PostingsCacheBytes int64
 }
 
 // docMeta locates one document's record inside its shard.
@@ -46,8 +50,16 @@ type DiskStore struct {
 	man    Manifest
 	shards []*os.File
 	meta   []docMeta
-	docs   []*text.Document
+	docs   []*text.Document // every ordinal ever written, incl. superseded
 	ord    map[*text.Document]int
+
+	// Mutable-generation state. Ordinals are append-only: a mutation
+	// writes superseding/new records into a fresh shard and tombstones
+	// the ordinals they replace. view is the live corpus in stable order
+	// (an updated document keeps the position its id first appeared at).
+	tomb []bool
+	view []*text.Document
+	live map[string]int // id -> live ordinal
 
 	idx *tokenIndex
 
@@ -103,6 +115,7 @@ func Open(dir string, opts OpenOptions) (*DiskStore, error) {
 	s.docs = make([]*text.Document, len(s.meta))
 	s.ord = make(map[*text.Document]int, len(s.meta))
 	s.lruElem = make([]*list.Element, len(s.meta))
+	s.tomb = make([]bool, len(s.meta))
 	for i := range s.meta {
 		ord := i
 		s.docs[i] = text.NewLazyDocument(s.meta[i].id, int(s.meta[i].textLen), func() (text.DocContent, error) {
@@ -110,13 +123,60 @@ func Open(dir string, opts OpenOptions) (*DiskStore, error) {
 		})
 		s.ord[s.docs[i]] = i
 	}
-	idx, err := openTokenIndex(filepath.Join(dir, indexName), man.Docs)
+	baseDocs := man.BaseDocs
+	if baseDocs == 0 {
+		baseDocs = man.Docs
+	}
+	idx, err := openTokenIndex(filepath.Join(dir, indexName), baseDocs)
 	if err != nil {
 		s.Close()
 		return nil, err
 	}
+	idx.setCacheCap(opts.PostingsCacheBytes)
 	s.idx = idx
+	for g := 1; g <= man.Generation; g++ {
+		if err := s.applyDeltaFile(g); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	if len(s.idx.vocab) != man.Vocab {
+		s.Close()
+		return nil, fmt.Errorf("store: open %s: index holds %d tokens, manifest says %d", dir, len(s.idx.vocab), man.Vocab)
+	}
+	if err := s.rebuildView(); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
 	return s, nil
+}
+
+// rebuildView recomputes the live-document view: ordinals ascending,
+// each id taking the position of its first appearance, superseded
+// records replaced by their live successor and removed ids dropped.
+func (s *DiskStore) rebuildView() error {
+	s.live = make(map[string]int, len(s.meta))
+	for i, m := range s.meta {
+		if s.tomb[i] {
+			continue
+		}
+		if prev, dup := s.live[m.id]; dup {
+			return fmt.Errorf("document %q live at ordinals %d and %d", m.id, prev, i)
+		}
+		s.live[m.id] = i
+	}
+	seen := make(map[string]bool, len(s.live))
+	s.view = s.view[:0]
+	for _, m := range s.meta {
+		if seen[m.id] {
+			continue
+		}
+		seen[m.id] = true
+		if ord, ok := s.live[m.id]; ok {
+			s.view = append(s.view, s.docs[ord])
+		}
+	}
+	return nil
 }
 
 // readTOC parses one shard's footer and table of contents.
@@ -286,14 +346,30 @@ func (s *DiskStore) trim() {
 	}
 }
 
-// Len returns the number of documents.
-func (s *DiskStore) Len() int { return len(s.docs) }
+// Len returns the number of live documents.
+func (s *DiskStore) Len() int { return len(s.view) }
 
-// Doc returns the i'th document handle.
-func (s *DiskStore) Doc(i int) *text.Document { return s.docs[i] }
+// Doc returns the i'th live document handle.
+func (s *DiskStore) Doc(i int) *text.Document { return s.view[i] }
 
-// Docs returns all document handles in ordinal order.
-func (s *DiskStore) Docs() []*text.Document { return s.docs }
+// Docs returns the live document handles in stable view order: an
+// updated document keeps the position its id first appeared at, removed
+// ids drop out, added documents append. Handles of unchanged documents
+// are identical across mutations. The returned slice is invalidated by
+// the next committed mutation.
+func (s *DiskStore) Docs() []*text.Document { return s.view }
+
+// DocByID returns the live document with the given id.
+func (s *DiskStore) DocByID(id string) (*text.Document, bool) {
+	ord, ok := s.live[id]
+	if !ok {
+		return nil, false
+	}
+	return s.docs[ord], true
+}
+
+// Generation returns the number of committed mutations.
+func (s *DiskStore) Generation() int { return s.man.Generation }
 
 // Manifest returns the store's manifest.
 func (s *DiskStore) Manifest() Manifest { return s.man }
@@ -346,7 +422,9 @@ func (s *DiskStore) DocOrdinal(d *text.Document) (int, bool) {
 	return i, ok
 }
 
-// NumDocs returns the number of documents (the ordinal space size).
+// NumDocs returns the ordinal space size — every record ever written,
+// including superseded ones, so ordinals from any generation stay
+// addressable.
 func (s *DiskStore) NumDocs() int { return len(s.docs) }
 
 // BlockTokens returns the distinct blocking tokens recorded for d at
@@ -392,22 +470,100 @@ func (s *DiskStore) docTokens(d *text.Document, norm bool) ([]string, bool) {
 	return out, true
 }
 
-// TokenPostings returns the sorted ordinals of documents whose blocking
-// token set contains tok, from the persistent index. A token absent from
-// the vocabulary returns (nil, true): the index authoritatively says no
-// document contains it. ok is false only on read failure.
+// TokenPostings returns the sorted ordinals of live documents whose
+// blocking token set contains tok: the persistent base run filtered by
+// the tombstone map, merged with the delta-generation runs. A token
+// absent from the vocabulary returns (nil, true): the index
+// authoritatively says no document contains it. ok is false only on
+// read failure. The returned slice is shared (cached) — callers must
+// not modify it.
 func (s *DiskStore) TokenPostings(tok string) ([]int, bool) {
-	return s.idx.postings(tok)
+	return s.idx.postings(tok, s.tomb)
 }
 
 // tokenIndex is the open tokens.idx: vocabulary and posting offsets in
-// memory, posting runs read lazily.
+// memory, posting runs read lazily. Mutations extend the vocabulary and
+// add per-token delta ordinals in memory (persisted via delta sidecars);
+// offs only ever covers the base vocabulary.
 type tokenIndex struct {
 	f        *os.File
 	vocab    []string
 	ids      map[string]uint32
 	offs     []uint64
-	docCount int
+	docCount int             // base ordinals covered by the file's runs
+	extra    map[uint32][]int // token id -> delta-generation ordinals, sorted
+
+	// Decoded-run cache: repeated probes of a hot token (simjoin blocking
+	// re-probes the same title tokens across evaluations) skip the uvarint
+	// decode and tombstone filter. Invalidated wholesale on mutation.
+	pmu    sync.Mutex
+	pcache map[string]*list.Element
+	plru   *list.List // of *postEntry, front = oldest
+	pbytes int64
+	pcap   int64
+}
+
+type postEntry struct {
+	tok   string
+	ords  []int
+	bytes int64
+}
+
+const defaultPostingsCache = 4 << 20
+
+func (x *tokenIndex) setCacheCap(capBytes int64) {
+	switch {
+	case capBytes == 0:
+		x.pcap = defaultPostingsCache
+	case capBytes < 0:
+		x.pcap = 0
+	default:
+		x.pcap = capBytes
+	}
+}
+
+func (x *tokenIndex) cacheGet(tok string) ([]int, bool) {
+	if x.pcap <= 0 {
+		return nil, false
+	}
+	x.pmu.Lock()
+	defer x.pmu.Unlock()
+	e, ok := x.pcache[tok]
+	if !ok {
+		return nil, false
+	}
+	x.plru.MoveToBack(e)
+	return e.Value.(*postEntry).ords, true
+}
+
+func (x *tokenIndex) cachePut(tok string, ords []int) {
+	if x.pcap <= 0 {
+		return
+	}
+	ent := &postEntry{tok: tok, ords: ords, bytes: int64(len(ords))*8 + int64(len(tok)) + 64}
+	x.pmu.Lock()
+	if old, ok := x.pcache[tok]; ok {
+		x.pbytes -= old.Value.(*postEntry).bytes
+		x.plru.Remove(old)
+	}
+	x.pcache[tok] = x.plru.PushBack(ent)
+	x.pbytes += ent.bytes
+	for x.pbytes > x.pcap && x.plru.Len() > 1 {
+		oldest := x.plru.Front()
+		v := oldest.Value.(*postEntry)
+		x.plru.Remove(oldest)
+		delete(x.pcache, v.tok)
+		x.pbytes -= v.bytes
+	}
+	x.pmu.Unlock()
+}
+
+func (x *tokenIndex) cacheReset() {
+	x.pmu.Lock()
+	x.pcache = make(map[string]*list.Element)
+	x.plru = list.New()
+	x.pbytes = 0
+	x.pmu.Unlock()
 }
 
 func openTokenIndex(path string, docCount int) (*tokenIndex, error) {
@@ -445,7 +601,13 @@ func openTokenIndex(path string, docCount int) (*tokenIndex, error) {
 		return fail("reading vocabulary: %v", err)
 	}
 	r := bufReader{b: body}
-	idx := &tokenIndex{f: f, docCount: docCount, ids: make(map[string]uint32, vocabCount)}
+	idx := &tokenIndex{
+		f: f, docCount: docCount,
+		ids:    make(map[string]uint32, vocabCount),
+		extra:  make(map[uint32][]int),
+		pcache: make(map[string]*list.Element),
+		plru:   list.New(),
+	}
 	idx.vocab = make([]string, vocabCount)
 	for i := 0; i < vocabCount; i++ {
 		n := int(r.u16("vocab len"))
@@ -474,23 +636,46 @@ func (x *tokenIndex) token(id uint32) (string, bool) {
 	return x.vocab[id], true
 }
 
-func (x *tokenIndex) postings(tok string) ([]int, bool) {
+func (x *tokenIndex) postings(tok string, tomb []bool) ([]int, bool) {
 	id, ok := x.ids[tok]
 	if !ok {
 		return nil, true // authoritative: no page contains this token
 	}
-	n := x.offs[id+1] - x.offs[id]
-	if n == 0 {
-		return nil, true
+	if ords, hit := x.cacheGet(tok); hit {
+		return ords, true
 	}
-	b := make([]byte, n)
-	if _, err := x.f.ReadAt(b, int64(x.offs[id])); err != nil {
-		return nil, false
+	var out []int
+	if int(id) < len(x.offs)-1 { // base-vocabulary token: decode its file run
+		n := x.offs[id+1] - x.offs[id]
+		if n > 0 {
+			b := make([]byte, n)
+			if _, err := x.f.ReadAt(b, int64(x.offs[id])); err != nil {
+				return nil, false
+			}
+			var err error
+			out, err = decodePostings(b, x.docCount)
+			if err != nil {
+				return nil, false
+			}
+		}
 	}
-	out, err := decodePostings(b, x.docCount)
-	if err != nil {
-		return nil, false
+	if len(tomb) > 0 {
+		live := out[:0]
+		for _, ord := range out {
+			if !tomb[ord] {
+				live = append(live, ord)
+			}
+		}
+		out = live
+		for _, ord := range x.extra[id] { // delta ordinals all exceed base ones
+			if !tomb[ord] {
+				out = append(out, ord)
+			}
+		}
+	} else {
+		out = append(out, x.extra[id]...)
 	}
+	x.cachePut(tok, out)
 	return out, true
 }
 

@@ -42,10 +42,28 @@ import (
 //
 // The vocabulary and offset table load at Open (they are small); posting
 // runs are read lazily per token.
+//
+// Delta sidecar (delta-NNNN.idx), one per committed mutation generation;
+// the generation's records live in an ordinary shard file appended to
+// the manifest's shard list:
+//
+//	"IFDX" u32(version) u32(generation)
+//	u32(prevDocs) u32(newDocs)       ordinal-space size before/after
+//	u32(prevVocab)                   vocabulary size before
+//	u32(nTomb) u32*                  ordinals superseded/removed, sorted
+//	u32(nVocab) (u16(len) bytes)*    tokens appended, in token-id order
+//	u32(nPost) (u32(tokenID) u32(runLen) run)*
+//	                                 per-token posting additions; each run
+//	                                 is uvarint gaps over absolute ordinals
+//
+// Ordinals are append-only: a superseding record gets a new ordinal and
+// the old one is tombstoned, so every posting run — base or delta —
+// stays sorted and runs concatenate in generation order.
 const (
 	shardMagic  = "IFSH"
 	footerMagic = "IFST"
 	indexMagic  = "IFTI"
+	deltaMagic  = "IFDX"
 	version     = 1
 
 	footerSize = 12

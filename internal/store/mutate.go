@@ -1,0 +1,406 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"iflex/internal/text"
+)
+
+// Delta reports what a committed mutation changed, by document id.
+type Delta struct {
+	Added   []string `json:"added,omitempty"`
+	Updated []string `json:"updated,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+}
+
+// Empty reports whether the delta changed nothing.
+func (d *Delta) Empty() bool {
+	return len(d.Added) == 0 && len(d.Updated) == 0 && len(d.Removed) == 0
+}
+
+// Changed returns every id the delta touched (added + updated + removed).
+func (d *Delta) Changed() []string {
+	out := make([]string, 0, len(d.Added)+len(d.Updated)+len(d.Removed))
+	out = append(out, d.Added...)
+	out = append(out, d.Updated...)
+	out = append(out, d.Removed...)
+	return out
+}
+
+// Mutation batches document puts and removes against an open DiskStore.
+// Commit writes one new generation — a shard of new records plus a
+// delta sidecar (tombstones, vocabulary growth, postings) — and updates
+// the open store in place: unchanged documents keep their handles and
+// ordinals, superseded records are tombstoned, and the token index
+// stays consistent without a rebuild. The caller must be quiescent (no
+// concurrent reads through the store) across Commit, like SetDocFilter.
+type Mutation struct {
+	s    *DiskStore
+	puts []mutPut
+	rems []string
+	seen map[string]bool
+	done bool
+}
+
+type mutPut struct{ id, raw string }
+
+// BeginMutation starts an empty mutation batch.
+func (s *DiskStore) BeginMutation() (*Mutation, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("store: mutate: store is closed")
+	}
+	return &Mutation{s: s, seen: make(map[string]bool)}, nil
+}
+
+// Put stages a document write: an add if id is new, a supersede if a
+// live record with the same id exists. Each id may appear once per
+// mutation.
+func (m *Mutation) Put(id, raw string) error {
+	if err := m.stage(id); err != nil {
+		return err
+	}
+	m.puts = append(m.puts, mutPut{id: id, raw: raw})
+	return nil
+}
+
+// Remove stages a document removal; the id must be live.
+func (m *Mutation) Remove(id string) error {
+	if err := m.stage(id); err != nil {
+		return err
+	}
+	if _, ok := m.s.live[id]; !ok {
+		return fmt.Errorf("store: mutate: remove %q: no such document", id)
+	}
+	m.rems = append(m.rems, id)
+	return nil
+}
+
+func (m *Mutation) stage(id string) error {
+	if m.done {
+		return fmt.Errorf("store: mutate: mutation already committed")
+	}
+	if id == "" {
+		return fmt.Errorf("store: mutate: empty document id")
+	}
+	if m.seen[id] {
+		return fmt.Errorf("store: mutate: document %q staged twice", id)
+	}
+	m.seen[id] = true
+	return nil
+}
+
+func deltaName(g int) string { return fmt.Sprintf("delta-%04d.idx", g) }
+
+// Commit writes the staged changes as a new generation and applies them
+// to the open store. An empty mutation commits nothing and returns an
+// empty delta.
+func (m *Mutation) Commit() (*Delta, error) {
+	if m.done {
+		return nil, fmt.Errorf("store: mutate: mutation already committed")
+	}
+	m.done = true
+	s := m.s
+	if len(m.puts) == 0 && len(m.rems) == 0 {
+		return &Delta{}, nil
+	}
+
+	gen := s.man.Generation + 1
+	shardIdx := s.man.Shards
+	prevDocs := len(s.meta)
+	prevVocab := len(s.idx.vocab)
+
+	// Intern new tokens locally so a failed commit leaves the open index
+	// untouched; ids continue the store's id space.
+	var newTok []string
+	localIDs := make(map[string]uint32)
+	intern := func(t string) uint32 {
+		if id, ok := s.idx.ids[t]; ok {
+			return id
+		}
+		if id, ok := localIDs[t]; ok {
+			return id
+		}
+		id := uint32(prevVocab + len(newTok))
+		localIDs[t] = id
+		newTok = append(newTok, t)
+		return id
+	}
+
+	// Encode the new records and collect their postings and TOC.
+	var (
+		recs     [][]byte
+		newMeta  []docMeta
+		newPost  = make(map[uint32][]int)
+		txtBytes int64
+		rawBytes int64
+	)
+	off := uint64(len(shardMagic) + 4)
+	for i, p := range m.puts {
+		rec, textLen, blockIDs, err := buildRecord(p.id, p.raw, intern)
+		if err != nil {
+			return nil, fmt.Errorf("store: mutate: %q: %w", p.id, err)
+		}
+		ord := prevDocs + i
+		for _, tid := range blockIDs {
+			newPost[tid] = append(newPost[tid], ord)
+		}
+		newMeta = append(newMeta, docMeta{
+			shard: shardIdx, offset: off,
+			recLen: uint32(len(rec)), textLen: uint32(textLen), id: p.id,
+		})
+		recs = append(recs, rec)
+		off += uint64(4 + len(rec))
+		txtBytes += int64(textLen)
+		rawBytes += int64(len(p.raw))
+	}
+
+	// Classify puts and collect tombstones.
+	d := &Delta{Removed: append([]string(nil), m.rems...)}
+	var tombs []int
+	for _, p := range m.puts {
+		if old, ok := s.live[p.id]; ok {
+			tombs = append(tombs, old)
+			d.Updated = append(d.Updated, p.id)
+		} else {
+			d.Added = append(d.Added, p.id)
+		}
+	}
+	for _, id := range m.rems {
+		old, ok := s.live[id]
+		if !ok {
+			return nil, fmt.Errorf("store: mutate: remove %q: no such document", id)
+		}
+		tombs = append(tombs, old)
+	}
+	sort.Ints(tombs)
+	sort.Strings(d.Added)
+	sort.Strings(d.Updated)
+	sort.Strings(d.Removed)
+
+	if err := writeShardFile(filepath.Join(s.dir, shardName(shardIdx)), recs, newMeta); err != nil {
+		return nil, err
+	}
+	if err := writeDeltaFile(filepath.Join(s.dir, deltaName(gen)), gen, prevDocs, prevDocs+len(recs), prevVocab, tombs, newTok, newPost); err != nil {
+		return nil, err
+	}
+
+	man := s.man
+	man.Generation = gen
+	man.Shards = shardIdx + 1
+	man.Docs = prevDocs + len(recs)
+	man.Vocab = prevVocab + len(newTok)
+	if man.BaseDocs == 0 {
+		man.BaseDocs = prevDocs
+	}
+	man.TextBytes += txtBytes
+	man.RawBytes += rawBytes
+	mb, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("store: mutate: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, manifestName), append(mb, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("store: mutate: %w", err)
+	}
+
+	// Apply in place. The shard is reopened read-only like any other.
+	f, err := os.Open(filepath.Join(s.dir, shardName(shardIdx)))
+	if err != nil {
+		return nil, fmt.Errorf("store: mutate: reopen shard: %w", err)
+	}
+	s.man = man
+	s.shards = append(s.shards, f)
+	s.mu.Lock()
+	for i, nm := range newMeta {
+		ord := prevDocs + i
+		s.meta = append(s.meta, nm)
+		doc := text.NewLazyDocument(nm.id, int(nm.textLen), func() (text.DocContent, error) {
+			return s.loadDoc(ord)
+		})
+		s.docs = append(s.docs, doc)
+		s.ord[doc] = ord
+		s.lruElem = append(s.lruElem, nil)
+		s.tomb = append(s.tomb, false)
+	}
+	for _, ord := range tombs {
+		s.tomb[ord] = true
+	}
+	s.mu.Unlock()
+	for i, t := range newTok {
+		s.idx.ids[t] = uint32(prevVocab + i)
+		s.idx.vocab = append(s.idx.vocab, t)
+	}
+	for tid, ords := range newPost {
+		s.idx.extra[tid] = append(s.idx.extra[tid], ords...)
+	}
+	s.idx.cacheReset()
+	if err := s.rebuildView(); err != nil {
+		return nil, fmt.Errorf("store: mutate: %w", err)
+	}
+	return d, nil
+}
+
+// writeShardFile writes one generation's records as an ordinary shard.
+func writeShardFile(path string, recs [][]byte, meta []docMeta) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: mutate: create shard: %w", err)
+	}
+	buf := bufio.NewWriterSize(f, 1<<20)
+	var hdr bufWriter
+	hdr.str(shardMagic)
+	hdr.u32(version)
+	buf.Write(hdr.b)
+	var toc bufWriter
+	toc.u32(uint32(len(recs)))
+	for i, rec := range recs {
+		var pre bufWriter
+		pre.u32(uint32(len(rec)))
+		if _, err := buf.Write(pre.b); err != nil {
+			return err
+		}
+		if _, err := buf.Write(rec); err != nil {
+			return err
+		}
+		m := meta[i]
+		toc.u64(m.offset)
+		toc.u32(m.recLen)
+		toc.u32(m.textLen)
+		toc.u32(uint32(len(m.id)))
+		toc.str(m.id)
+	}
+	tocOff := uint64(len(hdr.b))
+	for _, rec := range recs {
+		tocOff += uint64(4 + len(rec))
+	}
+	if _, err := buf.Write(toc.b); err != nil {
+		return err
+	}
+	var foot bufWriter
+	foot.u64(tocOff)
+	foot.str(footerMagic)
+	if _, err := buf.Write(foot.b); err != nil {
+		return err
+	}
+	if err := buf.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// writeDeltaFile writes the generation's sidecar per the layout in
+// format.go.
+func writeDeltaFile(path string, gen, prevDocs, newDocs, prevVocab int, tombs []int, newTok []string, newPost map[uint32][]int) error {
+	var w bufWriter
+	w.str(deltaMagic)
+	w.u32(version)
+	w.u32(uint32(gen))
+	w.u32(uint32(prevDocs))
+	w.u32(uint32(newDocs))
+	w.u32(uint32(prevVocab))
+	w.u32(uint32(len(tombs)))
+	for _, t := range tombs {
+		w.u32(uint32(t))
+	}
+	w.u32(uint32(len(newTok)))
+	for _, t := range newTok {
+		w.u16(uint16(len(t)))
+		w.str(t)
+	}
+	tids := make([]int, 0, len(newPost))
+	for tid := range newPost {
+		tids = append(tids, int(tid))
+	}
+	sort.Ints(tids)
+	w.u32(uint32(len(tids)))
+	for _, tid := range tids {
+		ords := newPost[uint32(tid)]
+		var run []byte
+		prev := -1
+		for _, ord := range ords {
+			run = appendDelta(run, ord, prev)
+			prev = ord
+		}
+		w.u32(uint32(tid))
+		w.u32(uint32(len(run)))
+		w.b = append(w.b, run...)
+	}
+	if err := os.WriteFile(path, w.b, 0o644); err != nil {
+		return fmt.Errorf("store: mutate: write delta sidecar: %w", err)
+	}
+	return nil
+}
+
+// applyDeltaFile reads generation g's sidecar at Open time and applies
+// its tombstones, vocabulary growth, and postings to the open index.
+func (s *DiskStore) applyDeltaFile(g int) error {
+	b, err := os.ReadFile(filepath.Join(s.dir, deltaName(g)))
+	if err != nil {
+		return err
+	}
+	r := bufReader{b: b}
+	if string(r.bytes(4, "delta magic")) != deltaMagic {
+		return fmt.Errorf("%s: bad magic", deltaName(g))
+	}
+	if v := r.u32("delta version"); v != version {
+		return fmt.Errorf("%s: version %d (want %d)", deltaName(g), v, version)
+	}
+	if gen := int(r.u32("delta generation")); gen != g {
+		return fmt.Errorf("%s: holds generation %d", deltaName(g), gen)
+	}
+	prevDocs := int(r.u32("delta prevDocs"))
+	newDocs := int(r.u32("delta newDocs"))
+	prevVocab := int(r.u32("delta prevVocab"))
+	if newDocs > len(s.meta) || prevDocs > newDocs {
+		return fmt.Errorf("%s: doc counts %d..%d out of range (%d records)", deltaName(g), prevDocs, newDocs, len(s.meta))
+	}
+	if prevVocab != len(s.idx.vocab) {
+		return fmt.Errorf("%s: vocabulary chain broken (%d, index holds %d)", deltaName(g), prevVocab, len(s.idx.vocab))
+	}
+	nTomb := int(r.u32("tombstone count"))
+	for i := 0; i < nTomb; i++ {
+		ord := int(r.u32("tombstone"))
+		if r.err != nil {
+			return r.err
+		}
+		if ord >= prevDocs {
+			return fmt.Errorf("%s: tombstoned ordinal %d out of range", deltaName(g), ord)
+		}
+		s.tomb[ord] = true
+	}
+	nVocab := int(r.u32("delta vocab count"))
+	for i := 0; i < nVocab; i++ {
+		n := int(r.u16("delta token len"))
+		tok := string(r.bytes(n, "delta token"))
+		if r.err != nil {
+			return r.err
+		}
+		s.idx.ids[tok] = uint32(len(s.idx.vocab))
+		s.idx.vocab = append(s.idx.vocab, tok)
+	}
+	nPost := int(r.u32("delta postings count"))
+	for i := 0; i < nPost; i++ {
+		tid := r.u32("delta token id")
+		runLen := int(r.u32("delta run len"))
+		run := r.bytes(runLen, "delta run")
+		if r.err != nil {
+			return r.err
+		}
+		if int(tid) >= len(s.idx.vocab) {
+			return fmt.Errorf("%s: posting for unknown token id %d", deltaName(g), tid)
+		}
+		ords, err := decodePostings(run, newDocs)
+		if err != nil {
+			return fmt.Errorf("%s: token id %d: %w", deltaName(g), tid, err)
+		}
+		s.idx.extra[tid] = append(s.idx.extra[tid], ords...)
+	}
+	if r.err != nil || r.off != len(b) {
+		return fmt.Errorf("%s: malformed sidecar", deltaName(g))
+	}
+	return nil
+}

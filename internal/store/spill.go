@@ -31,6 +31,7 @@ type Spill struct {
 type spillFile struct {
 	name  string
 	bytes int64
+	docs  []string // ids of every document the spilled table references
 }
 
 // NewSpill creates a spill area rooted at dir (created if missing; files
@@ -51,7 +52,7 @@ func (sp *Spill) Save(key string, t *compact.Table) (int64, error) {
 	if t.Degraded != nil {
 		return 0, fmt.Errorf("store: refusing to spill degraded table")
 	}
-	b, err := encodeTable(t)
+	b, docs, err := encodeTable(t)
 	if err != nil {
 		return 0, err
 	}
@@ -59,7 +60,7 @@ func (sp *Spill) Save(key string, t *compact.Table) (int64, error) {
 	sp.seq++
 	name := fmt.Sprintf("spill-%06d.tbl", sp.seq)
 	prev, had := sp.files[key]
-	sp.files[key] = spillFile{name: name, bytes: int64(len(b))}
+	sp.files[key] = spillFile{name: name, bytes: int64(len(b)), docs: docs}
 	sp.bytes += int64(len(b))
 	if had {
 		sp.bytes -= prev.bytes
@@ -109,6 +110,34 @@ func (sp *Spill) Drop(key string) {
 	}
 }
 
+// InvalidateDocs drops every spilled table that references any of the
+// given document ids and returns how many were dropped. After a corpus
+// mutation, spills touching changed documents hold stale spans (and
+// would resolve against superseded handles); dropping them forces a
+// re-evaluation instead of a resurrect.
+func (sp *Spill) InvalidateDocs(ids map[string]bool) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	sp.mu.Lock()
+	var victims []spillFile
+	for key, f := range sp.files {
+		for _, d := range f.docs {
+			if ids[d] {
+				victims = append(victims, f)
+				delete(sp.files, key)
+				sp.bytes -= f.bytes
+				break
+			}
+		}
+	}
+	sp.mu.Unlock()
+	for _, f := range victims {
+		os.Remove(filepath.Join(sp.dir, f.name))
+	}
+	return len(victims)
+}
+
 // Bytes returns the total bytes currently spilled.
 func (sp *Spill) Bytes() int64 {
 	sp.mu.Lock()
@@ -141,9 +170,10 @@ func (sp *Spill) Close() error {
 
 const spillMagic = "IFSP"
 
-// encodeTable serializes a compact table. Document IDs are interned in a
-// per-file string table; assignments store (docRef, mode, start, end).
-func encodeTable(t *compact.Table) ([]byte, error) {
+// encodeTable serializes a compact table and returns the distinct
+// document ids it references. IDs are interned in a per-file string
+// table; assignments store (docRef, mode, start, end).
+func encodeTable(t *compact.Table) ([]byte, []string, error) {
 	var w bufWriter
 	w.str(spillMagic)
 	w.u32(version)
@@ -187,7 +217,7 @@ func encodeTable(t *compact.Table) ([]byte, error) {
 				body.b = append(body.b, byte(a.Mode))
 				d := a.Span.Doc()
 				if d == nil {
-					return nil, fmt.Errorf("store: spill: assignment with no document")
+					return nil, nil, fmt.Errorf("store: spill: assignment with no document")
 				}
 				body.u32(docRef(d))
 				body.u32(uint32(a.Span.Start()))
@@ -202,7 +232,7 @@ func encodeTable(t *compact.Table) ([]byte, error) {
 		w.u16(uint16(len(id)))
 		w.str(id)
 	}
-	return w.b, nil
+	return w.b, docs, nil
 }
 
 // decodeTable reconstructs a table, resolving document references

@@ -23,6 +23,14 @@ type Manifest struct {
 	Vocab     int   `json:"vocab"`
 	TextBytes int64 `json:"text_bytes"`
 	RawBytes  int64 `json:"raw_bytes"`
+	// Generation counts committed mutations (0 for a freshly ingested
+	// store). Each generation adds one shard of new/superseding records
+	// plus a delta sidecar (tombstones, vocabulary growth, postings).
+	Generation int `json:"generation,omitempty"`
+	// BaseDocs is the ordinal count covered by tokens.idx — the store's
+	// size before its first mutation. 0 means the store has never been
+	// mutated and tokens.idx covers all Docs.
+	BaseDocs int `json:"base_docs,omitempty"`
 }
 
 // Options configures ingest.
@@ -138,6 +146,39 @@ func (w *Writer) tokenID(tok string) uint32 {
 	return id
 }
 
+// buildRecord parses one page's markup and encodes its shard record
+// bytes (everything after the recLen prefix). intern maps tokens to
+// ids, growing the vocabulary; the page's distinct blocking-token ids
+// are returned so callers can post them to the inverted index.
+func buildRecord(id, raw string, intern func(string) uint32) (rec []byte, textLen int, blockIDs []uint32, err error) {
+	c, err := markup.ParseContent(id, raw)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	block := DistinctTokens(c.Text)
+	blockIDs = make([]uint32, len(block))
+	for i, t := range block {
+		blockIDs[i] = intern(t)
+	}
+	norm := similarity.NormalizedTokens(normalizeSpace(c.Text))
+	normIDs := make([]uint32, len(norm))
+	for i, t := range norm {
+		normIDs[i] = intern(t)
+	}
+	var w bufWriter
+	w.u32(uint32(len(id)))
+	w.str(id)
+	w.u32(uint32(len(c.Text)))
+	w.u32(uint32(len(raw)))
+	w.u32(crc32.ChecksumIEEE([]byte(raw)))
+	w.u32(uint32(len(blockIDs)))
+	w.u32s(blockIDs)
+	w.u32(uint32(len(normIDs)))
+	w.u32s(normIDs)
+	w.str(raw)
+	return w.b, len(c.Text), blockIDs, nil
+}
+
 // Add ingests one page: its markup is parsed (so the text length and
 // token lists recorded are exactly what query-time parsing would
 // produce), the record is appended to the current shard, and the
@@ -146,57 +187,35 @@ func (w *Writer) Add(id, raw string) error {
 	if w.err != nil {
 		return w.err
 	}
-	c, err := markup.ParseContent(id, raw)
+	rec, textLen, blockIDs, err := buildRecord(id, raw, w.tokenID)
 	if err != nil {
 		return w.fail(err)
 	}
 	ord := w.man.Docs
-
-	block := DistinctTokens(c.Text)
-	blockIDs := make([]uint32, len(block))
-	for i, t := range block {
-		tid := w.tokenID(t)
-		blockIDs[i] = tid
+	for _, tid := range blockIDs {
 		w.postings[tid] = appendDelta(w.postings[tid], ord, w.lastDoc[tid])
 		w.lastDoc[tid] = ord
 	}
-	norm := similarity.NormalizedTokens(normalizeSpace(c.Text))
-	normIDs := make([]uint32, len(norm))
-	for i, t := range norm {
-		normIDs[i] = w.tokenID(t)
-	}
-
-	var rec bufWriter
-	rec.u32(uint32(len(id)))
-	rec.str(id)
-	rec.u32(uint32(len(c.Text)))
-	rec.u32(uint32(len(raw)))
-	rec.u32(crc32.ChecksumIEEE([]byte(raw)))
-	rec.u32(uint32(len(blockIDs)))
-	rec.u32s(blockIDs)
-	rec.u32(uint32(len(normIDs)))
-	rec.u32s(normIDs)
-	rec.str(raw)
 
 	var hdr bufWriter
-	hdr.u32(uint32(len(rec.b)))
+	hdr.u32(uint32(len(rec)))
 
 	w.shardTOC.u64(w.shardOff)
-	w.shardTOC.u32(uint32(len(rec.b)))
-	w.shardTOC.u32(uint32(len(c.Text)))
+	w.shardTOC.u32(uint32(len(rec)))
+	w.shardTOC.u32(uint32(textLen))
 	w.shardTOC.u32(uint32(len(id)))
 	w.shardTOC.str(id)
 
 	if _, err := w.shardBuf.Write(hdr.b); err != nil {
 		return w.fail(err)
 	}
-	if _, err := w.shardBuf.Write(rec.b); err != nil {
+	if _, err := w.shardBuf.Write(rec); err != nil {
 		return w.fail(err)
 	}
-	w.shardOff += uint64(len(hdr.b) + len(rec.b))
+	w.shardOff += uint64(4 + len(rec))
 	w.shardDocs++
 	w.man.Docs++
-	w.man.TextBytes += int64(len(c.Text))
+	w.man.TextBytes += int64(textLen)
 	w.man.RawBytes += int64(len(raw))
 
 	if w.shardDocs >= w.opts.ShardDocs {
