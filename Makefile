@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-all chaos bench bench-parallel bench-hotpath bench-reuse bench-optimizer bench-serve bench-scale bench-live serve-smoke benchdiff profile vet verify
+.PHONY: build test race race-all chaos crash bench bench-parallel bench-hotpath bench-reuse bench-optimizer bench-serve bench-scale bench-live serve-smoke benchdiff profile vet verify
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ race-all:
 # worker counts and delta on/off, under the race detector.
 chaos:
 	$(GO) test -run Chaos -race ./internal/...
+
+# Crash-injection suite (DESIGN.md §17): enumerate every kill point and
+# torn-write prefix of store ingest, mutation commit, and spill writes;
+# every surviving state must reopen as exactly generation G or G+1.
+crash:
+	$(GO) test -run Crash -race ./internal/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

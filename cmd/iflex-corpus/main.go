@@ -55,6 +55,7 @@ func main() {
 		truth    = flag.Bool("truth", true, "collect and write ground truth (disable for constant-memory streaming)")
 		mutate   = flag.String("mutate", "", `mutate an existing store in place: "pct=N" commits regenerated content for N% of its live pages (requires -store)`)
 		force    = flag.Bool("force", false, "allow -store to overwrite a directory that already holds a store")
+		sync     = flag.Bool("sync", true, "fsync store writes (ingest seals and mutation commits); off is faster but a crash may lose the run")
 	)
 	flag.Parse()
 	n := *records
@@ -68,7 +69,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "iflex-corpus: -mutate requires -store")
 			os.Exit(2)
 		}
-		err = runMutate(*domain, n, *seed, *storeDir, *mutate)
+		err = runMutate(*domain, n, *seed, *storeDir, *mutate, *sync)
 	case *storeDir != "":
 		// Refuse to write a store over a directory that already has
 		// content: ingesting into it would shadow (not replace) the old
@@ -85,7 +86,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		err = runStore(*domain, n, *seed, *storeDir, *truth)
+		err = runStore(*domain, n, *seed, *storeDir, *truth, *sync)
 	default:
 		err = run(*domain, n, *seed, *out)
 	}
@@ -126,7 +127,7 @@ func generatePages(domain string, n int, seed int64) (map[string]string, error) 
 
 // runMutate commits one mutation generation to an existing store:
 // regenerated content for a deterministic pct% sample of its live pages.
-func runMutate(domain string, n int, seed int64, dir, spec string) error {
+func runMutate(domain string, n int, seed int64, dir, spec string, sync bool) error {
 	val, ok := strings.CutPrefix(spec, "pct=")
 	if !ok {
 		return fmt.Errorf(`bad -mutate spec %q (want "pct=N")`, spec)
@@ -139,11 +140,14 @@ func runMutate(domain string, n int, seed int64, dir, spec string) error {
 	if err != nil {
 		return err
 	}
-	st, err := store.Open(dir, store.OpenOptions{})
+	st, err := store.Open(dir, store.OpenOptions{NoSync: !sync})
 	if err != nil {
 		return err
 	}
 	defer st.Close()
+	for _, note := range st.Recovery() {
+		fmt.Fprintf(os.Stderr, "iflex-corpus: %s: recovery: %s\n", dir, note)
+	}
 
 	// Deterministic sample: order live ids by a seeded hash and take the
 	// first pct%. The same seed always mutates the same pages.
@@ -204,8 +208,8 @@ func mutHash(s string, seed int64) uint64 {
 // posting list is retained beyond the store writer's bounded state — so
 // million-page corpora build in constant resident memory. The record
 // domains are small; they generate eagerly and ingest from memory.
-func runStore(domain string, n int, seed int64, dir string, withTruth bool) error {
-	w, err := store.Create(dir, store.Options{})
+func runStore(domain string, n int, seed int64, dir string, withTruth, sync bool) error {
+	w, err := store.Create(dir, store.Options{NoSync: !sync})
 	if err != nil {
 		return err
 	}

@@ -76,6 +76,10 @@ func run(args []string) int {
 	var (
 		addr          = fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
 		storeBudget   = fs.Int64("store-budget", 256<<20, "resident-memory budget in bytes per mounted store's page content (0 = unlimited)")
+		storeSync     = fs.Bool("store-sync", true, "fsync store mutations at commit (off trades crash durability of the freshest generations for latency)")
+		maxReqBytes   = fs.Int64("max-request-bytes", 8<<20, "cap on a JSON request body; oversized bodies get 413 (negative = unlimited)")
+		readHdrTO     = fs.Duration("read-header-timeout", 10*time.Second, "close connections whose request headers take longer than this")
+		idleTO        = fs.Duration("idle-timeout", 2*time.Minute, "close keep-alive connections idle this long")
 		maxSessions   = fs.Int("max-sessions", 64, "global live-session cap")
 		tenantCap     = fs.Int("max-sessions-per-tenant", 8, "per-tenant live-session cap")
 		tenantWorkers = fs.Int("tenant-workers", 0, "per-tenant worker-pool share (0 = one per CPU)")
@@ -107,14 +111,17 @@ func run(args []string) int {
 
 	stores := map[string]*store.DiskStore{}
 	for name, dir := range storeFlags {
-		st, err := store.Open(dir, store.OpenOptions{ResidentBudget: *storeBudget})
+		st, err := store.Open(dir, store.OpenOptions{ResidentBudget: *storeBudget, NoSync: !*storeSync})
 		if err != nil {
 			logger.Print(err)
 			return 1
 		}
 		defer st.Close()
 		stores[name] = st
-		logger.Printf("mounted store %q from %s: %d pages, %d index tokens", name, dir, st.Len(), st.Vocab())
+		for _, note := range st.Recovery() {
+			logger.Printf("store %q: recovery: %s", name, note)
+		}
+		logger.Printf("mounted store %q from %s: %d pages, %d index tokens (generation %d)", name, dir, st.Len(), st.Vocab(), st.Generation())
 	}
 
 	srv := server.New(server.Config{
@@ -127,6 +134,7 @@ func run(args []string) int {
 		SweepInterval:        *sweepEvery,
 		DefaultStepDeadline:  *defaultStep,
 		MaxStepDeadline:      *maxStep,
+		MaxRequestBytes:      *maxReqBytes,
 		Logf:                 logger.Printf,
 	})
 	defer srv.Close()
@@ -136,7 +144,14 @@ func run(args []string) int {
 		logger.Print(err)
 		return 1
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	// Header and idle timeouts bound slow-loris connections and idle
+	// keep-alives; step latency is governed separately by per-step
+	// deadlines, so no overall read/write timeout is set.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHdrTO,
+		IdleTimeout:       *idleTO,
+	}
 	logger.Printf("listening on %s", ln.Addr())
 
 	served := make(chan error, 1)

@@ -69,6 +69,13 @@ type LiveResult struct {
 	RecomputeReduction float64 `json:"recompute_reduction"`
 	WallReduction      float64 `json:"wall_reduction"`
 
+	// Commit latency for the same mutation against throwaway clones of
+	// the pre-mutation store: once durable (temp-file + fsync + rename +
+	// directory fsync at every commit point, the default) and once with
+	// NoSync. The gap is the price of crash safety (DESIGN.md §17).
+	CommitSyncS   float64 `json:"commit_sync_s"`
+	CommitNoSyncS float64 `json:"commit_nosync_s"`
+
 	Tuples int `json:"tuples"`
 	// IdentityChecked: the incremental result was byte-identical across
 	// Workers 1/8 × optimizer on/off and to the from-scratch run.
@@ -226,6 +233,22 @@ func Live(o Options, lo LiveOptions) (*LiveResult, error) {
 	if k < 1 {
 		k = 1
 	}
+	// Commit-latency probe: the same mutation committed against
+	// throwaway clones of the pre-mutation store, once durable and once
+	// NoSync, isolates the fsync cost of the crash-safe commit protocol.
+	// Clones are taken now, before the real commit rewrites dir below.
+	for _, sync := range []bool{true, false} {
+		d, err := commitProbe(dir, ids[:k], pages, sync)
+		if err != nil {
+			return nil, fmt.Errorf("live: commit probe sync=%t: %w", sync, err)
+		}
+		if sync {
+			res.CommitSyncS = d
+		} else {
+			res.CommitNoSyncS = d
+		}
+	}
+
 	m, err := st.BeginMutation()
 	if err != nil {
 		return nil, err
@@ -307,7 +330,68 @@ func Live(o Options, lo LiveOptions) (*LiveResult, error) {
 		res.ScratchS, res.ScratchRecomputed)
 	fmt.Fprintf(o.Out, "  reduction: %.1fx fewer recomputed tuples, %.1fx lower wall time; identity checked: %t\n",
 		res.RecomputeReduction, res.WallReduction, res.IdentityChecked)
+	fmt.Fprintf(o.Out, "  commit latency (%d docs): %.1fms durable, %.1fms nosync\n",
+		res.MutatedDocs, res.CommitSyncS*1000, res.CommitNoSyncS*1000)
 	return res, nil
+}
+
+// commitProbe copies the store at dir into a temp directory, opens the
+// clone with or without fsync, stages the given page updates, and
+// returns the Commit wall time in seconds. The clone is removed on
+// return, so the caller's store history is untouched.
+func commitProbe(dir string, ids []string, pages map[string]string, sync bool) (float64, error) {
+	tmp, err := os.MkdirTemp("", "iflex-commit-probe-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(tmp)
+	clone := filepath.Join(tmp, "store")
+	if err := copyStoreDir(dir, clone); err != nil {
+		return 0, err
+	}
+	st, err := store.Open(clone, store.OpenOptions{NoSync: !sync})
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+	m, err := st.BeginMutation()
+	if err != nil {
+		return 0, err
+	}
+	for _, id := range ids {
+		if err := m.Put(id, pages[id]); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	if _, err := m.Commit(); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// copyStoreDir copies the flat store directory src into dst.
+func copyStoreDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // sortedTableNames returns a corpus's table names in name order.

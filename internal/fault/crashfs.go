@@ -1,0 +1,411 @@
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"iflex/internal/store"
+)
+
+// CrashFS is a recording, write-through implementation of store.FS for
+// deterministic crash-injection testing (in the style of ALICE: "All
+// File Systems Are Not Created Equal", OSDI '14). The workload runs
+// normally — every operation is passed through to the real filesystem —
+// while CrashFS logs the exact sequence of durability-relevant
+// operations (create, write, sync, close, rename, remove, syncdir) with
+// their payloads. Afterwards, States enumerates the disk states a
+// power-cut at every operation boundary could legally leave behind,
+// under a filesystem model where:
+//
+//   - Directory operations (create, rename, remove) are journaled and
+//     persist in program order — crash point k applies exactly the
+//     first k operations' metadata effects. This matches ext4/xfs/btrfs
+//     journaling; it does NOT model metadata reordering.
+//   - File content persists only up to the last Sync ("strict" mode),
+//     or entirely ("flushed" mode — the fs wrote back everything), or
+//     anywhere in between for one file at a time ("torn" variants — an
+//     unsynced tail survives partially, byte-granular).
+//
+// Each state can be materialized into a scratch directory and the
+// system under test reopened against it. The enumeration is a pure
+// function of the recorded log: same workload, same states.
+type CrashFS struct {
+	root string
+
+	mu   sync.Mutex
+	init map[string][]byte
+	ops  []fsOp
+}
+
+type fsOpKind int
+
+const (
+	opCreate fsOpKind = iota
+	opWrite
+	opSync
+	opClose
+	opRename
+	opRemove
+	opSyncDir
+)
+
+type fsOp struct {
+	kind fsOpKind
+	path string // relative to root
+	dst  string // rename destination
+	data []byte // write payload
+}
+
+func (o fsOp) String() string {
+	switch o.kind {
+	case opCreate:
+		return "create " + o.path
+	case opWrite:
+		return fmt.Sprintf("write %s +%dB", o.path, len(o.data))
+	case opSync:
+		return "sync " + o.path
+	case opClose:
+		return "close " + o.path
+	case opRename:
+		return fmt.Sprintf("rename %s -> %s", o.path, o.dst)
+	case opRemove:
+		return "remove " + o.path
+	case opSyncDir:
+		return "syncdir " + o.path
+	default:
+		return fmt.Sprintf("op(%d) %s", int(o.kind), o.path)
+	}
+}
+
+// NewCrashFS starts recording operations under root. Files already in
+// root are snapshotted as the durable initial state (the workload's
+// reads go to the real filesystem, so write-through keeps them
+// coherent). root not existing yet is fine — the initial state is empty.
+func NewCrashFS(root string) (*CrashFS, error) {
+	c := &CrashFS{root: root, init: make(map[string][]byte)}
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return c, nil
+		}
+		return nil, err
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(root, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		c.init[e.Name()] = b
+	}
+	return c, nil
+}
+
+func (c *CrashFS) rel(path string) string {
+	if r, err := filepath.Rel(c.root, path); err == nil {
+		return r
+	}
+	return path
+}
+
+func (c *CrashFS) record(op fsOp) {
+	c.mu.Lock()
+	c.ops = append(c.ops, op)
+	c.mu.Unlock()
+}
+
+// NumOps returns the number of operations recorded so far; crash points
+// run 0..NumOps inclusive.
+func (c *CrashFS) NumOps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ops)
+}
+
+// OpLog returns a human-readable trace of the recorded operations, for
+// diagnosing a failing crash state.
+func (c *CrashFS) OpLog() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.ops))
+	for i, op := range c.ops {
+		out[i] = op.String()
+	}
+	return out
+}
+
+// Create implements store.FS.
+func (c *CrashFS) Create(path string) (store.File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	c.record(fsOp{kind: opCreate, path: c.rel(path)})
+	return &crashFile{fs: c, rel: c.rel(path), f: f}, nil
+}
+
+// Rename implements store.FS.
+func (c *CrashFS) Rename(oldpath, newpath string) error {
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	c.record(fsOp{kind: opRename, path: c.rel(oldpath), dst: c.rel(newpath)})
+	return nil
+}
+
+// Remove implements store.FS; missing files are not an error.
+func (c *CrashFS) Remove(path string) error {
+	err := os.Remove(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	c.record(fsOp{kind: opRemove, path: c.rel(path)})
+	return nil
+}
+
+// SyncDir implements store.FS. The real directory fsync is skipped (the
+// test process is not going to lose power); the op is recorded because
+// it is a durability boundary in the model.
+func (c *CrashFS) SyncDir(dir string) error {
+	c.record(fsOp{kind: opSyncDir, path: c.rel(dir)})
+	return nil
+}
+
+// ReadDir implements store.FS.
+func (c *CrashFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+type crashFile struct {
+	fs  *CrashFS
+	rel string
+	f   *os.File
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	n, err := f.f.Write(p)
+	if n > 0 {
+		f.fs.record(fsOp{kind: opWrite, path: f.rel, data: append([]byte(nil), p[:n]...)})
+	}
+	return n, err
+}
+
+func (f *crashFile) Sync() error {
+	// Recorded, not executed: the model's durability boundary is what
+	// matters, and skipping the real fsync keeps enumeration fast.
+	f.fs.record(fsOp{kind: opSync, path: f.rel})
+	return nil
+}
+
+func (f *crashFile) Close() error {
+	err := f.f.Close()
+	f.fs.record(fsOp{kind: opClose, path: f.rel})
+	return err
+}
+
+// CrashState is one reachable post-crash disk image.
+type CrashState struct {
+	// Desc names the crash point and persistence mode, for failure
+	// messages: e.g. `op 7/21 (rename delta-0001.idx.tmp -> delta-0001.idx), torn delta-0001.idx.tmp@3/110B`.
+	Desc  string
+	files map[string][]byte
+}
+
+// Files returns the state's file names, sorted.
+func (s CrashState) Files() []string {
+	out := make([]string, 0, len(s.files))
+	for name := range s.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Materialize writes the state into dir (created if missing; dir should
+// be empty — existing files with other names are not removed).
+func (s CrashState) Materialize(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, data := range s.files {
+		path := filepath.Join(dir, name)
+		if d := filepath.Dir(path); d != dir {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				return err
+			}
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s CrashState) fingerprint() uint64 {
+	names := s.Files()
+	h := fnv.New64a()
+	for _, name := range names {
+		fmt.Fprintf(h, "%s|%d|", name, len(s.files[name]))
+		h.Write(s.files[name])
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// simFile tracks one file through the op replay: the bytes written and
+// how many of them a Sync has made durable.
+type simFile struct {
+	buf    []byte
+	synced int
+}
+
+// States enumerates every distinct post-crash disk state reachable
+// under the model. For each crash point k (a power cut between op k and
+// op k+1, for k in 0..NumOps): the "strict" state (unsynced content
+// lost entirely), the "flushed" state (all written content persisted),
+// and for every file with an unsynced tail a set of "torn" variants
+// where a prefix of that tail survives — every prefix length when the
+// tail is at most maxTornTail bytes (default 64 when <= 0), a
+// deterministic sample of lengths when larger. Identical states are
+// deduplicated, so the result is typically far smaller than the raw
+// product.
+func (c *CrashFS) States(maxTornTail int) []CrashState {
+	if maxTornTail <= 0 {
+		maxTornTail = 64
+	}
+	c.mu.Lock()
+	ops := append([]fsOp(nil), c.ops...)
+	init := make(map[string][]byte, len(c.init))
+	for k, v := range c.init {
+		init[k] = v
+	}
+	c.mu.Unlock()
+
+	seen := make(map[uint64]bool)
+	var out []CrashState
+	add := func(st CrashState) {
+		fp := st.fingerprint()
+		if seen[fp] {
+			return
+		}
+		seen[fp] = true
+		out = append(out, st)
+	}
+
+	// Replay incrementally: files carries the simulation forward op by
+	// op; at each crash point the reachable states are derived from a
+	// snapshot of it.
+	files := make(map[string]*simFile, len(init))
+	for name, data := range init {
+		files[name] = &simFile{buf: data, synced: len(data)}
+	}
+	for k := 0; k <= len(ops); k++ {
+		if k > 0 {
+			applyOp(files, ops[k-1])
+		}
+		at := fmt.Sprintf("op %d/%d", k, len(ops))
+		if k > 0 {
+			at += " (" + ops[k-1].String() + ")"
+		}
+		add(project(files, at+", strict", nil, 0))
+		add(project(files, at+", flushed", nil, -1))
+		for name, f := range files {
+			tail := len(f.buf) - f.synced
+			if tail <= 0 {
+				continue
+			}
+			for _, t := range tornLens(tail, maxTornTail) {
+				desc := fmt.Sprintf("%s, torn %s@%d/%dB", at, name, t, tail)
+				add(project(files, desc, &name, t))
+			}
+		}
+	}
+	return out
+}
+
+func applyOp(files map[string]*simFile, op fsOp) {
+	switch op.kind {
+	case opCreate:
+		files[op.path] = &simFile{}
+	case opWrite:
+		f := files[op.path]
+		if f == nil {
+			f = &simFile{}
+			files[op.path] = f
+		}
+		f.buf = append(f.buf, op.data...)
+	case opSync:
+		if f := files[op.path]; f != nil {
+			f.synced = len(f.buf)
+		}
+	case opRename:
+		if f := files[op.path]; f != nil {
+			files[op.dst] = f
+			delete(files, op.path)
+		}
+	case opRemove:
+		delete(files, op.path)
+	}
+}
+
+// project renders the simulation into concrete file contents. torn, when
+// non-nil, names one file whose unsynced tail survives up to tornLen
+// bytes; every other file is strict. tornLen -1 (with torn nil) selects
+// flushed mode: all content persists.
+func project(files map[string]*simFile, desc string, torn *string, tornLen int) CrashState {
+	st := CrashState{Desc: desc, files: make(map[string][]byte, len(files))}
+	for name, f := range files {
+		n := f.synced
+		if torn == nil && tornLen < 0 {
+			n = len(f.buf)
+		} else if torn != nil && name == *torn {
+			n = f.synced + tornLen
+		}
+		st.files[name] = append([]byte(nil), f.buf[:n]...)
+	}
+	return st
+}
+
+// tornLens picks the surviving-tail lengths to enumerate for a tail of
+// the given size: every length when the tail fits the cap, otherwise a
+// deterministic spread (edges and quarters) — torn-write bugs cluster
+// at boundaries, and the strict/flushed projections already cover the
+// 0 and tail endpoints.
+func tornLens(tail, limit int) []int {
+	if tail <= limit {
+		out := make([]int, 0, tail-1)
+		for t := 1; t < tail; t++ {
+			out = append(out, t)
+		}
+		return out
+	}
+	cands := []int{1, 2, 3, tail / 8, tail / 4, tail / 2, 3 * tail / 4, tail - 2, tail - 1}
+	seen := make(map[int]bool)
+	var out []int
+	for _, t := range cands {
+		if t < 1 || t >= tail || seen[t] {
+			continue
+		}
+		seen[t] = true
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}

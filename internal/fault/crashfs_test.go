@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCrashFSStates scripts a tiny workload — create, partial sync,
+// more writes, rename — and checks the enumeration produces exactly the
+// states the model implies: metadata in order, unsynced content lost,
+// torn, or flushed.
+func TestCrashFSStates(t *testing.T) {
+	root := t.TempDir()
+	c, err := NewCrashFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Create(filepath.Join(root, "a.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("XY")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename(filepath.Join(root, "a.tmp"), filepath.Join(root, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SyncDir(root); err != nil {
+		t.Fatal(err)
+	}
+
+	// Write-through: the real directory holds the completed workload.
+	if b, err := os.ReadFile(filepath.Join(root, "a")); err != nil || string(b) != "helloXY" {
+		t.Fatalf("write-through file = %q, %v", b, err)
+	}
+	if n := c.NumOps(); n != 7 {
+		t.Fatalf("NumOps = %d, want 7 (log: %v)", n, c.OpLog())
+	}
+
+	// Index the distinct states by their file contents.
+	type img struct{ aTmp, a string }
+	seen := map[img]string{}
+	for _, st := range c.States(0) {
+		var im img
+		im.aTmp, im.a = "∅", "∅"
+		if err := st.Materialize(t.TempDir()); err != nil {
+			t.Fatalf("materialize %q: %v", st.Desc, err)
+		}
+		for _, name := range st.Files() {
+			switch name {
+			case "a.tmp":
+				im.aTmp = string(stFile(t, st, name))
+			case "a":
+				im.a = string(stFile(t, st, name))
+			default:
+				t.Fatalf("state %q: unexpected file %q", st.Desc, name)
+			}
+		}
+		if _, dup := seen[im]; dup {
+			t.Fatalf("duplicate state not deduped: %q and %q", seen[im], st.Desc)
+		}
+		seen[im] = st.Desc
+	}
+	want := []img{
+		{"∅", "∅"},       // before the create
+		{"", "∅"},        // created, nothing durable
+		{"h", "∅"},       // torn first write ...
+		{"he", "∅"},      //
+		{"hel", "∅"},     //
+		{"hell", "∅"},    //
+		{"hello", "∅"},   // synced prefix
+		{"helloX", "∅"},  // torn unsynced tail
+		{"helloXY", "∅"}, // flushed before rename
+		{"∅", "hello"},   // renamed, tail lost
+		{"∅", "helloX"},  // renamed, tail torn
+		{"∅", "helloXY"}, // renamed, flushed (final)
+	}
+	for _, w := range want {
+		if _, ok := seen[w]; !ok {
+			t.Errorf("expected state %+v missing (have %v)", w, seen)
+		}
+	}
+	if len(seen) != len(want) {
+		t.Errorf("%d distinct states, want %d: %v", len(seen), len(want), seen)
+	}
+}
+
+// stFile materializes the single named file's bytes via a scratch dir.
+func stFile(t *testing.T, st CrashState, name string) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	if err := st.Materialize(dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

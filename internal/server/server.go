@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -50,6 +51,11 @@ type Config struct {
 	DefaultStepDeadline time.Duration
 	// MaxStepDeadline clamps requested per-step deadlines (default 30s).
 	MaxStepDeadline time.Duration
+	// MaxRequestBytes caps a JSON request body (default 8 MiB; negative =
+	// unlimited). Oversized bodies get 413 before the decoder buffers
+	// them — inline corpora and page mutations are the only large inputs,
+	// and a malicious body should not be able to balloon the heap.
+	MaxRequestBytes int64
 	// Logf, when set, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -72,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStepDeadline == 0 {
 		c.MaxStepDeadline = 30 * time.Second
+	}
+	if c.MaxRequestBytes == 0 {
+		c.MaxRequestBytes = 8 << 20
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -199,6 +208,27 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
+// decodeBody decodes a JSON request body bounded at MaxRequestBytes,
+// writing the error response (413 for an oversized body, 400 otherwise)
+// itself; it reports whether decoding succeeded.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := r.Body
+	if s.cfg.MaxRequestBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	}
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	status := "ok"
 	if s.draining.Load() {
@@ -231,8 +261,7 @@ func (o candidateOracle) Candidates(attr alog.AttrRef, featureName string) []str
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateSessionRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Tenant == "" {
@@ -397,8 +426,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req StepRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	answers := make([]assistant.Answer, len(req.Answers))
@@ -456,8 +484,7 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req CorpusRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if sess.storeName == "" {

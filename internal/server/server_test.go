@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -666,5 +667,168 @@ ext(x, p, s) :- from(x, p), from(x, s), numeric(p) = yes.
 	}
 	if g := st.Generation(); g != 1 {
 		t.Errorf("failed mutations advanced the generation to %d", g)
+	}
+}
+
+// TestRestartAfterCommitServesMutatedStore closes the service-side
+// crash window: the daemon reaches the commit point of a corpus
+// mutation and dies before folding the delta into any session. The
+// commit is durable, so a restarted daemon must mount the store at the
+// new generation — cleanly, with nothing to repair — and sessions
+// created against it must serve results byte-identical to an eager
+// library run over the mutated corpus.
+func TestRestartAfterCommitServesMutatedStore(t *testing.T) {
+	prog := `
+T(x, <p>, <s>) :- docs(x), ext(x, p, s), p > 500000.
+ext(x, p, s) :- from(x, p), from(x, s), numeric(p) = yes.
+`
+	page := func(price, school string) string {
+		return `House for sale.<br>Price: <i>` + price + `</i><br>School: <b>` + school + `</b>`
+	}
+	dir := t.TempDir()
+	w, err := store.Create(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []struct{ id, html string }{
+		{"h1", page("351000", "Vanhise High")},
+		{"h2", page("619000", "Basktall HS")},
+		{"h3", page("725000", "Lincoln High")},
+	} {
+		if err := w.Add(p.id, p.html); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First daemon lifetime: a session is live over the store when the
+	// mutation commits; the process "dies" before the delta is folded.
+	st, err := store.Open(dir, store.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c, shutdown := newTestServer(t, Config{Stores: map[string]*store.DiskStore{"houses": st}})
+	created, err := c.CreateSession(CreateSessionRequest{Tenant: "acme", Store: "houses", Program: prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		if i > 200 {
+			t.Fatal("session did not terminate")
+		}
+		sr, err := c.Step(created.ID, StepRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Done {
+			break
+		}
+	}
+	m, err := st.BeginMutation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("h1", page("800000", "Vanhise High")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("h4", page("910000", "Muir Acres")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("h3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no ApplyCorpusDelta, no re-evaluation, sessions dropped.
+	shutdown()
+	st.Close()
+
+	// Restarted daemon: mount must come up at generation 1 with nothing
+	// to repair, and a fresh registry serves the mutated corpus.
+	st2, err := store.Open(dir, store.OpenOptions{})
+	if err != nil {
+		t.Fatalf("remount after crash-after-commit: %v", err)
+	}
+	defer st2.Close()
+	if g := st2.Generation(); g != 1 {
+		t.Fatalf("remounted at generation %d, want 1", g)
+	}
+	if notes := st2.Recovery(); len(notes) != 0 {
+		t.Fatalf("clean commit needed repair on remount: %v", notes)
+	}
+	_, c2, shutdown2 := newTestServer(t, Config{Stores: map[string]*store.DiskStore{"houses": st2}})
+	defer shutdown2()
+	created2, err := c2.CreateSession(CreateSessionRequest{Tenant: "acme", Store: "houses", Program: prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		if i > 200 {
+			t.Fatal("post-restart session did not terminate")
+		}
+		sr, err := c2.Step(created2.ID, StepRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Done {
+			break
+		}
+	}
+	res, err := c2.Result(created2.ID, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env := engine.NewEnv()
+	var docs []*text.Document
+	for _, p := range []struct{ id, html string }{
+		{"h1", page("800000", "Vanhise High")},
+		{"h2", page("619000", "Basktall HS")},
+		{"h4", page("910000", "Muir Acres")},
+	} {
+		d, err := markup.Parse(p.id, p.html)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, d)
+	}
+	env.AddDocTable("docs", "x", docs)
+	lib := assistant.NewSession(env, alog.MustParse(prog), candidateOracle{}, assistant.Config{})
+	want, err := lib.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TableString() != want.Final.String() {
+		t.Errorf("post-restart session differs from eager run over mutated corpus\nserver:\n%s\nlibrary:\n%s",
+			res.TableString(), want.Final.String())
+	}
+}
+
+// TestRequestBodyLimit: an oversized JSON body is refused with 413
+// before the decoder buffers it; a normal-sized request on the same
+// server still works.
+func TestRequestBodyLimit(t *testing.T) {
+	_, c, shutdown := newTestServer(t, Config{MaxRequestBytes: 1 << 10})
+	defer shutdown()
+	_, err := c.CreateSession(CreateSessionRequest{
+		Tenant: "acme", Task: "T1", Records: 3,
+		Program: strings.Repeat("% padding\n", 1<<10),
+	})
+	if StatusCode(err) != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized create: err = %v, want 413", err)
+	}
+	created, err := c.CreateSession(CreateSessionRequest{Tenant: "acme", Task: "T1", Records: 3})
+	if err != nil {
+		t.Fatalf("normal create after 413: %v", err)
+	}
+	big := StepRequest{Answers: make([]AnswerJSON, 0, 1)}
+	for i := 0; i < 200; i++ {
+		big.Answers = append(big.Answers, AnswerJSON{Value: strings.Repeat("v", 64), Known: true})
+	}
+	if _, err := c.Step(created.ID, big); StatusCode(err) != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized step: err = %v, want 413", err)
 	}
 }

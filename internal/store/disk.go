@@ -28,6 +28,15 @@ type OpenOptions struct {
 	// token index, so repeated probes of the same token skip the per-call
 	// uvarint decode. 0 means the default (4 MB); negative disables.
 	PostingsCacheBytes int64
+	// NoSync skips the fsyncs in the mutation commit protocol (see
+	// Options.NoSync): commits are faster but a crash may lose the
+	// freshest committed generations. Recovery still never yields a torn
+	// store on filesystems with atomic rename.
+	NoSync bool
+	// FS overrides the filesystem seam for mutations and recovery sweeps
+	// (tests/crash injection). nil means the real filesystem honouring
+	// NoSync; when set, NoSync is ignored.
+	FS FS
 }
 
 // docMeta locates one document's record inside its shard.
@@ -47,11 +56,16 @@ type docMeta struct {
 // queries from the ingest-time index without paging text in.
 type DiskStore struct {
 	dir    string
+	fs     FS
 	man    Manifest
 	shards []*os.File
-	meta   []docMeta
-	docs   []*text.Document // every ordinal ever written, incl. superseded
-	ord    map[*text.Document]int
+
+	// recovery notes what Open repaired: orphan files swept, a torn
+	// final-generation sidecar rolled back. Empty for a clean open.
+	recovery []string
+	meta     []docMeta
+	docs     []*text.Document // every ordinal ever written, incl. superseded
+	ord      map[*text.Document]int
 
 	// Mutable-generation state. Ordinals are append-only: a mutation
 	// writes superseding/new records into a fresh shard and tombstones
@@ -76,8 +90,20 @@ type DiskStore struct {
 	closed   atomic.Bool
 }
 
-// Open opens a store previously built by a Writer.
+// Open opens a store previously built by a Writer. Open is also the
+// crash-recovery point: the manifest (always published atomically) names
+// exactly what belongs to the store, so orphan shards, sidecars, and
+// *.tmp staging files beyond it — leftovers of a crashed commit — are
+// ignored and swept. If the final generation's delta sidecar is torn
+// (missing, truncated, or failing its integrity footer), the store rolls
+// back to the previous generation: the manifest is rewritten, the
+// generation's shard and sidecar are swept, and Open succeeds with the
+// last intact state. A torn sidecar below the final generation cannot be
+// rolled past (later generations build on it) and fails loudly.
 func Open(dir string, opts OpenOptions) (*DiskStore, error) {
+	if opts.FS == nil {
+		opts.FS = RealFS(!opts.NoSync)
+	}
 	mb, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
@@ -91,6 +117,7 @@ func Open(dir string, opts OpenOptions) (*DiskStore, error) {
 	}
 	s := &DiskStore{
 		dir:    dir,
+		fs:     opts.FS,
 		man:    man,
 		budget: opts.ResidentBudget,
 		lru:    list.New(),
@@ -112,17 +139,7 @@ func Open(dir string, opts OpenOptions) (*DiskStore, error) {
 		s.Close()
 		return nil, fmt.Errorf("store: open %s: shards hold %d docs, manifest says %d", dir, len(s.meta), man.Docs)
 	}
-	s.docs = make([]*text.Document, len(s.meta))
-	s.ord = make(map[*text.Document]int, len(s.meta))
-	s.lruElem = make([]*list.Element, len(s.meta))
 	s.tomb = make([]bool, len(s.meta))
-	for i := range s.meta {
-		ord := i
-		s.docs[i] = text.NewLazyDocument(s.meta[i].id, int(s.meta[i].textLen), func() (text.DocContent, error) {
-			return s.loadDoc(ord)
-		})
-		s.ord[s.docs[i]] = i
-	}
 	baseDocs := man.BaseDocs
 	if baseDocs == 0 {
 		baseDocs = man.Docs
@@ -134,21 +151,110 @@ func Open(dir string, opts OpenOptions) (*DiskStore, error) {
 	}
 	idx.setCacheCap(opts.PostingsCacheBytes)
 	s.idx = idx
-	for g := 1; g <= man.Generation; g++ {
-		if err := s.applyDeltaFile(g); err != nil {
+	for g := 1; g <= s.man.Generation; g++ {
+		patch, err := s.parseDeltaFile(g)
+		if err != nil {
+			if g == s.man.Generation {
+				// The freshest generation's sidecar is torn: roll back to
+				// the last intact state instead of failing the whole store.
+				if rerr := s.rollbackLastGeneration(err); rerr != nil {
+					s.Close()
+					return nil, fmt.Errorf("store: open %s: %w", dir, rerr)
+				}
+				break
+			}
 			s.Close()
 			return nil, fmt.Errorf("store: open %s: %w", dir, err)
 		}
+		s.applyPatch(patch)
 	}
-	if len(s.idx.vocab) != man.Vocab {
+	if len(s.idx.vocab) != s.man.Vocab {
 		s.Close()
-		return nil, fmt.Errorf("store: open %s: index holds %d tokens, manifest says %d", dir, len(s.idx.vocab), man.Vocab)
+		return nil, fmt.Errorf("store: open %s: index holds %d tokens, manifest says %d", dir, len(s.idx.vocab), s.man.Vocab)
+	}
+	s.docs = make([]*text.Document, len(s.meta))
+	s.ord = make(map[*text.Document]int, len(s.meta))
+	s.lruElem = make([]*list.Element, len(s.meta))
+	for i := range s.meta {
+		ord := i
+		s.docs[i] = text.NewLazyDocument(s.meta[i].id, int(s.meta[i].textLen), func() (text.DocContent, error) {
+			return s.loadDoc(ord)
+		})
+		s.ord[s.docs[i]] = i
+	}
+	if removed, errs := sweepStoreOrphans(s.fs, dir, s.man.Shards, s.man.Generation); len(removed) > 0 || len(errs) > 0 {
+		for _, name := range removed {
+			s.recovery = append(s.recovery, fmt.Sprintf("swept orphan %s", name))
+		}
+		for _, e := range errs {
+			s.recovery = append(s.recovery, e.Error())
+		}
 	}
 	if err := s.rebuildView(); err != nil {
 		s.Close()
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
 	return s, nil
+}
+
+// rollbackLastGeneration undoes the manifest's final generation at Open
+// time, after its delta sidecar failed to parse: the generation's shard
+// is dropped, counts are recomputed, and the manifest is durably
+// rewritten at the previous generation so the rollback is permanent. The
+// in-memory index state is untouched by the failed parse (sidecars apply
+// atomically), so after rollback it is exactly the previous generation's.
+func (s *DiskStore) rollbackLastGeneration(cause error) error {
+	g := s.man.Generation
+	dropShard := s.man.Shards - 1
+	if g < 1 || dropShard < 0 {
+		return cause
+	}
+	keep := 0
+	var dropText, dropRaw int64
+	for _, m := range s.meta {
+		if m.shard < dropShard {
+			keep++
+			continue
+		}
+		dropText += int64(m.textLen)
+		// rawLen sits after recLen, idLen, id, and textLen in the record.
+		b := make([]byte, 4)
+		if _, err := s.shards[m.shard].ReadAt(b, int64(m.offset)+4+4+int64(len(m.id))+4); err != nil {
+			return fmt.Errorf("rolling back generation %d (%v): reading dropped record %q: %w", g, cause, m.id, err)
+		}
+		dropRaw += int64(binary.LittleEndian.Uint32(b))
+	}
+	man := s.man
+	man.Generation = g - 1
+	man.Shards = dropShard
+	man.Docs = keep
+	man.Vocab = len(s.idx.vocab)
+	man.TextBytes -= dropText
+	man.RawBytes -= dropRaw
+	if man.Generation == 0 {
+		man.BaseDocs = 0
+	}
+	mb, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("rolling back generation %d (%v): %w", g, cause, err)
+	}
+	if err := atomicWriteFile(s.fs, filepath.Join(s.dir, manifestName), append(mb, '\n')); err != nil {
+		return fmt.Errorf("rolling back generation %d (%v): rewriting manifest: %w", g, cause, err)
+	}
+	s.shards[dropShard].Close()
+	s.shards = s.shards[:dropShard]
+	s.meta = s.meta[:keep]
+	s.tomb = s.tomb[:keep]
+	s.man = man
+	s.recovery = append(s.recovery,
+		fmt.Sprintf("rolled back to generation %d: %v", man.Generation, cause))
+	return nil
+}
+
+// Recovery reports what Open repaired (orphans swept, a torn final
+// generation rolled back); empty for a clean open.
+func (s *DiskStore) Recovery() []string {
+	return append([]string(nil), s.recovery...)
 }
 
 // rebuildView recomputes the live-document view: ordinals ascending,
@@ -490,7 +596,7 @@ type tokenIndex struct {
 	vocab    []string
 	ids      map[string]uint32
 	offs     []uint64
-	docCount int             // base ordinals covered by the file's runs
+	docCount int              // base ordinals covered by the file's runs
 	extra    map[uint32][]int // token id -> delta-generation ordinals, sorted
 
 	// Decoded-run cache: repeated probes of a hot token (simjoin blocking

@@ -55,18 +55,30 @@ import (
 //	u32(nPost) (u32(tokenID) u32(runLen) run)*
 //	                                 per-token posting additions; each run
 //	                                 is uvarint gaps over absolute ordinals
+//	u32(crc32(all preceding bytes)) "IFDE"
+//	                                 8-byte integrity footer: a sidecar
+//	                                 without an intact footer is torn, and
+//	                                 Open rolls the store back to the
+//	                                 previous generation instead of
+//	                                 corrupting the vocabulary chain
 //
 // Ordinals are append-only: a superseding record gets a new ordinal and
 // the old one is tombstoned, so every posting run — base or delta —
 // stays sorted and runs concatenate in generation order.
+//
+// Version history: 1 = original layout; 2 = delta sidecars carry the
+// integrity footer (all files share one version number, so a v1 store
+// must be re-ingested).
 const (
-	shardMagic  = "IFSH"
-	footerMagic = "IFST"
-	indexMagic  = "IFTI"
-	deltaMagic  = "IFDX"
-	version     = 1
+	shardMagic     = "IFSH"
+	footerMagic    = "IFST"
+	indexMagic     = "IFTI"
+	deltaMagic     = "IFDX"
+	deltaFootMagic = "IFDE"
+	version        = 2
 
-	footerSize = 12
+	footerSize      = 12
+	deltaFooterSize = 8
 )
 
 // bufReader decodes the little-endian primitives above from a byte

@@ -2,8 +2,10 @@ package store
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -182,10 +184,20 @@ func (m *Mutation) Commit() (*Delta, error) {
 	sort.Strings(d.Updated)
 	sort.Strings(d.Removed)
 
-	if err := writeShardFile(filepath.Join(s.dir, shardName(shardIdx)), recs, newMeta); err != nil {
+	// Crash-atomic commit order: (1) the generation shard, fsynced; (2)
+	// the delta sidecar, via temp + fsync + rename + directory fsync —
+	// which also makes the shard's directory entry durable; (3) the
+	// manifest, published the same way. The manifest rename is the single
+	// commit point: a crash before it leaves the store at the previous
+	// generation with (at most) an orphan shard/sidecar/temp file Open
+	// sweeps; a crash after it leaves the new generation fully durable.
+	// If Commit returns an error the in-memory store is still at the
+	// previous generation; the on-disk store is at whichever generation
+	// the manifest publish reached (reopening resolves it).
+	if err := writeShardFile(s.fs, filepath.Join(s.dir, shardName(shardIdx)), recs, newMeta); err != nil {
 		return nil, err
 	}
-	if err := writeDeltaFile(filepath.Join(s.dir, deltaName(gen)), gen, prevDocs, prevDocs+len(recs), prevVocab, tombs, newTok, newPost); err != nil {
+	if err := writeDeltaFile(s.fs, filepath.Join(s.dir, deltaName(gen)), gen, prevDocs, prevDocs+len(recs), prevVocab, tombs, newTok, newPost); err != nil {
 		return nil, err
 	}
 
@@ -203,7 +215,7 @@ func (m *Mutation) Commit() (*Delta, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: mutate: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(s.dir, manifestName), append(mb, '\n'), 0o644); err != nil {
+	if err := atomicWriteFile(s.fs, filepath.Join(s.dir, manifestName), append(mb, '\n')); err != nil {
 		return nil, fmt.Errorf("store: mutate: %w", err)
 	}
 
@@ -244,9 +256,12 @@ func (m *Mutation) Commit() (*Delta, error) {
 	return d, nil
 }
 
-// writeShardFile writes one generation's records as an ordinary shard.
-func writeShardFile(path string, recs [][]byte, meta []docMeta) error {
-	f, err := os.Create(path)
+// writeShardFile writes one generation's records as an ordinary shard
+// and fsyncs it before returning: the shard must be durable before the
+// manifest publish makes it reachable. A crash mid-write leaves a
+// partial shard the manifest never references — an orphan Open sweeps.
+func writeShardFile(fsys FS, path string, recs [][]byte, meta []docMeta) error {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return fmt.Errorf("store: mutate: create shard: %w", err)
 	}
@@ -284,17 +299,25 @@ func writeShardFile(path string, recs [][]byte, meta []docMeta) error {
 	foot.u64(tocOff)
 	foot.str(footerMagic)
 	if _, err := buf.Write(foot.b); err != nil {
+		f.Close()
 		return err
 	}
 	if err := buf.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
 // writeDeltaFile writes the generation's sidecar per the layout in
-// format.go.
-func writeDeltaFile(path string, gen, prevDocs, newDocs, prevVocab int, tombs []int, newTok []string, newPost map[uint32][]int) error {
+// format.go — integrity footer (CRC + magic) appended, published via
+// temp + fsync + rename + directory fsync so a reader can never observe
+// a torn sidecar under an intact footer.
+func writeDeltaFile(fsys FS, path string, gen, prevDocs, newDocs, prevVocab int, tombs []int, newTok []string, newPost map[uint32][]int) error {
 	var w bufWriter
 	w.str(deltaMagic)
 	w.u32(version)
@@ -329,58 +352,78 @@ func writeDeltaFile(path string, gen, prevDocs, newDocs, prevVocab int, tombs []
 		w.u32(uint32(len(run)))
 		w.b = append(w.b, run...)
 	}
-	if err := os.WriteFile(path, w.b, 0o644); err != nil {
+	w.u32(crc32.ChecksumIEEE(w.b))
+	w.str(deltaFootMagic)
+	if err := atomicWriteFile(fsys, path, w.b); err != nil {
 		return fmt.Errorf("store: mutate: write delta sidecar: %w", err)
 	}
 	return nil
 }
 
-// applyDeltaFile reads generation g's sidecar at Open time and applies
-// its tombstones, vocabulary growth, and postings to the open index.
-func (s *DiskStore) applyDeltaFile(g int) error {
+// deltaPatch is a fully parsed and validated sidecar, ready to apply.
+// Parsing is separated from application so a torn or corrupt sidecar
+// never leaves the open store half-mutated — Open rolls back to the
+// previous generation from an untouched in-memory state.
+type deltaPatch struct {
+	tombs []int
+	toks  []string
+	posts map[uint32][]int // token id -> sorted ordinals
+}
+
+// parseDeltaFile reads generation g's sidecar, verifies the integrity
+// footer, and validates every field against the store's current state
+// without mutating anything.
+func (s *DiskStore) parseDeltaFile(g int) (*deltaPatch, error) {
 	b, err := os.ReadFile(filepath.Join(s.dir, deltaName(g)))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	r := bufReader{b: b}
+	if len(b) < deltaFooterSize || string(b[len(b)-4:]) != deltaFootMagic {
+		return nil, fmt.Errorf("%s: missing integrity footer (torn sidecar?)", deltaName(g))
+	}
+	body := b[:len(b)-deltaFooterSize]
+	if crc := binary.LittleEndian.Uint32(b[len(b)-deltaFooterSize:]); crc != crc32.ChecksumIEEE(body) {
+		return nil, fmt.Errorf("%s: integrity checksum mismatch (torn sidecar?)", deltaName(g))
+	}
+	r := bufReader{b: body}
 	if string(r.bytes(4, "delta magic")) != deltaMagic {
-		return fmt.Errorf("%s: bad magic", deltaName(g))
+		return nil, fmt.Errorf("%s: bad magic", deltaName(g))
 	}
 	if v := r.u32("delta version"); v != version {
-		return fmt.Errorf("%s: version %d (want %d)", deltaName(g), v, version)
+		return nil, fmt.Errorf("%s: version %d (want %d)", deltaName(g), v, version)
 	}
 	if gen := int(r.u32("delta generation")); gen != g {
-		return fmt.Errorf("%s: holds generation %d", deltaName(g), gen)
+		return nil, fmt.Errorf("%s: holds generation %d", deltaName(g), gen)
 	}
 	prevDocs := int(r.u32("delta prevDocs"))
 	newDocs := int(r.u32("delta newDocs"))
 	prevVocab := int(r.u32("delta prevVocab"))
 	if newDocs > len(s.meta) || prevDocs > newDocs {
-		return fmt.Errorf("%s: doc counts %d..%d out of range (%d records)", deltaName(g), prevDocs, newDocs, len(s.meta))
+		return nil, fmt.Errorf("%s: doc counts %d..%d out of range (%d records)", deltaName(g), prevDocs, newDocs, len(s.meta))
 	}
 	if prevVocab != len(s.idx.vocab) {
-		return fmt.Errorf("%s: vocabulary chain broken (%d, index holds %d)", deltaName(g), prevVocab, len(s.idx.vocab))
+		return nil, fmt.Errorf("%s: vocabulary chain broken (%d, index holds %d)", deltaName(g), prevVocab, len(s.idx.vocab))
 	}
+	p := &deltaPatch{posts: make(map[uint32][]int)}
 	nTomb := int(r.u32("tombstone count"))
 	for i := 0; i < nTomb; i++ {
 		ord := int(r.u32("tombstone"))
 		if r.err != nil {
-			return r.err
+			return nil, r.err
 		}
 		if ord >= prevDocs {
-			return fmt.Errorf("%s: tombstoned ordinal %d out of range", deltaName(g), ord)
+			return nil, fmt.Errorf("%s: tombstoned ordinal %d out of range", deltaName(g), ord)
 		}
-		s.tomb[ord] = true
+		p.tombs = append(p.tombs, ord)
 	}
 	nVocab := int(r.u32("delta vocab count"))
 	for i := 0; i < nVocab; i++ {
 		n := int(r.u16("delta token len"))
 		tok := string(r.bytes(n, "delta token"))
 		if r.err != nil {
-			return r.err
+			return nil, r.err
 		}
-		s.idx.ids[tok] = uint32(len(s.idx.vocab))
-		s.idx.vocab = append(s.idx.vocab, tok)
+		p.toks = append(p.toks, tok)
 	}
 	nPost := int(r.u32("delta postings count"))
 	for i := 0; i < nPost; i++ {
@@ -388,19 +431,33 @@ func (s *DiskStore) applyDeltaFile(g int) error {
 		runLen := int(r.u32("delta run len"))
 		run := r.bytes(runLen, "delta run")
 		if r.err != nil {
-			return r.err
+			return nil, r.err
 		}
-		if int(tid) >= len(s.idx.vocab) {
-			return fmt.Errorf("%s: posting for unknown token id %d", deltaName(g), tid)
+		if int(tid) >= prevVocab+len(p.toks) {
+			return nil, fmt.Errorf("%s: posting for unknown token id %d", deltaName(g), tid)
 		}
 		ords, err := decodePostings(run, newDocs)
 		if err != nil {
-			return fmt.Errorf("%s: token id %d: %w", deltaName(g), tid, err)
+			return nil, fmt.Errorf("%s: token id %d: %w", deltaName(g), tid, err)
 		}
+		p.posts[tid] = ords
+	}
+	if r.err != nil || r.off != len(r.b) {
+		return nil, fmt.Errorf("%s: malformed sidecar", deltaName(g))
+	}
+	return p, nil
+}
+
+// applyPatch folds a validated sidecar into the open index state.
+func (s *DiskStore) applyPatch(p *deltaPatch) {
+	for _, ord := range p.tombs {
+		s.tomb[ord] = true
+	}
+	for _, tok := range p.toks {
+		s.idx.ids[tok] = uint32(len(s.idx.vocab))
+		s.idx.vocab = append(s.idx.vocab, tok)
+	}
+	for tid, ords := range p.posts {
 		s.idx.extra[tid] = append(s.idx.extra[tid], ords...)
 	}
-	if r.err != nil || r.off != len(b) {
-		return fmt.Errorf("%s: malformed sidecar", deltaName(g))
-	}
-	return nil
 }

@@ -20,6 +20,7 @@ import (
 // identical to what was saved.
 type Spill struct {
 	dir     string
+	fs      FS
 	resolve func(id string) (*text.Document, bool)
 
 	mu    sync.Mutex
@@ -37,11 +38,36 @@ type spillFile struct {
 // NewSpill creates a spill area rooted at dir (created if missing; files
 // are cleaned up by Close). resolve maps a document ID back to its
 // handle; every document referenced by a spilled table must resolve.
+//
+// Stale spill-*.tbl files left behind by a crashed process are swept at
+// construction: the sequence counter restarts at zero, so orphans from a
+// previous run would never be reclaimed and fresh files could collide
+// with their names. Spills are pure cache — nothing of value is lost.
 func NewSpill(dir string, resolve func(id string) (*text.Document, bool)) (*Spill, error) {
+	return NewSpillFS(dir, resolve, RealFS(false))
+}
+
+// NewSpillFS is NewSpill with an explicit filesystem seam. Spill files
+// are ephemeral (a restarted process sweeps and rebuilds them), so the
+// default seam never fsyncs.
+func NewSpillFS(dir string, resolve func(id string) (*text.Document, bool), fsys FS) (*Spill, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: spill dir: %w", err)
 	}
-	return &Spill{dir: dir, resolve: resolve, files: make(map[string]spillFile)}, nil
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: spill dir: %w", err)
+	}
+	for _, name := range names {
+		var n int
+		if !parseSeq(name, "spill-", ".tbl", &n) {
+			continue
+		}
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+			return nil, fmt.Errorf("store: sweeping stale spill %s: %w", name, err)
+		}
+	}
+	return &Spill{dir: dir, fs: fsys, resolve: resolve, files: make(map[string]spillFile)}, nil
 }
 
 // Save writes the table under key, replacing any previous spill for the
@@ -66,14 +92,29 @@ func (sp *Spill) Save(key string, t *compact.Table) (int64, error) {
 		sp.bytes -= prev.bytes
 	}
 	sp.mu.Unlock()
-	if err := os.WriteFile(filepath.Join(sp.dir, name), b, 0o644); err != nil {
+	if err := sp.writeFile(name, b); err != nil {
 		sp.Drop(key)
 		return 0, fmt.Errorf("store: spill write: %w", err)
 	}
 	if had {
-		os.Remove(filepath.Join(sp.dir, prev.name))
+		sp.fs.Remove(filepath.Join(sp.dir, prev.name))
 	}
 	return int64(len(b)), nil
+}
+
+// writeFile writes one spill file through the seam. No temp file, no
+// sync: a torn spill is indistinguishable from a dropped cache entry,
+// and the restart sweep removes it either way.
+func (sp *Spill) writeFile(name string, b []byte) error {
+	f, err := sp.fs.Create(filepath.Join(sp.dir, name))
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Load reads the table spilled under key. ok is false when no spill
@@ -106,7 +147,7 @@ func (sp *Spill) Drop(key string) {
 	}
 	sp.mu.Unlock()
 	if ok {
-		os.Remove(filepath.Join(sp.dir, f.name))
+		sp.fs.Remove(filepath.Join(sp.dir, f.name))
 	}
 }
 
@@ -133,7 +174,7 @@ func (sp *Spill) InvalidateDocs(ids map[string]bool) int {
 	}
 	sp.mu.Unlock()
 	for _, f := range victims {
-		os.Remove(filepath.Join(sp.dir, f.name))
+		sp.fs.Remove(filepath.Join(sp.dir, f.name))
 	}
 	return len(victims)
 }
@@ -161,7 +202,7 @@ func (sp *Spill) Close() error {
 	sp.mu.Unlock()
 	var first error
 	for _, f := range files {
-		if err := os.Remove(filepath.Join(sp.dir, f.name)); err != nil && first == nil {
+		if err := sp.fs.Remove(filepath.Join(sp.dir, f.name)); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -227,6 +227,255 @@ func TestDiskStoreCorruptShardFaultsOnLoad(t *testing.T) {
 	}()
 }
 
+// mutateOnce commits the standard scenario mutation (update b, remove
+// c, add e) to the store at dir, bringing it to the next generation.
+func mutateOnce(t *testing.T, dir string) {
+	t.Helper()
+	s, err := Open(dir, OpenOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m, err := s.BeginMutation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("b", "<li><b>Beta Redux</b><br>New: $25.00</li>"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("e", "<li><b>Epsilon Words</b><br>New: $50.00</li>"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// truncateFile cuts the file at dir/name down to n bytes (n < 0 counts
+// from the end).
+func truncateFile(t *testing.T, dir, name string, n int) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 0 {
+		n = len(b) + n
+	}
+	if n < 0 || n > len(b) {
+		t.Fatalf("truncate %s to %d (have %d)", name, n, len(b))
+	}
+	if err := os.WriteFile(path, b[:n], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenCorruptionRecovery is the torn/truncated-file table: a damaged
+// manifest fails loudly, a damaged final-generation sidecar rolls the
+// store back to the previous generation, and a damaged earlier sidecar
+// (which later generations build on) fails loudly. Open never misreads.
+func TestOpenCorruptionRecovery(t *testing.T) {
+	pages := map[string]string{
+		"a": "<li><b>Alpha Systems</b><br>New: $10.00</li>",
+		"b": "<li><b>Beta Design</b><br>New: $20.00</li>",
+		"c": "<li><b>Gamma Theory</b><br>New: $30.00</li>",
+		"d": "<li><b>Delta Rules</b><br>New: $40.00</li>",
+	}
+	order := []string{"a", "b", "c", "d"}
+
+	tests := []struct {
+		name    string
+		gens    int // mutations committed before mangling
+		mangle  func(t *testing.T, dir string)
+		wantErr bool
+		wantGen int    // on successful open
+		wantIDs string // live view on successful open
+	}{
+		{
+			name: "manifest missing",
+			mangle: func(t *testing.T, dir string) {
+				if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantErr: true,
+		},
+		{
+			name:    "manifest truncated mid-JSON",
+			mangle:  func(t *testing.T, dir string) { truncateFile(t, dir, manifestName, 40) },
+			wantErr: true,
+		},
+		{
+			name: "manifest garbage",
+			mangle: func(t *testing.T, dir string) {
+				if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{\"version\": junk"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantErr: true,
+		},
+		{
+			name:    "last sidecar missing",
+			gens:    1,
+			mangle:  func(t *testing.T, dir string) { os.Remove(filepath.Join(dir, deltaName(1))) },
+			wantGen: 0, wantIDs: "[a b c d]",
+		},
+		{
+			name:    "last sidecar truncated to stub",
+			gens:    1,
+			mangle:  func(t *testing.T, dir string) { truncateFile(t, dir, deltaName(1), 3) },
+			wantGen: 0, wantIDs: "[a b c d]",
+		},
+		{
+			name:    "last sidecar torn mid-body",
+			gens:    1,
+			mangle:  func(t *testing.T, dir string) { truncateFile(t, dir, deltaName(1), -11) },
+			wantGen: 0, wantIDs: "[a b c d]",
+		},
+		{
+			name: "last sidecar checksum mismatch",
+			gens: 1,
+			mangle: func(t *testing.T, dir string) {
+				path := filepath.Join(dir, deltaName(1))
+				b, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b[len(b)/2] ^= 0xFF
+				if err := os.WriteFile(path, b, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantGen: 0, wantIDs: "[a b c d]",
+		},
+		{
+			name:    "second-generation sidecar torn rolls back one step",
+			gens:    2,
+			mangle:  func(t *testing.T, dir string) { truncateFile(t, dir, deltaName(2), -11) },
+			wantGen: 1, wantIDs: "[a b d e]",
+		},
+		{
+			name:    "earlier sidecar torn fails loudly",
+			gens:    2,
+			mangle:  func(t *testing.T, dir string) { truncateFile(t, dir, deltaName(1), -11) },
+			wantErr: true,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			buildMutStore(t, dir, pages, order)
+			for g := 0; g < tc.gens; g++ {
+				if g == 0 {
+					mutateOnce(t, dir) // update b, remove c, add e
+				} else {
+					s, err := Open(dir, OpenOptions{NoSync: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					m, err := s.BeginMutation()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := m.Remove("b"); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := m.Commit(); err != nil {
+						t.Fatal(err)
+					}
+					s.Close()
+				}
+			}
+			tc.mangle(t, dir)
+			s, err := Open(dir, OpenOptions{NoSync: true})
+			if tc.wantErr {
+				if err == nil {
+					s.Close()
+					t.Fatal("Open succeeded over corruption that cannot be recovered")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Open did not recover: %v", err)
+			}
+			defer s.Close()
+			if s.Generation() != tc.wantGen {
+				t.Fatalf("recovered to generation %d, want %d", s.Generation(), tc.wantGen)
+			}
+			var ids []string
+			for _, d := range s.Docs() {
+				ids = append(ids, d.ID())
+			}
+			if got := fmt.Sprint(ids); got != tc.wantIDs {
+				t.Fatalf("recovered live view %v, want %v", got, tc.wantIDs)
+			}
+			if len(s.Recovery()) == 0 {
+				t.Fatal("recovery happened but Recovery() reports nothing")
+			}
+			// The rollback is durable: a second open is clean and identical.
+			s2, err := Open(dir, OpenOptions{NoSync: true})
+			if err != nil {
+				t.Fatalf("second open after rollback: %v", err)
+			}
+			defer s2.Close()
+			if len(s2.Recovery()) != 0 {
+				t.Fatalf("second open still repairing: %v", s2.Recovery())
+			}
+			if s2.Generation() != tc.wantGen {
+				t.Fatalf("second open at generation %d", s2.Generation())
+			}
+		})
+	}
+}
+
+// TestOpenSweepsOrphans drops crashed-commit debris next to a healthy
+// store and checks Open ignores and removes it without touching
+// unrelated files.
+func TestOpenSweepsOrphans(t *testing.T) {
+	dir := t.TempDir()
+	ids, raws := samplePages(5)
+	buildStore(t, dir, ids, raws, 3)
+	for _, name := range []string{"manifest.json.tmp", shardName(7), deltaName(3), "tokens.idx.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("debris"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "truth.txt"), []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, OpenOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if len(s.Recovery()) != 4 {
+		t.Fatalf("Recovery() = %v, want 4 sweeps", s.Recovery())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range ents {
+		names[e.Name()] = true
+	}
+	for _, gone := range []string{"manifest.json.tmp", shardName(7), deltaName(3), "tokens.idx.tmp"} {
+		if names[gone] {
+			t.Fatalf("orphan %s survived Open", gone)
+		}
+	}
+	if !names["truth.txt"] {
+		t.Fatal("unrelated file swept")
+	}
+}
+
 func TestWriterRejectsExistingStore(t *testing.T) {
 	dir := t.TempDir()
 	ids, raws := samplePages(2)

@@ -37,6 +37,16 @@ type Manifest struct {
 type Options struct {
 	// ShardDocs is the number of documents per shard file (default 2048).
 	ShardDocs int
+	// NoSync skips the fsyncs in the commit protocol (temp files and the
+	// rename-publish stay). The default — sync on — guarantees a store
+	// whose Close returned nil survives a crash; with NoSync a crash may
+	// lose it, but Open still never sees a torn store on filesystems with
+	// atomic rename.
+	NoSync bool
+	// FS overrides the filesystem seam (tests/crash injection). nil means
+	// the real filesystem honouring NoSync; when set, NoSync is ignored
+	// (the FS decides what Sync does).
+	FS FS
 }
 
 // Writer streams documents into a new disk store: shard files plus the
@@ -46,8 +56,9 @@ type Options struct {
 type Writer struct {
 	dir  string
 	opts Options
+	fs   FS
 
-	shard     *os.File
+	shard     File
 	shardBuf  *bufio.Writer
 	shardIdx  int
 	shardOff  uint64
@@ -64,10 +75,15 @@ type Writer struct {
 }
 
 // Create starts a new store at dir (created if missing; must not already
-// contain a store).
+// contain a store). Leftover shard/index/staging files from a crashed
+// ingest — recognizable because no manifest was ever published — are
+// swept so the new ingest starts clean.
 func Create(dir string, opts Options) (*Writer, error) {
 	if opts.ShardDocs <= 0 {
 		opts.ShardDocs = 2048
+	}
+	if opts.FS == nil {
+		opts.FS = RealFS(!opts.NoSync)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create %s: %w", dir, err)
@@ -75,9 +91,13 @@ func Create(dir string, opts Options) (*Writer, error) {
 	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
 		return nil, fmt.Errorf("store: %s already contains a store", dir)
 	}
+	if _, errs := sweepStoreOrphans(opts.FS, dir, -1, -1); len(errs) > 0 {
+		return nil, fmt.Errorf("store: create %s: sweeping crashed-ingest leftovers: %v", dir, errs[0])
+	}
 	w := &Writer{
 		dir:      dir,
 		opts:     opts,
+		fs:       opts.FS,
 		vocabIDs: make(map[string]uint32),
 		man:      Manifest{Version: version, ShardDocs: opts.ShardDocs},
 	}
@@ -92,7 +112,7 @@ const manifestName = "manifest.json"
 func shardName(i int) string { return fmt.Sprintf("shard-%04d.ifs", i) }
 
 func (w *Writer) openShard() error {
-	f, err := os.Create(filepath.Join(w.dir, shardName(w.shardIdx)))
+	f, err := w.fs.Create(filepath.Join(w.dir, shardName(w.shardIdx)))
 	if err != nil {
 		return fmt.Errorf("store: create shard: %w", err)
 	}
@@ -111,7 +131,9 @@ func (w *Writer) openShard() error {
 	return nil
 }
 
-// sealShard appends the TOC and footer and closes the shard file.
+// sealShard appends the TOC and footer, fsyncs, and closes the shard
+// file. Shards are synced at seal time so every shard the manifest will
+// reference is durable before the manifest publish makes it reachable.
 func (w *Writer) sealShard() error {
 	tocOff := w.shardOff
 	// Patch the entry count into the TOC header.
@@ -128,6 +150,9 @@ func (w *Writer) sealShard() error {
 		return err
 	}
 	if err := w.shardBuf.Flush(); err != nil {
+		return err
+	}
+	if err := w.shard.Sync(); err != nil {
 		return err
 	}
 	return w.shard.Close()
@@ -238,7 +263,13 @@ func (w *Writer) fail(err error) error {
 }
 
 // Close seals the last shard and writes tokens.idx and manifest.json.
-// The store is not readable until Close returns nil.
+// The store is not readable until Close returns nil. The commit order is
+// crash-safe: every shard is fsynced at seal, the index is published via
+// temp-file + fsync + rename + directory fsync (which also makes the
+// shard directory entries durable), and the manifest is published the
+// same way last — the manifest rename is the single commit point. A
+// crash anywhere earlier leaves a directory without a manifest, which
+// Open refuses and a fresh Create sweeps.
 func (w *Writer) Close() error {
 	if w.err != nil {
 		w.shard.Close()
@@ -256,7 +287,7 @@ func (w *Writer) Close() error {
 	if err != nil {
 		return w.fail(err)
 	}
-	if err := os.WriteFile(filepath.Join(w.dir, manifestName), append(mb, '\n'), 0o644); err != nil {
+	if err := atomicWriteFile(w.fs, filepath.Join(w.dir, manifestName), append(mb, '\n')); err != nil {
 		return w.fail(err)
 	}
 	return nil
@@ -267,9 +298,11 @@ func (w *Writer) Manifest() Manifest { return w.man }
 
 const indexName = "tokens.idx"
 
-// writeIndex persists the vocabulary and the per-token posting runs.
+// writeIndex persists the vocabulary and the per-token posting runs,
+// publishing the file via temp + fsync + rename + directory fsync.
 func (w *Writer) writeIndex() error {
-	f, err := os.Create(filepath.Join(w.dir, indexName))
+	path := filepath.Join(w.dir, indexName)
+	f, err := w.fs.Create(path + ".tmp")
 	if err != nil {
 		return err
 	}
@@ -292,18 +325,32 @@ func (w *Writer) writeIndex() error {
 	}
 	offs.u64(off)
 	if _, err := buf.Write(hdr.b); err != nil {
+		f.Close()
 		return err
 	}
 	if _, err := buf.Write(offs.b); err != nil {
+		f.Close()
 		return err
 	}
 	for _, run := range w.postings {
 		if _, err := buf.Write(run); err != nil {
+			f.Close()
 			return err
 		}
 	}
 	if err := buf.Flush(); err != nil {
+		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := w.fs.Rename(path+".tmp", path); err != nil {
+		return err
+	}
+	return w.fs.SyncDir(w.dir)
 }
